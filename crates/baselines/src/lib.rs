@@ -1,0 +1,24 @@
+//! # mcl-baselines — comparison legalizers
+//!
+//! Re-implementations of the algorithms the paper compares against:
+//!
+//! - [`tetris`]: greedy nearest-gap scan — the stand-in for the IC/CAD 2017
+//!   contest champion (Table 1).
+//! - [`abacus`]: Abacus-style cluster legalization in the spirit of Wang et
+//!   al. \[7\] (Table 2).
+//! - [`mll`]: MLL of Chow et al. \[12\], reproduced by running the core
+//!   legalizer with current-position displacement curves (Table 2).
+//! - [`lcp`]: QP→LCP legalization in the spirit of Chen et al. \[9\], solved
+//!   with projected Gauss–Seidel (Table 2).
+
+#![forbid(unsafe_code)]
+
+pub mod abacus;
+pub mod lcp;
+pub mod mll;
+pub mod tetris;
+
+pub use abacus::legalize_abacus;
+pub use lcp::legalize_lcp;
+pub use mll::legalize_mll;
+pub use tetris::legalize_tetris;

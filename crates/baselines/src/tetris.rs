@@ -1,0 +1,228 @@
+//! Tetris-style greedy legalizer — the stand-in for the IC/CAD 2017 contest
+//! champion binary in Table 1.
+//!
+//! Sorts cells and drops each at the nearest free gap over all rows, honoring
+//! the *hard* constraints only (overlap, sites, fences, P/G parity). It is
+//! deliberately routability-unaware: edge-spacing and pin violations appear
+//! naturally, exactly the behaviour the paper's comparison highlights.
+
+use mcl_core::state::PlacementState;
+use mcl_db::prelude::*;
+
+/// Statistics of a Tetris run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TetrisStats {
+    /// Cells placed.
+    pub placed: usize,
+    /// Cells that found no free gap anywhere.
+    pub failed: usize,
+}
+
+/// Runs the greedy legalizer, returning a placed copy of the design.
+pub fn legalize_tetris(design: &Design) -> (Design, TetrisStats) {
+    let mut state = PlacementState::new(design);
+    let stats = run(&mut state);
+    let mut out = design.clone();
+    state.write_back(&mut out);
+    (out, stats)
+}
+
+/// Runs the greedy legalizer on an existing state.
+pub fn run(state: &mut PlacementState<'_>) -> TetrisStats {
+    let design = state.design();
+    let mut order: Vec<CellId> = design.movable_cells().collect();
+    // Taller first (hardest), then by GP x: the classic greedy order.
+    order.sort_by_key(|&id| {
+        let c = &design.cells[id.0 as usize];
+        let ct = &design.cell_types[c.type_id.0 as usize];
+        (
+            std::cmp::Reverse(ct.height_rows),
+            c.gp.x,
+            c.gp.y,
+            id.0,
+        )
+    });
+    let mut stats = TetrisStats::default();
+    for cell in order {
+        match nearest_gap(state, cell) {
+            Some(p) => {
+                state.place(cell, p).expect("gap must be free");
+                stats.placed += 1;
+            }
+            None => stats.failed += 1,
+        }
+    }
+    stats
+}
+
+/// The free position nearest (in Manhattan distance) to the cell's GP,
+/// ignoring soft constraints.
+pub fn nearest_gap(state: &PlacementState<'_>, cell: CellId) -> Option<Point> {
+    let d = state.design();
+    let c = &d.cells[cell.0 as usize];
+    let ct = d.type_of(cell);
+    let h = ct.height_rows as usize;
+    let w = ct.width;
+    let sw = d.tech.site_width;
+    let snap_up = |x: Dbu| d.core.xl + (x - d.core.xl + sw - 1).div_euclid(sw) * sw;
+
+    let home_row = d.nearest_row(c.gp.y, ct.height_rows);
+    let mut best: Option<(i64, Point)> = None;
+
+    // Scan rows outward from the home row; once the y cost alone exceeds
+    // the best cost, stop.
+    let mut offsets: Vec<isize> = Vec::with_capacity(2 * d.num_rows);
+    for k in 0..d.num_rows as isize {
+        offsets.push(k);
+        if k > 0 {
+            offsets.push(-k);
+        }
+    }
+    for off in offsets {
+        let base = home_row as isize + off;
+        if base < 0 || base as usize + h > d.num_rows {
+            continue;
+        }
+        let base_row = base as usize;
+        if let Some(par) = ct.rail_parity {
+            if !par.matches(base_row) {
+                continue;
+            }
+        }
+        let y = d.row_y(base_row);
+        let y_cost = (y - c.gp.y).abs();
+        if let Some((bc, _)) = best {
+            if y_cost >= bc {
+                continue;
+            }
+        }
+        let segmap = state.segments();
+        for &s0 in segmap.in_row(base_row) {
+            let seg = &segmap.segments()[s0];
+            if seg.fence != c.fence || seg.x.len() < w {
+                continue;
+            }
+            let occupants = state.cells_in_segment(s0);
+            let mut gap_lo = seg.x.lo;
+            let mut idx = 0usize;
+            loop {
+                let gap_hi = if idx < occupants.len() {
+                    state.pos(occupants[idx]).unwrap().x
+                } else {
+                    seg.x.hi
+                };
+                let lo = snap_up(gap_lo);
+                let hi = gap_hi - w;
+                if hi >= lo {
+                    let x = snap_up(c.gp.x.clamp(lo, hi)).min(hi);
+                    let ok = if h > 1 {
+                        probe_multi_row(state, cell, x, base_row)
+                    } else {
+                        true
+                    };
+                    if ok {
+                        let cost = (x - c.gp.x).abs() + y_cost;
+                        if best.map(|(bc, _)| cost < bc).unwrap_or(true) {
+                            best = Some((cost, Point::new(x, y)));
+                        }
+                    }
+                }
+                if idx >= occupants.len() {
+                    break;
+                }
+                let occ = occupants[idx];
+                gap_lo = state.pos(occ).unwrap().x + d.type_of(occ).width;
+                idx += 1;
+            }
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+fn probe_multi_row(state: &PlacementState<'_>, cell: CellId, x: Dbu, base_row: usize) -> bool {
+    let d = state.design();
+    let c = &d.cells[cell.0 as usize];
+    let ct = d.type_of(cell);
+    let span = Interval::new(x, x + ct.width);
+    for r in base_row..base_row + ct.height_rows as usize {
+        let Some(si) = state.find_covering_segment(r, c.fence, span) else {
+            return false;
+        };
+        for &other in state.cells_in_segment(si) {
+            let p = state.pos(other).unwrap();
+            let ow = d.type_of(other).width;
+            if x < p.x + ow && p.x < x + ct.width {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design(n: usize, seed: u64) -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 1800));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell_type(CellType::new("d", 30, 2));
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..n {
+            let t = if rng() % 4 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            d.add_cell(Cell::new(
+                format!("c{i}"),
+                t,
+                Point::new((rng() % 1900) as Dbu, (rng() % 1700) as Dbu),
+            ));
+        }
+        d
+    }
+
+    #[test]
+    fn produces_legal_placement() {
+        let d = design(150, 3);
+        let (out, stats) = legalize_tetris(&d);
+        assert_eq!(stats.failed, 0);
+        let rep = Checker::new(&out).check();
+        assert!(rep.is_legal(), "{:?}", rep.details);
+    }
+
+    #[test]
+    fn ignores_edge_spacing_rules() {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 90));
+        let mut tbl = EdgeSpacingTable::new(2);
+        tbl.set(1, 1, 30);
+        d.tech.edge_spacing = tbl;
+        let mut ct = CellType::new("e", 20, 1);
+        ct.edge_class = (1, 1);
+        let e = d.add_cell_type(ct);
+        // Two cells that want to abut.
+        d.add_cell(Cell::new("a", e, Point::new(100, 0)));
+        d.add_cell(Cell::new("b", e, Point::new(120, 0)));
+        let (out, _) = legalize_tetris(&d);
+        let rep = Checker::new(&out).check();
+        assert!(rep.is_legal());
+        assert_eq!(rep.edge_spacing, 1, "tetris abuts cells, violating spacing");
+    }
+
+    #[test]
+    fn respects_fences() {
+        let mut d = design(40, 9);
+        let f = d.add_fence(FenceRegion::new("g", vec![Rect::new(500, 450, 1500, 1350)]));
+        for i in 0..10 {
+            d.cells[i].fence = f;
+        }
+        let (out, stats) = legalize_tetris(&d);
+        assert_eq!(stats.failed, 0);
+        let rep = Checker::new(&out).check();
+        assert_eq!(rep.fence_violations, 0, "{:?}", rep.details);
+        assert!(rep.is_legal());
+    }
+}

@@ -1,0 +1,31 @@
+//! Microbenchmarks of the piecewise-linear displacement curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_core::curve::PwlCurve;
+
+fn curve_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("curves");
+    for n in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("sum_and_min", n), &n, |b, &n| {
+            let parts: Vec<PwlCurve> = (0..n)
+                .map(|i| {
+                    let x = (i as i64 % 37) * 10;
+                    match i % 4 {
+                        0 => PwlCurve::type_a(x, 30, 1),
+                        1 => PwlCurve::type_b(x, 20, 1),
+                        2 => PwlCurve::type_c(x, 40, 1),
+                        _ => PwlCurve::type_d(x, 40, 1),
+                    }
+                })
+                .collect();
+            b.iter(|| {
+                let total = PwlCurve::sum(parts.iter().cloned());
+                std::hint::black_box(total.min_on(-100, 500, 100))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, curve_benches);
+criterion_main!(benches);

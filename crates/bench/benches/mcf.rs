@@ -1,0 +1,44 @@
+//! Network simplex scaling on stage-3-shaped flow graphs (row chains).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcl_flow::{FlowGraph, NetworkSimplex, NodeId, INF_CAP};
+
+/// Builds the dual-MCF of a row of `n` cells with random-ish GPs.
+fn chain_graph(n: usize) -> FlowGraph {
+    let mut g = FlowGraph::with_nodes(n + 1);
+    let z = NodeId(0);
+    let mut seed = 0x2545F4914F6CDD1Du64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for i in 0..n {
+        let node = NodeId(1 + i);
+        let xp = (rng() % 10_000) as i64;
+        g.add_arc(z, node, 1, -xp);
+        g.add_arc(node, z, 1, xp);
+        g.add_arc(z, node, INF_CAP, 0); // l_i = 0
+        g.add_arc(node, z, INF_CAP, 20_000); // r_i
+        if i > 0 {
+            g.add_arc(NodeId(i), node, INF_CAP, -2);
+        }
+    }
+    g
+}
+
+fn mcf_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network_simplex");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 5_000] {
+        let g = chain_graph(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &g, |b, g| {
+            b.iter(|| std::hint::black_box(NetworkSimplex::new().solve(g).unwrap().cost));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mcf_benches);
+criterion_main!(benches);

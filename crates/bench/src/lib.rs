@@ -1,0 +1,138 @@
+//! # mcl-bench — experiment harness
+//!
+//! Shared plumbing for the table/figure reproduction binaries:
+//!
+//! - `table1`: ours vs the greedy champion stand-in on the 16 IC/CAD 2017
+//!   presets (avg/max displacement, HPWL, pin + edge violations, score S).
+//! - `table2`: ours vs MLL/Abacus/LCP on the 20 ISPD 2015 presets (total
+//!   displacement, runtime).
+//! - `table3`: post-processing ablation (before/after stages 2+3).
+//! - `fig3`, `fig4`, `fig6`: the paper's illustrative figures.
+//!
+//! Scale is controlled with the `MCL_SCALE` environment variable
+//! (default 0.05 = 5% of the published cell counts); artifacts go to
+//! `MCL_OUT` (default `results/`).
+
+#![forbid(unsafe_code)]
+
+use mcl_db::prelude::*;
+use std::time::Instant;
+
+/// Reads the benchmark scale factor from `MCL_SCALE` (default 0.05).
+pub fn scale_from_env() -> f64 {
+    std::env::var("MCL_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05)
+}
+
+/// Worker threads for the legalizer (`MCL_THREADS`, default: available
+/// parallelism).
+pub fn threads_from_env() -> usize {
+    std::env::var("MCL_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Output directory for artifacts (`MCL_OUT`, default `results/`); created
+/// on first use.
+pub fn out_dir() -> std::path::PathBuf {
+    let dir = std::env::var("MCL_OUT").unwrap_or_else(|_| "results".into());
+    let p = std::path::PathBuf::from(dir);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// One legalizer evaluation on one benchmark.
+#[derive(Debug, Clone)]
+pub struct Eval {
+    /// Displacement metrics.
+    pub metrics: Metrics,
+    /// Violation report.
+    pub report: LegalityReport,
+    /// Contest score (Eq. 10).
+    pub score: f64,
+    /// Wall-clock seconds of the legalization call.
+    pub seconds: f64,
+    /// The legalized design.
+    pub design: Design,
+}
+
+/// Runs `f` on a design and gathers every metric the tables need.
+pub fn evaluate<F>(design: &Design, f: F) -> Eval
+where
+    F: FnOnce(&Design) -> Design,
+{
+    let t = Instant::now();
+    let placed = f(design);
+    let seconds = t.elapsed().as_secs_f64();
+    let metrics = Metrics::measure(&placed);
+    let report = Checker::new(&placed).check();
+    let score = metrics.contest_score(&placed, &report);
+    Eval {
+        metrics,
+        report,
+        score,
+        seconds,
+        design: placed,
+    }
+}
+
+/// Mean of `base[i] / ours[i]` — the "Norm. Avg." rows of the paper: the
+/// `ours` column normalizes to 1.00 and a losing baseline reads above 1.
+pub fn norm_avg(base: &[f64], ours: &[f64]) -> f64 {
+    assert_eq!(base.len(), ours.len());
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (&b, &o) in base.iter().zip(ours) {
+        if o.abs() > f64::EPSILON {
+            sum += b / o;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        f64::NAN
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Formats a float with `p` decimals.
+pub fn fnum(v: f64, p: usize) -> String {
+    format!("{v:.p$}")
+}
+
+/// Writes `content` to `<out_dir>/<name>` and echoes the path.
+pub fn save_artifact(name: &str, content: &str) -> std::path::PathBuf {
+    let path = out_dir().join(name);
+    std::fs::write(&path, content).expect("write artifact");
+    println!("  [wrote {}]", path.display());
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_avg_of_equal_is_one() {
+        assert!((norm_avg(&[2.0, 4.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_avg_baseline_worse_is_above_one() {
+        let v = norm_avg(&[3.0, 3.0], &[2.0, 2.0]);
+        assert!((v - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_default_positive() {
+        assert!(scale_from_env() > 0.0);
+        assert!(threads_from_env() >= 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Legalizer configuration.
+
+use mcl_db::geom::Dbu;
+
+/// Which reference the displacement curves measure against.
+///
+/// The paper's key improvement over MLL (Chow et al., DAC'16) is measuring
+/// displacement from the *global placement* positions rather than the cells'
+/// current positions; MLL is recovered with [`DisplacementReference::Current`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DisplacementReference {
+    /// Minimize displacement from the GP input (MGL, this paper).
+    #[default]
+    Gp,
+    /// Minimize displacement from current positions (MLL baseline).
+    Current,
+}
+
+/// Order in which MGL legalizes cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CellOrder {
+    /// Taller cells first, then wider, then by GP position. Multi-row cells
+    /// are hardest to insert late; best when the multi-height fraction is
+    /// large.
+    HeightThenWidth,
+    /// Sweep by GP x (Abacus-style ordering).
+    GpX,
+    /// By cell id (input order).
+    Id,
+    /// Taller cells first, then a deterministic pseudo-random shuffle
+    /// within each height. Interleaving insertion sites avoids the
+    /// systematic pressure fronts of sorted sweeps and measures best on
+    /// dense designs.
+    HeightThenShuffled,
+    /// Pick by design density: [`CellOrder::GpX`] below 82% utilization,
+    /// [`CellOrder::HeightThenShuffled`] above (the GP-x sweep wins on
+    /// quality and speed up to very high densities, where interleaved
+    /// insertion takes over; measured crossover ≈ 0.82).
+    #[default]
+    Auto,
+}
+
+/// How cost weights are assigned per cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightMode {
+    /// All cells weigh 1: optimizes plain total displacement (Table 2 mode).
+    #[default]
+    Uniform,
+    /// Cells weigh ∝ 1/|C_h| per Eq. 2, so the average-displacement metric
+    /// of the contest is what the flow optimizes (Table 1 mode).
+    ContestAverage,
+}
+
+/// Full legalizer configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalizerConfig {
+    /// Displacement reference for stage 1.
+    pub reference: DisplacementReference,
+    /// Cell processing order.
+    pub order: CellOrder,
+    /// Cost weighting mode.
+    pub weights: WeightMode,
+    /// Initial window half-width in sites.
+    pub window_sites: usize,
+    /// Initial window half-height in rows.
+    pub window_rows: usize,
+    /// Growth factor numerator/denominator on failed insertion (3/2 = ×1.5).
+    pub window_growth: (usize, usize),
+    /// Maximum number of window expansions before falling back to a global
+    /// scan.
+    pub max_expansions: usize,
+    /// Enable routability handling (edge spacing always honored; this gates
+    /// pin-access/short avoidance).
+    pub routability: bool,
+    /// Normalize local-cell displacement curves to Δ-displacement (their
+    /// untouched plateau sits at zero). Disabling reverts to the raw
+    /// absolute curves for ablation studies; see DESIGN.md §5.
+    pub normalize_curves: bool,
+    /// Cost penalty per IO-pin overlap (in dbu of displacement-equivalent).
+    pub io_penalty: i64,
+    /// Cost penalty per unavoidable vertical-rail violation.
+    pub rail_penalty: i64,
+    /// Enable stage 2 (bipartite matching on max displacement).
+    pub max_disp_matching: bool,
+    /// `δ₀` of Eq. 3: tolerable max displacement, in rows.
+    pub delta0_rows: f64,
+    /// Largest group size stage 2 matches densely; bigger groups use a
+    /// sparse neighborhood graph.
+    pub matching_dense_limit: usize,
+    /// Enable stage 3 (fixed row & order dual-MCF refinement).
+    pub fixed_order_refine: bool,
+    /// `n₀`: weight of the max-displacement terms in stage 3, relative to a
+    /// unit cell weight (0 disables the extension).
+    pub n0_factor: i64,
+    /// Number of worker threads for MGL (1 = serial). Results are identical
+    /// for any value.
+    pub threads: usize,
+    /// Capacity of the concurrent-window list `L_p` (§3.5). Determinism is
+    /// per capacity value; small capacities track the sequential schedule
+    /// closely (capacity 1 reproduces it exactly), large ones admit more
+    /// parallelism at some displacement cost.
+    pub window_list_capacity: usize,
+}
+
+impl LegalizerConfig {
+    /// Contest-style configuration: fences + routability + average-weighted
+    /// displacement (Table 1). Multi-row cells dominate the height-averaged
+    /// metric (weight ∝ 1/|C_h|), so they are processed first.
+    pub fn contest() -> Self {
+        Self {
+            order: CellOrder::HeightThenWidth,
+            ..Self::default()
+        }
+    }
+
+    /// Plain total-displacement configuration: routability off, uniform
+    /// weights (Table 2, comparison with prior displacement-driven work).
+    pub fn total_displacement() -> Self {
+        Self {
+            weights: WeightMode::Uniform,
+            routability: false,
+            n0_factor: 0,
+            ..Self::default()
+        }
+    }
+
+    /// MLL baseline: stage 1 only, current-position reference.
+    pub fn mll_baseline() -> Self {
+        Self {
+            reference: DisplacementReference::Current,
+            weights: WeightMode::Uniform,
+            routability: false,
+            max_disp_matching: false,
+            fixed_order_refine: false,
+            ..Self::default()
+        }
+    }
+
+    /// The window half-extent after `n` expansions, in sites.
+    pub fn window_sites_after(&self, n: usize) -> usize {
+        let (num, den) = self.window_growth;
+        let mut w = self.window_sites.max(1);
+        for _ in 0..n {
+            w = (w * num / den).max(w + 1);
+        }
+        w
+    }
+
+    /// The window half-extent after `n` expansions, in rows.
+    pub fn window_rows_after(&self, n: usize) -> usize {
+        let (num, den) = self.window_growth;
+        let mut w = self.window_rows.max(1);
+        for _ in 0..n {
+            w = (w * num / den).max(w + 1);
+        }
+        w
+    }
+
+    /// `δ₀` in database units for a given row height.
+    pub fn delta0_dbu(&self, row_height: Dbu) -> Dbu {
+        (self.delta0_rows * row_height as f64).round() as Dbu
+    }
+}
+
+impl Default for LegalizerConfig {
+    fn default() -> Self {
+        Self {
+            reference: DisplacementReference::Gp,
+            order: CellOrder::Auto,
+            weights: WeightMode::ContestAverage,
+            window_sites: 24,
+            window_rows: 3,
+            window_growth: (2, 1),
+            max_expansions: 12,
+            routability: true,
+            normalize_curves: true,
+            io_penalty: 2_000,
+            rail_penalty: 1_000,
+            max_disp_matching: true,
+            delta0_rows: 10.0,
+            matching_dense_limit: 192,
+            fixed_order_refine: true,
+            n0_factor: 4,
+            threads: 1,
+            window_list_capacity: 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_growth_monotone() {
+        let c = LegalizerConfig::default();
+        let mut prev = 0;
+        for n in 0..8 {
+            let w = c.window_sites_after(n);
+            assert!(w > prev);
+            prev = w;
+        }
+    }
+
+    #[test]
+    fn presets_differ_sensibly() {
+        assert!(LegalizerConfig::contest().routability);
+        assert!(!LegalizerConfig::total_displacement().routability);
+        let mll = LegalizerConfig::mll_baseline();
+        assert_eq!(mll.reference, DisplacementReference::Current);
+        assert!(!mll.fixed_order_refine);
+    }
+
+    #[test]
+    fn delta0_conversion() {
+        let c = LegalizerConfig::default();
+        assert_eq!(c.delta0_dbu(90), 900);
+    }
+}

@@ -1,0 +1,343 @@
+//! The complete three-stage legalization flow (Fig. 2).
+
+use crate::config::LegalizerConfig;
+use crate::fixed_order::{optimize_fixed_order, FixedOrderStats};
+use crate::maxdisp::{optimize_max_disp, MaxDispStats};
+use crate::mgl::{compute_weights, run_serial, MglStats};
+use crate::routability::RoutOracle;
+use crate::scheduler::run_parallel;
+use crate::state::PlacementState;
+use mcl_db::prelude::*;
+use std::time::Instant;
+
+/// Combined statistics of a full legalization run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LegalizeStats {
+    /// Stage 1 statistics.
+    pub mgl: MglStats,
+    /// Stage 2 statistics (zeroed when disabled).
+    pub max_disp: MaxDispStats,
+    /// Stage 3 statistics (zeroed when disabled).
+    pub fixed_order: FixedOrderStats,
+    /// Wall-clock seconds per stage.
+    pub seconds: [f64; 3],
+}
+
+/// The top-level legalizer.
+///
+/// ```
+/// use mcl_core::{Legalizer, LegalizerConfig};
+/// use mcl_db::prelude::*;
+///
+/// let mut d = Design::new("demo", Technology::example(), Rect::new(0, 0, 1000, 900));
+/// let inv = d.add_cell_type(CellType::new("INV", 20, 1));
+/// d.add_cell(Cell::new("u1", inv, Point::new(33, 47)));
+/// d.add_cell(Cell::new("u2", inv, Point::new(41, 52)));
+/// let (legal, stats) = Legalizer::new(LegalizerConfig::contest()).run(&d);
+/// assert_eq!(stats.mgl.failed, 0);
+/// assert!(Checker::new(&legal).check().is_legal());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Legalizer {
+    config: LegalizerConfig,
+}
+
+impl Legalizer {
+    /// Creates a legalizer with the given configuration.
+    pub fn new(config: LegalizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LegalizerConfig {
+        &self.config
+    }
+
+    /// Legalizes a design, returning the placed design and statistics.
+    /// The input design is not modified; its `pos` fields are ignored.
+    pub fn run(&self, design: &Design) -> (Design, LegalizeStats) {
+        let weights = compute_weights(design, self.config.weights);
+        let oracle_store;
+        let oracle = if self.config.routability {
+            oracle_store = Some(RoutOracle::new(design));
+            oracle_store.as_ref()
+        } else {
+            None
+        };
+
+        let mut stats = LegalizeStats::default();
+        let mut state = PlacementState::new(design);
+
+        let t0 = Instant::now();
+        stats.mgl = if self.config.threads > 1 {
+            run_parallel(&mut state, &self.config, &weights, oracle)
+        } else {
+            run_serial(&mut state, &self.config, &weights, oracle)
+        };
+        stats.seconds[0] = t0.elapsed().as_secs_f64();
+
+        if self.config.max_disp_matching {
+            let t1 = Instant::now();
+            stats.max_disp = optimize_max_disp(&mut state, &self.config);
+            stats.seconds[1] = t1.elapsed().as_secs_f64();
+        }
+
+        if self.config.fixed_order_refine {
+            let t2 = Instant::now();
+            stats.fixed_order =
+                optimize_fixed_order(&mut state, &self.config, &weights, oracle);
+            stats.seconds[2] = t2.elapsed().as_secs_f64();
+        }
+
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        (out, stats)
+    }
+
+    /// Incremental (ECO) legalization: cells that already have a legal
+    /// position keep it as their starting point; only unplaced cells (e.g.
+    /// newly inserted by an engineering change order) go through MGL
+    /// insertion, followed by the configured post-processing over the whole
+    /// design.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending cell when an existing position cannot be
+    /// adopted (the pre-placed part must be legal).
+    pub fn run_eco(
+        &self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats), (CellId, crate::state::PlaceError)> {
+        let weights = compute_weights(design, self.config.weights);
+        let oracle_store;
+        let oracle = if self.config.routability {
+            oracle_store = Some(RoutOracle::new(design));
+            oracle_store.as_ref()
+        } else {
+            None
+        };
+        let mut state = PlacementState::from_design_positions(design)?;
+        let mut stats = LegalizeStats::default();
+        let t0 = Instant::now();
+        stats.mgl = if self.config.threads > 1 {
+            run_parallel(&mut state, &self.config, &weights, oracle)
+        } else {
+            run_serial(&mut state, &self.config, &weights, oracle)
+        };
+        stats.seconds[0] = t0.elapsed().as_secs_f64();
+        if self.config.max_disp_matching {
+            let t1 = Instant::now();
+            stats.max_disp = optimize_max_disp(&mut state, &self.config);
+            stats.seconds[1] = t1.elapsed().as_secs_f64();
+        }
+        if self.config.fixed_order_refine {
+            let t2 = Instant::now();
+            stats.fixed_order =
+                optimize_fixed_order(&mut state, &self.config, &weights, oracle);
+            stats.seconds[2] = t2.elapsed().as_secs_f64();
+        }
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+
+    /// Runs only the two post-processing stages on an already-legal design
+    /// (used by the Table 3 ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending cell when the input positions are not adoptable
+    /// (i.e. the input is not legal).
+    pub fn refine(
+        &self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats), (CellId, crate::state::PlaceError)> {
+        let weights = compute_weights(design, self.config.weights);
+        let oracle_store;
+        let oracle = if self.config.routability {
+            oracle_store = Some(RoutOracle::new(design));
+            oracle_store.as_ref()
+        } else {
+            None
+        };
+        let mut state = PlacementState::from_design_positions(design)?;
+        let mut stats = LegalizeStats::default();
+        if self.config.max_disp_matching {
+            let t1 = Instant::now();
+            stats.max_disp = optimize_max_disp(&mut state, &self.config);
+            stats.seconds[1] = t1.elapsed().as_secs_f64();
+        }
+        if self.config.fixed_order_refine {
+            let t2 = Instant::now();
+            stats.fixed_order =
+                optimize_fixed_order(&mut state, &self.config, &weights, oracle);
+            stats.seconds[2] = t2.elapsed().as_secs_f64();
+        }
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_db::score::Metrics;
+
+    fn messy_design(n: usize, seed: u64) -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 3000, 2700));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell_type(CellType::new("d", 30, 2));
+        d.add_cell_type(CellType::new("q", 40, 4));
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..n {
+            let t = match rng() % 12 {
+                0..=8 => CellTypeId(0),
+                9..=10 => CellTypeId(1),
+                _ => CellTypeId(2),
+            };
+            let x = (rng() % 2900) as Dbu;
+            let y = (rng() % 2500) as Dbu;
+            d.add_cell(Cell::new(format!("c{i}"), t, Point::new(x, y)));
+        }
+        d
+    }
+
+    #[test]
+    fn full_flow_is_legal_and_better_than_stage1_alone() {
+        let d = messy_design(250, 31);
+        let full = Legalizer::new(LegalizerConfig::total_displacement());
+        let mut cfg1 = LegalizerConfig::total_displacement();
+        cfg1.max_disp_matching = false;
+        cfg1.fixed_order_refine = false;
+        let stage1 = Legalizer::new(cfg1);
+
+        let (out_full, s_full) = full.run(&d);
+        let (out_1, s_1) = stage1.run(&d);
+        assert_eq!(s_full.mgl.failed, 0);
+        assert_eq!(s_1.mgl.failed, 0);
+        assert!(Checker::new(&out_full).check().is_legal());
+        assert!(Checker::new(&out_1).check().is_legal());
+
+        let m_full = Metrics::measure(&out_full);
+        let m_1 = Metrics::measure(&out_1);
+        assert!(
+            m_full.total_disp_dbu <= m_1.total_disp_dbu,
+            "post-processing must not hurt total displacement: {} vs {}",
+            m_full.total_disp_dbu,
+            m_1.total_disp_dbu
+        );
+        // With n0 = 0 stage 3 optimizes total displacement only, so the max
+        // may drift a little; it must not explode.
+        assert!(m_full.max_disp_rows <= 1.5 * m_1.max_disp_rows + 1.0);
+    }
+
+    #[test]
+    fn refine_on_legal_input_improves_or_keeps() {
+        let d = messy_design(150, 77);
+        let cfg = LegalizerConfig::total_displacement();
+        let mut stage1_cfg = cfg.clone();
+        stage1_cfg.max_disp_matching = false;
+        stage1_cfg.fixed_order_refine = false;
+        let (legal, _) = Legalizer::new(stage1_cfg).run(&d);
+        let before = Metrics::measure(&legal);
+        let (refined, stats) = Legalizer::new(cfg).refine(&legal).unwrap();
+        assert!(stats.fixed_order.applied);
+        let after = Metrics::measure(&refined);
+        assert!(after.total_disp_dbu <= before.total_disp_dbu);
+        assert!(Checker::new(&refined).check().is_legal());
+    }
+
+    #[test]
+    fn eco_mode_keeps_placed_cells_near_home() {
+        // Legalize once, then add a handful of new cells (unplaced) and run
+        // ECO: pre-placed cells may shift (post-processing) but must stay
+        // close; new cells get inserted; everything stays legal.
+        let d = messy_design(150, 13);
+        let stage1_only = {
+            let mut c = LegalizerConfig::total_displacement();
+            c.max_disp_matching = false;
+            c.fixed_order_refine = false;
+            c
+        };
+        let (mut placed, _) = Legalizer::new(stage1_only).run(&d);
+        let n_old = placed.cells.len();
+        let baseline: Vec<Point> = placed.cells.iter().map(|c| c.pos.unwrap()).collect();
+        for i in 0..10 {
+            placed.add_cell(Cell::new(
+                format!("eco{i}"),
+                CellTypeId(0),
+                Point::new(200 + i * 150, 400),
+            ));
+        }
+        let (out, stats) = Legalizer::new(LegalizerConfig::total_displacement())
+            .run_eco(&placed)
+            .unwrap();
+        assert_eq!(stats.mgl.failed, 0);
+        assert!(Checker::new(&out).check().is_legal());
+        // Old cells: placed, and the vast majority untouched by the ECO.
+        let mut moved = 0;
+        for (i, base) in baseline.iter().enumerate().take(n_old) {
+            let now = out.cells[i].pos.unwrap();
+            if now != *base {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved <= n_old / 3,
+            "ECO should disturb few pre-placed cells, moved {moved}/{n_old}"
+        );
+        // New cells all placed.
+        for c in &out.cells[n_old..] {
+            assert!(c.pos.is_some());
+        }
+    }
+
+    #[test]
+    fn eco_rejects_illegal_input() {
+        let mut d = messy_design(10, 3);
+        d.cells[0].pos = Some(Point::new(13, 7)); // misaligned
+        assert!(Legalizer::new(LegalizerConfig::total_displacement())
+            .run_eco(&d)
+            .is_err());
+    }
+
+    #[test]
+    fn fences_and_routability_end_to_end() {
+        let mut d = messy_design(120, 5);
+        d.grid = PowerGrid {
+            h_layer: 2,
+            h_width: 6,
+            h_pitch_rows: 1,
+            v_layer: 3,
+            v_width: 8,
+            v_pitch: 500,
+            v_offset: 250,
+        };
+        d.cell_types[0].pins.push(PinShape {
+            name: "a".into(),
+            layer: 1,
+            rect: Rect::new(4, 30, 12, 50),
+        });
+        let f = d.add_fence(FenceRegion::new(
+            "g0",
+            vec![Rect::new(600, 450, 1800, 1350)],
+        ));
+        // A quarter of the cells belong to the fence.
+        let ids: Vec<u32> = (0..d.cells.len() as u32).filter(|i| i % 4 == 0).collect();
+        for i in ids {
+            d.cells[i as usize].fence = f;
+        }
+        let (out, stats) = Legalizer::new(LegalizerConfig::contest()).run(&d);
+        assert_eq!(stats.mgl.failed, 0, "{stats:?}");
+        let rep = Checker::new(&out).check();
+        assert!(rep.is_legal(), "{:?}", rep.details);
+        assert_eq!(rep.fence_violations, 0);
+    }
+}

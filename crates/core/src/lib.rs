@@ -1,0 +1,32 @@
+//! # mcl-core — the three-stage mixed-cell-height legalizer
+//!
+//! Reproduction of Li et al., "Routability-Driven and Fence-Aware
+//! Legalization for Mixed-Cell-Height Circuits" (DAC 2018):
+//!
+//! 1. **MGL** ([`mgl`], [`scheduler`]): window-based sequential insertion
+//!    minimizing displacement from *global placement* positions via
+//!    piecewise-linear displacement curves ([`curve`]).
+//! 2. **Max-displacement matching** ([`maxdisp`]): per (type × fence)
+//!    min-cost bipartite matching under the convex `φ` of Eq. 3.
+//! 3. **Fixed row & order refinement** ([`fixed_order`]): the LP of Eq. 4/8
+//!    solved through its dual min-cost flow with positions recovered from
+//!    network-simplex potentials.
+//!
+//! Entry point: [`Legalizer`].
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod curve;
+pub mod fixed_order;
+pub mod insertion;
+pub mod legalizer;
+pub mod maxdisp;
+pub mod mgl;
+pub mod routability;
+pub mod scheduler;
+pub mod state;
+
+pub use config::{CellOrder, DisplacementReference, LegalizerConfig, WeightMode};
+pub use legalizer::{LegalizeStats, Legalizer};
+pub use state::{PlacementState, PlaceError};

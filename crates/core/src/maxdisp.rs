@@ -1,0 +1,488 @@
+//! Maximum-displacement optimization — stage 2 (§3.2).
+//!
+//! For every (cell type × fence region) group, cells of the group may freely
+//! permute over the multiset of positions they currently occupy: the
+//! footprint is identical, so no overlap, edge-spacing, P/G or pin violation
+//! can appear. A min-cost perfect matching under the convex cost
+//! `φ(δ) = δ for δ ≤ δ₀, δ⁵/δ₀⁴ otherwise` (Eq. 3) simultaneously preserves
+//! the average displacement (linear region) and squeezes outliers (the
+//! steep region).
+//!
+//! Groups are independent (their position multisets are disjoint), so they
+//! are solved concurrently when [`LegalizerConfig::threads`] allows, and the
+//! results applied in deterministic key order.
+
+use crate::config::LegalizerConfig;
+use crate::state::PlacementState;
+use mcl_db::prelude::*;
+use mcl_flow::min_cost_matching;
+use std::collections::HashMap;
+
+/// Statistics of one stage-2 run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaxDispStats {
+    /// Groups considered (≥ 2 cells).
+    pub groups: usize,
+    /// Groups where the matching changed at least one assignment.
+    pub groups_changed: usize,
+    /// Cells that moved to a different position.
+    pub cells_moved: usize,
+}
+
+/// The matching cost `φ(δ)` of Eq. 3, computed in saturating integer space.
+pub fn phi(delta: Dbu, delta0: Dbu) -> i64 {
+    debug_assert!(delta >= 0);
+    if delta <= delta0 {
+        return delta;
+    }
+    let d = delta as f64;
+    let d0 = (delta0.max(1)) as f64;
+    let v = d * (d / d0).powi(4);
+    if v >= 1e15 {
+        1_000_000_000_000_000
+    } else {
+        v as i64
+    }
+}
+
+/// One group's matching job (immutable snapshot).
+struct GroupJob {
+    cells: Vec<CellId>,
+    positions: Vec<Point>,
+    gps: Vec<Point>,
+}
+
+/// Runs the matching-based maximum-displacement optimization in place.
+pub fn optimize_max_disp(
+    state: &mut PlacementState<'_>,
+    config: &LegalizerConfig,
+) -> MaxDispStats {
+    let d = state.design();
+    let delta0 = config.delta0_dbu(d.tech.row_height);
+    let mut stats = MaxDispStats::default();
+
+    // Group placed movable cells by (type, fence).
+    let mut groups: HashMap<(u32, u16), Vec<CellId>> = HashMap::new();
+    for id in d.movable_cells() {
+        if state.pos(id).is_some() {
+            let c = &d.cells[id.0 as usize];
+            groups
+                .entry((c.type_id.0, c.fence.0))
+                .or_default()
+                .push(id);
+        }
+    }
+    let mut keys: Vec<(u32, u16)> = groups.keys().copied().collect();
+    keys.sort_unstable();
+
+    // Snapshot jobs worth solving.
+    let mut jobs: Vec<GroupJob> = Vec::new();
+    for key in keys {
+        let cells = groups.remove(&key).unwrap();
+        if cells.len() < 2 {
+            continue;
+        }
+        stats.groups += 1;
+        let positions: Vec<Point> = cells.iter().map(|&c| state.pos(c).unwrap()).collect();
+        let gps: Vec<Point> = cells
+            .iter()
+            .map(|&c| d.cells[c.0 as usize].gp)
+            .collect();
+        // Groups already within tolerance keep the identity assignment.
+        let worst = positions
+            .iter()
+            .zip(&gps)
+            .map(|(p, g)| p.manhattan(*g))
+            .max()
+            .unwrap();
+        if worst <= delta0 {
+            continue;
+        }
+        // Shrink the matching to the displaced *tail* plus a 2-hop
+        // neighborhood closure: only cells beyond δ₀ need re-matching, and
+        // their swap chains run through the owners of the positions nearest
+        // their GPs. Everything else keeps the identity assignment, which is
+        // what the matching would choose anyway in φ's linear region.
+        let subset = tail_closure(&positions, &gps, delta0);
+        if subset.len() < 2 {
+            continue;
+        }
+        jobs.push(GroupJob {
+            cells: subset.iter().map(|&i| cells[i]).collect(),
+            positions: subset.iter().map(|&i| positions[i]).collect(),
+            gps: subset.iter().map(|&i| gps[i]).collect(),
+        });
+    }
+
+    // Solve (possibly in parallel; groups are disjoint so any schedule gives
+    // the same per-group answers).
+    let threads = config.threads.max(1).min(jobs.len().max(1));
+    let dense_limit = config.matching_dense_limit;
+    let results: Vec<Vec<(usize, usize)>> = if threads <= 1 {
+        jobs.iter()
+            .map(|j| solve_group(j, delta0, dense_limit))
+            .collect()
+    } else {
+        let jobs_ref = &jobs;
+        let mut out = Vec::with_capacity(jobs.len());
+        std::thread::scope(|scope| {
+            let chunk = jobs_ref.len().div_ceil(threads);
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(jobs_ref.len());
+                if lo >= hi {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    jobs_ref[lo..hi]
+                        .iter()
+                        .map(|j| solve_group(j, delta0, dense_limit))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                out.extend(h.join().expect("matching worker panicked"));
+            }
+        });
+        out
+    };
+
+    // Apply in deterministic order.
+    for (job, moved) in jobs.iter().zip(results) {
+        if moved.is_empty() {
+            continue;
+        }
+        stats.groups_changed += 1;
+        for &(i, _) in &moved {
+            state.remove(job.cells[i]);
+        }
+        for &(i, j) in &moved {
+            state
+                .place(job.cells[i], job.positions[j])
+                .expect("permuted position must be placeable");
+            stats.cells_moved += 1;
+        }
+    }
+    stats
+}
+
+/// Indices of cells displaced beyond `delta0` plus (two hops of) the owners
+/// of positions near their GPs — the only cells a beneficial swap chain can
+/// involve at meaningful gain.
+fn tail_closure(positions: &[Point], gps: &[Point], delta0: Dbu) -> Vec<usize> {
+    const HOPS: usize = 2;
+    const NEAR: usize = 8;
+    let n = positions.len();
+    let mut include = vec![false; n];
+    let mut frontier: Vec<usize> = (0..n)
+        .filter(|&i| positions[i].manhattan(gps[i]) > delta0)
+        .collect();
+    for &i in &frontier {
+        include[i] = true;
+    }
+    let bucket = delta0.max(1);
+    let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for (j, &p) in positions.iter().enumerate() {
+        grid.entry((p.x / bucket, p.y / bucket)).or_default().push(j);
+    }
+    for _ in 0..HOPS {
+        let mut next = Vec::new();
+        for &i in &frontier {
+            let gp = gps[i];
+            let (bx, by) = (gp.x / bucket, gp.y / bucket);
+            let mut cand: Vec<usize> = Vec::new();
+            let mut ring = 0i64;
+            let mut misses = 0;
+            while cand.len() < NEAR && misses < 3 && ring <= 1_000 {
+                let mut found = false;
+                for dx in -ring..=ring {
+                    for dy in -ring..=ring {
+                        if dx.abs() != ring && dy.abs() != ring {
+                            continue;
+                        }
+                        if let Some(v) = grid.get(&(bx + dx, by + dy)) {
+                            cand.extend_from_slice(v);
+                            found = true;
+                        }
+                    }
+                }
+                ring += 1;
+                if !found && !cand.is_empty() {
+                    misses += 1;
+                }
+            }
+            cand.sort_unstable_by_key(|&j| positions[j].manhattan(gp));
+            cand.truncate(NEAR);
+            for j in cand {
+                if !include[j] {
+                    include[j] = true;
+                    next.push(j);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    (0..n).filter(|&i| include[i]).collect()
+}
+
+/// Solves one group; returns the non-identity part of the assignment.
+fn solve_group(job: &GroupJob, delta0: Dbu, dense_limit: usize) -> Vec<(usize, usize)> {
+    let n = job.cells.len();
+    let edges = if n <= dense_limit {
+        let mut edges = Vec::with_capacity(n * n);
+        for (i, gp) in job.gps.iter().enumerate() {
+            for (j, &p) in job.positions.iter().enumerate() {
+                edges.push((i, j, phi(p.manhattan(*gp), delta0)));
+            }
+        }
+        edges
+    } else {
+        // Sparse: each cell connects to its own slot (feasibility) plus its
+        // K nearest positions by GP distance, found via a spatial grid.
+        // Chains of swaps compose through the intermediate cells' own
+        // neighborhoods, so K can stay small.
+        const K: usize = 32;
+        let bucket = delta0.max(1);
+        let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+        for (j, &p) in job.positions.iter().enumerate() {
+            grid.entry((p.x / bucket, p.y / bucket)).or_default().push(j);
+        }
+        let mut edges = Vec::new();
+        for (i, gp) in job.gps.iter().enumerate() {
+            let (bx, by) = (gp.x / bucket, gp.y / bucket);
+            let mut cand: Vec<usize> = Vec::with_capacity(2 * K);
+            let mut ring = 0i64;
+            let mut misses = 0;
+            while cand.len() < K && misses < 3 && ring <= 1_000 {
+                let mut found_any = false;
+                for dx in -ring..=ring {
+                    for dy in -ring..=ring {
+                        if dx.abs() != ring && dy.abs() != ring {
+                            continue;
+                        }
+                        if let Some(v) = grid.get(&(bx + dx, by + dy)) {
+                            cand.extend_from_slice(v);
+                            found_any = true;
+                        }
+                    }
+                }
+                ring += 1;
+                if !found_any && !cand.is_empty() {
+                    misses += 1;
+                }
+            }
+            cand.sort_unstable_by_key(|&j| job.positions[j].manhattan(*gp));
+            cand.truncate(K);
+            if !cand.contains(&i) {
+                cand.push(i);
+            }
+            for j in cand {
+                edges.push((i, j, phi(job.positions[j].manhattan(*gp), delta0)));
+            }
+        }
+        edges
+    };
+
+    // Lower-bound short-circuit: when keeping every cell where it is already
+    // matches each cell's cheapest available slot, identity is optimal.
+    {
+        let mut min_cost = vec![i64::MAX; n];
+        let mut identity = vec![i64::MAX; n];
+        for &(i, j, c) in &edges {
+            min_cost[i] = min_cost[i].min(c);
+            if i == j {
+                identity[i] = c;
+            }
+        }
+        if min_cost == identity {
+            return Vec::new();
+        }
+    }
+
+    match min_cost_matching(n, job.positions.len(), &edges) {
+        Some(m) => m
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(i, &j)| i != j)
+            .map(|(i, &j)| (i, j))
+            .collect(),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_db::score::Metrics;
+
+    #[test]
+    fn phi_linear_then_steep() {
+        assert_eq!(phi(5, 10), 5);
+        assert_eq!(phi(10, 10), 10);
+        assert_eq!(phi(20, 10), 320); // 20^5 / 10^4
+        assert!(phi(1000, 10) > phi(999, 10));
+        assert_eq!(phi(100_000_000, 10), 1_000_000_000_000_000, "saturates");
+    }
+
+    fn design_with_crossed_cells() -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 4000, 900));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        // Cell a: GP at left, placed far right. Cell b: GP right where a
+        // is placed, placed at a's GP. Swapping fixes both.
+        let mut a = Cell::new("a", CellTypeId(0), Point::new(0, 0));
+        a.pos = Some(Point::new(3000, 0));
+        d.add_cell(a);
+        let mut b = Cell::new("b", CellTypeId(0), Point::new(3000, 0));
+        b.pos = Some(Point::new(0, 0));
+        d.add_cell(b);
+        d
+    }
+
+    #[test]
+    fn swap_eliminates_max_displacement() {
+        let d = design_with_crossed_cells();
+        let mut state = PlacementState::from_design_positions(&d).unwrap();
+        let before = Metrics::measure(&d);
+        assert!(before.max_disp_rows > 30.0);
+        let stats = optimize_max_disp(&mut state, &LegalizerConfig::contest());
+        assert_eq!(stats.cells_moved, 2);
+        let mut out = d.clone();
+        state.write_back(&mut out);
+        let after = Metrics::measure(&out);
+        assert_eq!(after.max_disp_rows, 0.0);
+        assert!(Checker::new(&out).check().is_legal());
+    }
+
+    #[test]
+    fn different_types_never_swap() {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 4000, 900));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell_type(CellType::new("w", 40, 1));
+        let mut a = Cell::new("a", CellTypeId(0), Point::new(0, 0));
+        a.pos = Some(Point::new(3000, 0));
+        d.add_cell(a);
+        let mut b = Cell::new("b", CellTypeId(1), Point::new(3000, 0));
+        b.pos = Some(Point::new(0, 0));
+        d.add_cell(b);
+        let mut state = PlacementState::from_design_positions(&d).unwrap();
+        let stats = optimize_max_disp(&mut state, &LegalizerConfig::contest());
+        assert_eq!(stats.cells_moved, 0);
+    }
+
+    #[test]
+    fn different_fences_never_swap() {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 4000, 900));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        let f = d.add_fence(FenceRegion::new("g", vec![Rect::new(0, 0, 4000, 90)]));
+        // Both in the same column, but logically one is fenced (row 0 is the
+        // fence; row 1 is default space).
+        let mut a = Cell::new("a", CellTypeId(0), Point::new(0, 90));
+        a.pos = Some(Point::new(3000, 90));
+        d.add_cell(a);
+        let mut b = Cell::new("b", CellTypeId(0), Point::new(3000, 0));
+        b.pos = Some(Point::new(0, 0));
+        b.fence = f;
+        d.add_cell(b);
+        let mut state = PlacementState::from_design_positions(&d).unwrap();
+        let stats = optimize_max_disp(&mut state, &LegalizerConfig::contest());
+        assert_eq!(stats.cells_moved, 0);
+    }
+
+    #[test]
+    fn average_preserved_in_linear_region() {
+        // Three cells whose displacements are all below δ0: stage 2 must be
+        // a no-op.
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 4000, 900));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        for i in 0..3 {
+            let x = i as Dbu * 100;
+            let mut c = Cell::new(format!("c{i}"), CellTypeId(0), Point::new(x, 0));
+            c.pos = Some(Point::new(x + 200, 0)); // ~2.2 rows < δ0 = 10 rows
+            d.add_cell(c);
+        }
+        let mut state = PlacementState::from_design_positions(&d).unwrap();
+        let stats = optimize_max_disp(&mut state, &LegalizerConfig::contest());
+        assert_eq!(stats.cells_moved, 0);
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_result() {
+        // A larger chain of shifted cells; force the sparse path and check
+        // the max displacement still collapses.
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 40000, 900));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        let n = 40;
+        for i in 0..n {
+            // Everyone's GP is at slot i, but placements are rotated by one:
+            // cell i sits at slot (i+1) % n.
+            let gp = Point::new(i as Dbu * 900, 0);
+            let slot = ((i + 1) % n) as Dbu * 900;
+            let mut c = Cell::new(format!("c{i}"), CellTypeId(0), gp);
+            c.pos = Some(Point::new(slot, 0));
+            d.add_cell(c);
+        }
+        let mut cfg = LegalizerConfig::contest();
+        cfg.matching_dense_limit = 8; // force sparse
+        // δ0 below the 10-row per-cell displacement puts every cell in the
+        // tail closure, so the whole rotation chain participates.
+        cfg.delta0_rows = 5.0;
+        let mut state = PlacementState::from_design_positions(&d).unwrap();
+        optimize_max_disp(&mut state, &cfg);
+        let mut out = d.clone();
+        state.write_back(&mut out);
+        let after = Metrics::measure(&out);
+        // Rotation undone: everyone home. Cell n-1 was 35100 dbu away.
+        assert_eq!(after.max_disp_rows, 0.0);
+        assert!(Checker::new(&out).check().is_legal());
+
+        // With the default δ0 = 10 rows only the wrap-around outlier is in
+        // the tail. A global rotation is the worst case for the tail
+        // closure (full unwinding needs every cell), but the φ-optimal
+        // local fix still cuts the outlier substantially.
+        let before = Metrics::measure(&d).max_disp_rows;
+        let mut state2 = PlacementState::from_design_positions(&d).unwrap();
+        optimize_max_disp(&mut state2, &LegalizerConfig::contest());
+        let mut out2 = d.clone();
+        state2.write_back(&mut out2);
+        let after2 = Metrics::measure(&out2);
+        assert!(
+            after2.max_disp_rows <= 0.75 * before,
+            "outlier reduced: {} -> {}",
+            before,
+            after2.max_disp_rows
+        );
+        assert!(Checker::new(&out2).check().is_legal());
+    }
+
+    #[test]
+    fn parallel_solve_matches_serial() {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 40000, 1800));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell_type(CellType::new("w", 40, 1));
+        // Two independent rotated groups on different rows.
+        for (t, row) in [(0u32, 0usize), (1u32, 1usize)] {
+            for i in 0..20 {
+                let gp = Point::new(i as Dbu * 900, d.tech.row_height * row as Dbu);
+                let slot = ((i + 7) % 20) as Dbu * 900;
+                let mut c = Cell::new(format!("t{t}_c{i}"), CellTypeId(t), gp);
+                c.pos = Some(Point::new(slot, gp.y));
+                d.add_cell(c);
+            }
+        }
+        let run = |threads: usize| {
+            let mut cfg = LegalizerConfig::contest();
+            cfg.threads = threads;
+            let mut state = PlacementState::from_design_positions(&d).unwrap();
+            optimize_max_disp(&mut state, &cfg);
+            let mut out = d.clone();
+            state.write_back(&mut out);
+            out.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+}

@@ -1,0 +1,221 @@
+//! Deterministic multi-threaded MGL (§3.5).
+//!
+//! The scheduler runs in rounds. Each round selects, in the fixed cell
+//! order, up to `window_list_capacity` cells whose search windows do not
+//! overlap each other (`L_p` in the paper); their insertions are evaluated
+//! concurrently against the round-start state and applied sequentially in
+//! selection order. Cells whose windows overlap a selected window wait for a
+//! later round (`L_w`), and failed windows re-enter expanded. Because the
+//! selected set, the evaluation inputs and the application order are all
+//! independent of thread count, results are bit-identical for any number of
+//! threads (given a fixed list capacity).
+
+use crate::config::LegalizerConfig;
+use crate::insertion::{best_insertion, CostModel, Insertion};
+use crate::mgl::{apply_insertion, cell_order, fallback_scan, window_for, MglStats};
+use crate::routability::RoutOracle;
+use crate::state::PlacementState;
+use mcl_db::prelude::*;
+use std::collections::VecDeque;
+
+/// Runs MGL with the parallel window scheduler.
+pub fn run_parallel(
+    state: &mut PlacementState<'_>,
+    config: &LegalizerConfig,
+    weights: &[i64],
+    oracle: Option<&RoutOracle<'_>>,
+) -> MglStats {
+    let design = state.design();
+    let threads = config.threads.max(1);
+    let capacity = config.window_list_capacity.max(1);
+    let mut stats = MglStats::default();
+
+    // (cell, expansion level) in processing order.
+    let mut pending: VecDeque<(CellId, usize)> = cell_order(design, config.order)
+        .into_iter()
+        .filter(|&c| state.pos(c).is_none())
+        .map(|c| (c, 0usize))
+        .collect();
+    let mut fallback_queue: Vec<CellId> = Vec::new();
+
+    while !pending.is_empty() {
+        // Select non-overlapping windows, preserving order for the rest.
+        let mut selected: Vec<(CellId, usize, Rect)> = Vec::new();
+        let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
+        while let Some((cell, n)) = pending.pop_front() {
+            if selected.len() >= capacity {
+                deferred.push_back((cell, n));
+                continue;
+            }
+            let win = window_for(design, cell, config, n);
+            if selected.iter().any(|(_, _, w)| w.overlaps(win)) {
+                deferred.push_back((cell, n));
+            } else {
+                selected.push((cell, n, win));
+            }
+        }
+
+        // Evaluate concurrently against the immutable round-start state.
+        let model = CostModel {
+            reference: config.reference,
+            normalize: config.normalize_curves,
+            weights,
+            oracle,
+            io_penalty: config.io_penalty,
+            rail_penalty: config.rail_penalty,
+        };
+        let results: Vec<Option<Insertion>> = if threads == 1 || selected.len() == 1 {
+            selected
+                .iter()
+                .map(|&(cell, _, win)| best_insertion(state, cell, win, &model))
+                .collect()
+        } else {
+            let state_ref: &PlacementState<'_> = state;
+            let model_ref = &model;
+            let jobs = &selected;
+            let mut out: Vec<Option<Insertion>> = Vec::new();
+            std::thread::scope(|scope| {
+                let chunk = jobs.len().div_ceil(threads);
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let lo = t * chunk;
+                    let hi = ((t + 1) * chunk).min(jobs.len());
+                    if lo >= hi {
+                        break;
+                    }
+                    handles.push(scope.spawn(move || {
+                        jobs[lo..hi]
+                            .iter()
+                            .map(|&(cell, _, win)| {
+                                best_insertion(state_ref, cell, win, model_ref)
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for h in handles {
+                    out.extend(h.join().expect("worker thread panicked"));
+                }
+            });
+            out
+        };
+
+        // Apply sequentially in selection order.
+        for ((cell, n, _win), result) in selected.into_iter().zip(results) {
+            match result {
+                Some(ins) => {
+                    apply_insertion(state, cell, &ins);
+                    stats.placed_in_window += 1;
+                    stats.expansions += n;
+                }
+                None if n < config.max_expansions => {
+                    stats.expansions += 1;
+                    // Retry the expanded window first thing next round, like
+                    // the sequential algorithm's immediate retry — otherwise
+                    // neighbours fill the cell's space while it waits.
+                    deferred.push_front((cell, n + 1));
+                }
+                None => fallback_queue.push(cell),
+            }
+        }
+        pending = deferred;
+    }
+
+    for cell in fallback_queue {
+        let p = fallback_scan(state, cell, oracle)
+            .or_else(|| fallback_scan(state, cell, None));
+        match p {
+            Some(p) => {
+                state.place(cell, p).expect("fallback position must be free");
+                stats.fallbacks += 1;
+            }
+            None => stats.failed += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mgl::compute_weights;
+    use mcl_db::legal::Checker;
+
+    fn dense_design(n_cells: usize, seed: u64) -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 3000, 1800));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell_type(CellType::new("d", 30, 2));
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        for i in 0..n_cells {
+            let t = if rng() % 5 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            let x = (rng() % 2900) as Dbu;
+            let y = (rng() % 1700) as Dbu;
+            d.add_cell(Cell::new(format!("c{i}"), t, Point::new(x, y)));
+        }
+        d
+    }
+
+    fn run_with_threads(d: &Design, threads: usize) -> Vec<Option<Point>> {
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = threads;
+        cfg.window_list_capacity = 8;
+        let weights = compute_weights(d, cfg.weights);
+        let mut state = PlacementState::new(d);
+        let stats = run_parallel(&mut state, &cfg, &weights, None);
+        assert_eq!(stats.failed, 0);
+        d.movable_cells().map(|c| state.pos(c)).collect()
+    }
+
+    #[test]
+    fn parallel_results_independent_of_thread_count() {
+        let d = dense_design(150, 1234);
+        let p1 = run_with_threads(&d, 1);
+        let p2 = run_with_threads(&d, 2);
+        let p4 = run_with_threads(&d, 4);
+        assert_eq!(p1, p2);
+        assert_eq!(p2, p4);
+    }
+
+    #[test]
+    fn capacity_one_matches_any_capacity_for_legality() {
+        // Different list capacities may give different (all legal)
+        // placements; each capacity must be internally deterministic.
+        let d = dense_design(120, 99);
+        let run_cap = |cap: usize| {
+            let mut cfg = LegalizerConfig::total_displacement();
+            cfg.threads = 2;
+            cfg.window_list_capacity = cap;
+            let weights = compute_weights(&d, cfg.weights);
+            let mut state = PlacementState::new(&d);
+            let stats = run_parallel(&mut state, &cfg, &weights, None);
+            assert_eq!(stats.failed, 0);
+            let mut out = d.clone();
+            state.write_back(&mut out);
+            assert!(Checker::new(&out).check().is_legal());
+            out.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
+        };
+        for cap in [1usize, 4, 64] {
+            assert_eq!(run_cap(cap), run_cap(cap), "capacity {cap} deterministic");
+        }
+    }
+
+    #[test]
+    fn parallel_output_is_legal() {
+        let d = dense_design(200, 555);
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = 4;
+        let weights = compute_weights(&d, cfg.weights);
+        let mut state = PlacementState::new(&d);
+        let stats = run_parallel(&mut state, &cfg, &weights, None);
+        assert_eq!(stats.failed, 0, "{stats:?}");
+        let mut out = d.clone();
+        state.write_back(&mut out);
+        let rep = Checker::new(&out).check();
+        assert!(rep.is_legal(), "{:?}", rep.details);
+    }
+}

@@ -1,0 +1,467 @@
+//! Mutable placement state shared by all legalization stages.
+//!
+//! Tracks, for every fence segment, the ordered list of cells currently
+//! occupying it. Fixed cells are *not* tracked: segments are built with
+//! fixed obstructions already subtracted, so walls seen by the algorithms
+//! are segment boundaries and other movable cells only.
+
+use mcl_db::prelude::*;
+
+/// Error placing a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// No segment of the cell's fence covers the requested span on `row`.
+    NoSegment {
+        /// The offending row.
+        row: usize,
+    },
+    /// The requested span overlaps an existing cell.
+    Occupied {
+        /// The blocking cell.
+        by: CellId,
+    },
+    /// The position violates the row-parity (P/G alignment) rule.
+    BadParity,
+    /// The position is not site-aligned in x or row-aligned in y.
+    Misaligned,
+    /// The cell is already placed (remove it first).
+    AlreadyPlaced,
+}
+
+impl std::fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlaceError::NoSegment { row } => write!(f, "no covering segment on row {row}"),
+            PlaceError::Occupied { by } => write!(f, "span occupied by cell {}", by.0),
+            PlaceError::BadParity => f.write_str("row parity violates P/G alignment"),
+            PlaceError::Misaligned => f.write_str("position is not site/row aligned"),
+            PlaceError::AlreadyPlaced => f.write_str("cell already placed"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// Working placement over a design.
+#[derive(Debug, Clone)]
+pub struct PlacementState<'d> {
+    design: &'d Design,
+    segmap: SegmentMap,
+    /// Per segment: occupant cells sorted by x.
+    seg_cells: Vec<Vec<CellId>>,
+    /// Working position per cell (index = CellId).
+    pos: Vec<Option<Point>>,
+}
+
+impl<'d> PlacementState<'d> {
+    /// Creates an empty state (no movable cell placed). Pre-placed positions
+    /// in the design are ignored; use [`Self::from_design_positions`] to
+    /// adopt them.
+    ///
+    /// Internal segment boundaries (fence edges, blockage edges) are padded
+    /// inward by the worst-case edge spacing so cells in adjacent segments
+    /// can never violate spacing rules across a boundary the legalizer
+    /// cannot see.
+    pub fn new(design: &'d Design) -> Self {
+        let mut segmap = design.build_segments();
+        let sw = design.tech.site_width;
+        let pad = {
+            let s = design.tech.edge_spacing.max_spacing();
+            (s + sw - 1).div_euclid(sw) * sw
+        };
+        if pad > 0 {
+            segmap.pad_internal_edges(design.core.xl, design.core.xh, pad);
+        }
+        let seg_cells = vec![Vec::new(); segmap.len()];
+        let pos = design.cells.iter().map(|_| None).collect();
+        Self {
+            design,
+            segmap,
+            seg_cells,
+            pos,
+        }
+    }
+
+    /// Creates a state adopting the design's current (legal) positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PlaceError`] if an adopted position is not
+    /// placeable (e.g. the input was not legal).
+    pub fn from_design_positions(design: &'d Design) -> Result<Self, (CellId, PlaceError)> {
+        let mut s = Self::new(design);
+        for id in design.movable_cells() {
+            if let Some(p) = design.cells[id.0 as usize].pos {
+                s.place(id, p).map_err(|e| (id, e))?;
+            }
+        }
+        Ok(s)
+    }
+
+    /// The underlying design.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// The fence segments.
+    pub fn segments(&self) -> &SegmentMap {
+        &self.segmap
+    }
+
+    /// Current working position of a cell.
+    pub fn pos(&self, cell: CellId) -> Option<Point> {
+        self.pos[cell.0 as usize]
+    }
+
+    /// Occupants of segment `seg`, sorted by x.
+    pub fn cells_in_segment(&self, seg: usize) -> &[CellId] {
+        &self.seg_cells[seg]
+    }
+
+    /// Bottom row of a placed cell.
+    pub fn row_of(&self, cell: CellId) -> Option<usize> {
+        self.pos(cell).map(|p| {
+            ((p.y - self.design.core.yl) / self.design.tech.row_height) as usize
+        })
+    }
+
+    /// Places a movable cell with its lower-left corner at `p` (must be
+    /// site- and row-aligned).
+    ///
+    /// # Errors
+    ///
+    /// See [`PlaceError`]. On error the state is unchanged.
+    pub fn place(&mut self, cell: CellId, p: Point) -> Result<(), PlaceError> {
+        if self.pos[cell.0 as usize].is_some() {
+            return Err(PlaceError::AlreadyPlaced);
+        }
+        let d = self.design;
+        let ct = d.type_of(cell);
+        let c = &d.cells[cell.0 as usize];
+        if !d.tech.is_site_aligned(d.core.xl, p.x)
+            || (p.y - d.core.yl).rem_euclid(d.tech.row_height) != 0
+        {
+            return Err(PlaceError::Misaligned);
+        }
+        let row = ((p.y - d.core.yl) / d.tech.row_height) as usize;
+        if let Some(par) = ct.rail_parity {
+            if !par.matches(row) {
+                return Err(PlaceError::BadParity);
+            }
+        }
+        let span = Interval::new(p.x, p.x + ct.width);
+        let h = ct.height_rows as usize;
+        // Validate all rows first.
+        let mut segs = Vec::with_capacity(h);
+        for r in row..row + h {
+            let Some(seg_idx) = self.find_covering_segment(r, c.fence, span) else {
+                return Err(PlaceError::NoSegment { row: r });
+            };
+            // Overlap test against neighbors in the segment.
+            let list = &self.seg_cells[seg_idx];
+            let idx = self.insert_index(list, p.x);
+            if idx < list.len() {
+                let nb = list[idx];
+                let nb_x = self.pos[nb.0 as usize].unwrap().x;
+                if nb_x < span.hi {
+                    return Err(PlaceError::Occupied { by: nb });
+                }
+            }
+            if idx > 0 {
+                let nb = list[idx - 1];
+                let nb_pos = self.pos[nb.0 as usize].unwrap();
+                let nb_w = d.type_of(nb).width;
+                if nb_pos.x + nb_w > span.lo {
+                    return Err(PlaceError::Occupied { by: nb });
+                }
+            }
+            segs.push(seg_idx);
+        }
+        // Commit.
+        self.pos[cell.0 as usize] = Some(p);
+        for seg_idx in segs {
+            let idx = self.insert_index(&self.seg_cells[seg_idx], p.x);
+            self.seg_cells[seg_idx].insert(idx, cell);
+        }
+        Ok(())
+    }
+
+    /// Removes a placed cell from the state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not placed.
+    pub fn remove(&mut self, cell: CellId) {
+        let p = self.pos[cell.0 as usize].expect("cell not placed");
+        let d = self.design;
+        let ct = d.type_of(cell);
+        let c = &d.cells[cell.0 as usize];
+        let row = ((p.y - d.core.yl) / d.tech.row_height) as usize;
+        let span = Interval::new(p.x, p.x + ct.width);
+        for r in row..row + ct.height_rows as usize {
+            let seg_idx = self
+                .find_covering_segment(r, c.fence, span)
+                .expect("placed cell must have segments");
+            self.seg_cells[seg_idx].retain(|&x| x != cell);
+        }
+        self.pos[cell.0 as usize] = None;
+    }
+
+    /// Horizontally shifts a placed cell to `new_x`. The caller must
+    /// guarantee the cell's order among its segment neighbors is unchanged
+    /// and the span stays inside its segments; this is checked with debug
+    /// assertions only (hot path of the spreading step).
+    pub fn shift_x(&mut self, cell: CellId, new_x: Dbu) {
+        let p = self.pos[cell.0 as usize].expect("cell not placed");
+        debug_assert!(self.shift_is_order_preserving(cell, new_x));
+        self.pos[cell.0 as usize] = Some(Point::new(new_x, p.y));
+    }
+
+    #[allow(dead_code)]
+    fn shift_is_order_preserving(&self, cell: CellId, new_x: Dbu) -> bool {
+        let d = self.design;
+        let w = d.type_of(cell).width;
+        for (seg_idx, i) in self.segment_memberships(cell) {
+            let list = &self.seg_cells[seg_idx];
+            if i > 0 {
+                let nb = list[i - 1];
+                let nb_end = self.pos[nb.0 as usize].unwrap().x + d.type_of(nb).width;
+                if new_x < nb_end {
+                    return false;
+                }
+            }
+            if i + 1 < list.len() {
+                let nb = list[i + 1];
+                if new_x + w > self.pos[nb.0 as usize].unwrap().x {
+                    return false;
+                }
+            }
+            let seg = &self.segments().segments()[seg_idx];
+            if new_x < seg.x.lo || new_x + w > seg.x.hi {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The segments a placed cell occupies, with its index in each occupant
+    /// list.
+    pub fn segment_memberships(&self, cell: CellId) -> Vec<(usize, usize)> {
+        let p = self.pos[cell.0 as usize].expect("cell not placed");
+        let d = self.design;
+        let ct = d.type_of(cell);
+        let c = &d.cells[cell.0 as usize];
+        let row = ((p.y - d.core.yl) / d.tech.row_height) as usize;
+        let span = Interval::new(p.x, p.x + ct.width);
+        let mut out = Vec::with_capacity(ct.height_rows as usize);
+        for r in row..row + ct.height_rows as usize {
+            let seg_idx = self
+                .find_covering_segment(r, c.fence, span)
+                .expect("placed cell must have segments");
+            let i = self.seg_cells[seg_idx]
+                .iter()
+                .position(|&x| x == cell)
+                .expect("cell must be in its segment list");
+            out.push((seg_idx, i));
+        }
+        out
+    }
+
+    /// Index of the segment on `row` of fence `fence` covering `span`.
+    pub fn find_covering_segment(
+        &self,
+        row: usize,
+        fence: FenceId,
+        span: Interval,
+    ) -> Option<usize> {
+        self.segmap
+            .in_row(row)
+            .iter()
+            .copied()
+            .find(|&i| {
+                let s = &self.segmap.segments()[i];
+                s.fence == fence && s.x.covers(span)
+            })
+    }
+
+    /// Segments on `row` of fence `fence` overlapping the x window.
+    pub fn segments_overlapping(
+        &self,
+        row: usize,
+        fence: FenceId,
+        window: Interval,
+    ) -> impl Iterator<Item = usize> + '_ {
+        self.segmap.in_row(row).iter().copied().filter(move |&i| {
+            let s = &self.segmap.segments()[i];
+            s.fence == fence && s.x.overlaps(window)
+        })
+    }
+
+    /// Number of unplaced movable cells.
+    pub fn unplaced_count(&self) -> usize {
+        self.design
+            .movable_cells()
+            .filter(|id| self.pos[id.0 as usize].is_none())
+            .count()
+    }
+
+    /// Writes the working positions (and row-derived orientations) back into
+    /// a clone of the design.
+    pub fn write_back(&self, design: &mut Design) {
+        for id in self.design.movable_cells() {
+            let c = &mut design.cells[id.0 as usize];
+            c.pos = self.pos[id.0 as usize];
+            if let Some(p) = c.pos {
+                let row = ((p.y - self.design.core.yl) / self.design.tech.row_height) as usize;
+                c.orient = self.design.orient_for_row(c.type_id, row);
+            }
+        }
+    }
+
+    fn insert_index(&self, list: &[CellId], x: Dbu) -> usize {
+        list.partition_point(|&c| self.pos[c.0 as usize].unwrap().x < x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900));
+        d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell_type(CellType::new("m", 30, 2));
+        for i in 0..8 {
+            let t = if i % 3 == 2 { CellTypeId(1) } else { CellTypeId(0) };
+            d.add_cell(Cell::new(format!("c{i}"), t, Point::new(i as Dbu * 40, 0)));
+        }
+        d
+    }
+
+    #[test]
+    fn place_and_remove_roundtrip() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        s.place(CellId(0), Point::new(0, 0)).unwrap();
+        s.place(CellId(1), Point::new(20, 0)).unwrap();
+        assert_eq!(s.pos(CellId(0)), Some(Point::new(0, 0)));
+        assert_eq!(s.unplaced_count(), 6);
+        s.remove(CellId(0));
+        assert_eq!(s.pos(CellId(0)), None);
+        assert_eq!(s.unplaced_count(), 7);
+        // Slot is free again.
+        s.place(CellId(3), Point::new(0, 0)).unwrap();
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        s.place(CellId(0), Point::new(0, 0)).unwrap();
+        assert_eq!(
+            s.place(CellId(1), Point::new(10, 0)),
+            Err(PlaceError::Occupied { by: CellId(0) })
+        );
+        // Touching is fine.
+        s.place(CellId(1), Point::new(20, 0)).unwrap();
+    }
+
+    #[test]
+    fn multi_row_occupies_both_rows() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        s.place(CellId(2), Point::new(100, 0)).unwrap(); // 2-row cell
+        // Single-row cell colliding on row 1.
+        assert!(matches!(
+            s.place(CellId(0), Point::new(110, 90)),
+            Err(PlaceError::Occupied { .. })
+        ));
+        // And on row 0.
+        assert!(matches!(
+            s.place(CellId(1), Point::new(110, 0)),
+            Err(PlaceError::Occupied { .. })
+        ));
+    }
+
+    #[test]
+    fn parity_enforced_for_even_height() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        assert_eq!(
+            s.place(CellId(2), Point::new(0, 90)),
+            Err(PlaceError::BadParity)
+        );
+        s.place(CellId(2), Point::new(0, 180)).unwrap();
+    }
+
+    #[test]
+    fn no_segment_outside_core() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        assert!(matches!(
+            s.place(CellId(0), Point::new(990, 0)),
+            Err(PlaceError::NoSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn fence_respected() {
+        let mut d = design();
+        let f = d.add_fence(FenceRegion::new("g", vec![Rect::new(500, 0, 700, 180)]));
+        d.cells[0].fence = f;
+        let mut s = PlacementState::new(&d);
+        // Outside its fence: no covering segment of that fence.
+        assert!(matches!(
+            s.place(CellId(0), Point::new(0, 0)),
+            Err(PlaceError::NoSegment { .. })
+        ));
+        s.place(CellId(0), Point::new(500, 0)).unwrap();
+        // Default-fence cell can't sit inside the fence.
+        assert!(matches!(
+            s.place(CellId(1), Point::new(600, 0)),
+            Err(PlaceError::NoSegment { .. })
+        ));
+    }
+
+    #[test]
+    fn shift_x_moves_within_gap() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        s.place(CellId(0), Point::new(0, 0)).unwrap();
+        s.place(CellId(1), Point::new(100, 0)).unwrap();
+        s.shift_x(CellId(1), 50);
+        assert_eq!(s.pos(CellId(1)).unwrap().x, 50);
+        let m = s.segment_memberships(CellId(1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].1, 1, "order preserved");
+    }
+
+    #[test]
+    fn from_design_positions_adopts_legal_input() {
+        let mut d = design();
+        d.cells[0].pos = Some(Point::new(0, 0));
+        d.cells[1].pos = Some(Point::new(40, 0));
+        let s = PlacementState::from_design_positions(&d).unwrap();
+        assert_eq!(s.unplaced_count(), 6);
+        assert_eq!(s.cells_in_segment(s.segment_memberships(CellId(0))[0].0).len(), 2);
+    }
+
+    #[test]
+    fn from_design_positions_rejects_overlap() {
+        let mut d = design();
+        d.cells[0].pos = Some(Point::new(0, 0));
+        d.cells[1].pos = Some(Point::new(10, 0));
+        assert!(PlacementState::from_design_positions(&d).is_err());
+    }
+
+    #[test]
+    fn write_back_sets_orientation() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        s.place(CellId(0), Point::new(0, 90)).unwrap(); // odd row
+        let mut out = d.clone();
+        s.write_back(&mut out);
+        assert_eq!(out.cells[0].pos, Some(Point::new(0, 90)));
+        assert_eq!(out.cells[0].orient, Orient::FS);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the piecewise-linear curve algebra.
+
+use mcl_core::curve::PwlCurve;
+use proptest::prelude::*;
+
+fn arb_curve() -> impl Strategy<Value = PwlCurve> {
+    let x = -500i64..500;
+    let base = 0i64..200;
+    let w = 1i64..5;
+    (0u8..5, x, base, w).prop_map(|(kind, x, base, w)| match kind {
+        0 => PwlCurve::type_a(x, base, w),
+        1 => PwlCurve::type_b(x, base, w),
+        2 => PwlCurve::type_c(x, base, w),
+        3 => PwlCurve::type_d(x, base, w),
+        _ => PwlCurve::vee(x, w),
+    })
+}
+
+proptest! {
+    #[test]
+    fn sum_matches_pointwise(curves in prop::collection::vec(arb_curve(), 1..8),
+                             xs in prop::collection::vec(-800i64..800, 1..20)) {
+        let total = PwlCurve::sum(curves.clone());
+        for x in xs {
+            let expect: i64 = curves.iter().map(|c| c.eval(x)).sum();
+            prop_assert_eq!(total.eval(x), expect, "x = {}", x);
+        }
+    }
+
+    #[test]
+    fn min_on_is_a_true_minimum(curves in prop::collection::vec(arb_curve(), 1..6),
+                                lo in -600i64..0, len in 1i64..1200) {
+        let hi = lo + len;
+        let total = PwlCurve::sum(curves);
+        let (x_star, v_star) = total.min_on(lo, hi, (lo + hi) / 2).unwrap();
+        prop_assert!(x_star >= lo && x_star <= hi);
+        prop_assert_eq!(total.eval(x_star), v_star);
+        // Dense scan (PWL with integer breakpoints: step 1 is exact).
+        let step = (len / 200).max(1);
+        let mut x = lo;
+        while x <= hi {
+            prop_assert!(total.eval(x) >= v_star, "better value at {}", x);
+            x += step;
+        }
+        // Also probe all breakpoints.
+        for b in total.breakpoints() {
+            if b >= lo && b <= hi {
+                prop_assert!(total.eval(b) >= v_star);
+            }
+        }
+    }
+
+    #[test]
+    fn curve_types_are_nonnegative_and_touch_base(x in -300i64..300, base in 0i64..100, w in 1i64..4) {
+        for c in [
+            PwlCurve::type_a(x, base, w),
+            PwlCurve::type_b(x, base, w),
+            PwlCurve::type_c(x, base, w),
+            PwlCurve::type_d(x, base, w),
+        ] {
+            for probe in (-1000..1000).step_by(37) {
+                prop_assert!(c.eval(probe) >= 0);
+            }
+        }
+        // A and B plateau exactly at w*base.
+        prop_assert_eq!(PwlCurve::type_a(x, base, w).eval(x - 1000), base * w);
+        prop_assert_eq!(PwlCurve::type_b(x, base, w).eval(x + 1000), base * w);
+        // C and D reach zero at their GP-aligned points.
+        prop_assert_eq!(PwlCurve::type_c(x, base, w).eval(x + base), 0);
+        prop_assert_eq!(PwlCurve::type_d(x, base, w).eval(x), 0);
+    }
+}

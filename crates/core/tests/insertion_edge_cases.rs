@@ -1,0 +1,178 @@
+//! Edge-case tests for the insertion evaluator through the public API.
+
+use mcl_core::config::DisplacementReference;
+use mcl_core::insertion::{best_insertion, CostModel};
+use mcl_core::routability::RoutOracle;
+use mcl_core::state::PlacementState;
+use mcl_db::prelude::*;
+
+fn base_design() -> Design {
+    let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 900));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    d.add_cell_type(CellType::new("wide", 200, 1));
+    d
+}
+
+fn model<'a>(weights: &'a [i64], oracle: Option<&'a RoutOracle<'a>>) -> CostModel<'a> {
+    CostModel {
+        reference: DisplacementReference::Gp,
+        normalize: true,
+        weights,
+        oracle,
+        io_penalty: 500,
+        rail_penalty: 500,
+    }
+}
+
+#[test]
+fn target_wider_than_every_gap_fails() {
+    let mut d = base_design();
+    let t = d.add_cell(Cell::new("t", CellTypeId(1), Point::new(500, 0)));
+    // Row 0 packed with 91 singles: total free space 180 < 200, so even
+    // with every blocker shifted the target cannot fit.
+    let mut blockers = Vec::new();
+    for i in 0..91 {
+        blockers.push(d.add_cell(Cell::new(
+            format!("b{i}"),
+            CellTypeId(0),
+            Point::new(i * 20, 0),
+        )));
+    }
+    let w = vec![1i64; d.cells.len()];
+    let mut state = PlacementState::new(&d);
+    for (i, b) in blockers.iter().enumerate() {
+        state.place(*b, Point::new(i as Dbu * 20, 0)).unwrap();
+    }
+    // Window limited to row 0 only.
+    let ins = best_insertion(&state, t, Rect::new(0, 0, 2000, 90), &model(&w, None));
+    assert!(ins.is_none());
+    // With row 1 available it fits.
+    let ins = best_insertion(&state, t, Rect::new(0, 0, 2000, 180), &model(&w, None));
+    assert!(ins.is_some());
+    assert_eq!(ins.unwrap().base_row, 1);
+}
+
+#[test]
+fn window_outside_fence_fails_for_fenced_cell() {
+    let mut d = base_design();
+    let f = d.add_fence(FenceRegion::new("g", vec![Rect::new(1500, 0, 1900, 180)]));
+    let mut c = Cell::new("t", CellTypeId(0), Point::new(100, 0));
+    c.fence = f;
+    let t = d.add_cell(c);
+    let w = vec![1i64; d.cells.len()];
+    let state = PlacementState::new(&d);
+    // Window around the GP does not intersect the fence at all.
+    let ins = best_insertion(&state, t, Rect::new(0, 0, 600, 400), &model(&w, None));
+    assert!(ins.is_none());
+    // A window reaching the fence succeeds.
+    let ins = best_insertion(&state, t, Rect::new(0, 0, 2000, 400), &model(&w, None));
+    assert!(ins.unwrap().x >= 1500);
+}
+
+#[test]
+fn prefers_row_nearest_gp_on_cost_ties() {
+    let mut d = base_design();
+    let t = d.add_cell(Cell::new("t", CellTypeId(0), Point::new(300, 460)));
+    let w = vec![1i64; d.cells.len()];
+    let state = PlacementState::new(&d);
+    let ins = best_insertion(&state, t, d.core, &model(&w, None)).unwrap();
+    // GP y=460 is exactly 10 dbu above row 5 (y=450): that row wins.
+    assert_eq!(ins.base_row, 5);
+    assert_eq!(ins.x, 300);
+}
+
+#[test]
+fn vertical_stripe_nudges_position() {
+    let mut d = base_design();
+    d.grid = PowerGrid {
+        h_layer: 2,
+        h_width: 0,
+        h_pitch_rows: 1,
+        v_layer: 3,
+        v_width: 10,
+        v_pitch: 600,
+        v_offset: 300,
+    };
+    // Pin covering the full cell width: dirty whenever the cell overlaps a
+    // stripe column at x=300±5.
+    d.cell_types[0].pins.push(PinShape {
+        name: "p".into(),
+        layer: 2,
+        rect: Rect::new(0, 40, 20, 50),
+    });
+    let t = d.add_cell(Cell::new("t", CellTypeId(0), Point::new(295, 0)));
+    let w = vec![1i64; d.cells.len()];
+    let state = PlacementState::new(&d);
+    let oracle = RoutOracle::new(&d);
+    let ins = best_insertion(&state, t, d.core, &model(&w, Some(&oracle))).unwrap();
+    // Position must not overlap the stripe [295, 305).
+    assert!(
+        ins.x >= 310 || ins.x + 20 <= 290,
+        "x = {} still overlaps the stripe",
+        ins.x
+    );
+    // Without the oracle the cell sits at its snapped GP, on the stripe.
+    let blind = best_insertion(&state, t, d.core, &model(&w, None)).unwrap();
+    assert_eq!(blind.x, 290);
+}
+
+#[test]
+fn io_pin_penalty_steers_insertion() {
+    let mut d = base_design();
+    d.cell_types[0].pins.push(PinShape {
+        name: "p".into(),
+        layer: 1,
+        rect: Rect::new(5, 40, 15, 50),
+    });
+    // An IO pin right on the GP location.
+    d.io_pins.push(IoPin {
+        name: "io".into(),
+        layer: 1,
+        rect: Rect::new(300, 30, 330, 60),
+    });
+    let t = d.add_cell(Cell::new("t", CellTypeId(0), Point::new(300, 0)));
+    let w = vec![1i64; d.cells.len()];
+    let state = PlacementState::new(&d);
+    let oracle = RoutOracle::new(&d);
+    let ins = best_insertion(&state, t, d.core, &model(&w, Some(&oracle))).unwrap();
+    // Cheapest escape is the row above (y cost 90 < penalty 500): either
+    // way, the placed pin must not overlap the IO shape in both axes.
+    let pin_x = (ins.x + 5, ins.x + 15);
+    let y0 = ins.base_row as Dbu * 90;
+    let pin_y = (y0 + 40, y0 + 50);
+    let x_clear = pin_x.1 <= 300 || pin_x.0 >= 330;
+    let y_clear = pin_y.1 <= 30 || pin_y.0 >= 60;
+    assert!(
+        x_clear || y_clear,
+        "pin at x[{},{}) y[{},{}) overlaps the IO pin",
+        pin_x.0, pin_x.1, pin_y.0, pin_y.1
+    );
+}
+
+#[test]
+fn curve_normalization_prefers_beneficial_pushes() {
+    // A displaced local cell next to the target's GP: with normalization the
+    // evaluator prefers pushing it home over dodging into free space.
+    let mut d = base_design();
+    let b = d.add_cell(Cell::new("b", CellTypeId(0), Point::new(700, 0)));
+    let t = d.add_cell(Cell::new("t", CellTypeId(0), Point::new(300, 0)));
+    let w = vec![1i64; d.cells.len()];
+    let mut state = PlacementState::new(&d);
+    state.place(b, Point::new(300, 0)).unwrap();
+    let m_norm = model(&w, None);
+    let ins = best_insertion(&state, t, Rect::new(100, 0, 500, 90), &m_norm).unwrap();
+    assert_eq!(ins.x, 300);
+    assert_eq!(ins.shifts, vec![(b, 320)]);
+    assert!(ins.cost < 0, "pushing b toward its GP is a net gain");
+}
+
+#[test]
+fn weights_zero_length_window_is_rejected_gracefully() {
+    let mut d = base_design();
+    let t = d.add_cell(Cell::new("t", CellTypeId(0), Point::new(300, 0)));
+    let w = vec![1i64; d.cells.len()];
+    let state = PlacementState::new(&d);
+    // Degenerate window (zero area).
+    let ins = best_insertion(&state, t, Rect::new(300, 0, 300, 0), &model(&w, None));
+    assert!(ins.is_none());
+}

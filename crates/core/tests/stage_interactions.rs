@@ -1,0 +1,112 @@
+//! Interactions between the post-processing stages and routability/parity.
+
+use mcl_core::fixed_order::optimize_fixed_order;
+use mcl_core::maxdisp::optimize_max_disp;
+use mcl_core::routability::RoutOracle;
+use mcl_core::state::PlacementState;
+use mcl_core::LegalizerConfig;
+use mcl_db::prelude::*;
+
+#[test]
+fn stage3_does_not_cross_vertical_stripes() {
+    // A cell whose GP pull would drag its pin onto a vertical stripe: the
+    // routability feasible range must stop it at the stripe edge.
+    let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 90));
+    d.grid = PowerGrid {
+        h_layer: 2,
+        h_width: 0,
+        h_pitch_rows: 1,
+        v_layer: 3,
+        v_width: 10,
+        v_pitch: 1000,
+        v_offset: 500, // stripe at [495, 505)
+    };
+    let mut ct = CellType::new("s", 20, 1);
+    ct.pins.push(PinShape {
+        name: "p".into(),
+        layer: 2,
+        rect: Rect::new(0, 40, 20, 50), // full-width pin
+    });
+    d.add_cell_type(ct);
+    // GP at 400 (left of the stripe), currently placed at 600 (right of it).
+    let mut c = Cell::new("c", CellTypeId(0), Point::new(400, 0));
+    c.pos = Some(Point::new(600, 0));
+    d.add_cell(c);
+
+    let cfg = LegalizerConfig::contest();
+    let weights = vec![1i64];
+    let oracle = RoutOracle::new(&d);
+    let mut state = PlacementState::from_design_positions(&d).unwrap();
+    let stats = optimize_fixed_order(&mut state, &cfg, &weights, Some(&oracle));
+    assert!(stats.applied);
+    let x = state.pos(CellId(0)).unwrap().x;
+    // Best clean position right of the stripe: pin [x, x+20) must clear
+    // [495, 505): x >= 510 (site-snapped). Without the oracle it would
+    // reach 400.
+    assert_eq!(x, 510, "stopped at the stripe edge");
+
+    // Sanity: without the oracle the cell goes home.
+    let mut state2 = PlacementState::from_design_positions(&d).unwrap();
+    optimize_fixed_order(&mut state2, &cfg, &weights, None);
+    assert_eq!(state2.pos(CellId(0)).unwrap().x, 400);
+}
+
+#[test]
+fn stage2_swaps_across_row_parities_fix_orientation() {
+    // Two odd-height (single-row) cells of the same type on rows of
+    // different parity, cross-displaced. The swap must carry the right
+    // orientation after write-back.
+    let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 4000, 900));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    let mut a = Cell::new("a", CellTypeId(0), Point::new(0, 0)); // GP row 0
+    a.pos = Some(Point::new(3000, 90)); // placed row 1
+    a.orient = Orient::FS;
+    d.add_cell(a);
+    let mut b = Cell::new("b", CellTypeId(0), Point::new(3000, 90)); // GP row 1
+    b.pos = Some(Point::new(0, 0)); // placed row 0
+    d.add_cell(b);
+
+    let mut state = PlacementState::from_design_positions(&d).unwrap();
+    let stats = optimize_max_disp(&mut state, &LegalizerConfig::contest());
+    assert_eq!(stats.cells_moved, 2);
+    let mut out = d.clone();
+    state.write_back(&mut out);
+    assert_eq!(out.cells[0].pos, Some(Point::new(0, 0)));
+    assert_eq!(out.cells[0].orient, Orient::N, "row 0 is unflipped");
+    assert_eq!(out.cells[1].pos, Some(Point::new(3000, 90)));
+    assert_eq!(out.cells[1].orient, Orient::FS, "row 1 flips");
+    assert!(Checker::new(&out).check().is_legal());
+}
+
+#[test]
+fn stage3_handles_segments_split_by_fixed_blockage() {
+    // A fixed macro splits the row; cells on either side refine within
+    // their own segments and never cross the blockage.
+    let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 90));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    let blk = d.add_cell_type(CellType::new("blk", 400, 1));
+    let mut obs = Cell::new("obs", blk, Point::new(800, 0));
+    obs.pos = Some(Point::new(800, 0));
+    obs.fixed = true;
+    d.add_cell(obs);
+    // Left cell wants to be at x=1100 (inside/through the blockage);
+    // right cell wants x=500.
+    let mut a = Cell::new("a", CellTypeId(0), Point::new(1100, 0));
+    a.pos = Some(Point::new(300, 0));
+    d.add_cell(a);
+    let mut b = Cell::new("b", CellTypeId(0), Point::new(500, 0));
+    b.pos = Some(Point::new(1500, 0));
+    d.add_cell(b);
+
+    let cfg = LegalizerConfig::total_displacement();
+    let weights = vec![1i64; 3];
+    let mut state = PlacementState::from_design_positions(&d).unwrap();
+    let stats = optimize_fixed_order(&mut state, &cfg, &weights, None);
+    assert!(stats.applied);
+    // a pinned at its segment's right edge (780), b at its left edge (1200).
+    assert_eq!(state.pos(CellId(1)).unwrap().x, 780);
+    assert_eq!(state.pos(CellId(2)).unwrap().x, 1200);
+    let mut out = d.clone();
+    state.write_back(&mut out);
+    assert!(Checker::new(&out).check().is_legal());
+}

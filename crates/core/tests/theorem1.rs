@@ -1,0 +1,117 @@
+//! Empirical validation of the paper's **Theorem 1**: if all local cells
+//! start at their optimal positions w.r.t. their GP positions (under the
+//! fixed row & order constraint), the summed displacement curve of an
+//! insertion point is convex and piecewise linear.
+//!
+//! The test builds random single-row instances, computes the optimal
+//! positions with the stage-3 dual MCF, constructs the per-cell curves the
+//! way the insertion evaluator does (types A-D from chain offsets), and
+//! checks convexity of the sum. As a contrast, it also exhibits a
+//! *non-optimal* starting placement whose sum is not convex — showing the
+//! precondition matters (and why the implementation probes all breakpoints
+//! instead of assuming convexity).
+
+use mcl_core::curve::PwlCurve;
+use mcl_core::fixed_order::optimize_fixed_order;
+use mcl_core::state::PlacementState;
+use mcl_core::LegalizerConfig;
+use mcl_db::prelude::*;
+
+const W: Dbu = 20; // uniform cell width
+
+/// Builds the summed insertion curve for inserting a `W`-wide target into
+/// the gap after `split` cells, given current and GP x positions.
+fn insertion_curve(cur: &[Dbu], gp: &[Dbu], split: usize) -> PwlCurve {
+    let mut curves = Vec::new();
+    // Left chain: cells split-1 .. 0, offsets accumulate width (no spacing).
+    let mut off = 0;
+    for k in (0..split).rev() {
+        off += W;
+        let base = (cur[k] - gp[k]).abs();
+        if gp[k] >= cur[k] {
+            curves.push(PwlCurve::type_b(cur[k] + off, base, 1));
+        } else {
+            curves.push(PwlCurve::type_d(gp[k] + off, base, 1));
+        }
+    }
+    // Right chain: cells split .. n-1.
+    let mut off = W; // target width
+    for k in split..cur.len() {
+        let base = (cur[k] - gp[k]).abs();
+        if gp[k] <= cur[k] {
+            curves.push(PwlCurve::type_a(cur[k] - off, base, 1));
+        } else {
+            curves.push(PwlCurve::type_c(cur[k] - off, base, 1));
+        }
+        off += W;
+    }
+    PwlCurve::sum(curves)
+}
+
+/// The optimal current positions for the given GPs on one row (via the
+/// stage-3 MCF), starting from a packed legal placement.
+fn optimal_positions(gp: &[Dbu], row_width: Dbu) -> Vec<Dbu> {
+    let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, row_width, 90));
+    d.add_cell_type(CellType::new("s", W, 1));
+    for (i, &g) in gp.iter().enumerate() {
+        let mut c = Cell::new(format!("c{i}"), CellTypeId(0), Point::new(g, 0));
+        c.pos = Some(Point::new(i as Dbu * W, 0)); // packed start
+        d.add_cell(c);
+    }
+    let cfg = LegalizerConfig::total_displacement();
+    let weights = vec![1i64; gp.len()];
+    let mut state = PlacementState::from_design_positions(&d).unwrap();
+    let stats = optimize_fixed_order(&mut state, &cfg, &weights, None);
+    assert!(stats.applied);
+    (0..gp.len())
+        .map(|i| state.pos(CellId(i as u32)).unwrap().x)
+        .collect()
+}
+
+#[test]
+fn summed_curve_is_convex_at_optimal_positions() {
+    let mut seed = 0xA5A5_5A5A_1234_5678u64;
+    let mut rng = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for case in 0..40 {
+        let n = 2 + (rng() % 7) as usize;
+        // Random site-aligned GPs (possibly out of order / overlapping).
+        let gp: Vec<Dbu> = (0..n).map(|_| ((rng() % 150) as Dbu) * 10).collect();
+        // GPs must be sorted for "order = GP order" to be meaningful; the
+        // theorem is stated for a fixed order, so sort them.
+        let mut gp = gp;
+        gp.sort_unstable();
+        let cur = optimal_positions(&gp, 2000);
+        for split in 0..=n {
+            let total = insertion_curve(&cur, &gp, split);
+            assert!(
+                total.is_convex(),
+                "case {case} split {split}: sum not convex\n gp={gp:?}\n cur={cur:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn non_optimal_positions_can_break_convexity() {
+    // Two right-side cells parked far LEFT of their GPs (not optimal: they
+    // could move right freely). Their type-C curves have staggered descents,
+    // so the sum dips twice: not convex.
+    let cur = vec![100, 120];
+    let gp = vec![400, 900];
+    let total = insertion_curve(&cur, &gp, 0);
+    assert!(
+        !total.is_convex(),
+        "staggered type-C curves should break convexity"
+    );
+    // The breakpoint probe still finds the global minimum (this is why the
+    // implementation does not rely on Theorem 1's precondition).
+    let (x_star, v_star) = total.min_on(0, 1500, 0).unwrap();
+    for x in (0..1500).step_by(10) {
+        assert!(total.eval(x) >= v_star, "better value at {x} than {x_star}");
+    }
+}

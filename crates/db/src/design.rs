@@ -1,0 +1,615 @@
+//! The placement database root: [`Design`] and row-segment extraction.
+
+use crate::cell::{Cell, CellId, CellType, CellTypeId, FenceId};
+use crate::fence::FenceRegion;
+use crate::geom::{Dbu, Interval, Orient, Point, Rect};
+use crate::netlist::{Net, NetPin};
+use crate::rails::{IoPin, PowerGrid};
+use crate::tech::Technology;
+
+/// A maximal stretch of placeable sites on one row belonging to one fence
+/// region. Cells may only be placed inside segments of their own fence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Row index (0 = bottom row).
+    pub row: usize,
+    /// Owning fence region.
+    pub fence: FenceId,
+    /// Horizontal extent, site-aligned.
+    pub x: Interval,
+}
+
+/// All segments of a design, indexed by row.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentMap {
+    segments: Vec<Segment>,
+    by_row: Vec<Vec<usize>>,
+}
+
+impl SegmentMap {
+    /// All segments in row-major, left-to-right order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segment indices on `row`, sorted by x.
+    pub fn in_row(&self, row: usize) -> &[usize] {
+        self.by_row.get(row).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The segment on `row` containing x-position `x`, if any.
+    pub fn find(&self, row: usize, x: Dbu) -> Option<&Segment> {
+        self.in_row(row)
+            .iter()
+            .map(|&i| &self.segments[i])
+            .find(|s| s.x.contains(x))
+    }
+
+    /// The segment on `row` of fence `fence` whose span covers `[xl, xh)`,
+    /// if any.
+    pub fn covering(&self, row: usize, fence: FenceId, x: Interval) -> Option<&Segment> {
+        self.in_row(row)
+            .iter()
+            .map(|&i| &self.segments[i])
+            .find(|s| s.fence == fence && s.x.covers(x))
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Whether there are no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Shrinks every segment edge that does not touch the core boundary by
+    /// `pad` (legalizers use this to keep edge-spacing clearance across
+    /// fence/blockage boundaries). Segments narrower than `2·pad` collapse
+    /// and are removed.
+    pub fn pad_internal_edges(&mut self, core_xl: Dbu, core_xh: Dbu, pad: Dbu) {
+        for s in &mut self.segments {
+            if s.x.lo > core_xl {
+                s.x.lo += pad;
+            }
+            if s.x.hi < core_xh {
+                s.x.hi -= pad;
+            }
+        }
+        // Drop collapsed segments, remapping the row index.
+        let mut keep = Vec::with_capacity(self.segments.len());
+        let mut remap = vec![usize::MAX; self.segments.len()];
+        for (i, s) in self.segments.iter().enumerate() {
+            if !s.x.is_empty() {
+                remap[i] = keep.len();
+                keep.push(*s);
+            }
+        }
+        self.segments = keep;
+        for row in &mut self.by_row {
+            row.retain(|&i| remap[i] != usize::MAX);
+            for i in row.iter_mut() {
+                *i = remap[*i];
+            }
+        }
+    }
+}
+
+/// A complete placement problem instance.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    /// Technology parameters.
+    pub tech: Technology,
+    /// Core placement area. Row 0 starts at `core.yl`.
+    pub core: Rect,
+    /// Number of placement rows.
+    pub num_rows: usize,
+    /// Cell library.
+    pub cell_types: Vec<CellType>,
+    /// Cell instances (movable and fixed).
+    pub cells: Vec<Cell>,
+    /// Fence regions; index 0 is the default fence.
+    pub fences: Vec<FenceRegion>,
+    /// Power/ground grid.
+    pub grid: PowerGrid,
+    /// IO pins (routability obstacles).
+    pub io_pins: Vec<IoPin>,
+    /// Signal nets (for HPWL bookkeeping).
+    pub nets: Vec<Net>,
+}
+
+impl Design {
+    /// Creates an empty design over a core area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core height is not a whole number of rows or the core
+    /// is empty.
+    pub fn new(name: impl Into<String>, tech: Technology, core: Rect) -> Self {
+        assert!(!core.is_empty(), "core area must be non-empty");
+        assert_eq!(
+            core.height() % tech.row_height,
+            0,
+            "core height must be a whole number of rows"
+        );
+        let num_rows = (core.height() / tech.row_height) as usize;
+        Self {
+            name: name.into(),
+            tech,
+            core,
+            num_rows,
+            cell_types: Vec::new(),
+            cells: Vec::new(),
+            fences: vec![FenceRegion::default_fence()],
+            grid: PowerGrid::none(),
+            io_pins: Vec::new(),
+            nets: Vec::new(),
+        }
+    }
+
+    /// Registers a cell type, returning its id.
+    pub fn add_cell_type(&mut self, ct: CellType) -> CellTypeId {
+        let id = CellTypeId(self.cell_types.len() as u32);
+        self.cell_types.push(ct);
+        id
+    }
+
+    /// Registers a cell, returning its id.
+    pub fn add_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Registers a fence region, returning its id.
+    pub fn add_fence(&mut self, fence: FenceRegion) -> FenceId {
+        let id = FenceId(self.fences.len() as u16);
+        self.fences.push(fence);
+        id
+    }
+
+    /// The cell type of a cell.
+    pub fn type_of(&self, cell: CellId) -> &CellType {
+        &self.cell_types[self.cells[cell.0 as usize].type_id.0 as usize]
+    }
+
+    /// The y coordinate of the bottom of row `row`.
+    pub fn row_y(&self, row: usize) -> Dbu {
+        self.core.yl + row as Dbu * self.tech.row_height
+    }
+
+    /// The row whose span contains `y`, if inside the core.
+    pub fn row_of_y(&self, y: Dbu) -> Option<usize> {
+        if y < self.core.yl || y >= self.core.yh {
+            return None;
+        }
+        Some(((y - self.core.yl) / self.tech.row_height) as usize)
+    }
+
+    /// The row index nearest to arbitrary `y` (clamped to valid rows for a
+    /// cell of `height_rows`).
+    pub fn nearest_row(&self, y: Dbu, height_rows: u32) -> usize {
+        let max_row = self.num_rows.saturating_sub(height_rows as usize);
+        let rel = y - self.core.yl;
+        let row = (rel + self.tech.row_height / 2).div_euclid(self.tech.row_height);
+        (row.max(0) as usize).min(max_row)
+    }
+
+    /// The rectangle a cell would occupy at position `pos`.
+    pub fn rect_at(&self, cell: CellId, pos: Point) -> Rect {
+        let ct = self.type_of(cell);
+        Rect::with_size(pos, ct.width, ct.height_rows as Dbu * self.tech.row_height)
+    }
+
+    /// The rectangle of a cell at its current position (GP if unplaced).
+    pub fn cell_rect(&self, cell: CellId) -> Rect {
+        self.rect_at(cell, self.cells[cell.0 as usize].pos_or_gp())
+    }
+
+    /// The canonical orientation of a cell type placed with its bottom on
+    /// `row`: odd-height cells flip on odd rows to align P/G rails, cells
+    /// with a fixed parity stay `N`.
+    pub fn orient_for_row(&self, type_id: CellTypeId, row: usize) -> Orient {
+        let ct = &self.cell_types[type_id.0 as usize];
+        if ct.rail_parity.is_none() && row % 2 == 1 {
+            Orient::FS
+        } else {
+            Orient::N
+        }
+    }
+
+    /// The absolute rectangle of signal pin `pin` of `cell` at position
+    /// `pos` with orientation `orient`.
+    pub fn pin_rect_at(&self, cell: CellId, pin: usize, pos: Point, orient: Orient) -> Rect {
+        let ct = self.type_of(cell);
+        ct.pin_rect_local(pin, orient, self.tech.row_height)
+            .translate(pos.x, pos.y)
+    }
+
+    /// The absolute location of a net pin (pin-rect center; fixed pins are
+    /// themselves). Unplaced cells use their GP location.
+    pub fn net_pin_location(&self, pin: &NetPin) -> Point {
+        match pin {
+            NetPin::Fixed(p) => *p,
+            NetPin::Cell { cell, pin } => {
+                let c = &self.cells[cell.0 as usize];
+                let r = self.pin_rect_at(*cell, *pin, c.pos_or_gp(), c.orient);
+                r.center()
+            }
+        }
+    }
+
+    /// Total HPWL over all nets at current positions.
+    pub fn hpwl(&self) -> i64 {
+        self.nets
+            .iter()
+            .map(|n| n.hpwl(|p| self.net_pin_location(p)))
+            .sum()
+    }
+
+    /// Total HPWL with every movable cell at its GP location.
+    pub fn hpwl_at_gp(&self) -> i64 {
+        self.nets
+            .iter()
+            .map(|n| {
+                n.hpwl(|p| match p {
+                    NetPin::Fixed(pt) => *pt,
+                    NetPin::Cell { cell, pin } => {
+                        let c = &self.cells[cell.0 as usize];
+                        self.pin_rect_at(*cell, *pin, c.gp, c.orient).center()
+                    }
+                })
+            })
+            .sum()
+    }
+
+    /// Design density: total movable-cell area over free area
+    /// (core minus fixed obstructions), as a fraction.
+    pub fn density(&self) -> f64 {
+        let mut movable: i128 = 0;
+        let mut fixed: i128 = 0;
+        for (i, c) in self.cells.iter().enumerate() {
+            let r = self.cell_rect(CellId(i as u32));
+            let a = r.intersect(self.core).area();
+            if c.fixed {
+                fixed += a;
+            } else {
+                movable += r.area();
+            }
+        }
+        let free = self.core.area() - fixed;
+        if free <= 0 {
+            return f64::INFINITY;
+        }
+        movable as f64 / free as f64
+    }
+
+    /// Ids of all movable cells.
+    pub fn movable_cells(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.fixed)
+            .map(|(i, _)| CellId(i as u32))
+    }
+
+    /// The tallest movable cell height in rows (`H` in Eq. 2), at least 1.
+    pub fn max_height_rows(&self) -> u32 {
+        self.movable_cells()
+            .map(|c| self.type_of(c).height_rows)
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// Builds the per-row fence segments, subtracting fixed-cell blockages
+    /// and snapping to the site grid.
+    pub fn build_segments(&self) -> SegmentMap {
+        let mut segments = Vec::new();
+        let mut by_row = vec![Vec::new(); self.num_rows];
+
+        // Pre-collect fixed obstacles.
+        let obstacles: Vec<Rect> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.fixed)
+            .map(|(i, _)| self.cell_rect(CellId(i as u32)))
+            .collect();
+
+        #[allow(clippy::needless_range_loop)] // row indices are the domain idiom
+        for row in 0..self.num_rows {
+            let y = self.row_y(row);
+            let strip = Rect::new(self.core.xl, y, self.core.xh, y + self.tech.row_height);
+
+            // Fence spans on this row: (x-interval, fence id). Named fences
+            // must cover the row strip vertically to claim a span.
+            let mut marks: Vec<(Interval, FenceId)> = Vec::new();
+            for (fi, fence) in self.fences.iter().enumerate().skip(1) {
+                for r in &fence.rects {
+                    if r.yl <= strip.yl && strip.yh <= r.yh {
+                        let span = r.x_interval().intersect(strip.x_interval());
+                        if !span.is_empty() {
+                            marks.push((span, FenceId(fi as u16)));
+                        }
+                    }
+                }
+            }
+            marks.sort_by_key(|(iv, _)| iv.lo);
+
+            // Walk the strip, emitting default-fence gaps between marks.
+            let mut spans: Vec<(Interval, FenceId)> = Vec::new();
+            let mut cursor = strip.xl;
+            for (iv, f) in marks {
+                if iv.lo > cursor {
+                    spans.push((Interval::new(cursor, iv.lo), FenceId::DEFAULT));
+                }
+                let lo = iv.lo.max(cursor);
+                if iv.hi > lo {
+                    spans.push((Interval::new(lo, iv.hi), f));
+                }
+                cursor = cursor.max(iv.hi);
+            }
+            if cursor < strip.xh {
+                spans.push((Interval::new(cursor, strip.xh), FenceId::DEFAULT));
+            }
+
+            // Subtract obstacles overlapping this row.
+            let mut blocks: Vec<Interval> = obstacles
+                .iter()
+                .filter(|r| r.y_interval().overlaps(strip.y_interval()))
+                .map(|r| r.x_interval())
+                .collect();
+            blocks.sort_by_key(|iv| iv.lo);
+
+            for (span, fence) in spans {
+                let mut lo = span.lo;
+                for b in blocks.iter().filter(|b| b.overlaps(span)) {
+                    if b.lo > lo {
+                        push_segment(
+                            &mut segments,
+                            &mut by_row[row],
+                            row,
+                            fence,
+                            Interval::new(lo, b.lo),
+                            &self.tech,
+                            self.core.xl,
+                        );
+                    }
+                    lo = lo.max(b.hi);
+                }
+                if lo < span.hi {
+                    push_segment(
+                        &mut segments,
+                        &mut by_row[row],
+                        row,
+                        fence,
+                        Interval::new(lo, span.hi),
+                        &self.tech,
+                        self.core.xl,
+                    );
+                }
+            }
+        }
+        SegmentMap { segments, by_row }
+    }
+
+    /// Basic structural validation: cell type references in range, fences in
+    /// range, GP positions finite. Returns a list of human-readable problems.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (i, c) in self.cells.iter().enumerate() {
+            if c.type_id.0 as usize >= self.cell_types.len() {
+                problems.push(format!("cell {i} ({}) has invalid type id", c.name));
+            }
+            if c.fence.0 as usize >= self.fences.len() {
+                problems.push(format!("cell {i} ({}) has invalid fence id", c.name));
+            }
+        }
+        for (i, n) in self.nets.iter().enumerate() {
+            for p in &n.pins {
+                if let NetPin::Cell { cell, pin } = p {
+                    if cell.0 as usize >= self.cells.len() {
+                        problems.push(format!("net {i} ({}) references bad cell", n.name));
+                    } else if *pin >= self.type_of(*cell).pins.len() {
+                        problems.push(format!("net {i} ({}) references bad pin", n.name));
+                    }
+                }
+            }
+        }
+        problems
+    }
+}
+
+fn push_segment(
+    segments: &mut Vec<Segment>,
+    row_index: &mut Vec<usize>,
+    row: usize,
+    fence: FenceId,
+    x: Interval,
+    tech: &Technology,
+    origin: Dbu,
+) {
+    // Snap inward to the site grid.
+    let lo = origin + (x.lo - origin + tech.site_width - 1).div_euclid(tech.site_width) * tech.site_width;
+    let hi = origin + (x.hi - origin).div_euclid(tech.site_width) * tech.site_width;
+    if hi - lo >= tech.site_width {
+        row_index.push(segments.len());
+        segments.push(Segment {
+            row,
+            fence,
+            x: Interval::new(lo, hi),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::RowParity;
+
+    fn design() -> Design {
+        // 10 rows of 90 dbu, core 1000 wide.
+        Design::new(
+            "t",
+            Technology::example(),
+            Rect::new(0, 0, 1000, 900),
+        )
+    }
+
+    #[test]
+    fn rows_and_snapping() {
+        let d = design();
+        assert_eq!(d.num_rows, 10);
+        assert_eq!(d.row_y(3), 270);
+        assert_eq!(d.row_of_y(270), Some(3));
+        assert_eq!(d.row_of_y(269), Some(2));
+        assert_eq!(d.row_of_y(-1), None);
+        assert_eq!(d.row_of_y(900), None);
+    }
+
+    #[test]
+    fn nearest_row_clamps_for_tall_cells() {
+        let d = design();
+        assert_eq!(d.nearest_row(880, 1), 9);
+        assert_eq!(d.nearest_row(880, 4), 6);
+        assert_eq!(d.nearest_row(-50, 2), 0);
+        assert_eq!(d.nearest_row(100, 1), 1);
+        assert_eq!(d.nearest_row(130, 1), 1);
+        assert_eq!(d.nearest_row(140, 1), 2);
+    }
+
+    #[test]
+    fn orientation_rules() {
+        let mut d = design();
+        let single = d.add_cell_type(CellType::new("s", 20, 1));
+        let double = d.add_cell_type(CellType::new("d", 20, 2));
+        assert_eq!(d.orient_for_row(single, 0), Orient::N);
+        assert_eq!(d.orient_for_row(single, 1), Orient::FS);
+        assert_eq!(d.orient_for_row(double, 0), Orient::N);
+        assert_eq!(d.orient_for_row(double, 2), Orient::N);
+        let _ = RowParity::Even;
+    }
+
+    #[test]
+    fn segments_plain_design() {
+        let d = design();
+        let sm = d.build_segments();
+        assert_eq!(sm.len(), 10);
+        for row in 0..10 {
+            assert_eq!(sm.in_row(row).len(), 1);
+            let s = &sm.segments()[sm.in_row(row)[0]];
+            assert_eq!(s.x, Interval::new(0, 1000));
+            assert_eq!(s.fence, FenceId::DEFAULT);
+        }
+    }
+
+    #[test]
+    fn segments_split_by_fence() {
+        let mut d = design();
+        // Fence over rows 2..4 (y 180..360), x 300..600.
+        d.add_fence(FenceRegion::new("g0", vec![Rect::new(300, 180, 600, 360)]));
+        let sm = d.build_segments();
+        // Row 2 should have: default [0,300), fence [300,600), default [600,1000).
+        let row2: Vec<&Segment> = sm.in_row(2).iter().map(|&i| &sm.segments()[i]).collect();
+        assert_eq!(row2.len(), 3);
+        assert_eq!(row2[0].fence, FenceId::DEFAULT);
+        assert_eq!(row2[1].fence, FenceId(1));
+        assert_eq!(row2[1].x, Interval::new(300, 600));
+        assert_eq!(row2[2].x, Interval::new(600, 1000));
+        // Row 5 untouched.
+        assert_eq!(sm.in_row(5).len(), 1);
+    }
+
+    #[test]
+    fn segments_subtract_fixed_obstacles() {
+        let mut d = design();
+        let blk = d.add_cell_type(CellType::new("blk", 200, 2));
+        let mut c = Cell::new("obs", blk, Point::new(400, 180));
+        c.pos = Some(Point::new(400, 180));
+        c.fixed = true;
+        d.add_cell(c);
+        let sm = d.build_segments();
+        // Rows 2 and 3 are split around [400, 600).
+        for row in [2usize, 3] {
+            let segs: Vec<&Segment> = sm.in_row(row).iter().map(|&i| &sm.segments()[i]).collect();
+            assert_eq!(segs.len(), 2, "row {row}");
+            assert_eq!(segs[0].x, Interval::new(0, 400));
+            assert_eq!(segs[1].x, Interval::new(600, 1000));
+        }
+        assert_eq!(sm.in_row(1).len(), 1);
+        assert_eq!(sm.in_row(4).len(), 1);
+    }
+
+    #[test]
+    fn segments_site_snapped() {
+        let mut d = design();
+        // Fence with non-site-aligned edges.
+        d.add_fence(FenceRegion::new("g0", vec![Rect::new(303, 0, 597, 90)]));
+        let sm = d.build_segments();
+        let row0: Vec<&Segment> = sm.in_row(0).iter().map(|&i| &sm.segments()[i]).collect();
+        // Fence segment snapped inward to [310, 590).
+        let f = row0.iter().find(|s| s.fence == FenceId(1)).unwrap();
+        assert_eq!(f.x, Interval::new(310, 590));
+    }
+
+    #[test]
+    fn segment_map_queries() {
+        let mut d = design();
+        d.add_fence(FenceRegion::new("g0", vec![Rect::new(300, 180, 600, 360)]));
+        let sm = d.build_segments();
+        assert_eq!(sm.find(2, 450).unwrap().fence, FenceId(1));
+        assert_eq!(sm.find(2, 100).unwrap().fence, FenceId::DEFAULT);
+        assert!(sm
+            .covering(2, FenceId(1), Interval::new(350, 500))
+            .is_some());
+        assert!(sm
+            .covering(2, FenceId(1), Interval::new(250, 500))
+            .is_none());
+    }
+
+    #[test]
+    fn density_counts_fixed_as_blockage() {
+        let mut d = design();
+        let ct = d.add_cell_type(CellType::new("s", 100, 1));
+        for i in 0..10 {
+            d.add_cell(Cell::new(format!("c{i}"), ct, Point::new(0, i * 90)));
+        }
+        // 10 cells of 100x90 = 90_000 over core 900_000.
+        assert!((d.density() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pad_internal_edges_shrinks_and_drops() {
+        let mut d = design();
+        d.add_fence(FenceRegion::new("g0", vec![Rect::new(300, 180, 600, 360)]));
+        let mut sm = d.build_segments();
+        let before = sm.in_row(2).len();
+        assert_eq!(before, 3);
+        sm.pad_internal_edges(0, 1000, 20);
+        // All three segments survive, shrunk at internal edges only.
+        let segs: Vec<&Segment> = sm.in_row(2).iter().map(|&i| &sm.segments()[i]).collect();
+        assert_eq!(segs[0].x, Interval::new(0, 280));
+        assert_eq!(segs[1].x, Interval::new(320, 580));
+        assert_eq!(segs[2].x, Interval::new(620, 1000));
+        // A pad bigger than a segment collapses it.
+        let mut sm2 = d.build_segments();
+        sm2.pad_internal_edges(0, 1000, 200);
+        assert_eq!(sm2.in_row(2).len(), 2, "middle segment collapses");
+        // Row index remapping stays consistent.
+        for row in 0..d.num_rows {
+            for &i in sm2.in_row(row) {
+                assert_eq!(sm2.segments()[i].row, row);
+            }
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_refs() {
+        let mut d = design();
+        d.add_cell(Cell::new("c", CellTypeId(7), Point::new(0, 0)));
+        assert_eq!(d.validate().len(), 1);
+    }
+}

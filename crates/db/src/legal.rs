@@ -1,0 +1,522 @@
+//! Legality and routability checking.
+//!
+//! Hard constraints (§2): placed on sites inside the core, overlap-free,
+//! P/G alignment (row parity / flipping), fence containment.
+//! Soft constraints: edge spacing, pin shorts, pin accessibility.
+
+use crate::cell::CellId;
+use crate::design::Design;
+use crate::geom::{Dbu, Rect};
+
+/// Counted violations of one design placement.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LegalityReport {
+    /// Movable cells without a position.
+    pub unplaced: usize,
+    /// Cells whose rectangle leaves the core or any row span.
+    pub out_of_core: usize,
+    /// Cells not aligned to the site grid in x or the row grid in y.
+    pub misaligned: usize,
+    /// Even-height cells on a row of the wrong parity, or odd-height cells
+    /// with an orientation inconsistent with their row.
+    pub bad_parity: usize,
+    /// Pairs of cells with overlapping rectangles.
+    pub overlaps: usize,
+    /// Cells not fully inside a segment of their fence region.
+    pub fence_violations: usize,
+    /// Adjacent cell pairs closer than their edge-spacing rule (soft).
+    pub edge_spacing: usize,
+    /// Signal pins overlapping a P/G shape or IO pin on their own layer
+    /// (soft).
+    pub pin_shorts: usize,
+    /// Signal pins overlapping a P/G shape or IO pin on the next layer up
+    /// (soft).
+    pub pin_access: usize,
+    /// Up to [`Checker::MAX_DETAILS`] human-readable violation descriptions.
+    pub details: Vec<String>,
+}
+
+impl LegalityReport {
+    /// Total count of *hard* violations (everything except the routability
+    /// soft constraints).
+    pub fn hard_violations(&self) -> usize {
+        self.unplaced
+            + self.out_of_core
+            + self.misaligned
+            + self.bad_parity
+            + self.overlaps
+            + self.fence_violations
+    }
+
+    /// Total count of routability (soft) violations: `N_p + N_e` in Eq. 10.
+    pub fn soft_violations(&self) -> usize {
+        self.edge_spacing + self.pin_shorts + self.pin_access
+    }
+
+    /// Whether the placement satisfies every hard constraint.
+    pub fn is_legal(&self) -> bool {
+        self.hard_violations() == 0
+    }
+}
+
+/// Legality checker over a design.
+#[derive(Debug)]
+pub struct Checker<'a> {
+    design: &'a Design,
+}
+
+impl<'a> Checker<'a> {
+    /// Maximum number of violation detail strings retained.
+    pub const MAX_DETAILS: usize = 32;
+
+    /// Creates a checker for a design.
+    pub fn new(design: &'a Design) -> Self {
+        Self { design }
+    }
+
+    /// Runs all checks and returns the report.
+    pub fn check(&self) -> LegalityReport {
+        let mut rep = LegalityReport::default();
+        let d = self.design;
+        let segs = d.build_segments();
+
+        // Per-row occupancy: (xl, xh, cell, right_edge_class, left_edge_class).
+        let mut rows: Vec<Vec<(Dbu, Dbu, CellId)>> = vec![Vec::new(); d.num_rows];
+
+        for (i, cell) in d.cells.iter().enumerate() {
+            let id = CellId(i as u32);
+            let ct = d.type_of(id);
+            if cell.fixed {
+                // Fixed cells occupy rows for overlap checking only.
+                if let Some(pos) = cell.pos {
+                    let r = d.rect_at(id, pos);
+                    self.mark_rows(&mut rows, r, id);
+                }
+                continue;
+            }
+            let Some(pos) = cell.pos else {
+                rep.unplaced += 1;
+                detail(&mut rep, format!("cell {} unplaced", cell.name));
+                continue;
+            };
+            let r = d.rect_at(id, pos);
+
+            if !d.core.covers(r) {
+                rep.out_of_core += 1;
+                detail(&mut rep, format!("cell {} out of core at {r}", cell.name));
+                continue;
+            }
+            let aligned_x = d.tech.is_site_aligned(d.core.xl, pos.x);
+            let aligned_y = (pos.y - d.core.yl) % d.tech.row_height == 0;
+            if !aligned_x || !aligned_y {
+                rep.misaligned += 1;
+                detail(&mut rep, format!("cell {} misaligned at {pos}", cell.name));
+                continue;
+            }
+            let row = ((pos.y - d.core.yl) / d.tech.row_height) as usize;
+
+            // P/G alignment.
+            match ct.rail_parity {
+                Some(p) if !p.matches(row) => {
+                    rep.bad_parity += 1;
+                    detail(
+                        &mut rep,
+                        format!("cell {} on wrong-parity row {row}", cell.name),
+                    );
+                }
+                None => {
+                    let expect = d.orient_for_row(cell.type_id, row);
+                    if cell.orient.flips_y() != expect.flips_y() {
+                        rep.bad_parity += 1;
+                        detail(
+                            &mut rep,
+                            format!("cell {} wrong orientation on row {row}", cell.name),
+                        );
+                    }
+                }
+                _ => {}
+            }
+
+            // Fence containment: every spanned row needs a covering segment
+            // of the cell's fence.
+            let mut fenced_ok = true;
+            for rr in row..row + ct.height_rows as usize {
+                if segs.covering(rr, cell.fence, r.x_interval()).is_none() {
+                    fenced_ok = false;
+                    break;
+                }
+            }
+            if !fenced_ok {
+                rep.fence_violations += 1;
+                detail(
+                    &mut rep,
+                    format!("cell {} outside fence {:?}", cell.name, cell.fence),
+                );
+            }
+
+            self.mark_rows(&mut rows, r, id);
+        }
+
+        // Overlaps and edge spacing via per-row sweeps. An overlapping or
+        // under-spaced pair is counted once even when adjacent on several
+        // rows.
+        let mut seen_overlap = std::collections::HashSet::new();
+        let mut seen_spacing = std::collections::HashSet::new();
+        for row in rows.iter_mut() {
+            row.sort_unstable_by_key(|&(xl, _, _)| xl);
+            for w in row.windows(2) {
+                let (axl, axh, a) = w[0];
+                let (bxl, _bxh, b) = w[1];
+                let key = (a.min(b), a.max(b));
+                if bxl < axh {
+                    if seen_overlap.insert(key) {
+                        rep.overlaps += 1;
+                        detail(
+                            &mut rep,
+                            format!(
+                                "cells {} and {} overlap ([{axl},{axh}) vs x={bxl})",
+                                d.cells[a.0 as usize].name, d.cells[b.0 as usize].name
+                            ),
+                        );
+                    }
+                } else {
+                    let ea = d.type_of(a).edge_class.1;
+                    let eb = d.type_of(b).edge_class.0;
+                    let need = d.tech.edge_spacing.spacing(ea, eb);
+                    if bxl - axh < need && seen_spacing.insert(key) {
+                        rep.edge_spacing += 1;
+                        detail(
+                            &mut rep,
+                            format!(
+                                "edge spacing {} < {need} between {} and {}",
+                                bxl - axh,
+                                d.cells[a.0 as usize].name,
+                                d.cells[b.0 as usize].name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Pin shorts / accessibility.
+        let io = IoIndex::new(d);
+        for (i, cell) in d.cells.iter().enumerate() {
+            if cell.fixed {
+                continue;
+            }
+            let Some(pos) = cell.pos else { continue };
+            let id = CellId(i as u32);
+            let ct = d.type_of(id);
+            for pin in 0..ct.pins.len() {
+                let layer = ct.pins[pin].layer;
+                let pr = d.pin_rect_at(id, pin, pos, cell.orient);
+                let short = d.grid.overlaps(layer, pr, d.core.yl, d.tech.row_height)
+                    || io.overlaps(layer, pr);
+                if short {
+                    rep.pin_shorts += 1;
+                    detail(
+                        &mut rep,
+                        format!("pin {}/{} short on M{layer}", cell.name, ct.pins[pin].name),
+                    );
+                }
+                let above = layer + 1;
+                let access = d.grid.overlaps(above, pr, d.core.yl, d.tech.row_height)
+                    || io.overlaps(above, pr);
+                if access {
+                    rep.pin_access += 1;
+                    detail(
+                        &mut rep,
+                        format!(
+                            "pin {}/{} blocked by M{above}",
+                            cell.name, ct.pins[pin].name
+                        ),
+                    );
+                }
+            }
+        }
+
+        rep
+    }
+
+    fn mark_rows(&self, rows: &mut [Vec<(Dbu, Dbu, CellId)>], r: Rect, id: CellId) {
+        let d = self.design;
+        let lo = ((r.yl - d.core.yl).div_euclid(d.tech.row_height)).max(0) as usize;
+        let hi = ((r.yh - d.core.yl + d.tech.row_height - 1).div_euclid(d.tech.row_height))
+            .max(0) as usize;
+        #[allow(clippy::needless_range_loop)]
+        for row in lo..hi.min(d.num_rows) {
+            rows[row].push((r.xl, r.xh, id));
+        }
+    }
+}
+
+fn detail(rep: &mut LegalityReport, msg: String) {
+    if rep.details.len() < Checker::MAX_DETAILS {
+        rep.details.push(msg);
+    }
+}
+
+/// Per-layer IO-pin index with binary search on x.
+#[derive(Debug)]
+struct IoIndex {
+    by_layer: Vec<Vec<Rect>>, // sorted by xl
+    max_width: Dbu,
+}
+
+impl IoIndex {
+    fn new(d: &Design) -> Self {
+        let nl = d.tech.num_layers as usize + 2;
+        let mut by_layer = vec![Vec::new(); nl];
+        let mut max_width = 0;
+        for p in &d.io_pins {
+            if (p.layer as usize) < nl {
+                by_layer[p.layer as usize].push(p.rect);
+                max_width = max_width.max(p.rect.width());
+            }
+        }
+        for v in &mut by_layer {
+            v.sort_unstable_by_key(|r| r.xl);
+        }
+        Self { by_layer, max_width }
+    }
+
+    fn overlaps(&self, layer: u8, q: Rect) -> bool {
+        let Some(list) = self.by_layer.get(layer as usize) else {
+            return false;
+        };
+        // Candidates have xl in [q.xl - max_width, q.xh).
+        let start = list.partition_point(|r| r.xl < q.xl - self.max_width);
+        list[start..]
+            .iter()
+            .take_while(|r| r.xl < q.xh)
+            .any(|r| r.overlaps(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellType, CellTypeId, PinShape};
+    use crate::fence::FenceRegion;
+    use crate::geom::{Orient, Point};
+    use crate::rails::{IoPin, PowerGrid};
+    use crate::tech::Technology;
+
+    fn base() -> (Design, CellTypeId, CellTypeId) {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        let m = d.add_cell_type(CellType::new("m", 30, 2));
+        (d, s, m)
+    }
+
+    fn place(d: &mut Design, name: &str, ct: CellTypeId, x: Dbu, row: usize) -> CellId {
+        let y = d.row_y(row);
+        let mut c = Cell::new(name, ct, Point::new(x, y));
+        c.pos = Some(Point::new(x, y));
+        c.orient = d.orient_for_row(ct, row);
+        d.add_cell(c)
+    }
+
+    #[test]
+    fn clean_placement_is_legal() {
+        let (mut d, s, m) = base();
+        place(&mut d, "a", s, 0, 0);
+        place(&mut d, "b", s, 20, 0);
+        place(&mut d, "c", m, 100, 2);
+        let rep = Checker::new(&d).check();
+        assert!(rep.is_legal(), "{:?}", rep);
+        assert_eq!(rep.soft_violations(), 0);
+    }
+
+    #[test]
+    fn unplaced_detected() {
+        let (mut d, s, _) = base();
+        d.add_cell(Cell::new("a", s, Point::new(0, 0)));
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.unplaced, 1);
+        assert!(!rep.is_legal());
+    }
+
+    #[test]
+    fn misalignment_detected() {
+        let (mut d, s, _) = base();
+        let id = place(&mut d, "a", s, 0, 0);
+        d.cells[id.0 as usize].pos = Some(Point::new(13, 0));
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.misaligned, 1);
+        let id2 = place(&mut d, "b", s, 40, 0);
+        d.cells[id2.0 as usize].pos = Some(Point::new(40, 7));
+        assert_eq!(Checker::new(&d).check().misaligned, 2);
+    }
+
+    #[test]
+    fn out_of_core_detected() {
+        let (mut d, s, _) = base();
+        let id = place(&mut d, "a", s, 0, 0);
+        d.cells[id.0 as usize].pos = Some(Point::new(990, 0)); // width 20 exceeds
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.out_of_core, 1);
+    }
+
+    #[test]
+    fn overlap_detected_and_counted_once() {
+        let (mut d, _, m) = base();
+        place(&mut d, "a", m, 100, 0);
+        place(&mut d, "b", m, 110, 0); // overlaps on both rows, count once
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.overlaps, 1);
+    }
+
+    #[test]
+    fn overlap_with_fixed_detected() {
+        let (mut d, s, _) = base();
+        let blk = d.add_cell_type(CellType::new("blk", 100, 1));
+        let mut f = Cell::new("obs", blk, Point::new(0, 0));
+        f.pos = Some(Point::new(0, 0));
+        f.fixed = true;
+        d.add_cell(f);
+        place(&mut d, "a", s, 50, 0);
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.overlaps, 1);
+    }
+
+    #[test]
+    fn parity_violation_for_even_height() {
+        let (mut d, _, m) = base();
+        place(&mut d, "a", m, 0, 1); // even-height cell on odd row
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.bad_parity, 1);
+    }
+
+    #[test]
+    fn orientation_violation_for_odd_height() {
+        let (mut d, s, _) = base();
+        let id = place(&mut d, "a", s, 0, 1);
+        d.cells[id.0 as usize].orient = Orient::N; // must be FS on row 1
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.bad_parity, 1);
+    }
+
+    #[test]
+    fn fence_violation_detected() {
+        let (mut d, s, _) = base();
+        let f = d.add_fence(FenceRegion::new("g0", vec![Rect::new(300, 0, 600, 180)]));
+        let id = place(&mut d, "a", s, 0, 0); // placed outside its fence
+        d.cells[id.0 as usize].fence = f;
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.fence_violations, 1);
+        // And a default-fence cell placed inside the fence also violates.
+        let (mut d2, s2, _) = base();
+        d2.add_fence(FenceRegion::new("g0", vec![Rect::new(300, 0, 600, 180)]));
+        place(&mut d2, "b", s2, 400, 0);
+        assert_eq!(Checker::new(&d2).check().fence_violations, 1);
+    }
+
+    #[test]
+    fn edge_spacing_violation() {
+        let (mut d, _, _) = base();
+        let mut tbl = crate::tech::EdgeSpacingTable::new(2);
+        tbl.set(1, 1, 20);
+        d.tech.edge_spacing = tbl;
+        let mut ct = CellType::new("e", 20, 1);
+        ct.edge_class = (1, 1);
+        let e = d.add_cell_type(ct);
+        place(&mut d, "a", e, 0, 0);
+        place(&mut d, "b", e, 30, 0); // gap 10 < 20
+        place(&mut d, "c", e, 70, 0); // gap 20, ok
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.edge_spacing, 1);
+        assert!(rep.is_legal(), "edge spacing is soft");
+    }
+
+    #[test]
+    fn pin_short_and_access() {
+        let (mut d, _, _) = base();
+        d.grid = PowerGrid {
+            h_layer: 2,
+            h_width: 10,
+            h_pitch_rows: 1,
+            v_layer: 3,
+            v_width: 0,
+            v_pitch: 0,
+            v_offset: 0,
+        };
+        // M2 pin near the cell top -> shorts with the rail at the row
+        // boundary; M1 pin in the middle is fine.
+        let mut ct = CellType::new("p", 20, 1);
+        ct.pins.push(PinShape {
+            name: "top2".into(),
+            layer: 2,
+            rect: Rect::new(5, 86, 10, 90),
+        });
+        ct.pins.push(PinShape {
+            name: "mid1".into(),
+            layer: 1,
+            rect: Rect::new(5, 40, 10, 50),
+        });
+        // M1 pin under the M2 rail -> access violation.
+        ct.pins.push(PinShape {
+            name: "top1".into(),
+            layer: 1,
+            rect: Rect::new(12, 86, 16, 90),
+        });
+        let p = d.add_cell_type(ct);
+        place(&mut d, "a", p, 100, 0);
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.pin_shorts, 1, "{:?}", rep.details);
+        assert_eq!(rep.pin_access, 1, "{:?}", rep.details);
+    }
+
+    #[test]
+    fn pin_short_with_io_pin() {
+        let (mut d, _, _) = base();
+        let mut ct = CellType::new("p", 20, 1);
+        ct.pins.push(PinShape {
+            name: "a".into(),
+            layer: 1,
+            rect: Rect::new(5, 40, 10, 50),
+        });
+        let p = d.add_cell_type(ct);
+        place(&mut d, "a", p, 100, 0);
+        d.io_pins.push(IoPin {
+            name: "io".into(),
+            layer: 1,
+            rect: Rect::new(104, 42, 112, 48),
+        });
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.pin_shorts, 1);
+        // IO on layer 2 blocks access instead.
+        d.io_pins[0].layer = 2;
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.pin_shorts, 0);
+        assert_eq!(rep.pin_access, 1);
+    }
+
+    #[test]
+    fn fs_cell_pin_flipped_away_from_rail() {
+        let (mut d, _, _) = base();
+        d.grid = PowerGrid {
+            h_layer: 2,
+            h_width: 10,
+            h_pitch_rows: 1,
+            v_layer: 3,
+            v_width: 0,
+            v_pitch: 0,
+            v_offset: 0,
+        };
+        // M2 pin near cell top. On row 1 with FS it lands near the row's
+        // *bottom*... which is also a rail. Pin placed to clear when flipped:
+        // local y [60,70) -> FS maps to [20,30): clear of both rails.
+        let mut ct = CellType::new("p", 20, 1);
+        ct.pins.push(PinShape {
+            name: "x".into(),
+            layer: 2,
+            rect: Rect::new(5, 60, 10, 70),
+        });
+        let p = d.add_cell_type(ct);
+        place(&mut d, "a", p, 100, 1);
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.pin_shorts, 0, "{:?}", rep.details);
+    }
+}

@@ -1,0 +1,45 @@
+//! # mcl-db — placement database
+//!
+//! The shared data model for the `mclegal` workspace: geometry, technology,
+//! cell library and instances, rows/fence segments, power grid, netlist,
+//! plus the legality checker and scoring used by every legalizer.
+//!
+//! ```
+//! use mcl_db::prelude::*;
+//!
+//! let mut d = Design::new("demo", Technology::example(), Rect::new(0, 0, 1000, 900));
+//! let inv = d.add_cell_type(CellType::new("INV", 20, 1));
+//! let mut c = Cell::new("u1", inv, Point::new(37, 120));
+//! c.pos = Some(Point::new(40, 90));
+//! c.orient = d.orient_for_row(inv, 1);
+//! d.add_cell(c);
+//! let report = Checker::new(&d).check();
+//! assert!(report.is_legal());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod cell;
+pub mod design;
+pub mod fence;
+pub mod geom;
+pub mod legal;
+pub mod netlist;
+pub mod rails;
+pub mod score;
+pub mod tech;
+
+/// Convenient glob-import of the common types.
+pub mod prelude {
+    pub use crate::cell::{Cell, CellId, CellType, CellTypeId, FenceId, PinShape, RowParity};
+    pub use crate::design::{Design, Segment, SegmentMap};
+    pub use crate::fence::FenceRegion;
+    pub use crate::geom::{Dbu, Interval, Orient, Point, Rect};
+    pub use crate::legal::{Checker, LegalityReport};
+    pub use crate::netlist::{Net, NetPin};
+    pub use crate::rails::{IoPin, PowerGrid};
+    pub use crate::score::Metrics;
+    pub use crate::tech::{EdgeSpacingTable, Technology};
+}
+
+pub use prelude::*;

@@ -1,0 +1,111 @@
+//! Netlist and half-perimeter wirelength (HPWL).
+
+use crate::cell::CellId;
+use crate::geom::{Point, Rect};
+
+/// One connection point of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetPin {
+    /// A pin of a placed cell: `(cell, pin index within the cell type)`.
+    Cell {
+        /// The connected cell.
+        cell: CellId,
+        /// Index into the cell type's pin list.
+        pin: usize,
+    },
+    /// A fixed location (IO pad or pre-routed point).
+    Fixed(Point),
+}
+
+/// A signal net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Connection points.
+    pub pins: Vec<NetPin>,
+}
+
+impl Net {
+    /// Creates a net.
+    pub fn new(name: impl Into<String>, pins: Vec<NetPin>) -> Self {
+        Self {
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// HPWL of the net given a resolver from net pins to absolute points.
+    /// Nets with fewer than two pins contribute zero.
+    pub fn hpwl<F>(&self, mut locate: F) -> i64
+    where
+        F: FnMut(&NetPin) -> Point,
+    {
+        if self.pins.len() < 2 {
+            return 0;
+        }
+        let mut bbox: Option<Rect> = None;
+        for p in &self.pins {
+            let pt = locate(p);
+            let r = Rect::new(pt.x, pt.y, pt.x, pt.y);
+            bbox = Some(match bbox {
+                None => r,
+                Some(b) => Rect::new(
+                    b.xl.min(pt.x),
+                    b.yl.min(pt.y),
+                    b.xh.max(pt.x),
+                    b.yh.max(pt.y),
+                ),
+            });
+        }
+        let b = bbox.unwrap();
+        (b.xh - b.xl) + (b.yh - b.yl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hpwl_two_points() {
+        let net = Net::new(
+            "n",
+            vec![
+                NetPin::Fixed(Point::new(0, 0)),
+                NetPin::Fixed(Point::new(30, 40)),
+            ],
+        );
+        assert_eq!(net.hpwl(|p| match p {
+            NetPin::Fixed(pt) => *pt,
+            _ => unreachable!(),
+        }), 70);
+    }
+
+    #[test]
+    fn hpwl_single_pin_is_zero() {
+        let net = Net::new("n", vec![NetPin::Fixed(Point::new(5, 5))]);
+        assert_eq!(net.hpwl(|_| Point::new(5, 5)), 0);
+    }
+
+    #[test]
+    fn hpwl_is_bounding_box() {
+        let pts = [
+            Point::new(0, 10),
+            Point::new(5, 0),
+            Point::new(10, 5),
+            Point::new(3, 3),
+        ];
+        let net = Net::new(
+            "n",
+            pts.iter().map(|p| NetPin::Fixed(*p)).collect(),
+        );
+        let mut i = 0;
+        let hp = net.hpwl(|_| {
+            let p = pts[i];
+            i += 1;
+            p
+        });
+        assert_eq!(hp, 10 + 10);
+    }
+}

@@ -1,0 +1,234 @@
+//! Power/ground grid and IO pins.
+//!
+//! Modern P/G distribution is a regular grid: horizontal rails running along
+//! row boundaries on one metal layer and vertical stripes at a fixed pitch on
+//! the next layer up (§2 of the paper). A signal pin on layer *k* is **short**
+//! if it overlaps a P/G shape or IO pin on layer *k*, and **inaccessible** if
+//! it overlaps one on layer *k+1*.
+
+use crate::geom::{Dbu, Interval, Rect};
+
+/// The regular power/ground grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PowerGrid {
+    /// Layer of the horizontal rails (e.g. 2 for M2).
+    pub h_layer: u8,
+    /// Rail width; rails are centered on row boundaries.
+    pub h_width: Dbu,
+    /// Horizontal rails appear on every `h_pitch_rows`-th row boundary
+    /// (1 = every boundary, the common case).
+    pub h_pitch_rows: u32,
+    /// Layer of the vertical stripes (e.g. 3 for M3).
+    pub v_layer: u8,
+    /// Stripe width; stripes are centered on `v_offset + k * v_pitch`.
+    pub v_width: Dbu,
+    /// Pitch between vertical stripe centers; 0 disables vertical stripes.
+    pub v_pitch: Dbu,
+    /// X coordinate of stripe center `k = 0`.
+    pub v_offset: Dbu,
+}
+
+impl PowerGrid {
+    /// A grid with no rails at all (routability checks become no-ops).
+    pub fn none() -> Self {
+        Self {
+            h_layer: 2,
+            h_width: 0,
+            h_pitch_rows: 1,
+            v_layer: 3,
+            v_width: 0,
+            v_pitch: 0,
+            v_offset: 0,
+        }
+    }
+
+    /// Whether any horizontal rail on `layer` overlaps the vertical span
+    /// `[yl, yh)`, given the row grid (`row_origin`, `row_height`).
+    pub fn h_rail_overlaps(
+        &self,
+        layer: u8,
+        y: Interval,
+        row_origin: Dbu,
+        row_height: Dbu,
+    ) -> bool {
+        if layer != self.h_layer || self.h_width == 0 || y.is_empty() {
+            return false;
+        }
+        let pitch = row_height * self.h_pitch_rows as Dbu;
+        let half = self.h_width / 2;
+        // Rail k occupies [row_origin + k*pitch - half, row_origin + k*pitch + half + (h_width&1)).
+        // Overlap with [y.lo, y.hi) requires a center in (y.lo - half - w%2, y.hi + half).
+        let lo = y.lo - half - (self.h_width & 1);
+        let hi = y.hi + half;
+        // Exists integer k with lo < row_origin + k*pitch < hi  (open interval
+        // since touching is not overlap).
+        exists_multiple_in_open(row_origin, pitch, lo, hi)
+    }
+
+    /// Whether any vertical stripe on `layer` overlaps the horizontal span
+    /// `[xl, xh)`.
+    pub fn v_stripe_overlaps(&self, layer: u8, x: Interval) -> bool {
+        if layer != self.v_layer || self.v_width == 0 || self.v_pitch == 0 || x.is_empty() {
+            return false;
+        }
+        let half = self.v_width / 2;
+        let lo = x.lo - half - (self.v_width & 1);
+        let hi = x.hi + half;
+        exists_multiple_in_open(self.v_offset, self.v_pitch, lo, hi)
+    }
+
+    /// Whether a rectangle on `layer` overlaps any P/G shape.
+    pub fn overlaps(&self, layer: u8, r: Rect, row_origin: Dbu, row_height: Dbu) -> bool {
+        self.h_rail_overlaps(layer, r.y_interval(), row_origin, row_height)
+            || self.v_stripe_overlaps(layer, r.x_interval())
+    }
+
+    /// The smallest shift `dx >= 0` such that moving the x-span right by `dx`
+    /// clears all vertical stripes on `layer`, or `None` if the span is wider
+    /// than the clear space between stripes.
+    pub fn v_clear_shift_right(&self, layer: u8, x: Interval) -> Option<Dbu> {
+        if !self.v_stripe_overlaps(layer, x) {
+            return Some(0);
+        }
+        let half = self.v_width / 2;
+        let clear = self.v_pitch - self.v_width;
+        if x.len() >= clear {
+            return None;
+        }
+        // Find the stripe overlapping/nearest left of x.hi; place x.lo just
+        // right of a stripe edge: x.lo >= center + half + (w&1).
+        let k = (x.hi + half - self.v_offset).div_euclid(self.v_pitch);
+        let center = self.v_offset + k * self.v_pitch;
+        let target = center + half + (self.v_width & 1);
+        Some((target - x.lo).max(0))
+    }
+
+    /// Like [`Self::v_clear_shift_right`], but shifting left (returned value
+    /// is `>= 0` and should be subtracted).
+    pub fn v_clear_shift_left(&self, layer: u8, x: Interval) -> Option<Dbu> {
+        if !self.v_stripe_overlaps(layer, x) {
+            return Some(0);
+        }
+        let half = self.v_width / 2;
+        let clear = self.v_pitch - self.v_width;
+        if x.len() >= clear {
+            return None;
+        }
+        let k = (x.lo - half - self.v_offset).div_euclid(self.v_pitch) + 1;
+        let center = self.v_offset + k * self.v_pitch;
+        // Need x.hi <= center - half: shift left by x.hi - (center - half).
+        let target = center - half;
+        Some((x.hi - target).max(0))
+    }
+}
+
+impl Default for PowerGrid {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// True iff some `origin + k*pitch` (integer `k`) lies strictly inside
+/// `(lo, hi)`.
+fn exists_multiple_in_open(origin: Dbu, pitch: Dbu, lo: Dbu, hi: Dbu) -> bool {
+    if pitch <= 0 || hi - lo <= 1 {
+        return false;
+    }
+    // Smallest k with origin + k*pitch > lo:
+    let k = (lo - origin).div_euclid(pitch) + 1;
+    origin + k * pitch < hi
+}
+
+/// A fixed IO pin shape on a routing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IoPin {
+    /// Pin name.
+    pub name: String,
+    /// Layer of the shape.
+    pub layer: u8,
+    /// Absolute shape.
+    pub rect: Rect,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> PowerGrid {
+        PowerGrid {
+            h_layer: 2,
+            h_width: 10,
+            h_pitch_rows: 1,
+            v_layer: 3,
+            v_width: 8,
+            v_pitch: 200,
+            v_offset: 0,
+        }
+    }
+
+    #[test]
+    fn h_rail_overlap_detected() {
+        let g = grid();
+        // Rows at origin 0, height 90: rails centered at y=0, 90, 180...
+        // Pin at [85, 95) overlaps the rail [85, 95).
+        assert!(g.h_rail_overlaps(2, Interval::new(85, 95), 0, 90));
+        // Pin well inside a row does not.
+        assert!(!g.h_rail_overlaps(2, Interval::new(20, 60), 0, 90));
+        // Touching the rail edge is not an overlap: rail occupies [85, 95).
+        assert!(!g.h_rail_overlaps(2, Interval::new(95, 110), 0, 90));
+        // Wrong layer never overlaps.
+        assert!(!g.h_rail_overlaps(1, Interval::new(85, 95), 0, 90));
+    }
+
+    #[test]
+    fn v_stripe_overlap_detected() {
+        let g = grid();
+        // Stripes centered at 0, 200, 400... width 8 -> [196, 204).
+        assert!(g.v_stripe_overlaps(3, Interval::new(200, 210)));
+        assert!(!g.v_stripe_overlaps(3, Interval::new(100, 150)));
+        assert!(!g.v_stripe_overlaps(3, Interval::new(204, 230)));
+        assert!(!g.v_stripe_overlaps(2, Interval::new(200, 210)));
+    }
+
+    #[test]
+    fn clear_shift_right() {
+        let g = grid();
+        let x = Interval::new(195, 215); // overlaps stripe [196,204)
+        let dx = g.v_clear_shift_right(3, x).unwrap();
+        assert!(dx > 0);
+        let shifted = Interval::new(x.lo + dx, x.hi + dx);
+        assert!(!g.v_stripe_overlaps(3, shifted));
+        // Shift should be minimal: one dbu less still overlaps.
+        let less = Interval::new(x.lo + dx - 1, x.hi + dx - 1);
+        assert!(g.v_stripe_overlaps(3, less));
+    }
+
+    #[test]
+    fn clear_shift_left() {
+        let g = grid();
+        let x = Interval::new(190, 200);
+        let dx = g.v_clear_shift_left(3, x).unwrap();
+        assert!(dx > 0);
+        let shifted = Interval::new(x.lo - dx, x.hi - dx);
+        assert!(!g.v_stripe_overlaps(3, shifted));
+    }
+
+    #[test]
+    fn clear_shift_zero_when_already_clear() {
+        let g = grid();
+        assert_eq!(g.v_clear_shift_right(3, Interval::new(50, 100)), Some(0));
+    }
+
+    #[test]
+    fn clear_shift_impossible_when_span_too_wide() {
+        let g = grid();
+        // Clear space between stripes is 192; a 300-wide span can never fit.
+        assert_eq!(g.v_clear_shift_right(3, Interval::new(0, 300)), None);
+    }
+
+    #[test]
+    fn none_grid_never_overlaps() {
+        let g = PowerGrid::none();
+        assert!(!g.overlaps(2, Rect::new(0, 0, 1000, 1000), 0, 90));
+    }
+}

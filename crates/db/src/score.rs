@@ -1,0 +1,175 @@
+//! Displacement metrics and the IC/CAD 2017 contest score (Eq. 10).
+
+use crate::design::Design;
+use crate::legal::LegalityReport;
+
+/// Displacement and quality metrics of a legalized design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    /// `S_am` (Eq. 2): average displacement weighted uniformly across cell
+    /// heights, in row heights.
+    pub avg_disp_rows: f64,
+    /// Maximum cell displacement, in row heights.
+    pub max_disp_rows: f64,
+    /// Plain total displacement over all movable cells, in site widths
+    /// (the Table 2 metric).
+    pub total_disp_sites: f64,
+    /// Sum of displacements in database units.
+    pub total_disp_dbu: i64,
+    /// HPWL with all cells at GP.
+    pub hpwl_gp: i64,
+    /// HPWL at the current placement.
+    pub hpwl: i64,
+    /// `S_hpwl`: relative HPWL increase (0 when the GP HPWL is 0).
+    pub s_hpwl: f64,
+    /// Number of movable cells `m`.
+    pub num_cells: usize,
+    /// Per-height average displacement in rows, indexed by `height-1`.
+    pub avg_disp_by_height: Vec<f64>,
+}
+
+impl Metrics {
+    /// Computes displacement metrics of the current placement.
+    ///
+    /// ```
+    /// use mcl_db::prelude::*;
+    ///
+    /// let mut d = Design::new("m", Technology::example(), Rect::new(0, 0, 1000, 900));
+    /// let t = d.add_cell_type(CellType::new("INV", 20, 1));
+    /// let mut c = Cell::new("u1", t, Point::new(0, 0));
+    /// c.pos = Some(Point::new(90, 0)); // one row-height to the right
+    /// d.add_cell(c);
+    /// let m = Metrics::measure(&d);
+    /// assert_eq!(m.avg_disp_rows, 1.0);
+    /// ```
+    pub fn measure(design: &Design) -> Self {
+        let rh = design.tech.row_height as f64;
+        let sw = design.tech.site_width as f64;
+        let h_max = design.max_height_rows() as usize;
+        let mut sum_by_h = vec![0i64; h_max];
+        let mut cnt_by_h = vec![0usize; h_max];
+        let mut total: i64 = 0;
+        let mut max_d: i64 = 0;
+        let mut m = 0usize;
+        for id in design.movable_cells() {
+            let c = &design.cells[id.0 as usize];
+            let d = c.displacement();
+            let h = design.type_of(id).height_rows as usize;
+            sum_by_h[h - 1] += d;
+            cnt_by_h[h - 1] += 1;
+            total += d;
+            max_d = max_d.max(d);
+            m += 1;
+        }
+        let mut avg_by_h = vec![0.0; h_max];
+        let mut present = 0usize;
+        let mut s_am = 0.0;
+        for h in 0..h_max {
+            if cnt_by_h[h] > 0 {
+                avg_by_h[h] = sum_by_h[h] as f64 / cnt_by_h[h] as f64 / rh;
+                s_am += avg_by_h[h];
+                present += 1;
+            }
+        }
+        // Eq. 2 divides by H; heights with no cells contribute zero, and the
+        // contest treats H as the number of distinct heights present.
+        if present > 0 {
+            s_am /= present as f64;
+        }
+        let hpwl_gp = design.hpwl_at_gp();
+        let hpwl = design.hpwl();
+        let s_hpwl = if hpwl_gp > 0 {
+            (hpwl - hpwl_gp) as f64 / hpwl_gp as f64
+        } else {
+            0.0
+        };
+        Metrics {
+            avg_disp_rows: s_am,
+            max_disp_rows: max_d as f64 / rh,
+            total_disp_sites: total as f64 / sw,
+            total_disp_dbu: total,
+            hpwl_gp,
+            hpwl,
+            s_hpwl,
+            num_cells: m,
+            avg_disp_by_height: avg_by_h,
+        }
+    }
+
+    /// The contest score `S` (Eq. 10), lower is better:
+    /// `S = (1 + S_hpwl + (N_p + N_e)/m) (1 + max δ / Δ) S_am`.
+    pub fn contest_score(&self, design: &Design, report: &LegalityReport) -> f64 {
+        let m = self.num_cells.max(1) as f64;
+        let np = (report.pin_shorts + report.pin_access) as f64;
+        let ne = report.edge_spacing as f64;
+        let delta = design.tech.max_disp_rows;
+        (1.0 + self.s_hpwl.max(0.0) + (np + ne) / m)
+            * (1.0 + self.max_disp_rows / delta)
+            * self.avg_disp_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellType};
+    use crate::geom::{Point, Rect};
+    use crate::tech::Technology;
+
+    fn design_with_displacements() -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        let m2 = d.add_cell_type(CellType::new("m", 30, 2));
+        // Two single-height cells displaced by 90 (1 row) and 180 dbu.
+        let mut a = Cell::new("a", s, Point::new(0, 0));
+        a.pos = Some(Point::new(90, 0));
+        d.add_cell(a);
+        let mut b = Cell::new("b", s, Point::new(100, 0));
+        b.pos = Some(Point::new(100, 180));
+        d.add_cell(b);
+        // One double-height cell displaced by 90.
+        let mut c = Cell::new("c", m2, Point::new(500, 0));
+        c.pos = Some(Point::new(590, 0));
+        d.add_cell(c);
+        d
+    }
+
+    #[test]
+    fn avg_disp_weighted_by_height_groups() {
+        let d = design_with_displacements();
+        let m = Metrics::measure(&d);
+        // Height-1 average: (90+180)/2/90 = 1.5 rows; height-2: 1 row.
+        assert!((m.avg_disp_by_height[0] - 1.5).abs() < 1e-9);
+        assert!((m.avg_disp_by_height[1] - 1.0).abs() < 1e-9);
+        // S_am = (1.5 + 1.0)/2.
+        assert!((m.avg_disp_rows - 1.25).abs() < 1e-9);
+        assert!((m.max_disp_rows - 2.0).abs() < 1e-9);
+        assert_eq!(m.total_disp_dbu, 360);
+        assert!((m.total_disp_sites - 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn score_composition() {
+        let d = design_with_displacements();
+        let m = Metrics::measure(&d);
+        let rep = LegalityReport::default();
+        let s = m.contest_score(&d, &rep);
+        // (1 + 0 + 0) * (1 + 2/100) * 1.25
+        assert!((s - 1.02 * 1.25).abs() < 1e-9);
+        // Violations inflate the score.
+        let mut rep2 = rep.clone();
+        rep2.edge_spacing = 3;
+        let s2 = m.contest_score(&d, &rep2);
+        assert!(s2 > s);
+    }
+
+    #[test]
+    fn unplaced_cells_count_zero_displacement() {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell(Cell::new("a", s, Point::new(55, 55)));
+        let m = Metrics::measure(&d);
+        assert_eq!(m.total_disp_dbu, 0);
+        assert_eq!(m.num_cells, 1);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests for the geometry primitives.
+
+use mcl_db::geom::{Interval, Point, Rect};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-100i64..100, -100i64..100, 1i64..100, 1i64..100)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #[test]
+    fn interval_intersection_commutes(a in -100i64..100, b in 0i64..100,
+                                      c in -100i64..100, d in 0i64..100) {
+        let i1 = Interval::new(a, a + b);
+        let i2 = Interval::new(c, c + d);
+        prop_assert_eq!(i1.intersect(i2), i2.intersect(i1));
+        prop_assert_eq!(i1.overlaps(i2), i2.overlaps(i1));
+        prop_assert_eq!(i1.overlaps(i2), !i1.intersect(i2).is_empty());
+    }
+
+    #[test]
+    fn rect_overlap_iff_nonempty_intersection(r1 in arb_rect(), r2 in arb_rect()) {
+        prop_assert_eq!(r1.overlaps(r2), !r1.intersect(r2).is_empty());
+        prop_assert_eq!(r1.overlaps(r2), r2.overlaps(r1));
+    }
+
+    #[test]
+    fn union_covers_both(r1 in arb_rect(), r2 in arb_rect()) {
+        let u = r1.union(r2);
+        prop_assert!(u.covers(r1));
+        prop_assert!(u.covers(r2));
+    }
+
+    #[test]
+    fn covers_is_transitive_with_intersection(r1 in arb_rect(), r2 in arb_rect()) {
+        let i = r1.intersect(r2);
+        if !i.is_empty() {
+            prop_assert!(r1.covers(i));
+            prop_assert!(r2.covers(i));
+        }
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(ax in -100i64..100, ay in -100i64..100,
+                                     bx in -100i64..100, by in -100i64..100,
+                                     cx in -100i64..100, cy in -100i64..100) {
+        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+    }
+
+    #[test]
+    fn translate_preserves_size(r in arb_rect(), dx in -50i64..50, dy in -50i64..50) {
+        let t = r.translate(dx, dy);
+        prop_assert_eq!(t.width(), r.width());
+        prop_assert_eq!(t.height(), r.height());
+        prop_assert_eq!(t.area(), r.area());
+    }
+}

@@ -1,0 +1,171 @@
+//! DIMACS min-cost-flow format I/O.
+//!
+//! The standard interchange format of the DIMACS implementation challenge,
+//! understood by LEMON, CS2, NetworkX and most MCF solvers — handy for
+//! debugging a flow graph against an external reference:
+//!
+//! ```text
+//! c comment
+//! p min <nodes> <arcs>
+//! n <node-id> <supply>          (1-based; omitted supplies are zero)
+//! a <from> <to> <low> <cap> <cost>
+//! ```
+
+use crate::graph::{FlowGraph, NodeId};
+use std::fmt::Write as _;
+
+/// Serializes a graph in DIMACS `min` format (1-based node ids).
+pub fn write_dimacs(g: &FlowGraph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "c mcl-flow export");
+    let _ = writeln!(s, "p min {} {}", g.num_nodes(), g.num_arcs());
+    for (v, &b) in g.supplies().iter().enumerate() {
+        if b != 0 {
+            let _ = writeln!(s, "n {} {}", v + 1, b);
+        }
+    }
+    for a in g.arcs() {
+        let _ = writeln!(
+            s,
+            "a {} {} 0 {} {}",
+            a.from.0 + 1,
+            a.to.0 + 1,
+            a.cap,
+            a.cost
+        );
+    }
+    s
+}
+
+/// Parse error for DIMACS input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DIMACS line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+/// Parses a DIMACS `min` problem into a [`FlowGraph`].
+///
+/// # Errors
+///
+/// Malformed lines, out-of-range node ids, missing problem line, and
+/// non-zero lower bounds (unsupported) are rejected.
+pub fn read_dimacs(text: &str) -> Result<FlowGraph, DimacsError> {
+    let mut g: Option<FlowGraph> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let err = |m: String| DimacsError { line, message: m };
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('c') {
+            continue;
+        }
+        let toks: Vec<&str> = l.split_whitespace().collect();
+        match toks[0] {
+            "p" => {
+                if toks.len() < 4 || toks[1] != "min" {
+                    return Err(err("expected `p min <nodes> <arcs>`".into()));
+                }
+                let n: usize = toks[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad node count {:?}", toks[2])))?;
+                g = Some(FlowGraph::with_nodes(n));
+            }
+            "n" => {
+                let g = g.as_mut().ok_or_else(|| err("`n` before `p`".into()))?;
+                if toks.len() < 3 {
+                    return Err(err("expected `n <id> <supply>`".into()));
+                }
+                let v: usize = toks[1]
+                    .parse()
+                    .map_err(|_| err(format!("bad node id {:?}", toks[1])))?;
+                let b: i64 = toks[2]
+                    .parse()
+                    .map_err(|_| err(format!("bad supply {:?}", toks[2])))?;
+                if v == 0 || v > g.num_nodes() {
+                    return Err(err(format!("node id {v} out of range")));
+                }
+                g.set_supply(NodeId(v - 1), b);
+            }
+            "a" => {
+                let g = g.as_mut().ok_or_else(|| err("`a` before `p`".into()))?;
+                if toks.len() < 6 {
+                    return Err(err("expected `a <from> <to> <low> <cap> <cost>`".into()));
+                }
+                let parse = |t: &str| -> Result<i64, DimacsError> {
+                    t.parse().map_err(|_| err(format!("bad number {t:?}")))
+                };
+                let (u, v) = (parse(toks[1])? as usize, parse(toks[2])? as usize);
+                let (low, cap, cost) = (parse(toks[3])?, parse(toks[4])?, parse(toks[5])?);
+                if low != 0 {
+                    return Err(err("non-zero lower bounds are not supported".into()));
+                }
+                if u == 0 || u > g.num_nodes() || v == 0 || v > g.num_nodes() {
+                    return Err(err(format!("arc endpoint out of range: {u} -> {v}")));
+                }
+                g.add_arc(NodeId(u - 1), NodeId(v - 1), cap, cost);
+            }
+            other => return Err(err(format!("unknown record type {other:?}"))),
+        }
+    }
+    g.ok_or(DimacsError {
+        line: 0,
+        message: "missing `p min` problem line".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkSimplex;
+
+    #[test]
+    fn roundtrip_preserves_problem() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.set_supply(NodeId(0), 5);
+        g.set_supply(NodeId(2), -5);
+        g.add_arc(NodeId(0), NodeId(1), 10, 2);
+        g.add_arc(NodeId(1), NodeId(2), 10, -3);
+        let text = write_dimacs(&g);
+        let g2 = read_dimacs(&text).unwrap();
+        assert_eq!(g2.num_nodes(), 3);
+        assert_eq!(g2.supplies(), g.supplies());
+        assert_eq!(g2.arcs(), g.arcs());
+        // And it solves identically.
+        let a = NetworkSimplex::new().solve(&g).unwrap();
+        let b = NetworkSimplex::new().solve(&g2).unwrap();
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn parses_reference_example() {
+        let text = "c example\np min 4 5\nn 1 4\nn 4 -4\n\
+                    a 1 2 0 4 2\na 1 3 0 2 2\na 2 3 0 2 1\na 2 4 0 3 3\na 3 4 0 5 1\n";
+        let g = read_dimacs(text).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_arcs(), 5);
+        let s = NetworkSimplex::new().solve(&g).unwrap();
+        // Optimal: 1->2(3): 6, 2->4... check value via solver agreement with
+        // hand computation: route 1 unit 1-3-4 (3), 3 via 1-2: 2 to 2-3-4
+        // is 2+1+1=4 each vs 2-4 at 2+3=5. Best total = 14.
+        assert_eq!(s.cost, 14);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(read_dimacs("a 1 2 0 1 1\n").is_err());
+        assert!(read_dimacs("p min 2 1\na 1 5 0 1 1\n").is_err());
+        assert!(read_dimacs("p min 2 1\na 1 2 1 4 1\n").is_err(), "lower bounds");
+        assert!(read_dimacs("").is_err());
+        assert!(read_dimacs("p min 2 0\nn 3 1\n").is_err());
+    }
+}

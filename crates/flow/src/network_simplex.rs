@@ -1,0 +1,560 @@
+//! Primal network simplex for min-cost flow.
+//!
+//! Implements the classic spanning-tree simplex with the **first eligible**
+//! pivot rule (the configuration the paper uses in LEMON) and Cunningham's
+//! leaving-arc rule (last blocking arc along the oriented cycle, starting at
+//! the apex) to maintain a strongly feasible basis and prevent cycling.
+//!
+//! Potentials are maintained so that every tree arc has zero reduced cost
+//! with the convention `rc(a) = cost(a) − π(from) + π(to)`; the returned
+//! [`FlowSolution::potential`] therefore certifies optimality and doubles as
+//! the dual solution of LPs encoded as flows.
+
+use crate::graph::{Arc, FlowError, FlowGraph, FlowSolution, NodeId};
+
+/// Arc state in the simplex basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArcState {
+    /// Non-basic at lower bound (flow 0).
+    Lower,
+    /// Non-basic at upper bound (flow = cap).
+    Upper,
+    /// In the spanning tree.
+    Tree,
+}
+
+/// Min-cost flow via network simplex.
+///
+/// ```
+/// use mcl_flow::{FlowGraph, NodeId, NetworkSimplex};
+///
+/// let mut g = FlowGraph::with_nodes(3);
+/// g.set_supply(NodeId(0), 4);
+/// g.set_supply(NodeId(2), -4);
+/// g.add_arc(NodeId(0), NodeId(1), 10, 1);
+/// g.add_arc(NodeId(1), NodeId(2), 10, 1);
+/// g.add_arc(NodeId(0), NodeId(2), 2, 5);
+/// let sol = NetworkSimplex::new().solve(&g)?;
+/// assert_eq!(sol.cost, 8); // all 4 units via the middle node at cost 2
+/// # Ok::<(), mcl_flow::FlowError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetworkSimplex {
+    /// Optional hard cap on pivots (0 = automatic generous bound).
+    pub max_pivots: usize,
+}
+
+impl NetworkSimplex {
+    /// Creates a solver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves the min-cost flow problem.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Unbalanced`] when supplies do not sum to zero,
+    /// [`FlowError::Infeasible`] when the supplies cannot be routed,
+    /// [`FlowError::Unbounded`] when a negative cycle has infinite capacity,
+    /// [`FlowError::IterationLimit`] when the pivot cap is exceeded.
+    pub fn solve(&self, g: &FlowGraph) -> Result<FlowSolution, FlowError> {
+        if !g.is_balanced() {
+            return Err(FlowError::Unbalanced);
+        }
+        Solver::new(g, self.max_pivots).run()
+    }
+}
+
+const NONE: usize = usize::MAX;
+
+struct Solver<'a> {
+    g: &'a FlowGraph,
+    n: usize,          // number of real nodes; root = n
+    flow: Vec<i64>,    // per arc (real + artificial)
+    state: Vec<ArcState>,
+    arcs: Vec<Arc>,    // real arcs then artificial arcs
+    parent: Vec<usize>,     // per node (incl. root)
+    parent_arc: Vec<usize>, // arc connecting node to parent
+    depth: Vec<u32>,
+    children: Vec<Vec<usize>>,
+    pi: Vec<i128>,
+    max_pivots: usize,
+}
+
+impl<'a> Solver<'a> {
+    fn new(g: &'a FlowGraph, max_pivots: usize) -> Self {
+        let n = g.num_nodes();
+        let root = n;
+        let max_cost: i128 = g
+            .arcs()
+            .iter()
+            .map(|a| (a.cost as i128).abs())
+            .max()
+            .unwrap_or(0);
+        let big: i64 = (1 + (n as i128 + 1) * (max_cost + 1))
+            .min(i64::MAX as i128 / 4) as i64;
+
+        let mut arcs: Vec<Arc> = g.arcs().to_vec();
+        let mut flow = vec![0i64; arcs.len()];
+        let mut state = vec![ArcState::Lower; arcs.len()];
+
+        let mut parent = vec![NONE; n + 1];
+        let mut parent_arc = vec![NONE; n + 1];
+        let mut depth = vec![0u32; n + 1];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        let mut pi = vec![0i128; n + 1];
+
+        // Artificial arcs form the initial spanning tree (star around root).
+        for v in 0..n {
+            let b = g.supplies()[v];
+            let arc = if b > 0 {
+                Arc {
+                    from: NodeId(v),
+                    to: NodeId(root),
+                    cap: i64::MAX / 2,
+                    cost: big,
+                }
+            } else {
+                Arc {
+                    from: NodeId(root),
+                    to: NodeId(v),
+                    cap: i64::MAX / 2,
+                    cost: big,
+                }
+            };
+            let aid = arcs.len();
+            arcs.push(arc);
+            flow.push(b.abs());
+            state.push(ArcState::Tree);
+            parent[v] = root;
+            parent_arc[v] = aid;
+            depth[v] = 1;
+            children[root].push(v);
+            // Tree arc has rc = 0: π(to) = π(from) − cost.
+            pi[v] = if b > 0 { big as i128 } else { -(big as i128) };
+        }
+        Self {
+            g,
+            n,
+            flow,
+            state,
+            arcs,
+            parent,
+            parent_arc,
+            depth,
+            children,
+            pi,
+            max_pivots,
+        }
+    }
+
+    fn run(mut self) -> Result<FlowSolution, FlowError> {
+        let m = self.arcs.len();
+        let budget = if self.max_pivots > 0 {
+            self.max_pivots
+        } else {
+            // Generous polynomial budget; practical pivot counts are far
+            // lower. Guards against cycling bugs rather than real workloads.
+            1_000_000usize.max(m.saturating_mul(2000))
+        };
+        let mut cursor = 0usize;
+        let mut pivots = 0usize;
+        loop {
+            // First-eligible entering arc with wraparound.
+            let mut entering = NONE;
+            for step in 0..m {
+                let a = (cursor + step) % m;
+                if self.is_eligible(a) {
+                    entering = a;
+                    cursor = (a + 1) % m;
+                    break;
+                }
+            }
+            if entering == NONE {
+                break; // optimal
+            }
+            pivots += 1;
+            if pivots > budget {
+                return Err(FlowError::IterationLimit);
+            }
+            self.pivot(entering)?;
+        }
+
+        // Any remaining flow on artificial arcs means infeasible supplies.
+        for a in self.g.num_arcs()..m {
+            if self.flow[a] > 0 {
+                return Err(FlowError::Infeasible);
+            }
+        }
+
+        let flow = self.flow[..self.g.num_arcs()].to_vec();
+        let cost: i128 = self
+            .g
+            .arcs()
+            .iter()
+            .zip(&flow)
+            .map(|(a, &f)| a.cost as i128 * f as i128)
+            .sum();
+        // Normalize potentials to π(root) = 0 and clamp into i64.
+        let base = self.pi[self.n];
+        let potential: Vec<i64> = (0..self.n)
+            .map(|v| {
+                let p = self.pi[v] - base;
+                debug_assert!(p >= i64::MIN as i128 && p <= i64::MAX as i128);
+                p as i64
+            })
+            .collect();
+        Ok(FlowSolution {
+            flow,
+            potential,
+            cost,
+        })
+    }
+
+    fn rc(&self, a: usize) -> i128 {
+        let arc = &self.arcs[a];
+        arc.cost as i128 - self.pi[arc.from.0] + self.pi[arc.to.0]
+    }
+
+    fn is_eligible(&self, a: usize) -> bool {
+        match self.state[a] {
+            ArcState::Lower => self.arcs[a].cap > 0 && self.rc(a) < 0,
+            ArcState::Upper => self.rc(a) > 0,
+            ArcState::Tree => false,
+        }
+    }
+
+    /// Performs one pivot with entering arc `e`.
+    fn pivot(&mut self, e: usize) -> Result<(), FlowError> {
+        let arc = self.arcs[e];
+        // Orientation of the cycle follows the direction of flow change on
+        // `e`: forward if entering from Lower, backward if from Upper.
+        let forward = self.state[e] == ArcState::Lower;
+        let (start, end) = if forward {
+            (arc.from.0, arc.to.0)
+        } else {
+            (arc.to.0, arc.from.0)
+        };
+        // The oriented cycle is: apex -> ... -> start, e, end -> ... -> apex.
+        // Collect tree arcs on both paths.
+        let (mut u, mut v) = (start, end);
+        let mut up_path: Vec<usize> = Vec::new(); // arcs from start up to apex
+        let mut down_path: Vec<usize> = Vec::new(); // arcs from end up to apex
+        while self.depth[u] > self.depth[v] {
+            up_path.push(self.parent_arc[u]);
+            u = self.parent[u];
+        }
+        while self.depth[v] > self.depth[u] {
+            down_path.push(self.parent_arc[v]);
+            v = self.parent[v];
+        }
+        while u != v {
+            up_path.push(self.parent_arc[u]);
+            u = self.parent[u];
+            down_path.push(self.parent_arc[v]);
+            v = self.parent[v];
+        }
+        // Oriented cycle arc list starting at the apex:
+        //   reversed(up_path) [descending apex->start], then e, then
+        //   down_path [ascending end->apex].
+        // For each, a +1 direction means flow increases along orientation.
+        // Tree arc t connects child c to parent p; traversing downward
+        // (apex->start) goes parent->child, upward child->parent.
+        #[derive(Clone, Copy)]
+        struct CycArc {
+            id: usize,
+            down: bool, // traversed in arc direction (flow increases)?
+        }
+        let mut cyc: Vec<CycArc> = Vec::with_capacity(up_path.len() + down_path.len() + 1);
+        for &t in up_path.iter().rev() {
+            // Traversal goes parent -> child here. The arc's stored direction
+            // is from/to; child is the node whose parent_arc == t. Flow
+            // increases along traversal iff the arc points parent->child.
+            let child = self.child_of(t);
+            let points_down = self.arcs[t].to.0 == child;
+            cyc.push(CycArc {
+                id: t,
+                down: points_down,
+            });
+        }
+        cyc.push(CycArc { id: e, down: forward });
+        for &t in down_path.iter() {
+            // Traversal goes child -> parent. Flow increases iff the arc
+            // points child->parent.
+            let child = self.child_of(t);
+            let points_up = self.arcs[t].from.0 == child;
+            cyc.push(CycArc {
+                id: t,
+                down: points_up,
+            });
+        }
+
+        // Residual along orientation.
+        let mut theta = i64::MAX;
+        let mut leaving_idx = NONE;
+        for (i, ca) in cyc.iter().enumerate() {
+            let res = if ca.down {
+                self.arcs[ca.id].cap - self.flow[ca.id]
+            } else {
+                self.flow[ca.id]
+            };
+            // Cunningham: pick the LAST blocking arc in traversal order.
+            if res < theta || (res == theta && leaving_idx != NONE) {
+                theta = res;
+                leaving_idx = i;
+            }
+        }
+        if theta >= i64::MAX / 4 {
+            return Err(FlowError::Unbounded);
+        }
+        // Apply flow change.
+        if theta > 0 {
+            for ca in &cyc {
+                if ca.down {
+                    self.flow[ca.id] += theta;
+                } else {
+                    self.flow[ca.id] -= theta;
+                }
+            }
+        }
+        let leave = cyc[leaving_idx].id;
+        if leave == e {
+            // Entering arc saturated without changing the basis.
+            self.state[e] = if forward {
+                ArcState::Upper
+            } else {
+                ArcState::Lower
+            };
+            return Ok(());
+        }
+        // Replace `leave` by `e` in the tree.
+        let leave_child = self.child_of(leave);
+        self.state[leave] = if self.flow[leave] == 0 {
+            ArcState::Lower
+        } else {
+            ArcState::Upper
+        };
+        self.state[e] = ArcState::Tree;
+
+        // Detach subtree rooted at leave_child.
+        let lp = self.parent[leave_child];
+        self.children[lp].retain(|&c| c != leave_child);
+        self.parent[leave_child] = NONE;
+        self.parent_arc[leave_child] = NONE;
+
+        // Which endpoint of `e` is inside the detached subtree?
+        let (ef, et) = (arc.from.0, arc.to.0);
+        let s = if self.in_subtree(leave_child, ef) { ef } else { et };
+        let t = if s == ef { et } else { ef };
+        debug_assert!(self.in_subtree(leave_child, s));
+        debug_assert!(!self.in_subtree(leave_child, t));
+
+        // Re-root the detached subtree at `s` by reversing parent pointers
+        // along the path s -> ... -> leave_child.
+        let mut path = Vec::new();
+        let mut w = s;
+        while w != NONE && w != leave_child {
+            path.push(w);
+            w = self.parent[w];
+        }
+        path.push(leave_child);
+        for i in (0..path.len() - 1).rev() {
+            let hi = path[i + 1]; // current parent
+            let lo = path[i];
+            let a = self.parent_arc[lo];
+            // Reverse: hi becomes child of lo.
+            self.children[hi].retain(|&c| c != lo);
+            self.children[lo].push(hi);
+            self.parent[hi] = lo;
+            self.parent_arc[hi] = a;
+        }
+        self.parent[s] = t;
+        self.parent_arc[s] = e;
+        self.children[t].push(s);
+
+        // Recompute depth and potentials of the re-hung subtree.
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            let p = self.parent[x];
+            let a = self.parent_arc[x];
+            self.depth[x] = self.depth[p] + 1;
+            let arc = &self.arcs[a];
+            // rc = cost − π(from) + π(to) = 0.
+            self.pi[x] = if arc.to.0 == x {
+                self.pi[arc.from.0] - arc.cost as i128
+            } else {
+                self.pi[arc.to.0] + arc.cost as i128
+            };
+            stack.extend(self.children[x].iter().copied());
+        }
+        Ok(())
+    }
+
+    fn child_of(&self, tree_arc: usize) -> usize {
+        let a = &self.arcs[tree_arc];
+        if self.parent_arc[a.from.0] == tree_arc {
+            a.from.0
+        } else {
+            debug_assert_eq!(self.parent_arc[a.to.0], tree_arc);
+            a.to.0
+        }
+    }
+
+    /// Walks parent pointers; the detached subtree's root has parent `NONE`,
+    /// as does the tree root, so the walk always terminates.
+    fn in_subtree(&self, root: usize, mut v: usize) -> bool {
+        loop {
+            if v == root {
+                return true;
+            }
+            if self.parent[v] == NONE {
+                return false;
+            }
+            v = self.parent[v];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::INF_CAP;
+
+    fn solve(g: &FlowGraph) -> FlowSolution {
+        NetworkSimplex::new().solve(g).expect("solvable")
+    }
+
+    #[test]
+    fn trivial_path() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.set_supply(NodeId(0), 5);
+        g.set_supply(NodeId(2), -5);
+        g.add_arc(NodeId(0), NodeId(1), 10, 2);
+        g.add_arc(NodeId(1), NodeId(2), 10, 3);
+        let s = solve(&g);
+        assert_eq!(s.cost, 25);
+        assert_eq!(s.flow, vec![5, 5]);
+        assert!(s.verify(&g).is_none());
+    }
+
+    #[test]
+    fn splits_across_two_paths_by_cost() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.set_supply(NodeId(0), 4);
+        g.set_supply(NodeId(2), -4);
+        g.add_arc(NodeId(0), NodeId(1), 10, 1);
+        g.add_arc(NodeId(1), NodeId(2), 10, 1);
+        g.add_arc(NodeId(0), NodeId(2), 2, 5);
+        let s = solve(&g);
+        // Direct arc costs 5 > 2, so everything goes via node 1.
+        assert_eq!(s.cost, 8);
+        assert!(s.verify(&g).is_none());
+    }
+
+    #[test]
+    fn saturates_cheap_path_first() {
+        let mut g = FlowGraph::with_nodes(2);
+        g.set_supply(NodeId(0), 10);
+        g.set_supply(NodeId(1), -10);
+        g.add_arc(NodeId(0), NodeId(1), 4, 1);
+        g.add_arc(NodeId(0), NodeId(1), 20, 3);
+        let s = solve(&g);
+        assert_eq!(s.flow, vec![4, 6]);
+        assert_eq!(s.cost, 4 + 18);
+    }
+
+    #[test]
+    fn negative_cycle_circulation() {
+        // 0 -> 1 -> 2 -> 0 with total negative cost and finite caps: the
+        // circulation saturates the cycle.
+        let mut g = FlowGraph::with_nodes(3);
+        g.add_arc(NodeId(0), NodeId(1), 7, -5);
+        g.add_arc(NodeId(1), NodeId(2), 7, 1);
+        g.add_arc(NodeId(2), NodeId(0), 7, 1);
+        let s = solve(&g);
+        assert_eq!(s.flow, vec![7, 7, 7]);
+        assert_eq!(s.cost, -21);
+        assert!(s.verify(&g).is_none());
+    }
+
+    #[test]
+    fn zero_supply_no_negative_cycle_stays_empty() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.add_arc(NodeId(0), NodeId(1), 7, 5);
+        g.add_arc(NodeId(1), NodeId(2), 7, 1);
+        g.add_arc(NodeId(2), NodeId(0), 7, 1);
+        let s = solve(&g);
+        assert_eq!(s.cost, 0);
+        assert_eq!(s.flow, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut g = FlowGraph::with_nodes(2);
+        g.add_arc(NodeId(0), NodeId(1), INF_CAP, -1);
+        g.add_arc(NodeId(1), NodeId(0), INF_CAP, 0);
+        assert_eq!(
+            NetworkSimplex::new().solve(&g),
+            Err(FlowError::Unbounded)
+        );
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.set_supply(NodeId(0), 5);
+        g.set_supply(NodeId(2), -5);
+        g.add_arc(NodeId(0), NodeId(1), 3, 1); // bottleneck < 5
+        g.add_arc(NodeId(1), NodeId(2), 10, 1);
+        assert_eq!(
+            NetworkSimplex::new().solve(&g),
+            Err(FlowError::Infeasible)
+        );
+    }
+
+    #[test]
+    fn unbalanced_detected() {
+        let mut g = FlowGraph::with_nodes(2);
+        g.set_supply(NodeId(0), 1);
+        assert_eq!(
+            NetworkSimplex::new().solve(&g),
+            Err(FlowError::Unbalanced)
+        );
+    }
+
+    #[test]
+    fn transportation_problem() {
+        // 2 sources (3, 4), 3 sinks (2, 2, 3), complete bipartite costs.
+        let mut g = FlowGraph::with_nodes(5);
+        g.set_supply(NodeId(0), 3);
+        g.set_supply(NodeId(1), 4);
+        g.set_supply(NodeId(2), -2);
+        g.set_supply(NodeId(3), -2);
+        g.set_supply(NodeId(4), -3);
+        let costs = [[4, 6, 9], [5, 3, 8]];
+        for (i, row) in costs.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                g.add_arc(NodeId(i), NodeId(2 + j), 10, c);
+            }
+        }
+        let s = solve(&g);
+        // Optimal: s0->t0:2, s0->t2:1, s1->t1:2, s1->t2:2 = 8+9+6+16 = 39.
+        assert_eq!(s.cost, 39);
+        assert!(s.verify(&g).is_none());
+    }
+
+    #[test]
+    fn potentials_certify_duality() {
+        let mut g = FlowGraph::with_nodes(4);
+        g.set_supply(NodeId(0), 6);
+        g.set_supply(NodeId(3), -6);
+        g.add_arc(NodeId(0), NodeId(1), 4, 2);
+        g.add_arc(NodeId(0), NodeId(2), 4, 3);
+        g.add_arc(NodeId(1), NodeId(3), 5, 2);
+        g.add_arc(NodeId(2), NodeId(3), 5, 1);
+        let s = solve(&g);
+        assert!(s.verify(&g).is_none());
+        assert_eq!(s.cost, 4 * 4 + 2 * 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-validation of the two min-cost flow solvers on random instances.
+
+use mcl_flow::{ssp, FlowGraph, NetworkSimplex, NodeId};
+use proptest::prelude::*;
+
+/// Builds a random balanced flow problem guaranteed feasible by adding a
+/// high-cost "overflow" path from every source to every sink.
+fn random_graph(
+    n: usize,
+    arcs: &[(usize, usize, i64, i64)],
+    supplies: &[i64],
+) -> FlowGraph {
+    let mut g = FlowGraph::with_nodes(n + 1);
+    let hub = NodeId(n);
+    let total: i64 = supplies.iter().map(|s| s.abs()).sum();
+    for (v, &s) in supplies.iter().enumerate() {
+        g.set_supply(NodeId(v), s);
+        // Feasibility backbone through a hub with expensive arcs.
+        g.add_arc(NodeId(v), hub, total.max(1), 10_000);
+        g.add_arc(hub, NodeId(v), total.max(1), 10_000);
+    }
+    for &(u, v, cap, cost) in arcs {
+        g.add_arc(NodeId(u % n), NodeId(v % n), cap, cost);
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn network_simplex_matches_ssp(
+        n in 2usize..9,
+        arcs in prop::collection::vec(
+            (0usize..16, 0usize..16, 0i64..40, -30i64..60), 1..24),
+        raw_supplies in prop::collection::vec(-10i64..10, 2..9),
+    ) {
+        // Balance supplies.
+        let mut supplies: Vec<i64> = (0..n)
+            .map(|i| raw_supplies.get(i).copied().unwrap_or(0))
+            .collect();
+        let excess: i64 = supplies.iter().sum();
+        supplies[0] -= excess;
+
+        let g = random_graph(n, &arcs, &supplies);
+        let ns = NetworkSimplex::new().solve(&g);
+        let sp = ssp::solve(&g);
+        match (ns, sp) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.cost, b.cost, "objective mismatch");
+                prop_assert!(a.verify(&g).is_none(), "NS optimality certificate");
+                // Flow conservation for both solutions.
+                for sol in [&a, &b] {
+                    let mut net = vec![0i64; g.num_nodes()];
+                    for (arc, &f) in g.arcs().iter().zip(&sol.flow) {
+                        prop_assert!(f >= 0 && f <= arc.cap);
+                        net[arc.from.0] += f;
+                        net[arc.to.0] -= f;
+                    }
+                    for (v, &b_v) in g.supplies().iter().enumerate() {
+                        prop_assert_eq!(net[v], b_v, "conservation at node {}", v);
+                    }
+                }
+            }
+            (a, b) => prop_assert!(false, "solver disagreement: {:?} vs {:?}", a.map(|s| s.cost), b.map(|s| s.cost)),
+        }
+    }
+
+    #[test]
+    fn circulations_agree(
+        n in 2usize..8,
+        arcs in prop::collection::vec(
+            (0usize..16, 0usize..16, 0i64..40, -30i64..60), 1..20),
+    ) {
+        // All-zero supplies: pure circulation, only negative cycles matter.
+        let mut g = FlowGraph::with_nodes(n);
+        for &(u, v, cap, cost) in &arcs {
+            g.add_arc(NodeId(u % n), NodeId(v % n), cap, cost);
+        }
+        let a = NetworkSimplex::new().solve(&g).unwrap();
+        let b = ssp::solve(&g).unwrap();
+        prop_assert_eq!(a.cost, b.cost);
+        prop_assert!(a.cost <= 0, "circulation optimum is never positive");
+        prop_assert!(a.verify(&g).is_none());
+    }
+}

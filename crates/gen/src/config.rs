@@ -1,0 +1,98 @@
+//! Generator configuration.
+
+/// Parameters of a synthetic benchmark.
+///
+/// The generator first *packs* a legal placement at the requested density,
+/// then perturbs every cell by a Gaussian of `sigma_rows` to produce the
+/// overlapping global-placement input — the same shape as a real GP dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Benchmark name.
+    pub name: String,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+    /// Number of movable cells.
+    pub num_cells: usize,
+    /// Fraction of cells of height 1..=4 rows (normalized internally).
+    pub height_mix: [f64; 4],
+    /// Target design density (movable area / free area), 0 < d < 1.
+    pub density: f64,
+    /// GP perturbation standard deviation, in row heights.
+    pub sigma_rows: f64,
+    /// Number of GP *hotspots*: cluster centers that locally compress GP
+    /// positions (global placers pile cells into wirelength-optimal
+    /// clusters, leaving locally overfull regions). 0 disables.
+    pub hotspots: usize,
+    /// Pull strength toward hotspot centers for affected cells (0..1).
+    pub hotspot_strength: f64,
+    /// Radius of each hotspot as a fraction of the core diagonal.
+    pub hotspot_radius: f64,
+    /// Number of rectangular fence regions.
+    pub fences: usize,
+    /// Fraction of cells assigned to fences (spread over the regions).
+    pub fence_cell_fraction: f64,
+    /// Number of edge classes (>1 enables edge-spacing rules).
+    pub edge_classes: usize,
+    /// Minimum spacing between conflicting edge classes, in sites.
+    pub edge_spacing_sites: i64,
+    /// Enable the P/G grid (horizontal M2 rails + vertical M3 stripes).
+    pub rails: bool,
+    /// Number of random IO pins.
+    pub io_pins: usize,
+    /// Number of random (clustered) signal nets.
+    pub nets: usize,
+    /// Net degree range (inclusive).
+    pub net_degree: (usize, usize),
+    /// Core aspect ratio (width / height).
+    pub aspect: f64,
+}
+
+impl GeneratorConfig {
+    /// A small smoke-test benchmark.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            name: format!("small_{seed}"),
+            seed,
+            num_cells: 500,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            name: "synthetic".into(),
+            seed: 1,
+            num_cells: 2_000,
+            height_mix: [0.82, 0.10, 0.05, 0.03],
+            density: 0.6,
+            sigma_rows: 2.5,
+            hotspots: 0,
+            hotspot_strength: 0.6,
+            hotspot_radius: 0.12,
+            fences: 0,
+            fence_cell_fraction: 0.0,
+            edge_classes: 3,
+            edge_spacing_sites: 2,
+            rails: true,
+            io_pins: 0,
+            nets: 0,
+            net_degree: (2, 5),
+            aspect: 1.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GeneratorConfig::default();
+        assert!(c.density > 0.0 && c.density < 1.0);
+        let s: f64 = c.height_mix.iter().sum();
+        assert!((s - 1.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,19 @@
+//! # mcl-gen — synthetic benchmark generation
+//!
+//! Builds placement problems with the same statistical shape as the paper's
+//! benchmark suites: a hidden *legal* packing at the target density is
+//! perturbed by a Gaussian to produce the overlapping global-placement
+//! input (plus fences, P/G rails, IO pins, edge-spacing classes and nets).
+//!
+//! [`presets`] mirrors the published per-benchmark statistics of Table 1
+//! (IC/CAD 2017) and Table 2 (ISPD-2015-derived).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod generate;
+pub mod packer;
+pub mod presets;
+
+pub use config::GeneratorConfig;
+pub use generate::{generate, GenError, Generated};

@@ -1,0 +1,296 @@
+//! Legal packing: builds the hidden feasible placement that generated
+//! benchmarks are perturbed from.
+//!
+//! Multi-row cells are packed first (tallest first, round-robin over rows to
+//! spread them), then single-row cells fill the remaining row frontiers with
+//! randomized gaps sized to hit the target density. Edge-spacing rules and
+//! P/G parity are honored so the golden placement is fully legal.
+
+use mcl_db::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct SegState {
+    row: usize,
+    fence: FenceId,
+    x: Interval,
+    frontier: Dbu,
+    last_rc: Option<u8>,
+}
+
+/// Packs every movable cell into a legal position. Returns positions indexed
+/// by cell id, or the number of cells that did not fit.
+pub fn pack(design: &Design, rng: &mut StdRng) -> Result<Vec<Point>, usize> {
+    let segmap = design.build_segments();
+    let sw = design.tech.site_width;
+    // Reserve the worst-case edge spacing at internal segment boundaries so
+    // cells in adjacent segments (different fences) can never violate the
+    // spacing rules across the boundary.
+    let pad = {
+        let s = design.tech.edge_spacing.max_spacing();
+        (s + sw - 1).div_euclid(sw) * sw
+    };
+    let mut segs: Vec<SegState> = segmap
+        .segments()
+        .iter()
+        .map(|s| {
+            let lo = if s.x.lo > design.core.xl {
+                s.x.lo + pad
+            } else {
+                s.x.lo
+            };
+            let hi = if s.x.hi < design.core.xh {
+                s.x.hi - pad
+            } else {
+                s.x.hi
+            };
+            SegState {
+                row: s.row,
+                fence: s.fence,
+                x: Interval::new(lo, hi.max(lo)),
+                frontier: lo,
+                last_rc: None,
+            }
+        })
+        .collect();
+    let by_row: Vec<Vec<usize>> = (0..design.num_rows)
+        .map(|r| segmap.in_row(r).to_vec())
+        .collect();
+
+    let snap_up = |x: Dbu| design.core.xl + (x - design.core.xl + sw - 1).div_euclid(sw) * sw;
+    let gap_for = |last: Option<u8>, lc: u8| -> Dbu {
+        match last {
+            None => 0,
+            Some(rc) => snap_up(design.tech.edge_spacing.spacing(rc, lc)),
+        }
+    };
+
+    let mut pos: Vec<Option<Point>> = vec![None; design.cells.len()];
+    let mut unplaced = 0usize;
+
+    // --- multi-row cells, tallest first, spread round-robin over rows ----
+    let mut talls: Vec<CellId> = design
+        .movable_cells()
+        .filter(|&c| design.type_of(c).height_rows > 1)
+        .collect();
+    talls.sort_by_key(|&c| std::cmp::Reverse(design.type_of(c).height_rows));
+    // Shuffle within equal heights.
+    {
+        let mut i = 0;
+        while i < talls.len() {
+            let h = design.type_of(talls[i]).height_rows;
+            let j = talls[i..]
+                .iter()
+                .position(|&c| design.type_of(c).height_rows != h)
+                .map(|k| i + k)
+                .unwrap_or(talls.len());
+            talls[i..j].shuffle(rng);
+            i = j;
+        }
+    }
+    let mut row_cursor = 0usize;
+    for cell in talls {
+        let c = &design.cells[cell.0 as usize];
+        let ct = design.type_of(cell);
+        let h = ct.height_rows as usize;
+        let max_base = design.num_rows.saturating_sub(h);
+        // Evaluate every feasible base row and pick the one wasting the
+        // least frontier area (misaligned bands strand whole row prefixes);
+        // ties rotate around `row_cursor` to spread tall cells out.
+        let mut best: Option<(Dbu, usize, usize, Dbu)> = None; // (waste, ring, base, x0)
+        for base_row in 0..=max_base {
+            if let Some(par) = ct.rail_parity {
+                if !par.matches(base_row) {
+                    continue;
+                }
+            }
+            if let Some((x0, waste)) =
+                try_place_tall(design, &segs, &by_row, cell, base_row, &gap_for)
+            {
+                let ring = (base_row + max_base + 1 - row_cursor) % (max_base + 1);
+                let cand = (waste, ring, base_row, x0);
+                if best.map(|b| (cand.0, cand.1) < (b.0, b.1)).unwrap_or(true) {
+                    best = Some(cand);
+                }
+            }
+        }
+        match best {
+            Some((_, _, base_row, x0)) => {
+                #[allow(clippy::needless_range_loop)]
+                for r in base_row..base_row + h {
+                    for &si in &by_row[r] {
+                        let s = &mut segs[si];
+                        if s.fence == c.fence && s.x.contains(x0) {
+                            s.frontier = x0 + ct.width;
+                            s.last_rc = Some(ct.edge_class.1);
+                        }
+                    }
+                }
+                pos[cell.0 as usize] = Some(Point::new(x0, design.row_y(base_row)));
+                row_cursor = (base_row + h) % (max_base + 1);
+            }
+            None => unplaced += 1,
+        }
+    }
+
+    // Snapshot frontiers after the tall pass so an overfull fence can be
+    // repacked deterministically from this state.
+    let segs_after_talls = segs.clone();
+
+    // --- single-row cells: fill frontiers with randomized gaps ----------
+    let mut singles: Vec<CellId> = design
+        .movable_cells()
+        .filter(|&c| design.type_of(c).height_rows == 1)
+        .collect();
+    singles.shuffle(rng);
+    // Group by fence for slack accounting.
+    let mut fences: Vec<FenceId> = singles
+        .iter()
+        .map(|&c| design.cells[c.0 as usize].fence)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    fences.sort_unstable();
+    for fence in fences {
+        let group: Vec<CellId> = singles
+            .iter()
+            .copied()
+            .filter(|&c| design.cells[c.0 as usize].fence == fence)
+            .collect();
+        if group.is_empty() {
+            continue;
+        }
+        let free: Dbu = segs
+            .iter()
+            .filter(|s| s.fence == fence)
+            .map(|s| (s.x.hi - s.frontier).max(0))
+            .sum();
+        let need: Dbu = group.iter().map(|&c| design.type_of(c).width).sum();
+        let slack = (free - need).max(0);
+        let mean_gap_sites = (slack as f64 * 0.9 / group.len().max(1) as f64 / sw as f64).floor();
+
+        // Walk segments of this fence in row-major order.
+        let seg_order: Vec<usize> = (0..segs.len())
+            .filter(|&i| segs[i].fence == fence)
+            .collect();
+        let mut si_iter = 0usize;
+        let mut failed_here: Vec<CellId> = Vec::new();
+        for &cell in &group {
+            let ct = design.type_of(cell);
+            let mut placed = false;
+            while si_iter < seg_order.len() {
+                let si = seg_order[si_iter];
+                let gap = gap_for(segs[si].last_rc, ct.edge_class.0);
+                let rand_gap = if mean_gap_sites >= 1.0 {
+                    (rng.gen_range(0.0..2.0 * mean_gap_sites).round() as Dbu) * sw
+                } else {
+                    0
+                };
+                let x0 = segs[si].frontier + gap + rand_gap;
+                if x0 + ct.width <= segs[si].x.hi {
+                    pos[cell.0 as usize] = Some(Point::new(x0, design.row_y(segs[si].row)));
+                    segs[si].frontier = x0 + ct.width;
+                    segs[si].last_rc = Some(ct.edge_class.1);
+                    placed = true;
+                    break;
+                }
+                // Try without the random gap before giving up on the segment.
+                let x1 = segs[si].frontier + gap;
+                if x1 + ct.width <= segs[si].x.hi {
+                    pos[cell.0 as usize] = Some(Point::new(x1, design.row_y(segs[si].row)));
+                    segs[si].frontier = x1 + ct.width;
+                    segs[si].last_rc = Some(ct.edge_class.1);
+                    placed = true;
+                    break;
+                }
+                si_iter += 1;
+            }
+            if !placed {
+                failed_here.push(cell);
+            }
+        }
+        if failed_here.is_empty() {
+            continue;
+        }
+        // The randomized pass overflowed this fence: repack the whole group
+        // deterministically with zero gaps from the post-tall state (widest
+        // cells first minimizes tail fragmentation).
+        for &si in &seg_order {
+            segs[si] = segs_after_talls[si].clone();
+        }
+        let mut ordered = group.clone();
+        ordered.sort_by_key(|&c| (std::cmp::Reverse(design.type_of(c).width), c.0));
+        for cell in ordered {
+            let ct = design.type_of(cell);
+            let mut placed = false;
+            for &si in &seg_order {
+                let gap = gap_for(segs[si].last_rc, ct.edge_class.0);
+                let x0 = segs[si].frontier + gap;
+                if x0 + ct.width <= segs[si].x.hi {
+                    pos[cell.0 as usize] = Some(Point::new(x0, design.row_y(segs[si].row)));
+                    segs[si].frontier = x0 + ct.width;
+                    segs[si].last_rc = Some(ct.edge_class.1);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                pos[cell.0 as usize] = None;
+                unplaced += 1;
+            }
+        }
+    }
+
+    if unplaced > 0 {
+        return Err(unplaced);
+    }
+    Ok(pos.into_iter().map(|p| p.expect("all cells placed")).collect())
+}
+
+/// Probes one base row for a tall cell: x position where all spanned rows
+/// have compatible segments with enough room past their frontiers, plus the
+/// frontier area the placement would strand.
+fn try_place_tall(
+    design: &Design,
+    segs: &[SegState],
+    by_row: &[Vec<usize>],
+    cell: CellId,
+    base_row: usize,
+    gap_for: &dyn Fn(Option<u8>, u8) -> Dbu,
+) -> Option<(Dbu, Dbu)> {
+    let c = &design.cells[cell.0 as usize];
+    let ct = design.type_of(cell);
+    let h = ct.height_rows as usize;
+    // Candidate columns: segments of the base row.
+    'seg: for &s0 in &by_row[base_row] {
+        if segs[s0].fence != c.fence {
+            continue;
+        }
+        let mut interval = segs[s0].x;
+        let mut x0 = segs[s0].frontier + gap_for(segs[s0].last_rc, ct.edge_class.0);
+        let mut used = vec![s0];
+        #[allow(clippy::needless_range_loop)]
+    for r in base_row + 1..base_row + h {
+            // The overlapping segment of the same fence in this row.
+            let Some(&si) = by_row[r].iter().find(|&&si| {
+                segs[si].fence == c.fence && segs[si].x.overlaps(interval)
+            }) else {
+                continue 'seg;
+            };
+            interval = interval.intersect(segs[si].x);
+            x0 = x0.max(segs[si].frontier + gap_for(segs[si].last_rc, ct.edge_class.0));
+            used.push(si);
+        }
+        x0 = x0.max(interval.lo);
+        if x0 + ct.width <= interval.hi {
+            let waste: Dbu = used
+                .iter()
+                .map(|&si| (x0 - segs[si].frontier).max(0))
+                .sum();
+            return Some((x0, waste));
+        }
+    }
+    None
+}

@@ -1,0 +1,47 @@
+//! Parse error type shared by all readers.
+
+use std::fmt;
+
+/// A parse failure with file context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Which file/section failed (e.g. `".nodes"`, `"LEF"`).
+    pub context: String,
+    /// 1-based line number, when known.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates an error.
+    pub fn new(context: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
+        Self {
+            context: context.into(),
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} line {}: {}", self.context, self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = ParseError::new(".nodes", 7, "bad token");
+        assert_eq!(e.to_string(), ".nodes line 7: bad token");
+    }
+}

@@ -1,0 +1,125 @@
+//! Filesystem helpers: load/store Bookshelf bundles and LEF/DEF pairs.
+
+use crate::bookshelf::{self, Bundle};
+use crate::error::{ParseError, Result};
+use crate::lefdef;
+use mcl_db::prelude::*;
+use std::path::Path;
+
+/// Reads a Bookshelf bundle from a directory. Files are discovered by
+/// extension (`.nodes`, `.pl`, `.scl`, `.nets`, `.fence`, `.rails`);
+/// `.nets`, `.fence` and `.rails` are optional.
+///
+/// # Errors
+///
+/// I/O failures and parse errors are both reported as [`ParseError`].
+pub fn read_bookshelf_dir(dir: &Path) -> Result<Design> {
+    let mut bundle = Bundle::default();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| ParseError::new("fs", 0, format!("read_dir {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry =
+            entry.map_err(|e| ParseError::new("fs", 0, format!("read_dir entry: {e}")))?;
+        let path = entry.path();
+        let Some(ext) = path.extension().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let slot = match ext {
+            "nodes" => &mut bundle.nodes,
+            "pl" => &mut bundle.pl,
+            "scl" => &mut bundle.scl,
+            "nets" => &mut bundle.nets,
+            "fence" => &mut bundle.fence,
+            "rails" => &mut bundle.rails,
+            _ => continue,
+        };
+        *slot = std::fs::read_to_string(&path)
+            .map_err(|e| ParseError::new("fs", 0, format!("read {}: {e}", path.display())))?;
+    }
+    if bundle.nodes.is_empty() || bundle.pl.is_empty() || bundle.scl.is_empty() {
+        return Err(ParseError::new(
+            "fs",
+            0,
+            format!(
+                "directory {} must contain .nodes, .pl and .scl files",
+                dir.display()
+            ),
+        ));
+    }
+    bookshelf::read(&bundle)
+}
+
+/// Writes a design as a Bookshelf bundle into `dir` (created if missing),
+/// using `name` as the file stem.
+///
+/// # Errors
+///
+/// I/O failures are reported as [`ParseError`].
+pub fn write_bookshelf_dir(design: &Design, dir: &Path, name: &str) -> Result<()> {
+    std::fs::create_dir_all(dir)
+        .map_err(|e| ParseError::new("fs", 0, format!("mkdir {}: {e}", dir.display())))?;
+    let bundle = bookshelf::write(design);
+    for (ext, text) in [
+        ("nodes", &bundle.nodes),
+        ("pl", &bundle.pl),
+        ("scl", &bundle.scl),
+        ("nets", &bundle.nets),
+        ("fence", &bundle.fence),
+        ("rails", &bundle.rails),
+    ] {
+        if text.trim().is_empty() && matches!(ext, "nets" | "fence" | "rails") {
+            continue;
+        }
+        let path = dir.join(format!("{name}.{ext}"));
+        std::fs::write(&path, text)
+            .map_err(|e| ParseError::new("fs", 0, format!("write {}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+/// Reads a design from a LEF file and a DEF file.
+///
+/// # Errors
+///
+/// I/O failures and parse errors are both reported as [`ParseError`].
+pub fn read_lefdef_files(lef: &Path, def: &Path) -> Result<Design> {
+    let lef_text = std::fs::read_to_string(lef)
+        .map_err(|e| ParseError::new("fs", 0, format!("read {}: {e}", lef.display())))?;
+    let def_text = std::fs::read_to_string(def)
+        .map_err(|e| ParseError::new("fs", 0, format!("read {}: {e}", def.display())))?;
+    let lib = lefdef::read_lef(&lef_text)?;
+    lefdef::read_def(&def_text, &lib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_design() -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 180));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        d.add_cell(Cell::new("a", s, Point::new(15, 22)));
+        d.add_cell(Cell::new("b", s, Point::new(400, 95)));
+        d
+    }
+
+    #[test]
+    fn bookshelf_dir_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mclegal_test_{}", std::process::id()));
+        let d = sample_design();
+        write_bookshelf_dir(&d, &dir, "t").unwrap();
+        let p = read_bookshelf_dir(&dir).unwrap();
+        assert_eq!(p.cells.len(), 2);
+        assert_eq!(p.cells[0].gp, Point::new(15, 22));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_mandatory_files_rejected() {
+        let dir = std::env::temp_dir().join(format!("mclegal_empty_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = read_bookshelf_dir(&dir).unwrap_err();
+        assert!(err.message.contains("must contain"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

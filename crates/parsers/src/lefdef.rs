@@ -1,0 +1,742 @@
+//! Minimal LEF/DEF reader and DEF writer.
+//!
+//! Supports the subset needed for legalization benchmarks:
+//!
+//! - **LEF**: `SITE` (size), `MACRO` with `CLASS`, `SIZE w BY h`,
+//!   `PROPERTY EDGETYPE l r` (edge-spacing classes), and `PIN`/`PORT` with
+//!   `LAYER Mk ; RECT x1 y1 x2 y2 ;` shapes. Dimensions are taken directly
+//!   in database units.
+//! - **DEF**: `DIEAREA`, `ROW`, `REGIONS`, `GROUPS` (fence membership),
+//!   `COMPONENTS` (+ `PLACED`/`FIXED` positions read as the GP input),
+//!   `PINS` (IO pins with a `LAYER` rect), `NETS`.
+//!
+//! The writer emits a DEF with the legalized `PLACED` locations, suitable
+//! for diffing runs or feeding external tools.
+
+use crate::error::{ParseError, Result};
+use mcl_db::prelude::*;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parsed LEF library.
+#[derive(Debug, Clone, Default)]
+pub struct LefLibrary {
+    /// Site width in dbu.
+    pub site_width: Dbu,
+    /// Site (row) height in dbu.
+    pub row_height: Dbu,
+    /// Macros in file order.
+    pub macros: Vec<CellType>,
+}
+
+fn tokenize(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            Some(p) => &line[..p],
+            None => line,
+        };
+        let padded = line
+            .replace('(', " ( ")
+            .replace(')', " ) ")
+            .replace(';', " ; ");
+        for tok in padded.split_whitespace() {
+            out.push((i + 1, tok.to_string()));
+        }
+    }
+    out
+}
+
+/// Reads a LEF library.
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed constructs; unsupported statements are
+/// skipped up to their terminating `;` or `END`.
+pub fn read_lef(text: &str) -> Result<LefLibrary> {
+    let toks = tokenize(text);
+    let mut lib = LefLibrary::default();
+    let mut i = 0usize;
+    let err = |line: usize, m: &str| ParseError::new("LEF", line, m.to_string());
+    while i < toks.len() {
+        let (line, t) = (&toks[i].0, toks[i].1.as_str());
+        match t {
+            "SITE" => {
+                // SITE name ... SIZE w BY h ; ... END name
+                let name = toks.get(i + 1).ok_or_else(|| err(*line, "SITE needs a name"))?;
+                let mut j = i + 2;
+                while j < toks.len() && toks[j].1 != "END" {
+                    if toks[j].1 == "SIZE" {
+                        lib.site_width = num(&toks, j + 1)?;
+                        lib.row_height = num(&toks, j + 3)?;
+                    }
+                    j += 1;
+                }
+                i = j + 2; // skip END name
+                let _ = name;
+            }
+            "MACRO" => {
+                let name = toks
+                    .get(i + 1)
+                    .ok_or_else(|| err(*line, "MACRO needs a name"))?
+                    .1
+                    .clone();
+                let (ct, next) = read_macro(&toks, i + 2, &name, lib.row_height)?;
+                lib.macros.push(ct);
+                i = next;
+            }
+            _ => i += 1,
+        }
+    }
+    if lib.site_width <= 0 || lib.row_height <= 0 {
+        return Err(err(0, "missing SITE with SIZE"));
+    }
+    Ok(lib)
+}
+
+fn read_macro(
+    toks: &[(usize, String)],
+    mut i: usize,
+    name: &str,
+    row_height: Dbu,
+) -> Result<(CellType, usize)> {
+    let mut width = 0;
+    let mut height = 0;
+    let mut edge = (0u8, 0u8);
+    let mut pins: Vec<PinShape> = Vec::new();
+    while i < toks.len() {
+        match toks[i].1.as_str() {
+            "SIZE" => {
+                width = num(toks, i + 1)?;
+                height = num(toks, i + 3)?;
+                i += 5;
+            }
+            "PROPERTY" if toks.get(i + 1).map(|t| t.1.as_str()) == Some("EDGETYPE") => {
+                edge.0 = num(toks, i + 2)? as u8;
+                edge.1 = num(toks, i + 3)? as u8;
+                i += 4;
+            }
+            "PIN" => {
+                let pname = toks
+                    .get(i + 1)
+                    .ok_or_else(|| ParseError::new("LEF", toks[i].0, "PIN needs a name"))?
+                    .1
+                    .clone();
+                i += 2;
+                let mut layer = 1u8;
+                while i < toks.len() {
+                    match toks[i].1.as_str() {
+                        "LAYER" => {
+                            let lname = &toks[i + 1].1;
+                            layer = lname
+                                .trim_start_matches(['M', 'm'])
+                                .parse()
+                                .map_err(|_| {
+                                    ParseError::new("LEF", toks[i].0, "bad layer name")
+                                })?;
+                            i += 2;
+                        }
+                        "RECT" => {
+                            let r = Rect::new(
+                                num(toks, i + 1)?,
+                                num(toks, i + 2)?,
+                                num(toks, i + 3)?,
+                                num(toks, i + 4)?,
+                            );
+                            pins.push(PinShape {
+                                name: pname.clone(),
+                                layer,
+                                rect: r,
+                            });
+                            i += 5;
+                        }
+                        "END" => {
+                            // END <pinname>
+                            i += 2;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            "END" => {
+                // END <macroname>
+                if toks.get(i + 1).map(|t| t.1.as_str()) == Some(name) {
+                    let h_rows = if row_height > 0 && height % row_height == 0 && height > 0 {
+                        (height / row_height) as u32
+                    } else if height > 0 {
+                        return Err(ParseError::new(
+                            "LEF",
+                            toks[i].0,
+                            format!("macro {name} height {height} not a whole number of rows"),
+                        ));
+                    } else {
+                        1
+                    };
+                    let mut ct = CellType::new(name, width.max(1), h_rows.max(1));
+                    ct.edge_class = edge;
+                    ct.pins = pins;
+                    return Ok((ct, i + 2));
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Err(ParseError::new("LEF", 0, format!("unterminated MACRO {name}")))
+}
+
+/// Reads a DEF design, resolving macros against the LEF library.
+///
+/// # Errors
+///
+/// [`ParseError`] on malformed constructs or unknown macro references.
+pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
+    let toks = tokenize(text);
+    let mut i = 0usize;
+    let mut name = String::from("def");
+    let mut die: Option<Rect> = None;
+    let mut rows = 0usize;
+    let mut comps: Vec<(String, String, Point, bool)> = Vec::new();
+    let mut regions: Vec<(String, Vec<Rect>)> = Vec::new();
+    let mut groups: Vec<(Vec<String>, String)> = Vec::new();
+    let mut io: Vec<IoPin> = Vec::new();
+    let mut nets: Vec<(String, Vec<(String, String)>)> = Vec::new();
+
+    while i < toks.len() {
+        match toks[i].1.as_str() {
+            "DESIGN" => {
+                if let Some(t) = toks.get(i + 1) {
+                    name = t.1.clone();
+                }
+                i += 2;
+            }
+            "DIEAREA" => {
+                // DIEAREA ( x1 y1 ) ( x2 y2 ) ;
+                let x1 = num(&toks, i + 2)?;
+                let y1 = num(&toks, i + 3)?;
+                let x2 = num(&toks, i + 6)?;
+                let y2 = num(&toks, i + 7)?;
+                die = Some(Rect::new(x1, y1, x2, y2));
+                i += 10;
+            }
+            "ROW" => {
+                rows += 1;
+                while i < toks.len() && toks[i].1 != ";" {
+                    i += 1;
+                }
+                i += 1;
+            }
+            "REGIONS" => {
+                i += 3; // REGIONS n ;
+                while i < toks.len() && toks[i].1 == "-" {
+                    let rname = toks[i + 1].1.clone();
+                    i += 2;
+                    let mut rects = Vec::new();
+                    while toks[i].1 == "(" {
+                        let x1 = num(&toks, i + 1)?;
+                        let y1 = num(&toks, i + 2)?;
+                        let x2 = num(&toks, i + 5)?;
+                        let y2 = num(&toks, i + 6)?;
+                        rects.push(Rect::new(x1, y1, x2, y2));
+                        i += 8;
+                    }
+                    while toks[i].1 != ";" {
+                        i += 1;
+                    }
+                    i += 1;
+                    regions.push((rname, rects));
+                }
+                i += 2; // END REGIONS
+            }
+            "GROUPS" => {
+                i += 3;
+                while i < toks.len() && toks[i].1 == "-" {
+                    i += 2; // - name
+                    let mut members = Vec::new();
+                    let mut region = String::new();
+                    while toks[i].1 != ";" {
+                        if toks[i].1 == "+" && toks[i + 1].1 == "REGION" {
+                            region = toks[i + 2].1.clone();
+                            i += 3;
+                        } else {
+                            members.push(toks[i].1.clone());
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                    groups.push((members, region));
+                }
+                i += 2;
+            }
+            "COMPONENTS" => {
+                i += 3;
+                while i < toks.len() && toks[i].1 == "-" {
+                    let cname = toks[i + 1].1.clone();
+                    let macro_name = toks[i + 2].1.clone();
+                    i += 3;
+                    let mut pos = Point::new(0, 0);
+                    let mut fixed = false;
+                    while toks[i].1 != ";" {
+                        if toks[i].1 == "+" {
+                            match toks[i + 1].1.as_str() {
+                                "PLACED" | "FIXED" => {
+                                    fixed = toks[i + 1].1 == "FIXED";
+                                    pos = Point::new(num(&toks, i + 3)?, num(&toks, i + 4)?);
+                                    i += 7; // + PLACED ( x y ) orient
+                                }
+                                _ => i += 1,
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                    comps.push((cname, macro_name, pos, fixed));
+                }
+                i += 2;
+            }
+            "PINS" => {
+                i += 3;
+                while i < toks.len() && toks[i].1 == "-" {
+                    let pname = toks[i + 1].1.clone();
+                    i += 2;
+                    let mut layer = 1u8;
+                    let mut rect = Rect::default();
+                    let mut placed = Point::new(0, 0);
+                    while toks[i].1 != ";" {
+                        if toks[i].1 == "+" {
+                            match toks[i + 1].1.as_str() {
+                                "LAYER" => {
+                                    layer = toks[i + 2]
+                                        .1
+                                        .trim_start_matches(['M', 'm'])
+                                        .parse()
+                                        .map_err(|_| {
+                                            ParseError::new("DEF", toks[i].0, "bad layer")
+                                        })?;
+                                    rect = Rect::new(
+                                        num(&toks, i + 4)?,
+                                        num(&toks, i + 5)?,
+                                        num(&toks, i + 8)?,
+                                        num(&toks, i + 9)?,
+                                    );
+                                    i += 11;
+                                }
+                                "PLACED" | "FIXED" => {
+                                    placed =
+                                        Point::new(num(&toks, i + 3)?, num(&toks, i + 4)?);
+                                    i += 6;
+                                }
+                                _ => i += 1,
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                    io.push(IoPin {
+                        name: pname,
+                        layer,
+                        rect: rect.translate(placed.x, placed.y),
+                    });
+                }
+                i += 2;
+            }
+            "NETS" => {
+                i += 3;
+                while i < toks.len() && toks[i].1 == "-" {
+                    let nname = toks[i + 1].1.clone();
+                    i += 2;
+                    let mut pins = Vec::new();
+                    while toks[i].1 != ";" {
+                        if toks[i].1 == "(" {
+                            pins.push((toks[i + 1].1.clone(), toks[i + 2].1.clone()));
+                            i += 4;
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    i += 1;
+                    nets.push((nname, pins));
+                }
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let die = die.ok_or_else(|| ParseError::new("DEF", 0, "missing DIEAREA"))?;
+    let tech = Technology {
+        site_width: lef.site_width,
+        row_height: lef.row_height,
+        ..Technology::example()
+    };
+    // Row count sanity: DIEAREA height governs; ROW statements are advisory.
+    if die.height() % tech.row_height != 0 {
+        return Err(ParseError::new(
+            "DEF",
+            0,
+            "DIEAREA height is not a whole number of rows",
+        ));
+    }
+    let mut design = Design::new(name, tech, die);
+    let _ = rows;
+
+    let mut macro_ids: HashMap<&str, CellTypeId> = HashMap::new();
+    for m in &lef.macros {
+        let id = design.add_cell_type(m.clone());
+        macro_ids.insert(m.name.as_str(), id);
+    }
+    let mut cell_ids: HashMap<String, CellId> = HashMap::new();
+    for (cname, mname, pos, fixed) in comps {
+        let Some(&tid) = macro_ids.get(mname.as_str()) else {
+            return Err(ParseError::new("DEF", 0, format!("unknown macro {mname}")));
+        };
+        let mut cell = Cell::new(cname.clone(), tid, pos);
+        cell.fixed = fixed;
+        if fixed {
+            cell.pos = Some(pos);
+        }
+        let id = design.add_cell(cell);
+        cell_ids.insert(cname, id);
+    }
+    let mut region_ids: HashMap<String, FenceId> = HashMap::new();
+    for (rname, rects) in regions {
+        let id = design.add_fence(FenceRegion::new(rname.clone(), rects));
+        region_ids.insert(rname, id);
+    }
+    for (members, region) in groups {
+        let Some(&fid) = region_ids.get(&region) else {
+            return Err(ParseError::new("DEF", 0, format!("unknown region {region}")));
+        };
+        for m in members {
+            if let Some(&cid) = cell_ids.get(&m) {
+                design.cells[cid.0 as usize].fence = fid;
+            }
+        }
+    }
+    design.io_pins = io;
+    for (nname, pins) in nets {
+        let mut np = Vec::new();
+        for (cname, pname) in pins {
+            if cname == "PIN" {
+                // External pin reference: locate the IO pin center.
+                if let Some(p) = design.io_pins.iter().find(|p| p.name == pname) {
+                    np.push(NetPin::Fixed(p.rect.center()));
+                }
+                continue;
+            }
+            let Some(&cid) = cell_ids.get(&cname) else {
+                return Err(ParseError::new("DEF", 0, format!("unknown component {cname}")));
+            };
+            let ct = design.type_of(cid);
+            let pin = ct.pins.iter().position(|p| p.name == pname).unwrap_or(0);
+            if !ct.pins.is_empty() {
+                np.push(NetPin::Cell { cell: cid, pin });
+            }
+        }
+        if np.len() >= 2 {
+            design.nets.push(Net::new(nname, np));
+        }
+    }
+    Ok(design)
+}
+
+/// Writes a design (with its current positions) as DEF.
+pub fn write_def(design: &Design) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "VERSION 5.8 ;");
+    let _ = writeln!(s, "DESIGN {} ;", design.name);
+    let _ = writeln!(s, "UNITS DISTANCE MICRONS 1000 ;");
+    let _ = writeln!(
+        s,
+        "DIEAREA ( {} {} ) ( {} {} ) ;",
+        design.core.xl, design.core.yl, design.core.xh, design.core.yh
+    );
+    for r in 0..design.num_rows {
+        let _ = writeln!(
+            s,
+            "ROW row_{r} core {} {} N DO {} BY 1 STEP {} 0 ;",
+            design.core.xl,
+            design.row_y(r),
+            design.core.width() / design.tech.site_width,
+            design.tech.site_width
+        );
+    }
+    if design.fences.len() > 1 {
+        let _ = writeln!(s, "REGIONS {} ;", design.fences.len() - 1);
+        for f in design.fences.iter().skip(1) {
+            let mut line = format!("- {}", f.name);
+            for r in &f.rects {
+                let _ = write!(line, " ( {} {} ) ( {} {} )", r.xl, r.yl, r.xh, r.yh);
+            }
+            let _ = writeln!(s, "{line} ;");
+        }
+        let _ = writeln!(s, "END REGIONS");
+        let _ = writeln!(s, "GROUPS {} ;", design.fences.len() - 1);
+        for (fi, f) in design.fences.iter().enumerate().skip(1) {
+            let members: Vec<&str> = design
+                .cells
+                .iter()
+                .filter(|c| c.fence.0 as usize == fi)
+                .map(|c| c.name.as_str())
+                .collect();
+            let _ = writeln!(
+                s,
+                "- grp_{} {} + REGION {} ;",
+                f.name,
+                members.join(" "),
+                f.name
+            );
+        }
+        let _ = writeln!(s, "END GROUPS");
+    }
+    let _ = writeln!(s, "COMPONENTS {} ;", design.cells.len());
+    for c in &design.cells {
+        let ct = &design.cell_types[c.type_id.0 as usize];
+        let p = c.pos.unwrap_or(c.gp);
+        let kind = if c.fixed { "FIXED" } else { "PLACED" };
+        let _ = writeln!(
+            s,
+            "- {} {} + {kind} ( {} {} ) {} ;",
+            c.name, ct.name, p.x, p.y, c.orient
+        );
+    }
+    let _ = writeln!(s, "END COMPONENTS");
+    if !design.io_pins.is_empty() {
+        let _ = writeln!(s, "PINS {} ;", design.io_pins.len());
+        for p in &design.io_pins {
+            let _ = writeln!(
+                s,
+                "- {} + NET {} + LAYER M{} ( 0 0 ) ( {} {} ) + PLACED ( {} {} ) N ;",
+                p.name,
+                p.name,
+                p.layer,
+                p.rect.width(),
+                p.rect.height(),
+                p.rect.xl,
+                p.rect.yl
+            );
+        }
+        let _ = writeln!(s, "END PINS");
+    }
+    if !design.nets.is_empty() {
+        let _ = writeln!(s, "NETS {} ;", design.nets.len());
+        for n in &design.nets {
+            let mut line = format!("- {}", n.name);
+            for p in &n.pins {
+                match p {
+                    NetPin::Cell { cell, pin } => {
+                        let c = &design.cells[cell.0 as usize];
+                        let ct = design.type_of(*cell);
+                        let pname = ct
+                            .pins
+                            .get(*pin)
+                            .map(|p| p.name.as_str())
+                            .unwrap_or("P");
+                        let _ = write!(line, " ( {} {} )", c.name, pname);
+                    }
+                    NetPin::Fixed(_) => {}
+                }
+            }
+            let _ = writeln!(s, "{line} ;");
+        }
+        let _ = writeln!(s, "END NETS");
+    }
+    let _ = writeln!(s, "END DESIGN");
+    s
+}
+
+/// Writes the cell library as LEF.
+pub fn write_lef(design: &Design) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "VERSION 5.8 ;");
+    let _ = writeln!(s, "SITE core");
+    let _ = writeln!(
+        s,
+        "  SIZE {} BY {} ;",
+        design.tech.site_width, design.tech.row_height
+    );
+    let _ = writeln!(s, "END core");
+    for ct in &design.cell_types {
+        let _ = writeln!(s, "MACRO {}", ct.name);
+        let _ = writeln!(s, "  CLASS CORE ;");
+        let _ = writeln!(
+            s,
+            "  SIZE {} BY {} ;",
+            ct.width,
+            ct.height_rows as Dbu * design.tech.row_height
+        );
+        if ct.edge_class != (0, 0) {
+            let _ = writeln!(s, "  PROPERTY EDGETYPE {} {} ;", ct.edge_class.0, ct.edge_class.1);
+        }
+        for p in &ct.pins {
+            let _ = writeln!(s, "  PIN {}", p.name);
+            let _ = writeln!(s, "    PORT");
+            let _ = writeln!(s, "      LAYER M{} ;", p.layer);
+            let _ = writeln!(
+                s,
+                "      RECT {} {} {} {} ;",
+                p.rect.xl, p.rect.yl, p.rect.xh, p.rect.yh
+            );
+            let _ = writeln!(s, "    END");
+            let _ = writeln!(s, "  END {}", p.name);
+        }
+        let _ = writeln!(s, "END {}", ct.name);
+    }
+    let _ = writeln!(s, "END LIBRARY");
+    s
+}
+
+fn num(toks: &[(usize, String)], i: usize) -> Result<Dbu> {
+    let (line, t) = toks
+        .get(i)
+        .map(|(l, t)| (*l, t.as_str()))
+        .ok_or_else(|| ParseError::new("LEF/DEF", 0, "unexpected end of file"))?;
+    t.parse()
+        .map_err(|_| ParseError::new("LEF/DEF", line, format!("expected number, got {t:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEF: &str = r#"
+VERSION 5.8 ;
+SITE core
+  SIZE 10 BY 90 ;
+END core
+MACRO INV
+  CLASS CORE ;
+  SIZE 20 BY 90 ;
+  PROPERTY EDGETYPE 1 2 ;
+  PIN A
+    PORT
+      LAYER M1 ;
+      RECT 2 30 8 40 ;
+    END
+  END A
+  PIN ZN
+    PORT
+      LAYER M2 ;
+      RECT 12 40 18 50 ;
+    END
+  END ZN
+END INV
+MACRO FF2
+  CLASS CORE ;
+  SIZE 40 BY 180 ;
+  PIN D
+    PORT
+      LAYER M1 ;
+      RECT 5 80 15 100 ;
+    END
+  END D
+END FF2
+END LIBRARY
+"#;
+
+    const DEF: &str = r#"
+VERSION 5.8 ;
+DESIGN demo ;
+UNITS DISTANCE MICRONS 1000 ;
+DIEAREA ( 0 0 ) ( 1000 360 ) ;
+ROW row_0 core 0 0 N DO 100 BY 1 STEP 10 0 ;
+ROW row_1 core 0 90 N DO 100 BY 1 STEP 10 0 ;
+REGIONS 1 ;
+- g0 ( 300 0 ) ( 600 180 ) ;
+END REGIONS
+GROUPS 1 ;
+- grp0 u2 + REGION g0 ;
+END GROUPS
+COMPONENTS 3 ;
+- u1 INV + PLACED ( 15 22 ) N ;
+- u2 INV + PLACED ( 400 95 ) N ;
+- blk FF2 + FIXED ( 700 0 ) N ;
+END COMPONENTS
+PINS 1 ;
+- io0 + NET io0 + LAYER M2 ( 0 0 ) ( 20 20 ) + PLACED ( 500 40 ) N ;
+END PINS
+NETS 1 ;
+- n0 ( u1 ZN ) ( u2 A ) ;
+END NETS
+END DESIGN
+"#;
+
+    #[test]
+    fn lef_parses_macros_and_pins() {
+        let lib = read_lef(LEF).unwrap();
+        assert_eq!(lib.site_width, 10);
+        assert_eq!(lib.row_height, 90);
+        assert_eq!(lib.macros.len(), 2);
+        let inv = &lib.macros[0];
+        assert_eq!(inv.name, "INV");
+        assert_eq!(inv.width, 20);
+        assert_eq!(inv.height_rows, 1);
+        assert_eq!(inv.edge_class, (1, 2));
+        assert_eq!(inv.pins.len(), 2);
+        assert_eq!(inv.pins[1].layer, 2);
+        assert_eq!(lib.macros[1].height_rows, 2);
+    }
+
+    #[test]
+    fn def_parses_design() {
+        let lib = read_lef(LEF).unwrap();
+        let d = read_def(DEF, &lib).unwrap();
+        assert_eq!(d.name, "demo");
+        assert_eq!(d.num_rows, 4);
+        assert_eq!(d.cells.len(), 3);
+        assert_eq!(d.cells[0].gp, Point::new(15, 22));
+        assert!(d.cells[2].fixed);
+        assert_eq!(d.cells[1].fence, FenceId(1));
+        assert_eq!(d.io_pins.len(), 1);
+        assert_eq!(d.io_pins[0].rect, Rect::new(500, 40, 520, 60));
+        assert_eq!(d.nets.len(), 1);
+        // Net pin name resolution: u1/ZN is pin index 1.
+        match &d.nets[0].pins[0] {
+            NetPin::Cell { pin, .. } => assert_eq!(*pin, 1),
+            _ => panic!(),
+        }
+        assert!(d.validate().is_empty());
+    }
+
+    #[test]
+    fn def_roundtrip() {
+        let lib = read_lef(LEF).unwrap();
+        let d = read_def(DEF, &lib).unwrap();
+        let lef2 = write_lef(&d);
+        let def2 = write_def(&d);
+        let lib2 = read_lef(&lef2).unwrap();
+        let d2 = read_def(&def2, &lib2).unwrap();
+        assert_eq!(d.cells.len(), d2.cells.len());
+        for (a, b) in d.cells.iter().zip(&d2.cells) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.gp, b.gp);
+            assert_eq!(a.fence, b.fence);
+            assert_eq!(a.fixed, b.fixed);
+        }
+        assert_eq!(d.core, d2.core);
+        assert_eq!(d.io_pins, d2.io_pins);
+    }
+
+    #[test]
+    fn missing_diearea_rejected() {
+        let lib = read_lef(LEF).unwrap();
+        assert!(read_def("DESIGN x ;\nEND DESIGN\n", &lib).is_err());
+    }
+
+    #[test]
+    fn unknown_macro_rejected() {
+        let lib = read_lef(LEF).unwrap();
+        let def = "DIEAREA ( 0 0 ) ( 100 90 ) ;\nCOMPONENTS 1 ;\n- u1 NAND + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n";
+        let err = read_def(def, &lib).unwrap_err();
+        assert!(err.message.contains("unknown macro"));
+    }
+
+    #[test]
+    fn bad_lef_height_rejected() {
+        let lef = "SITE core\n SIZE 10 BY 90 ;\nEND core\nMACRO X\n SIZE 20 BY 100 ;\nEND X\n";
+        assert!(read_lef(lef).is_err());
+    }
+}

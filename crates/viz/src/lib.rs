@@ -1,0 +1,260 @@
+//! # mcl-viz — SVG rendering of placements
+//!
+//! Renders designs as standalone SVG files: cells colored by height, fences
+//! outlined, and (optionally) displacement vectors from GP to placed
+//! locations — the visualization style of Fig. 6 in the paper.
+
+#![forbid(unsafe_code)]
+
+use mcl_db::prelude::*;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Output width in pixels (height follows the aspect ratio).
+    pub width_px: f64,
+    /// Draw displacement lines from each cell's GP to its position.
+    pub displacement_lines: bool,
+    /// Only draw displacement lines at least this long (dbu).
+    pub min_disp: Dbu,
+    /// Highlight cells of this type id in red (the Fig. 6 styling);
+    /// `None` colors by height instead.
+    pub highlight_type: Option<CellTypeId>,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        Self {
+            width_px: 900.0,
+            displacement_lines: true,
+            min_disp: 0,
+            highlight_type: None,
+        }
+    }
+}
+
+/// Height palette (1-4 rows).
+const HEIGHT_FILL: [&str; 4] = ["#b8cbe3", "#8fb383", "#d9b96c", "#c28ab6"];
+
+/// Renders a design to an SVG string.
+pub fn render_svg(design: &Design, opts: &SvgOptions) -> String {
+    let core = design.core;
+    let scale = opts.width_px / core.width().max(1) as f64;
+    let w = opts.width_px;
+    let h = core.height() as f64 * scale;
+    let x = |v: Dbu| (v - core.xl) as f64 * scale;
+    // SVG y grows downward; flip so row 0 is at the bottom.
+    let y = |v: Dbu| h - (v - core.yl) as f64 * scale;
+
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}" viewBox="0 0 {w:.1} {h:.1}">"#
+    );
+    let _ = writeln!(
+        s,
+        r##"<rect x="0" y="0" width="{w:.1}" height="{h:.1}" fill="#fafafa" stroke="#555"/>"##
+    );
+
+    // Fences.
+    for f in design.fences.iter().skip(1) {
+        for r in &f.rects {
+            let _ = writeln!(
+                s,
+                r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#fff3d6" stroke="#c90" stroke-dasharray="4 2"/>"##,
+                x(r.xl),
+                y(r.yh),
+                (r.width() as f64) * scale,
+                (r.height() as f64) * scale
+            );
+        }
+    }
+
+    // Cells.
+    for (i, c) in design.cells.iter().enumerate() {
+        let id = CellId(i as u32);
+        let ct = design.type_of(id);
+        let p = c.pos.unwrap_or(c.gp);
+        let r = design.rect_at(id, p);
+        let fill = if c.fixed {
+            "#777"
+        } else if opts.highlight_type == Some(c.type_id) {
+            "#d64545"
+        } else if opts.highlight_type.is_some() {
+            "#cfcfcf"
+        } else {
+            HEIGHT_FILL[(ct.height_rows as usize - 1).min(3)]
+        };
+        let _ = writeln!(
+            s,
+            r##"<rect x="{:.2}" y="{:.2}" width="{:.2}" height="{:.2}" fill="{fill}" stroke="#444" stroke-width="0.3"/>"##,
+            x(r.xl),
+            y(r.yh),
+            (r.width() as f64) * scale,
+            (r.height() as f64) * scale
+        );
+    }
+
+    // Displacement vectors.
+    if opts.displacement_lines {
+        for (i, c) in design.cells.iter().enumerate() {
+            if c.fixed {
+                continue;
+            }
+            let Some(p) = c.pos else { continue };
+            if p.manhattan(c.gp) < opts.min_disp {
+                continue;
+            }
+            if let Some(t) = opts.highlight_type {
+                if c.type_id != t {
+                    continue;
+                }
+            }
+            let id = CellId(i as u32);
+            let a = design.rect_at(id, c.gp).center();
+            let b = design.rect_at(id, p).center();
+            let _ = writeln!(
+                s,
+                r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#d62728" stroke-width="0.7" opacity="0.75"/>"##,
+                x(a.x),
+                y(a.y),
+                x(b.x),
+                y(b.y)
+            );
+        }
+    }
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+/// Renders a displacement histogram (bucketed in rows) as a standalone SVG
+/// bar chart — handy next to the Fig. 6 scatter to see stage-2's effect on
+/// the tail.
+pub fn render_disp_histogram(design: &Design, buckets: usize) -> String {
+    let rh = design.tech.row_height as f64;
+    let disps: Vec<f64> = design
+        .movable_cells()
+        .filter_map(|id| {
+            design.cells[id.0 as usize]
+                .pos
+                .map(|p| p.manhattan(design.cells[id.0 as usize].gp) as f64 / rh)
+        })
+        .collect();
+    let buckets = buckets.max(1);
+    let max_d = disps.iter().cloned().fold(0.0f64, f64::max).max(1e-9);
+    let mut counts = vec![0usize; buckets];
+    for &d in &disps {
+        let b = ((d / max_d) * buckets as f64) as usize;
+        counts[b.min(buckets - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1) as f64;
+
+    let (w, h, margin) = (640.0, 240.0, 30.0);
+    let bar_w = (w - 2.0 * margin) / buckets as f64;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}">"#
+    );
+    let _ = writeln!(
+        s,
+        r##"<rect width="{w}" height="{h}" fill="#ffffff" stroke="#555"/>"##
+    );
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let bh = (c as f64 / peak) * (h - 2.0 * margin);
+        let x = margin + i as f64 * bar_w;
+        let y = h - margin - bh;
+        let _ = writeln!(
+            s,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bh:.1}" fill="#5b84b1" stroke="#333" stroke-width="0.4"/>"##,
+            bar_w.max(1.0) - 0.5
+        );
+    }
+    let _ = writeln!(
+        s,
+        r##"<text x="{margin}" y="{:.0}" font-size="11" fill="#333">0</text>"##,
+        h - margin + 14.0
+    );
+    let _ = writeln!(
+        s,
+        r##"<text x="{:.0}" y="{:.0}" font-size="11" fill="#333" text-anchor="end">{max_d:.1} rows</text>"##,
+        w - margin,
+        h - margin + 14.0
+    );
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn design() -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        let m = d.add_cell_type(CellType::new("m", 30, 2));
+        let mut a = Cell::new("a", s, Point::new(100, 100));
+        a.pos = Some(Point::new(200, 90));
+        d.add_cell(a);
+        let mut b = Cell::new("b", m, Point::new(500, 100));
+        b.pos = Some(Point::new(500, 180));
+        d.add_cell(b);
+        d.add_fence(FenceRegion::new("g", vec![Rect::new(600, 0, 900, 180)]));
+        d
+    }
+
+    #[test]
+    fn svg_is_well_formed_ish() {
+        let svg = render_svg(&design(), &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // Two cells + background + fence, and at least one displacement line.
+        assert!(svg.matches("<rect").count() >= 4);
+        assert!(svg.contains("<line"));
+    }
+
+    #[test]
+    fn highlight_mode_filters_lines() {
+        let o = SvgOptions {
+            highlight_type: Some(CellTypeId(1)),
+            min_disp: 0,
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&design(), &o);
+        // Only cell b (type 1) gets a displacement line.
+        assert_eq!(svg.matches("<line").count(), 1);
+        assert!(svg.contains("#d64545"));
+    }
+
+    #[test]
+    fn min_disp_suppresses_short_lines() {
+        let o = SvgOptions {
+            min_disp: 10_000,
+            ..SvgOptions::default()
+        };
+        let svg = render_svg(&design(), &o);
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn histogram_renders_bars() {
+        let svg = render_disp_histogram(&design(), 10);
+        assert!(svg.starts_with("<svg"));
+        // Background + at least one bar.
+        assert!(svg.matches("<rect").count() >= 2);
+        assert!(svg.contains("rows"));
+    }
+
+    #[test]
+    fn histogram_handles_unplaced_and_empty() {
+        let mut d = design();
+        d.cells[0].pos = None;
+        d.cells[1].pos = None;
+        let svg = render_disp_histogram(&d, 5);
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+}

@@ -1,0 +1,356 @@
+//! `mclegal` — command-line interface to the legalizer.
+//!
+//! ```text
+//! mclegal generate --preset iccad17:des_perf_1 --scale 0.05 --out bench/
+//! mclegal generate --cells 5000 --density 0.7 --fences 2 --out bench/
+//! mclegal legalize --bookshelf bench/ --mode contest --out-pl placed.pl --svg placed.svg
+//! mclegal legalize --lef d.lef --def d.def --out-def placed.def
+//! mclegal check   --bookshelf bench/
+//! mclegal score   --bookshelf placed/
+//! mclegal convert --bookshelf bench/ --out-def d.def --out-lef d.lef
+//! ```
+//!
+//! Run `mclegal help` for the full flag list.
+
+use mclegal::baselines;
+use mclegal::core::{CellOrder, DisplacementReference, Legalizer, LegalizerConfig};
+use mclegal::db::prelude::*;
+use mclegal::gen::{self, presets};
+use mclegal::parsers;
+use mclegal::viz;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match Flags::parse(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "legalize" => cmd_legalize(&flags),
+        "check" => cmd_check(&flags),
+        "score" => cmd_score(&flags),
+        "convert" => cmd_convert(&flags),
+        "presets" => cmd_presets(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "mclegal — mixed-cell-height legalization (DAC 2018 reproduction)
+
+USAGE: mclegal <command> [flags]
+
+COMMANDS
+  generate   synthesize a benchmark
+             --preset iccad17:<name> | ispd15:<name>   use a paper preset
+             --scale <f>        preset scale factor (default 0.05)
+             --cells <n> --density <f> --fences <n> --seed <n>
+             --out <dir>        write a Bookshelf bundle there (required)
+  legalize   legalize a design
+             --bookshelf <dir> | --lef <file> --def <file>   input (required)
+             --mode contest|total|mll    configuration (default contest)
+             --threads <n>      MGL worker threads
+             --baseline tetris|abacus|lcp   run a baseline instead
+             --eco true            incremental: keep pre-placed cells
+             --out-pl <file>    write placed .pl
+             --out-def <file>   write placed DEF
+             --svg <file>       write an SVG rendering
+  check      run the legality/routability checker on a placed design
+             --bookshelf <dir> | --lef <file> --def <file>
+             --pl <file>        overlay a result .pl as the placement
+  score      print metrics + contest score of a placed design
+             --bookshelf <dir> | --lef <file> --def <file>
+             --pl <file>        overlay a result .pl as the placement
+  convert    convert between formats
+             --bookshelf <dir> | --lef <file> --def <file>   input
+             --out <dir> | --out-def <file> --out-lef <file>  output
+  presets    list the available paper presets";
+
+#[derive(Default)]
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut map = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            let val = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            map.insert(key.to_string(), val.clone());
+        }
+        Ok(Self(map))
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.get(key).map(String::as_str)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+}
+
+fn load_design(flags: &Flags) -> Result<Design, String> {
+    let mut design = if let Some(dir) = flags.get("bookshelf") {
+        parsers::read_bookshelf_dir(Path::new(dir)).map_err(|e| e.to_string())?
+    } else if let (Some(lef), Some(def)) = (flags.get("lef"), flags.get("def")) {
+        parsers::read_lefdef_files(Path::new(lef), Path::new(def))
+            .map_err(|e| e.to_string())?
+    } else {
+        return Err("provide --bookshelf <dir> or --lef <file> --def <file>".into());
+    };
+    // Optional placement overlay: original GP from the bundle, placements
+    // from a result .pl file.
+    if let Some(pl) = flags.get("pl") {
+        let text = std::fs::read_to_string(pl).map_err(|e| e.to_string())?;
+        parsers::bookshelf::apply_pl(&mut design, &text).map_err(|e| e.to_string())?;
+    }
+    Ok(design)
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let out: PathBuf = flags
+        .get("out")
+        .ok_or("generate needs --out <dir>")?
+        .into();
+    let config = if let Some(spec) = flags.get("preset") {
+        let scale: f64 = flags.num("scale")?.unwrap_or(0.05);
+        preset_config(spec, scale)?
+    } else {
+        let mut c = gen::GeneratorConfig::default();
+        if let Some(n) = flags.num("cells")? {
+            c.num_cells = n;
+        }
+        if let Some(d) = flags.num("density")? {
+            c.density = d;
+        }
+        if let Some(f) = flags.num("fences")? {
+            c.fences = f;
+            c.fence_cell_fraction = if f > 0 { 0.15 } else { 0.0 };
+        }
+        if let Some(s) = flags.num("seed")? {
+            c.seed = s;
+        }
+        c
+    };
+    let generated = gen::generate(&config).map_err(|e| e.to_string())?;
+    let d = &generated.design;
+    parsers::write_bookshelf_dir(d, &out, &d.name).map_err(|e| e.to_string())?;
+    println!(
+        "generated {}: {} cells, {} rows, density {:.1}% -> {}",
+        d.name,
+        d.cells.len(),
+        d.num_rows,
+        100.0 * d.density(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn preset_config(spec: &str, scale: f64) -> Result<gen::GeneratorConfig, String> {
+    let (suite, name) = spec
+        .split_once(':')
+        .ok_or("preset spec must be suite:name, e.g. iccad17:des_perf_1")?;
+    match suite {
+        "iccad17" => presets::ICCAD17
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| presets::iccad17_config(s, scale))
+            .ok_or_else(|| format!("unknown iccad17 preset {name:?} (see `mclegal presets`)")),
+        "ispd15" => presets::ISPD15
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| presets::ispd15_config(s, scale))
+            .ok_or_else(|| format!("unknown ispd15 preset {name:?} (see `mclegal presets`)")),
+        other => Err(format!("unknown suite {other:?} (iccad17 or ispd15)")),
+    }
+}
+
+fn cmd_legalize(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let t = std::time::Instant::now();
+    let placed = if let Some(b) = flags.get("baseline") {
+        match b {
+            "tetris" => baselines::legalize_tetris(&design).0,
+            "abacus" => baselines::legalize_abacus(&design).0,
+            "lcp" => baselines::legalize_lcp(&design).0,
+            "mll" => baselines::legalize_mll(&design).0,
+            other => return Err(format!("unknown baseline {other:?}")),
+        }
+    } else {
+        let mut cfg = match flags.get("mode").unwrap_or("contest") {
+            "contest" => LegalizerConfig::contest(),
+            "total" => LegalizerConfig::total_displacement(),
+            "mll" => LegalizerConfig::mll_baseline(),
+            other => return Err(format!("unknown mode {other:?}")),
+        };
+        if let Some(t) = flags.num("threads")? {
+            cfg.threads = t;
+        }
+        if let Some(order) = flags.get("order") {
+            cfg.order = match order {
+                "auto" => CellOrder::Auto,
+                "gpx" => CellOrder::GpX,
+                "height" => CellOrder::HeightThenWidth,
+                "shuffled" => CellOrder::HeightThenShuffled,
+                "id" => CellOrder::Id,
+                other => return Err(format!("unknown order {other:?}")),
+            };
+        }
+        debug_assert_eq!(
+            LegalizerConfig::contest().reference,
+            DisplacementReference::Gp
+        );
+        if flags.get("eco").map(|v| v == "true" || v == "1").unwrap_or(false) {
+            Legalizer::new(cfg)
+                .run_eco(&design)
+                .map_err(|(c, e)| format!("pre-placed cell {} not adoptable: {e}", c.0))?
+                .0
+        } else {
+            Legalizer::new(cfg).run(&design).0
+        }
+    };
+    let secs = t.elapsed().as_secs_f64();
+    print_report(&placed);
+    println!("runtime: {secs:.2}s");
+    write_outputs(flags, &placed)?;
+    Ok(())
+}
+
+fn cmd_check(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    let rep = Checker::new(&design).check();
+    println!("hard violations : {}", rep.hard_violations());
+    println!("  unplaced {} | out-of-core {} | misaligned {} | parity {} | overlaps {} | fence {}",
+        rep.unplaced, rep.out_of_core, rep.misaligned, rep.bad_parity, rep.overlaps,
+        rep.fence_violations);
+    println!("soft violations : {}", rep.soft_violations());
+    println!(
+        "  edge spacing {} | pin shorts {} | pin access {}",
+        rep.edge_spacing, rep.pin_shorts, rep.pin_access
+    );
+    for d in &rep.details {
+        println!("    {d}");
+    }
+    if rep.is_legal() {
+        println!("LEGAL");
+        Ok(())
+    } else {
+        Err("placement is not legal".into())
+    }
+}
+
+fn cmd_score(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    print_report(&design);
+    Ok(())
+}
+
+fn cmd_convert(flags: &Flags) -> Result<(), String> {
+    let design = load_design(flags)?;
+    write_outputs(flags, &design)?;
+    if let Some(dir) = flags.get("out") {
+        parsers::write_bookshelf_dir(&design, Path::new(dir), &design.name)
+            .map_err(|e| e.to_string())?;
+        println!("wrote Bookshelf bundle to {dir}");
+    }
+    Ok(())
+}
+
+fn cmd_presets() -> Result<(), String> {
+    println!("iccad17 (Table 1):");
+    for s in &presets::ICCAD17 {
+        println!(
+            "  {:<22} {:>8} cells, density {:.1}%, multi {:?}",
+            s.name,
+            s.cells,
+            100.0 * s.density,
+            s.multi
+        );
+    }
+    println!("ispd15 (Table 2):");
+    for s in &presets::ISPD15 {
+        println!(
+            "  {:<22} {:>8} cells, density {:.1}%",
+            s.name,
+            s.cells,
+            100.0 * s.density
+        );
+    }
+    Ok(())
+}
+
+fn print_report(design: &Design) {
+    let rep = Checker::new(design).check();
+    let m = Metrics::measure(design);
+    println!("cells            : {}", m.num_cells);
+    println!("avg displacement : {:.4} rows", m.avg_disp_rows);
+    println!("max displacement : {:.2} rows", m.max_disp_rows);
+    println!("total disp       : {:.0} sites", m.total_disp_sites);
+    println!("HPWL increase    : {:.2}%", 100.0 * m.s_hpwl);
+    println!(
+        "violations       : {} hard, {} soft (edge {}, short {}, access {})",
+        rep.hard_violations(),
+        rep.soft_violations(),
+        rep.edge_spacing,
+        rep.pin_shorts,
+        rep.pin_access
+    );
+    println!("contest score S  : {:.4}", m.contest_score(design, &rep));
+}
+
+fn write_outputs(flags: &Flags, design: &Design) -> Result<(), String> {
+    if let Some(p) = flags.get("out-pl") {
+        let bundle = parsers::write_bookshelf(design);
+        std::fs::write(p, bundle.pl).map_err(|e| e.to_string())?;
+        println!("wrote {p}");
+    }
+    if let Some(p) = flags.get("out-def") {
+        std::fs::write(p, parsers::write_def(design)).map_err(|e| e.to_string())?;
+        println!("wrote {p}");
+    }
+    if let Some(p) = flags.get("out-lef") {
+        std::fs::write(p, parsers::write_lef(design)).map_err(|e| e.to_string())?;
+        println!("wrote {p}");
+    }
+    if let Some(p) = flags.get("svg") {
+        std::fs::write(
+            p,
+            viz::render_svg(design, &viz::SvgOptions::default()),
+        )
+        .map_err(|e| e.to_string())?;
+        println!("wrote {p}");
+    }
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! # mclegal
+//!
+//! Reproduction of "Routability-Driven and Fence-Aware Legalization for
+//! Mixed-Cell-Height Circuits" (Li et al., DAC 2018).
+//!
+//! This facade crate re-exports the workspace crates:
+//!
+//! - [`db`] — placement database, legality checking, scoring
+//! - [`flow`] — min-cost flow solvers and bipartite matching
+//! - [`core`] — the three-stage legalizer (MGL + post-processing)
+//! - [`baselines`] — comparison legalizers (Tetris, Abacus, MLL, LCP)
+//! - [`parsers`] — Bookshelf and LEF/DEF-lite I/O
+//! - [`gen`] — synthetic benchmark generation
+//! - [`viz`] — SVG plots
+
+#![forbid(unsafe_code)]
+pub use mcl_baselines as baselines;
+pub use mcl_core as core;
+pub use mcl_db as db;
+pub use mcl_flow as flow;
+pub use mcl_gen as gen;
+pub use mcl_parsers as parsers;
+pub use mcl_viz as viz;
