@@ -1,0 +1,28 @@
+# Convenience targets; everything is plain cargo underneath.
+
+.PHONY: build test fmt clippy check bench-json tables
+
+build:
+	cargo build --release
+
+test:
+	cargo test -q
+
+fmt:
+	cargo fmt --check
+
+clippy:
+	cargo clippy -- -D warnings
+
+check: build test fmt clippy
+
+# Regenerate BENCH_mgl.json (cells/s at 1/2/4/8 threads, seed scheduler vs
+# current). Knobs: MCL_BENCH_CELLS, MCL_BENCH_DENSITY_PCT, MCL_BENCH_REPS.
+bench-json:
+	cargo run --release -p mcl-bench --bin speedup
+
+# Paper tables/figures (MCL_SCALE scales cell counts, default 0.05).
+tables:
+	cargo run --release -p mcl-bench --bin table1
+	cargo run --release -p mcl-bench --bin table2
+	cargo run --release -p mcl-bench --bin table3

@@ -143,9 +143,7 @@ pub fn legalize_abacus(design: &Design) -> (Design, AbacusStats) {
                 let mut ok = true;
                 let mut seg_hi = design.core.xh;
                 for r in base_row..base_row + h {
-                    let Some(seg_idx) =
-                        pick_segment(&segmap, r, c.fence, c.gp.x, ct.width)
-                    else {
+                    let Some(seg_idx) = pick_segment(&segmap, r, c.fence, c.gp.x, ct.width) else {
                         ok = false;
                         break;
                     };
@@ -164,8 +162,7 @@ pub fn legalize_abacus(design: &Design) -> (Design, AbacusStats) {
                     continue;
                 }
                 let x = snap(c.gp.x.max(x_min) as f64, design.core.xl).max(x_min);
-                let x = design.core.xl
-                    + (x - design.core.xl + sw - 1).div_euclid(sw) * sw;
+                let x = design.core.xl + (x - design.core.xl + sw - 1).div_euclid(sw) * sw;
                 if x + ct.width <= seg_hi {
                     let dx = (x - c.gp.x) as f64;
                     let total = dx * dx + y_cost;
@@ -188,13 +185,11 @@ pub fn legalize_abacus(design: &Design) -> (Design, AbacusStats) {
                 } else {
                     let x = aux;
                     for r in base_row..base_row + h {
-                        let seg_idx =
-                            pick_segment(&segmap, r, c.fence, c.gp.x, ct.width).unwrap();
+                        let seg_idx = pick_segment(&segmap, r, c.fence, c.gp.x, ct.width).unwrap();
                         let row = rows.get_mut(&seg_idx).unwrap();
                         row.floor = row.floor.max(x + ct.width);
                     }
-                    out.cells[cell.0 as usize].pos =
-                        Some(Point::new(x, design.row_y(base_row)));
+                    out.cells[cell.0 as usize].pos = Some(Point::new(x, design.row_y(base_row)));
                 }
             }
         }
@@ -204,8 +199,7 @@ pub fn legalize_abacus(design: &Design) -> (Design, AbacusStats) {
     for (seg_idx, row) in &rows {
         let seg = &segmap.segments()[*seg_idx];
         for cl in &row.clusters {
-            let mut x = snap(cl.x, design.core.xl)
-                .clamp(seg.x.lo, seg.x.hi - cl.width);
+            let mut x = snap(cl.x, design.core.xl).clamp(seg.x.lo, seg.x.hi - cl.width);
             for &cid in &cl.cells {
                 let base_row = seg.row;
                 out.cells[cid.0 as usize].pos = Some(Point::new(x, design.row_y(base_row)));
@@ -266,7 +260,10 @@ fn trial_cost(
 ) -> Option<f64> {
     let w = design.type_of(cell).width;
     let (base, tail) = simulate_tail(&row.clusters, seg, row.floor, cell, desired, w)?;
-    let old_cost: f64 = row.clusters[base..].iter().map(|c| TailSim::of(c).cost()).sum();
+    let old_cost: f64 = row.clusters[base..]
+        .iter()
+        .map(|c| TailSim::of(c).cost())
+        .sum();
     let new_cost: f64 = tail.iter().map(TailSim::cost).sum();
     Some(new_cost - old_cost)
 }
@@ -400,7 +397,11 @@ mod tests {
             s
         };
         for i in 0..n {
-            let t = if rng() % 5 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            let t = if rng() % 5 == 0 {
+                CellTypeId(1)
+            } else {
+                CellTypeId(0)
+            };
             d.add_cell(Cell::new(
                 format!("c{i}"),
                 t,
@@ -426,7 +427,11 @@ mod tests {
         let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 90));
         d.add_cell_type(CellType::new("s", 20, 1));
         for i in 0..3 {
-            d.add_cell(Cell::new(format!("c{i}"), CellTypeId(0), Point::new(500, 0)));
+            d.add_cell(Cell::new(
+                format!("c{i}"),
+                CellTypeId(0),
+                Point::new(500, 0),
+            ));
         }
         let (out, _) = legalize_abacus(&d);
         let xs: Vec<Dbu> = out.cells.iter().map(|c| c.pos.unwrap().x).collect();

@@ -103,7 +103,7 @@ pub fn legalize_lcp_with(design: &Design, max_iters: usize, tol: f64) -> (Design
         residual = 0.0f64;
         for (pi, &(a, b, sep)) in pairs.iter().enumerate() {
             let gap = sep - (x[b] - x[a]); // > 0 means violated
-            // Each unit of λ moves a left 0.5 and b right 0.5.
+                                           // Each unit of λ moves a left 0.5 and b right 0.5.
             let delta = gap; // (1/2 + 1/2) divisor = 1
             let new_lambda = (lambda[pi] + delta).max(0.0);
             let applied = new_lambda - lambda[pi];
@@ -132,7 +132,9 @@ pub fn legalize_lcp_with(design: &Design, max_iters: usize, tol: f64) -> (Design
         let raw = v.round() as Dbu;
         design.core.xl + (raw - design.core.xl + sw / 2).div_euclid(sw) * sw
     };
-    let mut new_x: Vec<Dbu> = (0..k).map(|i| snap(x[i]).clamp(lo[i] as Dbu, hi[i] as Dbu)).collect();
+    let mut new_x: Vec<Dbu> = (0..k)
+        .map(|i| snap(x[i]).clamp(lo[i] as Dbu, hi[i] as Dbu))
+        .collect();
     // Forward sweep per segment: enforce order & separation rightward.
     for seg in 0..state.segments().len() {
         let occ: Vec<CellId> = state.cells_in_segment(seg).to_vec();
@@ -184,7 +186,11 @@ mod tests {
             s
         };
         for i in 0..n {
-            let t = if rng() % 5 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            let t = if rng() % 5 == 0 {
+                CellTypeId(1)
+            } else {
+                CellTypeId(0)
+            };
             d.add_cell(Cell::new(
                 format!("c{i}"),
                 t,
@@ -227,7 +233,11 @@ mod tests {
         let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 90));
         d.add_cell_type(CellType::new("s", 20, 1));
         for i in 0..5 {
-            d.add_cell(Cell::new(format!("c{i}"), CellTypeId(0), Point::new(600, 0)));
+            d.add_cell(Cell::new(
+                format!("c{i}"),
+                CellTypeId(0),
+                Point::new(600, 0),
+            ));
         }
         let (out, stats) = legalize_lcp(&d);
         assert!(stats.residual < 1.0);

@@ -37,7 +37,11 @@ mod tests {
             s
         };
         for i in 0..n {
-            let t = if rng() % 5 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            let t = if rng() % 5 == 0 {
+                CellTypeId(1)
+            } else {
+                CellTypeId(0)
+            };
             d.add_cell(Cell::new(
                 format!("c{i}"),
                 t,
@@ -74,7 +78,11 @@ mod tests {
             let mut x = 0i64;
             loop {
                 let double = row % 2 == 0 && rng() % 6 == 0;
-                let (w, t) = if double { (30, CellTypeId(1)) } else { (20, CellTypeId(0)) };
+                let (w, t) = if double {
+                    (30, CellTypeId(1))
+                } else {
+                    (20, CellTypeId(0))
+                };
                 if x + w > 3000 {
                     break;
                 }
@@ -99,8 +107,7 @@ mod tests {
         let d = packed_design(123); // ~95% density, locally overfull GP
         let (mll_out, s1) = legalize_mll(&d);
         assert_eq!(s1.failed, 0);
-        let (mgl_out, s2) =
-            Legalizer::new(LegalizerConfig::total_displacement()).run(&d);
+        let (mgl_out, s2) = Legalizer::new(LegalizerConfig::total_displacement()).run(&d);
         assert_eq!(s2.mgl.failed, 0);
         let mll_m = Metrics::measure(&mll_out);
         let mgl_m = Metrics::measure(&mgl_out);

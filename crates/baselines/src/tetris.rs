@@ -35,12 +35,7 @@ pub fn run(state: &mut PlacementState<'_>) -> TetrisStats {
     order.sort_by_key(|&id| {
         let c = &design.cells[id.0 as usize];
         let ct = &design.cell_types[c.type_id.0 as usize];
-        (
-            std::cmp::Reverse(ct.height_rows),
-            c.gp.x,
-            c.gp.y,
-            id.0,
-        )
+        (std::cmp::Reverse(ct.height_rows), c.gp.x, c.gp.y, id.0)
     });
     let mut stats = TetrisStats::default();
     for cell in order {
@@ -175,7 +170,11 @@ mod tests {
             s
         };
         for i in 0..n {
-            let t = if rng() % 4 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            let t = if rng() % 4 == 0 {
+                CellTypeId(1)
+            } else {
+                CellTypeId(0)
+            };
             d.add_cell(Cell::new(
                 format!("c{i}"),
                 t,

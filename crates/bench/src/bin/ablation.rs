@@ -10,10 +10,7 @@ use mcl_gen::generate::generate;
 use mcl_gen::presets::{iccad17_config, ICCAD17};
 
 fn main() {
-    let stats = ICCAD17
-        .iter()
-        .find(|s| s.name == "des_perf_b_md2")
-        .unwrap();
+    let stats = ICCAD17.iter().find(|s| s.name == "des_perf_b_md2").unwrap();
     let cfg = iccad17_config(stats, scale_from_env());
     let g = generate(&cfg).expect("preset generates");
     let d = &g.design;

@@ -22,7 +22,10 @@ fn main() {
     let mut rows = Vec::new();
     for x in (0..=100).step_by(5) {
         let vals = [a.eval(x), b.eval(x), c.eval(x), d.eval(x)];
-        csv.push_str(&format!("{x},{},{},{},{}\n", vals[0], vals[1], vals[2], vals[3]));
+        csv.push_str(&format!(
+            "{x},{},{},{},{}\n",
+            vals[0], vals[1], vals[2], vals[3]
+        ));
         rows.push((x, vals));
     }
     // ASCII sketch, one panel per type.
@@ -33,7 +36,13 @@ fn main() {
             let thresh = max * level / 4;
             let line: String = rows
                 .iter()
-                .map(|(_, v)| if v[idx] >= thresh && (v[idx] > 0 || level == 0) { '*' } else { ' ' })
+                .map(|(_, v)| {
+                    if v[idx] >= thresh && (v[idx] > 0 || level == 0) {
+                        '*'
+                    } else {
+                        ' '
+                    }
+                })
                 .collect();
             println!("  {line}");
         }

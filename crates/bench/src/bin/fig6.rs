@@ -13,10 +13,7 @@ use mcl_viz::{render_svg, SvgOptions};
 
 fn main() {
     println!("# Figure 6 — max displacement optimization, before/after\n");
-    let stats = ICCAD17
-        .iter()
-        .find(|s| s.name == "fft_2_md2")
-        .unwrap();
+    let stats = ICCAD17.iter().find(|s| s.name == "fft_2_md2").unwrap();
     let cfg = iccad17_config(stats, scale_from_env().max(0.05));
     let g = generate(&cfg).expect("preset generates");
 

@@ -41,7 +41,11 @@ fn main() {
         let ours = evaluate(d, |d| Legalizer::new(lcfg.clone()).run(d).0);
 
         assert!(ours.report.is_legal(), "{}: ours must be legal", stats.name);
-        assert!(champ.report.is_legal(), "{}: champ must be legal", stats.name);
+        assert!(
+            champ.report.is_legal(),
+            "{}: champ must be legal",
+            stats.name
+        );
 
         let line = format!(
             "| {:<20} | {:>6} | {:>5.2} | {:>9} {:>9} | {:>8} {:>8} | {:>7} {:>7} | {:>6} {:>6} | {:>6} {:>6} | {:>7} {:>7} | {:>6} {:>6} |",
@@ -72,8 +76,16 @@ fn main() {
         push(&mut cols, 1, ours.metrics.avg_disp_rows);
         push(&mut cols, 2, champ.metrics.max_disp_rows);
         push(&mut cols, 3, ours.metrics.max_disp_rows);
-        push(&mut cols, 4, (champ.report.pin_shorts + champ.report.pin_access) as f64);
-        push(&mut cols, 5, (ours.report.pin_shorts + ours.report.pin_access) as f64);
+        push(
+            &mut cols,
+            4,
+            (champ.report.pin_shorts + champ.report.pin_access) as f64,
+        );
+        push(
+            &mut cols,
+            5,
+            (ours.report.pin_shorts + ours.report.pin_access) as f64,
+        );
         push(&mut cols, 6, champ.score);
         push(&mut cols, 7, ours.score);
         push(&mut cols, 8, champ.seconds);

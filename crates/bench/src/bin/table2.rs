@@ -17,9 +17,17 @@ fn main() {
     println!("# Table 2 — total displacement vs prior work (scale {scale})\n");
     println!(
         "| {:<16} | {:>7} | {:>5} | {:>10} {:>10} {:>10} {:>10} | {:>6} {:>6} {:>6} {:>6} |",
-        "Benchmark", "#Cells", "Dens",
-        "MLL[12]", "Abacus[7]", "LCP[9]", "Ours",
-        "s.12", "s.7", "s.9", "s.our"
+        "Benchmark",
+        "#Cells",
+        "Dens",
+        "MLL[12]",
+        "Abacus[7]",
+        "LCP[9]",
+        "Ours",
+        "s.12",
+        "s.7",
+        "s.9",
+        "s.our"
     );
 
     let mut disp: Vec<Vec<f64>> = vec![Vec::new(); 4];

@@ -95,6 +95,11 @@ pub struct LegalizerConfig {
     /// Number of worker threads for MGL (1 = serial). Results are identical
     /// for any value.
     pub threads: usize,
+    /// Clamp `threads` to the hardware's available parallelism. Oversub-
+    /// scribing buys nothing (results are thread-count-invariant) and costs
+    /// context switches, so this defaults to on; tests disable it to
+    /// exercise the worker pool regardless of the host's core count.
+    pub clamp_threads_to_hardware: bool,
     /// Capacity of the concurrent-window list `L_p` (§3.5). Determinism is
     /// per capacity value; small capacities track the sequential schedule
     /// closely (capacity 1 reproduces it exactly), large ones admit more
@@ -182,6 +187,7 @@ impl Default for LegalizerConfig {
             fixed_order_refine: true,
             n0_factor: 4,
             threads: 1,
+            clamp_threads_to_hardware: true,
             window_list_capacity: 8,
         }
     }

@@ -204,21 +204,21 @@ impl PwlCurve {
     /// breakpoint or an endpoint, so probing those suffices (no convexity
     /// needed). Ties prefer the x closest to `prefer`.
     ///
+    /// Runs in one left-to-right sweep (O(events)); the probe order — `lo`,
+    /// `hi`, interior breakpoints ascending, then `prefer` — is part of the
+    /// tie-breaking contract and must not change.
+    ///
     /// Returns `None` when `lo > hi`.
     pub fn min_on(&self, lo: Dbu, hi: Dbu, prefer: Dbu) -> Option<(Dbu, i64)> {
         if lo > hi {
             return None;
         }
         let mut best: Option<(Dbu, i64)> = None;
-        let mut probe = |x: Dbu| {
-            let v = self.eval(x);
+        let mut probe = |x: Dbu, v: i64| {
             best = Some(match best {
                 None => (x, v),
                 Some((bx, bv)) => {
-                    if v < bv
-                        || (v == bv
-                            && (x - prefer).abs() < (bx - prefer).abs())
-                    {
+                    if v < bv || (v == bv && (x - prefer).abs() < (bx - prefer).abs()) {
                         (x, v)
                     } else {
                         (bx, bv)
@@ -226,20 +226,221 @@ impl PwlCurve {
                 }
             });
         };
-        probe(lo);
-        probe(hi);
-        for &(x, _) in &self.events {
-            if x > lo && x < hi {
-                probe(x);
+        let v_lo = self.eval(lo);
+        probe(lo, v_lo);
+        probe(hi, self.eval(hi));
+        // Interior breakpoints (and `prefer` on the way) by slope
+        // integration from lo — one pass instead of one eval per probe.
+        let mut cur = lo;
+        let mut v = v_lo as i128;
+        let mut slope = self.slope_right_of(lo) as i128;
+        let mut v_prefer: Option<i64> = None;
+        for &(ex, ds) in self.events.iter().skip_while(|&&(ex, _)| ex <= lo) {
+            if ex >= hi {
+                break;
             }
+            if cur < prefer && prefer <= ex && prefer < hi {
+                v_prefer = Some(clamp_i64(v + slope * (prefer - cur) as i128));
+            }
+            v += slope * (ex - cur) as i128;
+            cur = ex;
+            probe(ex, clamp_i64(v));
+            slope += ds as i128;
         }
         // The preferred point itself is probed too: on flat stretches the
         // minimum is attained on a whole interval and we want the tie-break
         // to favor it.
         if prefer > lo && prefer < hi {
-            probe(prefer);
+            let vp = v_prefer.unwrap_or_else(|| clamp_i64(v + slope * (prefer - cur) as i128));
+            probe(prefer, vp);
         }
         best
+    }
+
+    /// Slope immediately right of `x` (relative to `slope0`, counting every
+    /// event at or before `x`).
+    fn slope_right_of(&self, x: Dbu) -> i64 {
+        let mut s = self.slope0;
+        for &(ex, ds) in &self.events {
+            if ex <= x {
+                s += ds;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    /// Rebuilds `self` as the sum of `terms`, reusing the event buffer.
+    /// Semantically identical to `PwlCurve::sum` over the equivalent curves,
+    /// but allocation-free once the buffer has grown to a steady size.
+    pub fn sum_terms_into(&mut self, terms: &[PwlTerm]) {
+        self.events.clear();
+        let mut slope0 = 0i64;
+        for t in terms {
+            slope0 += t.slope0();
+            t.events_into(&mut self.events);
+        }
+        self.events.sort_unstable_by_key(|&(x, _)| x);
+        // Merge events at equal x in place, dropping zero deltas.
+        let mut w = 0usize;
+        for r in 0..self.events.len() {
+            let (x, ds) = self.events[r];
+            if w > 0 && self.events[w - 1].0 == x {
+                self.events[w - 1].1 += ds;
+            } else {
+                self.events[w] = (x, ds);
+                w += 1;
+            }
+        }
+        self.events.truncate(w);
+        self.events.retain(|&(_, ds)| ds != 0);
+        self.slope0 = slope0;
+        self.x_ref = self.events.first().map(|&(x, _)| x).unwrap_or(0);
+        let v: i128 = terms.iter().map(|t| t.eval(self.x_ref) as i128).sum();
+        self.v_ref = clamp_i64(v);
+    }
+}
+
+fn clamp_i64(v: i128) -> i64 {
+    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// A displacement-curve contribution in closed form (Fig. 4 curve types plus
+/// the target's V), small enough to be `Copy`: building one allocates
+/// nothing, unlike the equivalent [`PwlCurve`] constructors. Hot-path
+/// insertion evaluation collects terms and sums them once with
+/// [`PwlCurve::sum_terms_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PwlTerm {
+    /// The target's weighted V `w·|x − center|`.
+    Vee {
+        /// The V's apex.
+        center: Dbu,
+        /// Weight.
+        w: i64,
+    },
+    /// Type **A**: flat at `w·base` up to `a`, then slope `+w`; plus `dv`.
+    TypeA {
+        /// Breakpoint.
+        a: Dbu,
+        /// Current displacement of the local cell.
+        base: i64,
+        /// Weight.
+        w: i64,
+        /// Vertical offset (Δ-displacement normalization).
+        dv: i64,
+    },
+    /// Type **B**: slope `−w` up to `a`, then flat at `w·base`; plus `dv`.
+    TypeB {
+        /// Breakpoint.
+        a: Dbu,
+        /// Current displacement of the local cell.
+        base: i64,
+        /// Weight.
+        w: i64,
+        /// Vertical offset.
+        dv: i64,
+    },
+    /// Type **C**: flat at `w·base` up to `a`, descending to zero at
+    /// `a + base`, then slope `+w`; plus `dv`.
+    TypeC {
+        /// Breakpoint where the plateau ends.
+        a: Dbu,
+        /// Current displacement of the local cell.
+        base: i64,
+        /// Weight.
+        w: i64,
+        /// Vertical offset.
+        dv: i64,
+    },
+    /// Type **D**: slope `−w` down to zero at `c`, ascending to `w·base` at
+    /// `c + base`, then flat; plus `dv`.
+    TypeD {
+        /// The zero point.
+        c: Dbu,
+        /// Current displacement of the local cell.
+        base: i64,
+        /// Weight.
+        w: i64,
+        /// Vertical offset.
+        dv: i64,
+    },
+}
+
+impl PwlTerm {
+    /// Slope at −∞.
+    fn slope0(&self) -> i64 {
+        match *self {
+            PwlTerm::Vee { w, .. } | PwlTerm::TypeB { w, .. } | PwlTerm::TypeD { w, .. } => -w,
+            PwlTerm::TypeA { .. } | PwlTerm::TypeC { .. } => 0,
+        }
+    }
+
+    /// Appends this term's slope-change events to `out`.
+    fn events_into(&self, out: &mut Vec<(Dbu, i64)>) {
+        match *self {
+            PwlTerm::Vee { center, w } => out.push((center, 2 * w)),
+            PwlTerm::TypeA { a, w, .. } | PwlTerm::TypeB { a, w, .. } => out.push((a, w)),
+            PwlTerm::TypeC { a, base, w, .. } => {
+                out.push((a, -w));
+                out.push((a + base, 2 * w));
+            }
+            PwlTerm::TypeD { c, base, w, .. } => {
+                out.push((c, 2 * w));
+                out.push((c + base, -w));
+            }
+        }
+    }
+
+    /// Evaluates the term at `x` (closed form).
+    pub fn eval(&self, x: Dbu) -> i64 {
+        match *self {
+            PwlTerm::Vee { center, w } => w.saturating_mul((x - center).abs()),
+            PwlTerm::TypeA { a, base, w, dv } => {
+                let slope_part = if x > a { w.saturating_mul(x - a) } else { 0 };
+                base.saturating_mul(w)
+                    .saturating_add(slope_part)
+                    .saturating_add(dv)
+            }
+            PwlTerm::TypeB { a, base, w, dv } => {
+                let slope_part = if x < a { w.saturating_mul(a - x) } else { 0 };
+                base.saturating_mul(w)
+                    .saturating_add(slope_part)
+                    .saturating_add(dv)
+            }
+            PwlTerm::TypeC { a, base, w, dv } => {
+                let v = if x <= a {
+                    base.saturating_mul(w)
+                } else if x <= a + base {
+                    w.saturating_mul(a + base - x)
+                } else {
+                    w.saturating_mul(x - a - base)
+                };
+                v.saturating_add(dv)
+            }
+            PwlTerm::TypeD { c, base, w, dv } => {
+                let v = if x <= c {
+                    w.saturating_mul(c - x)
+                } else if x <= c + base {
+                    w.saturating_mul(x - c)
+                } else {
+                    base.saturating_mul(w)
+                };
+                v.saturating_add(dv)
+            }
+        }
+    }
+
+    /// The equivalent [`PwlCurve`], for tests and the reference path.
+    pub fn to_curve(self) -> PwlCurve {
+        match self {
+            PwlTerm::Vee { center, w } => PwlCurve::vee(center, w),
+            PwlTerm::TypeA { a, base, w, dv } => PwlCurve::type_a(a, base, w).offset(dv),
+            PwlTerm::TypeB { a, base, w, dv } => PwlCurve::type_b(a, base, w).offset(dv),
+            PwlTerm::TypeC { a, base, w, dv } => PwlCurve::type_c(a, base, w).offset(dv),
+            PwlTerm::TypeD { c, base, w, dv } => PwlCurve::type_d(c, base, w).offset(dv),
+        }
     }
 }
 
@@ -335,10 +536,7 @@ mod tests {
     #[test]
     fn min_prefers_closest_to_prefer_on_ties() {
         // Flat region between 10 and 20 (sum of two opposing hockey sticks).
-        let c = PwlCurve::sum(vec![
-            PwlCurve::type_b(10, 0, 1),
-            PwlCurve::type_a(20, 0, 1),
-        ]);
+        let c = PwlCurve::sum(vec![PwlCurve::type_b(10, 0, 1), PwlCurve::type_a(20, 0, 1)]);
         assert_eq!(c.eval(12), 0);
         assert_eq!(c.eval(18), 0);
         let (x, v) = c.min_on(0, 30, 17).unwrap();

@@ -196,7 +196,11 @@ pub fn optimize_fixed_order(
     // Validate the recovered primal solution.
     for i in 0..k {
         if xs[i] < lo[i] || xs[i] > hi[i] {
-            debug_assert!(false, "bound violated for cell {i}: {} not in [{}, {}]", xs[i], lo[i], hi[i]);
+            debug_assert!(
+                false,
+                "bound violated for cell {i}: {} not in [{}, {}]",
+                xs[i], lo[i], hi[i]
+            );
             return stats;
         }
     }
@@ -341,10 +345,7 @@ mod tests {
                 dp = ndp;
             }
             let opt = dp.iter().copied().min().unwrap();
-            assert_eq!(
-                stats.weighted_after, opt,
-                "case {case}: cells {cells:?}"
-            );
+            assert_eq!(stats.weighted_after, opt, "case {case}: cells {cells:?}");
         }
     }
 

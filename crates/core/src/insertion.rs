@@ -6,6 +6,16 @@
 //! displacement curve of the target and the affected local cells, and
 //! returns the candidate with the lowest cost.
 //!
+//! The evaluation loop is the hottest code in the legalizer, so it is
+//! written to be **allocation-free in steady state**: every growable buffer
+//! (row lineups, region lists, anchor lists, curve terms, the summed curve's
+//! event buffer, chain bookkeeping, the slot-tuple dedup set and the shift
+//! scratch) lives in a reusable [`InsertionScratch`], and slot tuples are
+//! deduplicated by a 64-bit hash of the tuple instead of storing an owned
+//! `Vec` per candidate. A seed-faithful, allocating twin lives in
+//! [`crate::insertion_reference`] and is differential-tested against this
+//! implementation.
+//!
 //! Simplifications versus the paper, documented in DESIGN.md:
 //! - only single-row local cells are shiftable; multi-row neighbours act as
 //!   walls (window expansion compensates);
@@ -14,7 +24,7 @@
 //!   reaches the same slot tuples for windows of practical size).
 
 use crate::config::DisplacementReference;
-use crate::curve::PwlCurve;
+use crate::curve::{PwlCurve, PwlTerm};
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
@@ -52,61 +62,132 @@ pub struct Insertion {
 
 /// One cell in a row lineup.
 #[derive(Debug, Clone, Copy)]
-struct Line {
-    id: CellId,
-    x: Dbu,
-    w: Dbu,
-    lc: u8,
-    rc: u8,
-    shiftable: bool,
+pub(crate) struct Line {
+    pub(crate) id: CellId,
+    pub(crate) x: Dbu,
+    pub(crate) w: Dbu,
+    pub(crate) lc: u8,
+    pub(crate) rc: u8,
+    pub(crate) shiftable: bool,
+}
+
+/// Counters describing how much work one scratch has absorbed; cheap enough
+/// to keep always-on and surfaced through `MglStats` perf data.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Aligned regions evaluated (per base row × window).
+    pub regions: u64,
+    /// Candidate anchors inspected.
+    pub anchors: u64,
+    /// Slot tuples skipped by the dedup hash.
+    pub dedup_hits: u64,
+    /// Curve minimizations performed.
+    pub curve_mins: u64,
+}
+
+impl ScratchStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &ScratchStats) {
+        self.regions += other.regions;
+        self.anchors += other.anchors;
+        self.dedup_hits += other.dedup_hits;
+        self.curve_mins += other.curve_mins;
+    }
+}
+
+/// Reusable buffers for [`best_insertion_in`]. One per worker thread; after
+/// a few evaluations every buffer reaches steady-state capacity and the hot
+/// path stops allocating entirely (the only remaining allocation is cloning
+/// the shift list of a *new best* candidate, which is rare by construction).
+#[derive(Debug, Default)]
+pub struct InsertionScratch {
+    /// Per-row lineups (index 0 = base row); only the first `h` are live.
+    lineups: Vec<Vec<Line>>,
+    /// Aligned-region list for the current base row.
+    regions: Vec<Interval>,
+    /// Double buffer for region intersection across rows.
+    regions_next: Vec<Interval>,
+    /// Candidate anchor x positions.
+    anchors: Vec<Dbu>,
+    /// Slot tuple of the current anchor (one slot index per spanned row).
+    tuple: Vec<u32>,
+    /// Hashes of slot tuples already evaluated for this region.
+    seen: HashSet<u64>,
+    /// Curve terms of the current candidate.
+    terms: Vec<PwlTerm>,
+    /// Summed displacement curve (its event buffer is reused).
+    total: PwlCurve,
+    /// `(cell, offset, is_left)` per chain member, for shift reconstruction.
+    chain_info: Vec<(CellId, Dbu, bool)>,
+    /// Shift list of the candidate currently being reconstructed.
+    shifts: Vec<(CellId, Dbu)>,
+    /// Candidate x positions (optimum plus routability-clear alternates).
+    cand_xs: Vec<Dbu>,
+    /// Work counters.
+    pub stats: ScratchStats,
+}
+
+impl InsertionScratch {
+    /// A fresh scratch with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// FNV-1a over the slot tuple; collisions would merge two distinct tuples,
+/// but at 64 bits over a handful of `u32`s that is beyond unlikely, and the
+/// hash is deterministic so results stay thread-count independent.
+fn tuple_hash(tuple: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &v in tuple {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 /// Finds the best insertion of `target` within `window`, or `None` when no
-/// feasible insertion exists there.
+/// feasible insertion exists there. Convenience wrapper over
+/// [`best_insertion_in`] with a throwaway scratch; hot paths should hold a
+/// scratch per thread instead.
 pub fn best_insertion(
     state: &PlacementState<'_>,
     target: CellId,
     window: Rect,
     model: &CostModel<'_>,
 ) -> Option<Insertion> {
+    let mut scratch = InsertionScratch::new();
+    best_insertion_in(state, target, window, model, &mut scratch)
+}
+
+/// Finds the best insertion of `target` within `window` using `scratch` for
+/// all intermediate buffers, or `None` when no feasible insertion exists.
+pub fn best_insertion_in(
+    state: &PlacementState<'_>,
+    target: CellId,
+    window: Rect,
+    model: &CostModel<'_>,
+    scratch: &mut InsertionScratch,
+) -> Option<Insertion> {
     let d = state.design();
     let tc = &d.cells[target.0 as usize];
     let ct = d.type_of(target);
     let h = ct.height_rows as usize;
     let w_t = ct.width;
-    let _ = &d.tech;
     let w_target = model.weights[target.0 as usize];
     let gp_x_snapped = d.tech.snap_x_nearest(d.core.xl, tc.gp.x);
 
-    let row_lo = d
-        .row_of_y(window.yl.max(d.core.yl))
-        .unwrap_or(0);
-    let row_hi_incl = d
-        .row_of_y((window.yh - 1).min(d.core.yh - 1))
-        .unwrap_or(0);
+    let row_lo = d.row_of_y(window.yl.max(d.core.yl)).unwrap_or(0);
+    let row_hi_incl = d.row_of_y((window.yh - 1).min(d.core.yh - 1)).unwrap_or(0);
     let max_base = d.num_rows.checked_sub(h)?;
 
     let mut best: Option<Insertion> = None;
-    let mut consider = |cand: Insertion, gp_y: Dbu, gp_x: Dbu, d: &Design| {
-        let better = match &best {
-            None => true,
-            Some(b) => {
-                let key = |c: &Insertion| {
-                    (
-                        c.cost,
-                        (d.row_y(c.base_row) - gp_y).abs(),
-                        (c.x - gp_x).abs(),
-                        c.base_row,
-                        c.x,
-                    )
-                };
-                key(&cand) < key(b)
-            }
-        };
-        if better {
-            best = Some(cand);
-        }
-    };
+    // Region buffers are taken out of the scratch so `scratch` can be
+    // reborrowed mutably by `evaluate_region` while we iterate them.
+    let mut regions = std::mem::take(&mut scratch.regions);
+    let mut regions_next = std::mem::take(&mut scratch.regions_next);
 
     for base_row in row_lo..=row_hi_incl.min(max_base) {
         // Target must fit inside the window vertically.
@@ -129,36 +210,84 @@ pub fn best_insertion(
         // Aligned segment regions across the h spanned rows.
         let segmap = state.segments();
         let win_x = Interval::new(window.xl.max(d.core.xl), window.xh.min(d.core.xh));
-        let mut regions: Vec<Interval> = state
-            .segments_overlapping(base_row, tc.fence, win_x)
-            .map(|i| segmap.segments()[i].x.intersect(win_x))
-            .collect();
+        regions.clear();
+        regions.extend(
+            state
+                .segments_overlapping(base_row, tc.fence, win_x)
+                .map(|i| segmap.segments()[i].x.intersect(win_x)),
+        );
         for r in base_row + 1..base_row + h {
-            let mut next = Vec::new();
+            regions_next.clear();
             for region in &regions {
                 for i in state.segments_overlapping(r, tc.fence, *region) {
                     let iv = segmap.segments()[i].x.intersect(*region);
                     if iv.len() >= w_t {
-                        next.push(iv);
+                        regions_next.push(iv);
                     }
                 }
             }
-            regions = next;
+            std::mem::swap(&mut regions, &mut regions_next);
             if regions.is_empty() {
                 break;
             }
         }
 
-        for region in regions {
+        for &region in &regions {
             if region.len() < w_t {
                 continue;
             }
             evaluate_region(
-                state, target, model, base_row, h, region, y_cost, gp_x_snapped, &mut consider,
+                state,
+                target,
+                model,
+                base_row,
+                h,
+                region,
+                y_cost,
+                gp_x_snapped,
+                scratch,
+                &mut best,
             );
         }
     }
+    scratch.regions = regions;
+    scratch.regions_next = regions_next;
     best
+}
+
+/// Whether a candidate keyed by `(cost, base_row, x)` beats the incumbent.
+/// The full comparison key is `(cost, |row_y − gp.y|, |x − gp.x|, base_row,
+/// x)` — cheapest first, then closest to the GP, then lowest row / leftmost
+/// for determinism.
+fn candidate_improves(
+    best: &Option<Insertion>,
+    cost: i64,
+    base_row: usize,
+    x: Dbu,
+    gp_y: Dbu,
+    gp_x: Dbu,
+    d: &Design,
+) -> bool {
+    match best {
+        None => true,
+        Some(b) => {
+            let cand_key = (
+                cost,
+                (d.row_y(base_row) - gp_y).abs(),
+                (x - gp_x).abs(),
+                base_row,
+                x,
+            );
+            let best_key = (
+                b.cost,
+                (d.row_y(b.base_row) - gp_y).abs(),
+                (b.x - gp_x).abs(),
+                b.base_row,
+                b.x,
+            );
+            cand_key < best_key
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -171,7 +300,8 @@ fn evaluate_region(
     region: Interval,
     y_cost: i64,
     gp_x_snapped: Dbu,
-    consider: &mut impl FnMut(Insertion, Dbu, Dbu, &Design),
+    scratch: &mut InsertionScratch,
+    best: &mut Option<Insertion>,
 ) {
     let d = state.design();
     let tc = &d.cells[target.0 as usize];
@@ -180,11 +310,15 @@ fn evaluate_region(
     let sw = d.tech.site_width;
     let snap_up = |x: Dbu| d.core.xl + (x - d.core.xl + sw - 1).div_euclid(sw) * sw;
     let snap_down = |x: Dbu| d.core.xl + (x - d.core.xl).div_euclid(sw) * sw;
+    scratch.stats.regions += 1;
 
-    // Build lineups per row.
-    let mut lineups: Vec<Vec<Line>> = Vec::with_capacity(h);
-    for r in base_row..base_row + h {
-        let mut line = Vec::new();
+    // Build lineups per row into the pooled vectors.
+    while scratch.lineups.len() < h {
+        scratch.lineups.push(Vec::new());
+    }
+    for (i, r) in (base_row..base_row + h).enumerate() {
+        let line = &mut scratch.lineups[i];
+        line.clear();
         for seg_idx in state.segments_overlapping(r, tc.fence, region) {
             for &cid in state.cells_in_segment(seg_idx) {
                 let p = state.pos(cid).unwrap();
@@ -205,14 +339,15 @@ fn evaluate_region(
             }
         }
         line.sort_unstable_by_key(|l| l.x);
-        lineups.push(line);
     }
 
     // Candidate anchors.
     let lo_limit = region.lo;
     let hi_limit = region.hi - w_t;
-    let mut anchors: Vec<Dbu> = vec![gp_x_snapped.clamp(lo_limit, hi_limit)];
-    for line in &lineups {
+    let anchors = &mut scratch.anchors;
+    anchors.clear();
+    anchors.push(gp_x_snapped.clamp(lo_limit, hi_limit));
+    for line in &scratch.lineups[..h] {
         for c in line {
             anchors.push(snap_up(c.x + c.w).clamp(lo_limit, hi_limit));
             anchors.push(snap_down(c.x - w_t).clamp(lo_limit, hi_limit));
@@ -235,33 +370,35 @@ fn evaluate_region(
         (s + sw - 1).div_euclid(sw) * sw
     };
 
-    let mut seen: HashSet<Vec<u32>> = HashSet::new();
-    for &anchor in &anchors {
-        // Slot tuple by center comparison.
-        let tuple: Vec<u32> = lineups
-            .iter()
-            .map(|line| {
-                line.partition_point(|l| 2 * l.x + l.w <= 2 * anchor + w_t) as u32
-            })
-            .collect();
-        if !seen.insert(tuple.clone()) {
+    scratch.seen.clear();
+    for ai in 0..scratch.anchors.len() {
+        let anchor = scratch.anchors[ai];
+        scratch.stats.anchors += 1;
+        // Slot tuple by center comparison, deduplicated by hash (the tuple
+        // itself lives in a reused buffer; nothing is cloned per candidate).
+        scratch.tuple.clear();
+        for line in &scratch.lineups[..h] {
+            scratch
+                .tuple
+                .push(line.partition_point(|l| 2 * l.x + l.w <= 2 * anchor + w_t) as u32);
+        }
+        if !scratch.seen.insert(tuple_hash(&scratch.tuple)) {
+            scratch.stats.dedup_hits += 1;
             continue;
         }
 
         // Chains and bounds.
         let mut lb = region.lo;
         let mut ub_x = region.hi - w_t;
-        let mut curves: Vec<PwlCurve> = Vec::new();
-        curves.push(PwlCurve::vee(
-            gp_x_snapped,
-            model.weights[target.0 as usize],
-        ));
-        // (cell, off, is_left) for shift reconstruction.
-        let mut chain_info: Vec<(CellId, Dbu, bool)> = Vec::new();
-        let mut feasible = true;
+        scratch.terms.clear();
+        scratch.terms.push(PwlTerm::Vee {
+            center: gp_x_snapped,
+            w: model.weights[target.0 as usize],
+        });
+        scratch.chain_info.clear();
 
-        for (row_i, line) in lineups.iter().enumerate() {
-            let slot = tuple[row_i] as usize;
+        for (row_i, line) in scratch.lineups[..h].iter().enumerate() {
+            let slot = scratch.tuple[row_i] as usize;
             // Left chain.
             let mut off: Dbu = 0;
             let mut prev_lc = ct.edge_class.0;
@@ -282,11 +419,21 @@ fn evaluate_region(
                 // a genuine negative cost.
                 let dv = if model.normalize { -base * wgt } else { 0 };
                 if g >= c.x {
-                    curves.push(PwlCurve::type_b(c.x + off, base, wgt).offset(dv));
+                    scratch.terms.push(PwlTerm::TypeB {
+                        a: c.x + off,
+                        base,
+                        w: wgt,
+                        dv,
+                    });
                 } else {
-                    curves.push(PwlCurve::type_d(g + off, base, wgt).offset(dv));
+                    scratch.terms.push(PwlTerm::TypeD {
+                        c: g + off,
+                        base,
+                        w: wgt,
+                        dv,
+                    });
                 }
-                chain_info.push((c.id, off, true));
+                scratch.chain_info.push((c.id, off, true));
                 prev_lc = c.lc;
             }
             let (wall_edge, wall_rc) = wall.unwrap_or((region.lo, u8::MAX));
@@ -313,11 +460,21 @@ fn evaluate_region(
                 // pos(x) = max(cur, x + off_c); normalized as above.
                 let dv = if model.normalize { -base * wgt } else { 0 };
                 if g <= c.x {
-                    curves.push(PwlCurve::type_a(c.x - off_c, base, wgt).offset(dv));
+                    scratch.terms.push(PwlTerm::TypeA {
+                        a: c.x - off_c,
+                        base,
+                        w: wgt,
+                        dv,
+                    });
                 } else {
-                    curves.push(PwlCurve::type_c(c.x - off_c, base, wgt).offset(dv));
+                    scratch.terms.push(PwlTerm::TypeC {
+                        a: c.x - off_c,
+                        base,
+                        w: wgt,
+                        dv,
+                    });
                 }
-                chain_info.push((c.id, off_c, false));
+                scratch.chain_info.push((c.id, off_c, false));
                 off = off_c + c.w;
                 prev_rc = c.rc;
                 last_extent = off;
@@ -330,46 +487,43 @@ fn evaluate_region(
             };
             // x + last_extent + rwall_sp ≤ rwall_edge.
             ub_x = ub_x.min(rwall_edge - rwall_sp - last_extent);
-            let _ = last_extent;
         }
 
         let lb = snap_up(lb);
         let ub = snap_down(ub_x);
         if lb > ub {
-            feasible = false;
-        }
-        if !feasible {
             continue;
         }
 
-        let total = PwlCurve::sum(curves);
+        scratch.total.sum_terms_into(&scratch.terms);
         let prefer = gp_x_snapped.clamp(lb, ub);
-        let Some((x0, _)) = total.min_on(lb, ub, prefer) else {
+        scratch.stats.curve_mins += 1;
+        let Some((x0, _)) = scratch.total.min_on(lb, ub, prefer) else {
             continue;
         };
 
         // Routability-aware candidate positions.
-        let mut cand_xs = vec![x0];
+        scratch.cand_xs.clear();
+        scratch.cand_xs.push(x0);
         if let Some(o) = model.oracle {
             if o.v_violations(tc.type_id, base_row, x0) > 0 {
                 if let Some(xr) = o.clear_x_right(tc.type_id, base_row, x0, ub) {
-                    cand_xs.push(xr);
+                    scratch.cand_xs.push(xr);
                 }
                 if let Some(xl) = o.clear_x_left(tc.type_id, base_row, x0, lb) {
-                    cand_xs.push(xl);
+                    scratch.cand_xs.push(xl);
                 }
             }
         }
-        for x in cand_xs {
-            let mut cost = total
-                .eval(x)
-                .saturating_add(y_cost);
+        for xi in 0..scratch.cand_xs.len() {
+            let x = scratch.cand_xs[xi];
+            let mut cost = scratch.total.eval(x).saturating_add(y_cost);
             if let Some(o) = model.oracle {
                 cost = cost
                     .saturating_add(
-                        model.rail_penalty.saturating_mul(o.v_violations(
-                            tc.type_id, base_row, x,
-                        ) as i64),
+                        model
+                            .rail_penalty
+                            .saturating_mul(o.v_violations(tc.type_id, base_row, x) as i64),
                     )
                     .saturating_add(
                         model
@@ -377,10 +531,11 @@ fn evaluate_region(
                             .saturating_mul(o.io_overlaps(tc.type_id, base_row, x) as i64),
                     );
             }
-            // Reconstruct shifts at this x.
-            let mut shifts = Vec::new();
+            // Reconstruct shifts at this x into the scratch buffer; the
+            // owned `Vec` is only cloned out when the candidate wins.
+            scratch.shifts.clear();
             let mut ok = true;
-            for &(cid, off, is_left) in &chain_info {
+            for &(cid, off, is_left) in &scratch.chain_info {
                 let cur = state.pos(cid).unwrap().x;
                 let new_x = if is_left {
                     cur.min(x - off)
@@ -392,36 +547,32 @@ fn evaluate_region(
                         ok = false;
                         break;
                     }
-                    shifts.push((cid, new_x));
+                    scratch.shifts.push((cid, new_x));
                 }
             }
             if !ok {
                 continue;
             }
-            consider(
-                Insertion {
+            if candidate_improves(best, cost, base_row, x, tc.gp.y, gp_x_snapped, d) {
+                *best = Some(Insertion {
                     base_row,
                     x,
                     cost,
-                    shifts,
-                },
-                tc.gp.y,
-                gp_x_snapped,
-                d,
-            );
+                    shifts: scratch.shifts.clone(),
+                });
+            }
         }
     }
 }
 
 /// The curve reference position and base displacement of a local cell.
-fn gp_ref(d: &Design, model: &CostModel<'_>, c: &Line) -> (Dbu, i64) {
+pub(crate) fn gp_ref(d: &Design, model: &CostModel<'_>, c: &Line) -> (Dbu, i64) {
     match model.reference {
         DisplacementReference::Current => (c.x, 0),
         DisplacementReference::Gp => {
-            let g = d.tech.snap_x_nearest(
-                d.core.xl,
-                d.cells[c.id.0 as usize].gp.x,
-            );
+            let g = d
+                .tech
+                .snap_x_nearest(d.core.xl, d.cells[c.id.0 as usize].gp.x);
             (g, (c.x - g).abs())
         }
     }
@@ -460,13 +611,7 @@ mod tests {
         let t = d.add_cell(Cell::new("t", CellTypeId(0), Point::new(340, 95)));
         let w = uniform_weights(&d);
         let state = PlacementState::new(&d);
-        let ins = best_insertion(
-            &state,
-            t,
-            Rect::new(0, 0, 1000, 900),
-            &model(&w),
-        )
-        .unwrap();
+        let ins = best_insertion(&state, t, Rect::new(0, 0, 1000, 900), &model(&w)).unwrap();
         // GP y=95 → nearest row 1 (y=90); x snapped at 340.
         assert_eq!(ins.base_row, 1);
         assert_eq!(ins.x, 340);
@@ -484,13 +629,7 @@ mod tests {
         let w = uniform_weights(&d);
         let mut state = PlacementState::new(&d);
         state.place(b, Point::new(300, 0)).unwrap();
-        let ins = best_insertion(
-            &state,
-            t,
-            Rect::new(200, 0, 400, 90),
-            &model(&w),
-        )
-        .unwrap();
+        let ins = best_insertion(&state, t, Rect::new(200, 0, 400, 90), &model(&w)).unwrap();
         assert_eq!(ins.base_row, 0);
         // Optimal total displacement is 20 (one cell width), shared or not.
         let mut total = (ins.x - 300).abs();
@@ -616,7 +755,11 @@ mod tests {
         // (cost 20) ties with pushing b by 20; tie-break prefers target at
         // its own GP → also cost 20 but shifts b.
         let cur_total: i64 = (cur.x - 300).abs()
-            + cur.shifts.iter().map(|&(_, nx)| (nx - 300).abs()).sum::<i64>();
+            + cur
+                .shifts
+                .iter()
+                .map(|&(_, nx)| (nx - 300).abs())
+                .sum::<i64>();
         assert_eq!(cur_total, 20);
     }
 
@@ -673,7 +816,40 @@ mod tests {
             .find(|&&(c, _)| c == a)
             .map(|&(_, x)| x)
             .unwrap_or(300);
-        let gap = if ins.x > a_x { ins.x - (a_x + 20) } else { a_x - (ins.x + 20) };
+        let gap = if ins.x > a_x {
+            ins.x - (a_x + 20)
+        } else {
+            a_x - (ins.x + 20)
+        };
         assert!(gap >= 20, "{ins:?}");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        // Run a sequence of queries through ONE scratch and verify each
+        // result matches a fresh-scratch evaluation (buffer reuse must not
+        // leak state between calls).
+        let mut d = design();
+        let b = d.add_cell(Cell::new("b", CellTypeId(0), Point::new(300, 0)));
+        let c = d.add_cell(Cell::new("c", CellTypeId(0), Point::new(340, 0)));
+        let t1 = d.add_cell(Cell::new("t1", CellTypeId(0), Point::new(300, 0)));
+        let t2 = d.add_cell(Cell::new("t2", CellTypeId(1), Point::new(320, 95)));
+        let w = uniform_weights(&d);
+        let mut state = PlacementState::new(&d);
+        state.place(b, Point::new(300, 0)).unwrap();
+        state.place(c, Point::new(340, 0)).unwrap();
+        let m = model(&w);
+        let mut scratch = InsertionScratch::new();
+        for (t, win) in [
+            (t1, Rect::new(200, 0, 460, 90)),
+            (t2, Rect::new(100, 0, 600, 400)),
+            (t1, Rect::new(0, 0, 1000, 900)),
+            (t2, Rect::new(0, 0, 1000, 900)),
+        ] {
+            let reused = best_insertion_in(&state, t, win, &m, &mut scratch);
+            let fresh = best_insertion(&state, t, win, &m);
+            assert_eq!(reused, fresh, "cell {t:?} window {win:?}");
+        }
+        assert!(scratch.stats.regions > 0 && scratch.stats.anchors > 0);
     }
 }

@@ -84,8 +84,7 @@ impl Legalizer {
 
         if self.config.fixed_order_refine {
             let t2 = Instant::now();
-            stats.fixed_order =
-                optimize_fixed_order(&mut state, &self.config, &weights, oracle);
+            stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
             stats.seconds[2] = t2.elapsed().as_secs_f64();
         }
 
@@ -132,8 +131,7 @@ impl Legalizer {
         }
         if self.config.fixed_order_refine {
             let t2 = Instant::now();
-            stats.fixed_order =
-                optimize_fixed_order(&mut state, &self.config, &weights, oracle);
+            stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
             stats.seconds[2] = t2.elapsed().as_secs_f64();
         }
         let mut out = design.clone();
@@ -169,8 +167,7 @@ impl Legalizer {
         }
         if self.config.fixed_order_refine {
             let t2 = Instant::now();
-            stats.fixed_order =
-                optimize_fixed_order(&mut state, &self.config, &weights, oracle);
+            stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
             stats.seconds[2] = t2.elapsed().as_secs_f64();
         }
         let mut out = design.clone();

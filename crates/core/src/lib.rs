@@ -20,13 +20,16 @@ pub mod config;
 pub mod curve;
 pub mod fixed_order;
 pub mod insertion;
+pub mod insertion_reference;
 pub mod legalizer;
 pub mod maxdisp;
 pub mod mgl;
+pub mod perf;
 pub mod routability;
 pub mod scheduler;
 pub mod state;
+pub mod winindex;
 
 pub use config::{CellOrder, DisplacementReference, LegalizerConfig, WeightMode};
 pub use legalizer::{LegalizeStats, Legalizer};
-pub use state::{PlacementState, PlaceError};
+pub use state::{PlaceError, PlacementState};

@@ -53,10 +53,7 @@ struct GroupJob {
 }
 
 /// Runs the matching-based maximum-displacement optimization in place.
-pub fn optimize_max_disp(
-    state: &mut PlacementState<'_>,
-    config: &LegalizerConfig,
-) -> MaxDispStats {
+pub fn optimize_max_disp(state: &mut PlacementState<'_>, config: &LegalizerConfig) -> MaxDispStats {
     let d = state.design();
     let delta0 = config.delta0_dbu(d.tech.row_height);
     let mut stats = MaxDispStats::default();
@@ -66,10 +63,7 @@ pub fn optimize_max_disp(
     for id in d.movable_cells() {
         if state.pos(id).is_some() {
             let c = &d.cells[id.0 as usize];
-            groups
-                .entry((c.type_id.0, c.fence.0))
-                .or_default()
-                .push(id);
+            groups.entry((c.type_id.0, c.fence.0)).or_default().push(id);
         }
     }
     let mut keys: Vec<(u32, u16)> = groups.keys().copied().collect();
@@ -84,10 +78,7 @@ pub fn optimize_max_disp(
         }
         stats.groups += 1;
         let positions: Vec<Point> = cells.iter().map(|&c| state.pos(c).unwrap()).collect();
-        let gps: Vec<Point> = cells
-            .iter()
-            .map(|&c| d.cells[c.0 as usize].gp)
-            .collect();
+        let gps: Vec<Point> = cells.iter().map(|&c| d.cells[c.0 as usize].gp).collect();
         // Groups already within tolerance keep the identity assignment.
         let worst = positions
             .iter()
@@ -184,7 +175,9 @@ fn tail_closure(positions: &[Point], gps: &[Point], delta0: Dbu) -> Vec<usize> {
     let bucket = delta0.max(1);
     let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
     for (j, &p) in positions.iter().enumerate() {
-        grid.entry((p.x / bucket, p.y / bucket)).or_default().push(j);
+        grid.entry((p.x / bucket, p.y / bucket))
+            .or_default()
+            .push(j);
     }
     for _ in 0..HOPS {
         let mut next = Vec::new();
@@ -249,7 +242,9 @@ fn solve_group(job: &GroupJob, delta0: Dbu, dense_limit: usize) -> Vec<(usize, u
         let bucket = delta0.max(1);
         let mut grid: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
         for (j, &p) in job.positions.iter().enumerate() {
-            grid.entry((p.x / bucket, p.y / bucket)).or_default().push(j);
+            grid.entry((p.x / bucket, p.y / bucket))
+                .or_default()
+                .push(j);
         }
         let mut edges = Vec::new();
         for (i, gp) in job.gps.iter().enumerate() {
@@ -428,8 +423,8 @@ mod tests {
         }
         let mut cfg = LegalizerConfig::contest();
         cfg.matching_dense_limit = 8; // force sparse
-        // δ0 below the 10-row per-cell displacement puts every cell in the
-        // tail closure, so the whole rotation chain participates.
+                                      // δ0 below the 10-row per-cell displacement puts every cell in the
+                                      // tail closure, so the whole rotation chain participates.
         cfg.delta0_rows = 5.0;
         let mut state = PlacementState::from_design_positions(&d).unwrap();
         optimize_max_disp(&mut state, &cfg);

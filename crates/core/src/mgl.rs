@@ -7,13 +7,17 @@
 //! whenever capacity exists).
 
 use crate::config::{CellOrder, LegalizerConfig, WeightMode};
-use crate::insertion::{best_insertion, CostModel, Insertion};
+use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch};
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
 
 /// Statistics of one MGL run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Equality compares the *placement outcome* counters only; [`Self::perf`]
+/// carries wall-clock data that legitimately differs between otherwise
+/// identical runs and is excluded from `==`.
+#[derive(Debug, Clone, Default)]
 pub struct MglStats {
     /// Cells placed through window insertion.
     pub placed_in_window: usize,
@@ -23,7 +27,20 @@ pub struct MglStats {
     pub fallbacks: usize,
     /// Cells that could not be placed at all.
     pub failed: usize,
+    /// Per-stage timings and throughput counters (not part of equality).
+    pub perf: crate::perf::PerfStats,
 }
+
+impl PartialEq for MglStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.placed_in_window == other.placed_in_window
+            && self.expansions == other.expansions
+            && self.fallbacks == other.fallbacks
+            && self.failed == other.failed
+    }
+}
+
+impl Eq for MglStats {}
 
 /// Computes per-cell cost weights according to the weight mode.
 ///
@@ -120,8 +137,7 @@ pub fn window_for(design: &Design, cell: CellId, config: &LegalizerConfig, n: us
     let cx = c.gp.x + ct.width / 2;
     let cy = c.gp.y + ct.height_rows as Dbu * rh / 2;
     let hw = (config.window_sites_after(n) as Dbu * sw).max(ct.width / 2 + sw);
-    let hh = (config.window_rows_after(n) as Dbu * rh)
-        .max(ct.height_rows as Dbu * rh / 2 + rh);
+    let hh = (config.window_rows_after(n) as Dbu * rh).max(ct.height_rows as Dbu * rh / 2 + rh);
     Rect::new(
         (cx - hw).max(design.core.xl),
         (cy - hh).max(design.core.yl),
@@ -164,6 +180,7 @@ pub fn run_serial(
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
+    let t_total = std::time::Instant::now();
     let design = state.design();
     let order = cell_order(design, config.order);
     let model = CostModel {
@@ -175,15 +192,25 @@ pub fn run_serial(
         rail_penalty: config.rail_penalty,
     };
     let mut stats = MglStats::default();
+    let mut scratch = InsertionScratch::new();
     for cell in order {
         if state.pos(cell).is_some() {
             continue;
         }
+        stats.perf.rounds += 1;
         let mut done = false;
         for n in 0..=config.max_expansions {
             let window = window_for(design, cell, config, n);
-            if let Some(ins) = best_insertion(state, cell, window, &model) {
+            let t_eval = std::time::Instant::now();
+            let ins = best_insertion_in(state, cell, window, &model, &mut scratch);
+            let dt = t_eval.elapsed().as_nanos() as u64;
+            stats.perf.eval_nanos += dt;
+            stats.perf.eval_cpu_nanos += dt;
+            stats.perf.windows_evaluated += 1;
+            if let Some(ins) = ins {
+                let t_apply = std::time::Instant::now();
                 apply_insertion(state, cell, &ins);
+                stats.perf.apply_nanos += t_apply.elapsed().as_nanos() as u64;
                 stats.placed_in_window += 1;
                 stats.expansions += n;
                 done = true;
@@ -198,22 +225,33 @@ pub fn run_serial(
             // Last resorts: nearest gap honoring routability, then nearest
             // gap accepting pin violations (a placed cell with a soft
             // violation beats an unplaced cell).
-            let p = fallback_scan(state, cell, oracle)
-                .or_else(|| fallback_scan(state, cell, None));
+            let t_fb = std::time::Instant::now();
+            let p = fallback_scan(state, cell, oracle).or_else(|| fallback_scan(state, cell, None));
             match p {
                 Some(p) => {
-                    state.place(cell, p).expect("fallback position must be free");
+                    state
+                        .place(cell, p)
+                        .expect("fallback position must be free");
                     stats.fallbacks += 1;
                 }
                 None => stats.failed += 1,
             }
+            stats.perf.fallback_nanos += t_fb.elapsed().as_nanos() as u64;
         }
     }
+    stats.perf.scratch = scratch.stats;
+    stats.perf.total_nanos = t_total.elapsed().as_nanos() as u64;
     stats
 }
 
 /// Whole-design scan: nearest gap (no pushing) that fits the cell, honoring
 /// fences, parity and horizontal rails. Used as a last resort.
+///
+/// Rows are visited outward from the cell's GP y (lower row first on equal
+/// distance), so the scan stops as soon as a row's y displacement alone can
+/// no longer beat the incumbent; within a row, segments whose x interval
+/// cannot beat the incumbent either are pruned before the gap walk. On
+/// cost ties between rows this prefers the row closer to the GP.
 pub fn fallback_scan(
     state: &PlacementState<'_>,
     cell: CellId,
@@ -230,8 +268,54 @@ pub fn fallback_scan(
     let max_sp = d.tech.edge_spacing.max_spacing();
     let pad = (max_sp + sw - 1).div_euclid(sw) * sw;
 
+    let rows_total = d.num_rows.saturating_sub(h - 1);
+    if rows_total == 0 {
+        return None;
+    }
+    // Two-pointer outward walk from the base row nearest the GP; visit
+    // order is nondecreasing in |row_y − gp.y|.
+    let rh = d.tech.row_height;
+    let raw = (c.gp.y - d.core.yl).div_euclid(rh);
+    let mut down: i64 = raw.min(rows_total as i64 - 1);
+    let mut up: usize = if down < 0 { 0 } else { down as usize + 1 };
+
     let mut best: Option<(i64, Point)> = None;
-    for base_row in 0..d.num_rows.saturating_sub(h - 1) {
+    loop {
+        let base_row = match (down >= 0, up < rows_total) {
+            (false, false) => break,
+            (true, false) => {
+                let r = down as usize;
+                down -= 1;
+                r
+            }
+            (false, true) => {
+                let r = up;
+                up += 1;
+                r
+            }
+            (true, true) => {
+                let yd = (d.row_y(down as usize) - c.gp.y).abs();
+                let yu = (d.row_y(up) - c.gp.y).abs();
+                if yd <= yu {
+                    let r = down as usize;
+                    down -= 1;
+                    r
+                } else {
+                    let r = up;
+                    up += 1;
+                    r
+                }
+            }
+        };
+        let y = d.row_y(base_row);
+        let y_cost = (y - c.gp.y).abs();
+        // Rows are visited nearest-first: once the y displacement alone
+        // cannot strictly beat the incumbent, no remaining row can.
+        if let Some((bc, _)) = best {
+            if y_cost >= bc {
+                break;
+            }
+        }
         if let Some(par) = ct.rail_parity {
             if !par.matches(base_row) {
                 continue;
@@ -242,20 +326,26 @@ pub fn fallback_scan(
                 continue;
             }
         }
-        let y = d.row_y(base_row);
-        let y_cost = (y - c.gp.y).abs();
-        if let Some((_, bp)) = best {
-            // Rows further than the current best cannot win.
-            if y_cost > (bp.x - c.gp.x).abs() + (bp.y - c.gp.y).abs() {
-                continue;
-            }
-        }
         // Candidate spans: for each segment column, walk gaps.
         let segmap = state.segments();
         for &s0 in segmap.in_row(base_row) {
             let seg = &segmap.segments()[s0];
             if seg.fence != c.fence || seg.x.len() < w {
                 continue;
+            }
+            if let Some((bc, _)) = best {
+                // Closest feasible x in this segment is still too far: the
+                // gap walk cannot produce a strict improvement.
+                let min_x_dist = if c.gp.x < seg.x.lo {
+                    seg.x.lo - c.gp.x
+                } else if c.gp.x > seg.x.hi - w {
+                    c.gp.x - (seg.x.hi - w)
+                } else {
+                    0
+                };
+                if y_cost + min_x_dist >= bc {
+                    continue;
+                }
             }
             // Gap walk on the base row; for multi-row cells every candidate
             // is re-checked on the upper rows via a placement probe.
@@ -269,8 +359,16 @@ pub fn fallback_scan(
                     seg.x.hi
                 };
                 // Conservative pad for edge spacing against gap neighbours.
-                let lo = snap_up(if gap_lo > seg.x.lo { gap_lo + pad } else { gap_lo });
-                let hi = snap_down(if gap_hi < seg.x.hi { gap_hi - pad } else { gap_hi }) - w;
+                let lo = snap_up(if gap_lo > seg.x.lo {
+                    gap_lo + pad
+                } else {
+                    gap_lo
+                });
+                let hi = snap_down(if gap_hi < seg.x.hi {
+                    gap_hi - pad
+                } else {
+                    gap_hi
+                }) - w;
                 if hi >= lo {
                     let x = c.gp.x.clamp(lo, hi);
                     let x = snap_up(x).min(hi).max(lo);
@@ -280,8 +378,7 @@ pub fn fallback_scan(
                         if h > 1 {
                             let span = Interval::new(x, x + w);
                             for r in base_row..base_row + h {
-                                let Some(si) = state.find_covering_segment(r, c.fence, span)
-                                else {
+                                let Some(si) = state.find_covering_segment(r, c.fence, span) else {
                                     return false;
                                 };
                                 for &other in state.cells_in_segment(si) {
@@ -295,9 +392,7 @@ pub fn fallback_scan(
                         }
                         true
                     };
-                    if candidate_ok(x)
-                        && best.map(|(bc, _)| cost < bc).unwrap_or(true)
-                    {
+                    if candidate_ok(x) && best.map(|(bc, _)| cost < bc).unwrap_or(true) {
                         best = Some((cost, Point::new(x, y)));
                     }
                 }

@@ -78,9 +78,7 @@ impl<'d> RoutOracle<'d> {
             let y = Interval::new(y0 + local.yl, y0 + local.yh);
             let layer = ct.pins[i].layer;
             for l in [layer, layer + 1] {
-                if d.grid
-                    .h_rail_overlaps(l, y, d.core.yl, d.tech.row_height)
-                {
+                if d.grid.h_rail_overlaps(l, y, d.core.yl, d.tech.row_height) {
                     return false;
                 }
             }
@@ -99,9 +97,7 @@ impl<'d> RoutOracle<'d> {
             let local = ct.pin_rect_local(i, orient, d.tech.row_height);
             let xs = Interval::new(x + local.xl, x + local.xh);
             let layer = ct.pins[i].layer;
-            if d.grid.v_stripe_overlaps(layer, xs)
-                || d.grid.v_stripe_overlaps(layer + 1, xs)
-            {
+            if d.grid.v_stripe_overlaps(layer, xs) || d.grid.v_stripe_overlaps(layer + 1, xs) {
                 n += 1;
             }
         }
@@ -110,7 +106,13 @@ impl<'d> RoutOracle<'d> {
 
     /// Smallest `x' >= x` such that no pin overlaps a vertical stripe, or
     /// `None` when none exists at or below `limit`.
-    pub fn clear_x_right(&self, type_id: CellTypeId, base_row: usize, x: Dbu, limit: Dbu) -> Option<Dbu> {
+    pub fn clear_x_right(
+        &self,
+        type_id: CellTypeId,
+        base_row: usize,
+        x: Dbu,
+        limit: Dbu,
+    ) -> Option<Dbu> {
         let d = self.design;
         let sw = d.tech.site_width;
         let mut cur = x;
@@ -145,7 +147,13 @@ impl<'d> RoutOracle<'d> {
 
     /// Mirror of [`Self::clear_x_right`]: largest `x' <= x` clean position,
     /// bounded below by `limit`.
-    pub fn clear_x_left(&self, type_id: CellTypeId, base_row: usize, x: Dbu, limit: Dbu) -> Option<Dbu> {
+    pub fn clear_x_left(
+        &self,
+        type_id: CellTypeId,
+        base_row: usize,
+        x: Dbu,
+        limit: Dbu,
+    ) -> Option<Dbu> {
         let d = self.design;
         let sw = d.tech.site_width;
         let mut cur = x;

@@ -9,14 +9,57 @@
 //! selected set, the evaluation inputs and the application order are all
 //! independent of thread count, results are bit-identical for any number of
 //! threads (given a fixed list capacity).
+//!
+//! ## Execution model
+//!
+//! Workers are spawned **once per run** and live across rounds (the seed
+//! implementation respawned OS threads every round with static slice
+//! chunking). Each worker owns a full replica of the placement state,
+//! cloned at spawn and kept in lockstep by replaying the applied insertions
+//! broadcast after every round — so evaluation needs no locks at all. Jobs
+//! are pulled from a shared atomic cursor (work stealing), which keeps all
+//! workers busy even when one window is much more expensive than the rest;
+//! the coordinating thread steals jobs too, so `threads == n` means `n`
+//! evaluating threads (and `threads == 1` runs inline with no pool, no
+//! replica and no channels). Results are keyed by job index, making the
+//! apply order independent of which worker produced each result.
+//!
+//! Window-overlap selection uses a [`WindowIndex`] (row-band interval
+//! index) instead of scanning the selected list per pending cell, keeping
+//! each round's selection near-linear in the pending count.
 
 use crate::config::LegalizerConfig;
-use crate::insertion::{best_insertion, CostModel, Insertion};
+use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch, ScratchStats};
 use crate::mgl::{apply_insertion, cell_order, fallback_scan, window_for, MglStats};
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
+use crate::winindex::WindowIndex;
 use mcl_db::prelude::*;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One evaluation job: target cell, expansion level, search window.
+type Job = (CellId, usize, Rect);
+
+/// Round-loop messages broadcast from the coordinator to every worker.
+enum Msg {
+    /// Evaluate jobs pulled from the shared cursor against the replica.
+    Round {
+        jobs: Arc<Vec<Job>>,
+        cursor: Arc<AtomicUsize>,
+    },
+    /// Replay the round's applied insertions to keep the replica in sync.
+    Apply { ops: Arc<Vec<(CellId, Insertion)>> },
+}
+
+/// End-of-run report from one worker.
+struct WorkerReport {
+    scratch: ScratchStats,
+    eval_nanos: u64,
+}
 
 /// Runs MGL with the parallel window scheduler.
 pub fn run_parallel(
@@ -25,8 +68,19 @@ pub fn run_parallel(
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
+    let t_total = Instant::now();
     let design = state.design();
-    let threads = config.threads.max(1);
+    // Results are bit-identical for any worker count, so clamping to the
+    // hardware is free: extra workers past the core count only add context
+    // switches and replica clones.
+    let hw = if config.clamp_threads_to_hardware {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        usize::MAX
+    };
+    let threads = config.threads.max(1).min(hw);
     let capacity = config.window_list_capacity.max(1);
     let mut stats = MglStats::default();
 
@@ -37,25 +91,66 @@ pub fn run_parallel(
         .map(|c| (c, 0usize))
         .collect();
     let mut fallback_queue: Vec<CellId> = Vec::new();
+    let mut windex = WindowIndex::new(design.core, design.tech.row_height);
+    let mut main_scratch = InsertionScratch::new();
+    let workers = threads
+        .saturating_sub(1)
+        .min(pending.len().saturating_sub(1));
 
-    while !pending.is_empty() {
-        // Select non-overlapping windows, preserving order for the rest.
-        let mut selected: Vec<(CellId, usize, Rect)> = Vec::new();
-        let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
-        while let Some((cell, n)) = pending.pop_front() {
-            if selected.len() >= capacity {
-                deferred.push_back((cell, n));
-                continue;
-            }
-            let win = window_for(design, cell, config, n);
-            if selected.iter().any(|(_, _, w)| w.overlaps(win)) {
-                deferred.push_back((cell, n));
-            } else {
-                selected.push((cell, n, win));
-            }
+    std::thread::scope(|scope| {
+        // Spawn the persistent pool: `threads − 1` workers (the coordinator
+        // is the remaining evaluator), each owning a state replica.
+        let (results_tx, results_rx) = mpsc::channel::<(usize, Option<Insertion>)>();
+        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
+        let mut senders: Vec<mpsc::Sender<Msg>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = mpsc::channel::<Msg>();
+            senders.push(tx);
+            let replica = state.clone();
+            let results_tx = results_tx.clone();
+            let report_tx = report_tx.clone();
+            scope.spawn(move || {
+                let mut replica = replica;
+                let model = CostModel {
+                    reference: config.reference,
+                    normalize: config.normalize_curves,
+                    weights,
+                    oracle,
+                    io_penalty: config.io_penalty,
+                    rail_penalty: config.rail_penalty,
+                };
+                let mut scratch = InsertionScratch::new();
+                let mut eval_nanos = 0u64;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Round { jobs, cursor } => loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let (cell, _, win) = jobs[i];
+                            let t = Instant::now();
+                            let r = best_insertion_in(&replica, cell, win, &model, &mut scratch);
+                            eval_nanos += t.elapsed().as_nanos() as u64;
+                            if results_tx.send((i, r)).is_err() {
+                                return; // coordinator gone
+                            }
+                        },
+                        Msg::Apply { ops } => {
+                            for (cell, ins) in ops.iter() {
+                                apply_insertion(&mut replica, *cell, ins);
+                            }
+                        }
+                    }
+                }
+                let _ = report_tx.send(WorkerReport {
+                    scratch: scratch.stats,
+                    eval_nanos,
+                });
+            });
         }
+        drop(report_tx);
 
-        // Evaluate concurrently against the immutable round-start state.
         let model = CostModel {
             reference: config.reference,
             normalize: config.normalize_curves,
@@ -64,79 +159,152 @@ pub fn run_parallel(
             io_penalty: config.io_penalty,
             rail_penalty: config.rail_penalty,
         };
-        let results: Vec<Option<Insertion>> = if threads == 1 || selected.len() == 1 {
-            selected
-                .iter()
-                .map(|&(cell, _, win)| best_insertion(state, cell, win, &model))
-                .collect()
-        } else {
-            let state_ref: &PlacementState<'_> = state;
-            let model_ref = &model;
-            let jobs = &selected;
-            let mut out: Vec<Option<Insertion>> = Vec::new();
-            std::thread::scope(|scope| {
-                let chunk = jobs.len().div_ceil(threads);
-                let mut handles = Vec::new();
-                for t in 0..threads {
-                    let lo = t * chunk;
-                    let hi = ((t + 1) * chunk).min(jobs.len());
-                    if lo >= hi {
+        // Reused per round; results are slotted by job index.
+        let mut results: Vec<Option<Option<Insertion>>> = Vec::new();
+
+        while !pending.is_empty() {
+            stats.perf.rounds += 1;
+            // Select non-overlapping windows, preserving order for the rest.
+            let t_select = Instant::now();
+            let mut selected: Vec<Job> = Vec::new();
+            let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
+            windex.clear();
+            while let Some((cell, n)) = pending.pop_front() {
+                let win = window_for(design, cell, config, n);
+                if windex.overlaps_any(win) {
+                    deferred.push_back((cell, n));
+                } else {
+                    windex.insert(win);
+                    selected.push((cell, n, win));
+                    if selected.len() >= capacity {
+                        // Capacity reached: everything else waits for the
+                        // next round, order preserved.
+                        deferred.extend(pending.drain(..));
                         break;
                     }
-                    handles.push(scope.spawn(move || {
-                        jobs[lo..hi]
-                            .iter()
-                            .map(|&(cell, _, win)| {
-                                best_insertion(state_ref, cell, win, model_ref)
-                            })
-                            .collect::<Vec<_>>()
-                    }));
                 }
-                for h in handles {
-                    out.extend(h.join().expect("worker thread panicked"));
-                }
-            });
-            out
-        };
-
-        // Apply sequentially in selection order.
-        for ((cell, n, _win), result) in selected.into_iter().zip(results) {
-            match result {
-                Some(ins) => {
-                    apply_insertion(state, cell, &ins);
-                    stats.placed_in_window += 1;
-                    stats.expansions += n;
-                }
-                None if n < config.max_expansions => {
-                    stats.expansions += 1;
-                    // Retry the expanded window first thing next round, like
-                    // the sequential algorithm's immediate retry — otherwise
-                    // neighbours fill the cell's space while it waits.
-                    deferred.push_front((cell, n + 1));
-                }
-                None => fallback_queue.push(cell),
             }
-        }
-        pending = deferred;
-    }
+            stats.perf.select_nanos += t_select.elapsed().as_nanos() as u64;
 
+            // Evaluate concurrently against the immutable round-start state:
+            // broadcast the job list, then steal from the shared cursor
+            // alongside the workers until it runs dry, then collect.
+            let t_eval = Instant::now();
+            stats.perf.windows_evaluated += selected.len() as u64;
+            results.clear();
+            results.resize(selected.len(), None);
+            let mut outstanding = 0usize;
+            if workers > 0 && selected.len() > 1 {
+                let jobs = Arc::new(selected.clone());
+                let cursor = Arc::new(AtomicUsize::new(0));
+                for tx in &senders {
+                    let msg = Msg::Round {
+                        jobs: Arc::clone(&jobs),
+                        cursor: Arc::clone(&cursor),
+                    };
+                    tx.send(msg).expect("worker died");
+                }
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let t = Instant::now();
+                    let r =
+                        best_insertion_in(state, jobs[i].0, jobs[i].2, &model, &mut main_scratch);
+                    stats.perf.eval_cpu_nanos += t.elapsed().as_nanos() as u64;
+                    results[i] = Some(r);
+                    outstanding += 1;
+                }
+                while outstanding < selected.len() {
+                    let (i, r) = results_rx.recv().expect("worker died");
+                    results[i] = Some(r);
+                    outstanding += 1;
+                }
+            } else {
+                for (i, &(cell, _, win)) in selected.iter().enumerate() {
+                    let t = Instant::now();
+                    let r = best_insertion_in(state, cell, win, &model, &mut main_scratch);
+                    stats.perf.eval_cpu_nanos += t.elapsed().as_nanos() as u64;
+                    results[i] = Some(r);
+                }
+            }
+            stats.perf.eval_nanos += t_eval.elapsed().as_nanos() as u64;
+
+            // Apply sequentially in selection order; broadcast the applied
+            // ops so replicas stay in lockstep.
+            let t_apply = Instant::now();
+            let mut ops: Vec<(CellId, Insertion)> = Vec::new();
+            for (i, (cell, n, win)) in selected.into_iter().enumerate() {
+                match results[i].take().expect("every job evaluated") {
+                    Some(ins) => {
+                        apply_insertion(state, cell, &ins);
+                        stats.placed_in_window += 1;
+                        stats.expansions += n;
+                        ops.push((cell, ins));
+                    }
+                    None => {
+                        // Mirror the serial algorithm: stop expanding once
+                        // the window already covers the whole core.
+                        let full_core = win == design.core && n > 0;
+                        if n < config.max_expansions && !full_core {
+                            stats.expansions += 1;
+                            // Retry the expanded window first thing next
+                            // round, like the sequential algorithm's
+                            // immediate retry — otherwise neighbours fill
+                            // the cell's space while it waits.
+                            deferred.push_front((cell, n + 1));
+                        } else {
+                            fallback_queue.push(cell);
+                        }
+                    }
+                }
+            }
+            if workers > 0 && !ops.is_empty() {
+                let ops = Arc::new(ops);
+                for tx in &senders {
+                    tx.send(Msg::Apply {
+                        ops: Arc::clone(&ops),
+                    })
+                    .expect("worker died");
+                }
+            }
+            stats.perf.apply_nanos += t_apply.elapsed().as_nanos() as u64;
+            pending = deferred;
+        }
+
+        // Shut the pool down and fold worker counters into the run stats.
+        drop(senders);
+        for _ in 0..workers {
+            let report = report_rx.recv().expect("worker report");
+            stats.perf.scratch.merge(&report.scratch);
+            stats.perf.eval_cpu_nanos += report.eval_nanos;
+        }
+    });
+    stats.perf.scratch.merge(&main_scratch.stats);
+
+    let t_fb = Instant::now();
     for cell in fallback_queue {
-        let p = fallback_scan(state, cell, oracle)
-            .or_else(|| fallback_scan(state, cell, None));
+        let p = fallback_scan(state, cell, oracle).or_else(|| fallback_scan(state, cell, None));
         match p {
             Some(p) => {
-                state.place(cell, p).expect("fallback position must be free");
+                state
+                    .place(cell, p)
+                    .expect("fallback position must be free");
                 stats.fallbacks += 1;
             }
             None => stats.failed += 1,
         }
     }
+    stats.perf.fallback_nanos += t_fb.elapsed().as_nanos() as u64;
+    stats.perf.total_nanos = t_total.elapsed().as_nanos() as u64;
     stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::CellOrder;
     use crate::mgl::compute_weights;
     use mcl_db::legal::Checker;
 
@@ -152,7 +320,11 @@ mod tests {
             s
         };
         for i in 0..n_cells {
-            let t = if rng() % 5 == 0 { CellTypeId(1) } else { CellTypeId(0) };
+            let t = if rng() % 5 == 0 {
+                CellTypeId(1)
+            } else {
+                CellTypeId(0)
+            };
             let x = (rng() % 2900) as Dbu;
             let y = (rng() % 1700) as Dbu;
             d.add_cell(Cell::new(format!("c{i}"), t, Point::new(x, y)));
@@ -163,6 +335,7 @@ mod tests {
     fn run_with_threads(d: &Design, threads: usize) -> Vec<Option<Point>> {
         let mut cfg = LegalizerConfig::total_displacement();
         cfg.threads = threads;
+        cfg.clamp_threads_to_hardware = false;
         cfg.window_list_capacity = 8;
         let weights = compute_weights(d, cfg.weights);
         let mut state = PlacementState::new(d);
@@ -182,6 +355,72 @@ mod tests {
     }
 
     #[test]
+    fn thread_count_invariance_with_oracle() {
+        // The routability oracle feeds penalties and alternate candidate
+        // positions into the evaluation; they must be identical whether a
+        // window was evaluated by the coordinator or any worker replica.
+        let mut d = dense_design(140, 4321);
+        d.grid = PowerGrid {
+            h_layer: 2,
+            h_width: 6,
+            h_pitch_rows: 1,
+            v_layer: 3,
+            v_width: 8,
+            v_pitch: 400,
+            v_offset: 200,
+        };
+        d.cell_types[0].pins.push(PinShape {
+            name: "a".into(),
+            layer: 2,
+            rect: Rect::new(4, 30, 12, 50),
+        });
+        let mut cfg = LegalizerConfig::contest();
+        cfg.window_list_capacity = 8;
+        let oracle = RoutOracle::new(&d);
+        let run = |threads: usize| {
+            let mut c = cfg.clone();
+            c.threads = threads;
+            c.clamp_threads_to_hardware = false;
+            let weights = compute_weights(&d, c.weights);
+            let mut state = PlacementState::new(&d);
+            let stats = run_parallel(&mut state, &c, &weights, Some(&oracle));
+            assert_eq!(stats.failed, 0, "{stats:?}");
+            d.movable_cells()
+                .map(|cl| state.pos(cl))
+                .collect::<Vec<_>>()
+        };
+        let p1 = run(1);
+        let p2 = run(2);
+        let p4 = run(4);
+        assert_eq!(p1, p2);
+        assert_eq!(p2, p4);
+    }
+
+    #[test]
+    fn thread_count_invariance_with_shuffled_order() {
+        // HeightThenShuffled changes the pending order (and thus the
+        // selected sets); determinism across thread counts must hold for it
+        // too.
+        let d = dense_design(150, 777);
+        let run = |threads: usize| {
+            let mut cfg = LegalizerConfig::total_displacement();
+            cfg.threads = threads;
+            cfg.window_list_capacity = 8;
+            cfg.order = CellOrder::HeightThenShuffled;
+            let weights = compute_weights(&d, cfg.weights);
+            let mut state = PlacementState::new(&d);
+            let stats = run_parallel(&mut state, &cfg, &weights, None);
+            assert_eq!(stats.failed, 0);
+            d.movable_cells().map(|c| state.pos(c)).collect::<Vec<_>>()
+        };
+        let p1 = run(1);
+        let p2 = run(2);
+        let p4 = run(4);
+        assert_eq!(p1, p2);
+        assert_eq!(p2, p4);
+    }
+
+    #[test]
     fn capacity_one_matches_any_capacity_for_legality() {
         // Different list capacities may give different (all legal)
         // placements; each capacity must be internally deterministic.
@@ -189,6 +428,7 @@ mod tests {
         let run_cap = |cap: usize| {
             let mut cfg = LegalizerConfig::total_displacement();
             cfg.threads = 2;
+            cfg.clamp_threads_to_hardware = false;
             cfg.window_list_capacity = cap;
             let weights = compute_weights(&d, cfg.weights);
             let mut state = PlacementState::new(&d);
@@ -209,6 +449,7 @@ mod tests {
         let d = dense_design(200, 555);
         let mut cfg = LegalizerConfig::total_displacement();
         cfg.threads = 4;
+        cfg.clamp_threads_to_hardware = false;
         let weights = compute_weights(&d, cfg.weights);
         let mut state = PlacementState::new(&d);
         let stats = run_parallel(&mut state, &cfg, &weights, None);
@@ -217,5 +458,53 @@ mod tests {
         state.write_back(&mut out);
         let rep = Checker::new(&out).check();
         assert!(rep.is_legal(), "{:?}", rep.details);
+    }
+
+    #[test]
+    fn full_core_windows_stop_expanding() {
+        // An overfull design forces window failures; once a cell's window
+        // covers the whole core, the scheduler must send it to the fallback
+        // queue instead of burning the remaining expansions on identical
+        // full-core searches (regression test: the seed scheduler kept
+        // expanding to max_expansions).
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 200, 180));
+        let wide = d.add_cell_type(CellType::new("wide", 180, 1));
+        for i in 0..4 {
+            d.add_cell(Cell::new(format!("w{i}"), wide, Point::new(0, 0)));
+        }
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = 2;
+        cfg.clamp_threads_to_hardware = false;
+        cfg.max_expansions = 40;
+        let weights = compute_weights(&d, cfg.weights);
+        let mut state = PlacementState::new(&d);
+        let stats = run_parallel(&mut state, &cfg, &weights, None);
+        // Core holds two rows of one wide cell each: 2 placed, 2 impossible.
+        assert_eq!(stats.placed_in_window + stats.fallbacks, 2, "{stats:?}");
+        assert_eq!(stats.failed, 2, "{stats:?}");
+        // The window growth (2 sites, 1 row per expansion) covers the
+        // 20×2-row core within a few expansions; without the early stop the
+        // two impossible cells alone would burn 2 × 40 expansions.
+        assert!(
+            stats.expansions < 40,
+            "full-core early stop must bound expansions, got {}",
+            stats.expansions
+        );
+    }
+
+    #[test]
+    fn perf_counters_populated() {
+        let d = dense_design(100, 2024);
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = 2;
+        cfg.clamp_threads_to_hardware = false;
+        let weights = compute_weights(&d, cfg.weights);
+        let mut state = PlacementState::new(&d);
+        let stats = run_parallel(&mut state, &cfg, &weights, None);
+        assert!(stats.perf.rounds > 0);
+        assert!(stats.perf.windows_evaluated >= stats.placed_in_window as u64);
+        assert!(stats.perf.total_nanos > 0);
+        assert!(stats.perf.scratch.regions > 0);
+        assert!(stats.perf.scratch.anchors > 0);
     }
 }

@@ -120,9 +120,8 @@ impl<'d> PlacementState<'d> {
 
     /// Bottom row of a placed cell.
     pub fn row_of(&self, cell: CellId) -> Option<usize> {
-        self.pos(cell).map(|p| {
-            ((p.y - self.design.core.yl) / self.design.tech.row_height) as usize
-        })
+        self.pos(cell)
+            .map(|p| ((p.y - self.design.core.yl) / self.design.tech.row_height) as usize)
     }
 
     /// Places a movable cell with its lower-left corner at `p` (must be
@@ -274,14 +273,10 @@ impl<'d> PlacementState<'d> {
         fence: FenceId,
         span: Interval,
     ) -> Option<usize> {
-        self.segmap
-            .in_row(row)
-            .iter()
-            .copied()
-            .find(|&i| {
-                let s = &self.segmap.segments()[i];
-                s.fence == fence && s.x.covers(span)
-            })
+        self.segmap.in_row(row).iter().copied().find(|&i| {
+            let s = &self.segmap.segments()[i];
+            s.fence == fence && s.x.covers(span)
+        })
     }
 
     /// Segments on `row` of fence `fence` overlapping the x window.
@@ -332,7 +327,11 @@ mod tests {
         d.add_cell_type(CellType::new("s", 20, 1));
         d.add_cell_type(CellType::new("m", 30, 2));
         for i in 0..8 {
-            let t = if i % 3 == 2 { CellTypeId(1) } else { CellTypeId(0) };
+            let t = if i % 3 == 2 {
+                CellTypeId(1)
+            } else {
+                CellTypeId(0)
+            };
             d.add_cell(Cell::new(format!("c{i}"), t, Point::new(i as Dbu * 40, 0)));
         }
         d
@@ -371,7 +370,7 @@ mod tests {
         let d = design();
         let mut s = PlacementState::new(&d);
         s.place(CellId(2), Point::new(100, 0)).unwrap(); // 2-row cell
-        // Single-row cell colliding on row 1.
+                                                         // Single-row cell colliding on row 1.
         assert!(matches!(
             s.place(CellId(0), Point::new(110, 90)),
             Err(PlaceError::Occupied { .. })
@@ -443,7 +442,11 @@ mod tests {
         d.cells[1].pos = Some(Point::new(40, 0));
         let s = PlacementState::from_design_positions(&d).unwrap();
         assert_eq!(s.unplaced_count(), 6);
-        assert_eq!(s.cells_in_segment(s.segment_memberships(CellId(0))[0].0).len(), 2);
+        assert_eq!(
+            s.cells_in_segment(s.segment_memberships(CellId(0))[0].0)
+                .len(),
+            2
+        );
     }
 
     #[test]

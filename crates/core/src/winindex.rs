@@ -1,0 +1,160 @@
+//! Row-band interval index for window-overlap queries.
+//!
+//! The parallel scheduler's `L_p` selection must answer "does this window
+//! overlap any already-selected window?" once per pending cell per round.
+//! The naive scan is O(|selected|) per query — quadratic per round. This
+//! index buckets selected windows into horizontal bands (one per row of the
+//! core), so a query only inspects windows whose vertical extent can
+//! possibly intersect the probe's, making selection near-linear in practice
+//! (windows span a handful of rows).
+//!
+//! The band test is purely a pruning step: entries store the full rectangle
+//! and every candidate is confirmed with the exact [`Rect::overlaps`]
+//! predicate (strict overlap — touching edges do not conflict), so results
+//! are identical to the naive scan.
+
+use mcl_db::prelude::*;
+
+/// Spatial index over a round's selected windows.
+#[derive(Debug)]
+pub struct WindowIndex {
+    /// Core bottom, origin of the band grid.
+    y0: Dbu,
+    /// Band height (the row height).
+    band_h: Dbu,
+    /// Per band: windows whose y-range intersects the band.
+    bands: Vec<Vec<Rect>>,
+    /// Bands with at least one entry, for O(touched) clearing.
+    touched: Vec<usize>,
+}
+
+impl WindowIndex {
+    /// An empty index covering `core`, with one band per `band_h` of height
+    /// (pass the row height).
+    pub fn new(core: Rect, band_h: Dbu) -> Self {
+        let band_h = band_h.max(1);
+        let span = (core.yh - core.yl).max(1) as u64;
+        let n = span.div_ceil(band_h as u64).max(1) as usize;
+        Self {
+            y0: core.yl,
+            band_h,
+            bands: vec![Vec::new(); n],
+            touched: Vec::new(),
+        }
+    }
+
+    /// The inclusive band range a window's y-extent maps to (clamped).
+    fn band_range(&self, w: Rect) -> (usize, usize) {
+        let last = self.bands.len() - 1;
+        let lo = ((w.yl - self.y0).max(0) / self.band_h) as usize;
+        let hi = ((w.yh - 1 - self.y0).max(0) / self.band_h) as usize;
+        (lo.min(last), hi.min(last))
+    }
+
+    /// Whether `w` strictly overlaps any inserted window.
+    pub fn overlaps_any(&self, w: Rect) -> bool {
+        let (lo, hi) = self.band_range(w);
+        self.bands[lo..=hi]
+            .iter()
+            .any(|band| band.iter().any(|r| r.overlaps(w)))
+    }
+
+    /// Inserts a window.
+    pub fn insert(&mut self, w: Rect) {
+        let (lo, hi) = self.band_range(w);
+        for b in lo..=hi {
+            if self.bands[b].is_empty() {
+                self.touched.push(b);
+            }
+            self.bands[b].push(w);
+        }
+    }
+
+    /// Removes all windows, retaining band capacity. O(bands touched).
+    pub fn clear(&mut self) {
+        for &b in &self.touched {
+            self.bands[b].clear();
+        }
+        self.touched.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> Rect {
+        Rect::new(0, 0, 3000, 1800)
+    }
+
+    #[test]
+    fn empty_overlaps_nothing() {
+        let idx = WindowIndex::new(core(), 90);
+        assert!(!idx.overlaps_any(Rect::new(0, 0, 3000, 1800)));
+    }
+
+    #[test]
+    fn matches_naive_scan() {
+        let mut idx = WindowIndex::new(core(), 90);
+        let mut naive: Vec<Rect> = Vec::new();
+        // Deterministic pseudo-random rectangles.
+        let mut s = 0x1234_5678_9abc_def0u64;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let make = |rng: &mut dyn FnMut() -> u64| {
+            let xl = (rng() % 2800) as Dbu;
+            let yl = (rng() % 1600) as Dbu;
+            let w = 20 + (rng() % 400) as Dbu;
+            let h = 30 + (rng() % 350) as Dbu;
+            Rect::new(xl, yl, (xl + w).min(3000), (yl + h).min(1800))
+        };
+        for i in 0..400 {
+            let probe = make(&mut rng);
+            let expect = naive.iter().any(|r| r.overlaps(probe));
+            assert_eq!(idx.overlaps_any(probe), expect, "probe {i}: {probe:?}");
+            if !expect {
+                idx.insert(probe);
+                naive.push(probe);
+            }
+        }
+        assert!(naive.len() > 10, "test must actually insert windows");
+    }
+
+    #[test]
+    fn touching_edges_do_not_overlap() {
+        let mut idx = WindowIndex::new(core(), 90);
+        idx.insert(Rect::new(100, 100, 200, 200));
+        // Abutting on each side: strict overlap is false.
+        assert!(!idx.overlaps_any(Rect::new(200, 100, 300, 200)));
+        assert!(!idx.overlaps_any(Rect::new(0, 100, 100, 200)));
+        assert!(!idx.overlaps_any(Rect::new(100, 200, 200, 300)));
+        assert!(!idx.overlaps_any(Rect::new(100, 0, 200, 100)));
+        // One unit of intrusion overlaps.
+        assert!(idx.overlaps_any(Rect::new(199, 100, 300, 200)));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut idx = WindowIndex::new(core(), 90);
+        idx.insert(Rect::new(0, 0, 500, 500));
+        assert!(idx.overlaps_any(Rect::new(100, 100, 200, 200)));
+        idx.clear();
+        assert!(!idx.overlaps_any(Rect::new(100, 100, 200, 200)));
+        // Reusable after clear.
+        idx.insert(Rect::new(1000, 1000, 1200, 1100));
+        assert!(idx.overlaps_any(Rect::new(1100, 1050, 1300, 1200)));
+    }
+
+    #[test]
+    fn windows_taller_than_core_are_clamped() {
+        let mut idx = WindowIndex::new(core(), 90);
+        // window_for clamps to the core, but be defensive about inputs at
+        // the boundary.
+        idx.insert(Rect::new(0, 0, 3000, 1800));
+        assert!(idx.overlaps_any(Rect::new(2999, 1799, 3000, 1800)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Differential test: the allocation-free insertion evaluation must return
+//! bit-identical results to the seed-faithful reference implementation on
+//! randomized designs, across cost-model variants and windows.
+
+use mcl_core::config::DisplacementReference;
+use mcl_core::insertion::{best_insertion_in, CostModel, InsertionScratch};
+use mcl_core::insertion_reference::best_insertion_reference;
+use mcl_core::routability::RoutOracle;
+use mcl_core::state::PlacementState;
+use mcl_db::prelude::*;
+use mcl_gen::{generate, GeneratorConfig};
+
+fn check(seed: u64, reference: DisplacementReference, normalize: bool, use_oracle: bool) {
+    let mut cfg = GeneratorConfig::small(seed);
+    cfg.num_cells = 250;
+    cfg.fences = 2;
+    cfg.fence_cell_fraction = 0.15;
+    cfg.io_pins = 20;
+    let g = generate(&cfg).expect("generation succeeds");
+    let d = &g.design;
+    let n = d.cells.len();
+    // Place two thirds of the cells at their legal golden positions; the
+    // remaining third are insertion targets into a realistically crowded
+    // placement.
+    let split = n * 2 / 3;
+    let mut state = PlacementState::new(d);
+    for i in 0..split {
+        state
+            .place(CellId(i as u32), g.golden[i])
+            .expect("golden positions are legal");
+    }
+    let weights: Vec<i64> = (0..n as i64).map(|i| 1 + i % 3).collect();
+    let oracle = RoutOracle::new(d);
+    let model = CostModel {
+        reference,
+        normalize,
+        weights: &weights,
+        oracle: use_oracle.then_some(&oracle),
+        io_penalty: 10,
+        rail_penalty: 100,
+    };
+    let mut scratch = InsertionScratch::new();
+    let mut found = 0usize;
+    for i in split..n {
+        let t = CellId(i as u32);
+        let gp = d.cells[i].gp;
+        for (wx, wy) in [(240, 180), (900, 450)] {
+            let win = Rect::new(gp.x - wx, gp.y - wy, gp.x + wx, gp.y + wy);
+            let fast = best_insertion_in(&state, t, win, &model, &mut scratch);
+            let slow = best_insertion_reference(&state, t, win, &model);
+            assert_eq!(fast, slow, "seed {seed} cell {i} window {win:?}");
+            found += usize::from(fast.is_some());
+        }
+    }
+    assert!(
+        found > 0,
+        "test exercised no feasible insertions (seed {seed})"
+    );
+}
+
+#[test]
+fn matches_reference_gp_mode() {
+    check(11, DisplacementReference::Gp, true, false);
+}
+
+#[test]
+fn matches_reference_current_mode() {
+    check(12, DisplacementReference::Current, true, false);
+}
+
+#[test]
+fn matches_reference_unnormalized() {
+    check(13, DisplacementReference::Gp, false, false);
+}
+
+#[test]
+fn matches_reference_with_oracle() {
+    check(14, DisplacementReference::Gp, true, true);
+    check(15, DisplacementReference::Current, true, true);
+}

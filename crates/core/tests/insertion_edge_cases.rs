@@ -145,7 +145,10 @@ fn io_pin_penalty_steers_insertion() {
     assert!(
         x_clear || y_clear,
         "pin at x[{},{}) y[{},{}) overlaps the IO pin",
-        pin_x.0, pin_x.1, pin_y.0, pin_y.1
+        pin_x.0,
+        pin_x.1,
+        pin_y.0,
+        pin_y.1
     );
 }
 

@@ -76,7 +76,10 @@ impl CellType {
     /// Even-height cells default to [`RowParity::Even`]; odd-height cells
     /// have no parity restriction (they can be flipped to match the rails).
     pub fn new(name: impl Into<String>, width: Dbu, height_rows: u32) -> Self {
-        assert!(width > 0 && height_rows > 0, "cell dimensions must be positive");
+        assert!(
+            width > 0 && height_rows > 0,
+            "cell dimensions must be positive"
+        );
         Self {
             name: name.into(),
             width,
@@ -188,14 +191,8 @@ mod tests {
         });
         let rh = 90;
         assert_eq!(t.pin_rect_local(0, Orient::N, rh), Rect::new(2, 3, 6, 8));
-        assert_eq!(
-            t.pin_rect_local(0, Orient::FS, rh),
-            Rect::new(2, 82, 6, 87)
-        );
-        assert_eq!(
-            t.pin_rect_local(0, Orient::FN, rh),
-            Rect::new(14, 3, 18, 8)
-        );
+        assert_eq!(t.pin_rect_local(0, Orient::FS, rh), Rect::new(2, 82, 6, 87));
+        assert_eq!(t.pin_rect_local(0, Orient::FN, rh), Rect::new(14, 3, 18, 8));
     }
 
     #[test]

@@ -433,7 +433,8 @@ fn push_segment(
     origin: Dbu,
 ) {
     // Snap inward to the site grid.
-    let lo = origin + (x.lo - origin + tech.site_width - 1).div_euclid(tech.site_width) * tech.site_width;
+    let lo = origin
+        + (x.lo - origin + tech.site_width - 1).div_euclid(tech.site_width) * tech.site_width;
     let hi = origin + (x.hi - origin).div_euclid(tech.site_width) * tech.site_width;
     if hi - lo >= tech.site_width {
         row_index.push(segments.len());
@@ -452,11 +453,7 @@ mod tests {
 
     fn design() -> Design {
         // 10 rows of 90 dbu, core 1000 wide.
-        Design::new(
-            "t",
-            Technology::example(),
-            Rect::new(0, 0, 1000, 900),
-        )
+        Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900))
     }
 
     #[test]

@@ -179,7 +179,9 @@ impl Rect {
     /// Whether `other` lies fully inside `self`.
     pub fn covers(self, other: Rect) -> bool {
         other.is_empty()
-            || (self.xl <= other.xl && other.xh <= self.xh && self.yl <= other.yl
+            || (self.xl <= other.xl
+                && other.xh <= self.xh
+                && self.yl <= other.yl
                 && other.yh <= self.yh)
     }
 
@@ -328,7 +330,10 @@ mod tests {
         assert!(a.covers(Interval::new(0, 10)));
         assert!(a.covers(Interval::new(3, 7)));
         assert!(!a.covers(Interval::new(-1, 5)));
-        assert!(a.covers(Interval::new(8, 8)), "empty interval always covered");
+        assert!(
+            a.covers(Interval::new(8, 8)),
+            "empty interval always covered"
+        );
     }
 
     #[test]

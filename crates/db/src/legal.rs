@@ -242,8 +242,8 @@ impl<'a> Checker<'a> {
     fn mark_rows(&self, rows: &mut [Vec<(Dbu, Dbu, CellId)>], r: Rect, id: CellId) {
         let d = self.design;
         let lo = ((r.yl - d.core.yl).div_euclid(d.tech.row_height)).max(0) as usize;
-        let hi = ((r.yh - d.core.yl + d.tech.row_height - 1).div_euclid(d.tech.row_height))
-            .max(0) as usize;
+        let hi = ((r.yh - d.core.yl + d.tech.row_height - 1).div_euclid(d.tech.row_height)).max(0)
+            as usize;
         #[allow(clippy::needless_range_loop)]
         for row in lo..hi.min(d.num_rows) {
             rows[row].push((r.xl, r.xh, id));
@@ -278,7 +278,10 @@ impl IoIndex {
         for v in &mut by_layer {
             v.sort_unstable_by_key(|r| r.xl);
         }
-        Self { by_layer, max_width }
+        Self {
+            by_layer,
+            max_width,
+        }
     }
 
     fn overlaps(&self, layer: u8, q: Rect) -> bool {

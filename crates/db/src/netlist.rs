@@ -76,10 +76,13 @@ mod tests {
                 NetPin::Fixed(Point::new(30, 40)),
             ],
         );
-        assert_eq!(net.hpwl(|p| match p {
-            NetPin::Fixed(pt) => *pt,
-            _ => unreachable!(),
-        }), 70);
+        assert_eq!(
+            net.hpwl(|p| match p {
+                NetPin::Fixed(pt) => *pt,
+                _ => unreachable!(),
+            }),
+            70
+        );
     }
 
     #[test]
@@ -96,10 +99,7 @@ mod tests {
             Point::new(10, 5),
             Point::new(3, 3),
         ];
-        let net = Net::new(
-            "n",
-            pts.iter().map(|p| NetPin::Fixed(*p)).collect(),
-        );
+        let net = Net::new("n", pts.iter().map(|p| NetPin::Fixed(*p)).collect());
         let mut i = 0;
         let hp = net.hpwl(|_| {
             let p = pts[i];

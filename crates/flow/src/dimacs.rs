@@ -164,7 +164,10 @@ mod tests {
     fn rejects_bad_input() {
         assert!(read_dimacs("a 1 2 0 1 1\n").is_err());
         assert!(read_dimacs("p min 2 1\na 1 5 0 1 1\n").is_err());
-        assert!(read_dimacs("p min 2 1\na 1 2 1 4 1\n").is_err(), "lower bounds");
+        assert!(
+            read_dimacs("p min 2 1\na 1 2 1 4 1\n").is_err(),
+            "lower bounds"
+        );
         assert!(read_dimacs("").is_err());
         assert!(read_dimacs("p min 2 0\nn 3 1\n").is_err());
     }

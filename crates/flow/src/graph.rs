@@ -70,7 +70,12 @@ impl FlowGraph {
     pub fn add_arc(&mut self, from: NodeId, to: NodeId, cap: i64, cost: i64) -> ArcId {
         assert!(from.0 < self.supply.len() && to.0 < self.supply.len());
         assert!(cap >= 0, "arc capacity must be non-negative");
-        self.arcs.push(Arc { from, to, cap, cost });
+        self.arcs.push(Arc {
+            from,
+            to,
+            cap,
+            cost,
+        });
         ArcId(self.arcs.len() - 1)
     }
 
@@ -123,8 +128,8 @@ impl FlowSolution {
             if f < 0 || f > a.cap {
                 return Some(ArcId(i));
             }
-            let rc = a.cost as i128 - self.potential[a.from.0] as i128
-                + self.potential[a.to.0] as i128;
+            let rc =
+                a.cost as i128 - self.potential[a.from.0] as i128 + self.potential[a.to.0] as i128;
             // Optimality: rc > 0 forces flow 0; rc < 0 forces saturation.
             if rc > 0 && f > 0 {
                 return Some(ArcId(i));

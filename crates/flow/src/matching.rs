@@ -100,7 +100,11 @@ mod tests {
         let mut perm: Vec<usize> = (0..n).collect();
         let mut best = i128::MAX;
         permute(&mut perm, 0, &mut |p| {
-            let c: i128 = p.iter().enumerate().map(|(l, &r)| costs[l][r] as i128).sum();
+            let c: i128 = p
+                .iter()
+                .enumerate()
+                .map(|(l, &r)| costs[l][r] as i128)
+                .sum();
             best = best.min(c);
         });
         best
@@ -120,11 +124,7 @@ mod tests {
 
     #[test]
     fn square_matches_brute_force() {
-        let costs = vec![
-            vec![4, 1, 3],
-            vec![2, 0, 5],
-            vec![3, 2, 2],
-        ];
+        let costs = vec![vec![4, 1, 3], vec![2, 0, 5], vec![3, 2, 2]];
         let m = min_cost_matching_dense(&costs).unwrap();
         assert_eq!(m.cost, brute(&costs));
         // Assignment must be a permutation.
@@ -164,11 +164,7 @@ mod tests {
     #[test]
     fn identity_is_kept_when_optimal() {
         // Diagonal zeros: identity matching is optimal with cost 0.
-        let costs = vec![
-            vec![0, 7, 7],
-            vec![7, 0, 7],
-            vec![7, 7, 0],
-        ];
+        let costs = vec![vec![0, 7, 7], vec![7, 0, 7], vec![7, 7, 0]];
         let m = min_cost_matching_dense(&costs).unwrap();
         assert_eq!(m.assignment, vec![0, 1, 2]);
         assert_eq!(m.cost, 0);

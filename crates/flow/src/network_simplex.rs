@@ -70,10 +70,10 @@ const NONE: usize = usize::MAX;
 
 struct Solver<'a> {
     g: &'a FlowGraph,
-    n: usize,          // number of real nodes; root = n
-    flow: Vec<i64>,    // per arc (real + artificial)
+    n: usize,       // number of real nodes; root = n
+    flow: Vec<i64>, // per arc (real + artificial)
     state: Vec<ArcState>,
-    arcs: Vec<Arc>,    // real arcs then artificial arcs
+    arcs: Vec<Arc>,         // real arcs then artificial arcs
     parent: Vec<usize>,     // per node (incl. root)
     parent_arc: Vec<usize>, // arc connecting node to parent
     depth: Vec<u32>,
@@ -92,8 +92,7 @@ impl<'a> Solver<'a> {
             .map(|a| (a.cost as i128).abs())
             .max()
             .unwrap_or(0);
-        let big: i64 = (1 + (n as i128 + 1) * (max_cost + 1))
-            .min(i64::MAX as i128 / 4) as i64;
+        let big: i64 = (1 + (n as i128 + 1) * (max_cost + 1)).min(i64::MAX as i128 / 4) as i64;
 
         let mut arcs: Vec<Arc> = g.arcs().to_vec();
         let mut flow = vec![0i64; arcs.len()];
@@ -278,7 +277,10 @@ impl<'a> Solver<'a> {
                 down: points_down,
             });
         }
-        cyc.push(CycArc { id: e, down: forward });
+        cyc.push(CycArc {
+            id: e,
+            down: forward,
+        });
         for &t in down_path.iter() {
             // Traversal goes child -> parent. Flow increases iff the arc
             // points child->parent.
@@ -345,7 +347,11 @@ impl<'a> Solver<'a> {
 
         // Which endpoint of `e` is inside the detached subtree?
         let (ef, et) = (arc.from.0, arc.to.0);
-        let s = if self.in_subtree(leave_child, ef) { ef } else { et };
+        let s = if self.in_subtree(leave_child, ef) {
+            ef
+        } else {
+            et
+        };
         let t = if s == ef { et } else { ef };
         debug_assert!(self.in_subtree(leave_child, s));
         debug_assert!(!self.in_subtree(leave_child, t));
@@ -494,10 +500,7 @@ mod tests {
         let mut g = FlowGraph::with_nodes(2);
         g.add_arc(NodeId(0), NodeId(1), INF_CAP, -1);
         g.add_arc(NodeId(1), NodeId(0), INF_CAP, 0);
-        assert_eq!(
-            NetworkSimplex::new().solve(&g),
-            Err(FlowError::Unbounded)
-        );
+        assert_eq!(NetworkSimplex::new().solve(&g), Err(FlowError::Unbounded));
     }
 
     #[test]
@@ -507,20 +510,14 @@ mod tests {
         g.set_supply(NodeId(2), -5);
         g.add_arc(NodeId(0), NodeId(1), 3, 1); // bottleneck < 5
         g.add_arc(NodeId(1), NodeId(2), 10, 1);
-        assert_eq!(
-            NetworkSimplex::new().solve(&g),
-            Err(FlowError::Infeasible)
-        );
+        assert_eq!(NetworkSimplex::new().solve(&g), Err(FlowError::Infeasible));
     }
 
     #[test]
     fn unbalanced_detected() {
         let mut g = FlowGraph::with_nodes(2);
         g.set_supply(NodeId(0), 1);
-        assert_eq!(
-            NetworkSimplex::new().solve(&g),
-            Err(FlowError::Unbalanced)
-        );
+        assert_eq!(NetworkSimplex::new().solve(&g), Err(FlowError::Unbalanced));
     }
 
     #[test]

@@ -55,7 +55,8 @@ pub fn solve(g: &FlowGraph) -> Result<FlowSolution, FlowError> {
     let mut pre: Vec<u32> = vec![u32::MAX; n];
     let mut heap: BinaryHeap<Reverse<(i128, u32)>> = BinaryHeap::new();
 
-    #[allow(clippy::while_let_loop)] // the loop body also breaks on other conditions historically; keep explicit
+    #[allow(clippy::while_let_loop)]
+    // the loop body also breaks on other conditions historically; keep explicit
     loop {
         let Some(s) = (0..n).find(|&v| excess[v] > 0) else {
             break;

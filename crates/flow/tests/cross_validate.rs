@@ -5,11 +5,7 @@ use proptest::prelude::*;
 
 /// Builds a random balanced flow problem guaranteed feasible by adding a
 /// high-cost "overflow" path from every source to every sink.
-fn random_graph(
-    n: usize,
-    arcs: &[(usize, usize, i64, i64)],
-    supplies: &[i64],
-) -> FlowGraph {
+fn random_graph(n: usize, arcs: &[(usize, usize, i64, i64)], supplies: &[i64]) -> FlowGraph {
     let mut g = FlowGraph::with_nodes(n + 1);
     let hub = NodeId(n);
     let total: i64 = supplies.iter().map(|s| s.abs()).sum();

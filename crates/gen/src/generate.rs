@@ -65,10 +65,10 @@ pub fn generate(config: &GeneratorConfig) -> Result<Generated, GenError> {
     // --- Cell library ------------------------------------------------
     let mut lib: Vec<CellType> = Vec::new();
     let widths_per_height: [&[Dbu]; 4] = [
-        &[2, 3, 4, 6],  // 1-row cells, widths in sites
-        &[3, 4, 6],     // 2-row
-        &[4, 6],        // 3-row
-        &[4, 8],        // 4-row
+        &[2, 3, 4, 6], // 1-row cells, widths in sites
+        &[3, 4, 6],    // 2-row
+        &[4, 6],       // 3-row
+        &[4, 8],       // 4-row
     ];
     for (hi, widths) in widths_per_height.iter().enumerate() {
         if config.height_mix[hi] <= 0.0 {
@@ -127,7 +127,9 @@ pub fn generate(config: &GeneratorConfig) -> Result<Generated, GenError> {
         let mut avg = 0.0;
         for (a, ct_a) in lib.iter().enumerate() {
             for (b, ct_b) in lib.iter().enumerate() {
-                let s = tech.edge_spacing.spacing(ct_a.edge_class.1, ct_b.edge_class.0);
+                let s = tech
+                    .edge_spacing
+                    .spacing(ct_a.edge_class.1, ct_b.edge_class.0);
                 let snapped = (s + sw - 1) / sw * sw;
                 avg += freq[a] * freq[b] * snapped as f64;
             }
@@ -221,14 +223,8 @@ fn build_and_pack(
         let stride = width / config.fences as Dbu;
         for fi in 0..config.fences {
             let x0 = (stride * fi as Dbu + (stride - slab_w).max(0) / 2) / sw * sw;
-            let rect = Rect::new(
-                x0,
-                y0,
-                (x0 + slab_w).min(width),
-                y0 + rows_span as Dbu * rh,
-            );
-            fence_ids
-                .push(design.add_fence(FenceRegion::new(format!("fence_{fi}"), vec![rect])));
+            let rect = Rect::new(x0, y0, (x0 + slab_w).min(width), y0 + rows_span as Dbu * rh);
+            fence_ids.push(design.add_fence(FenceRegion::new(format!("fence_{fi}"), vec![rect])));
         }
     }
 
@@ -349,7 +345,8 @@ fn finish_design(
         let mut by_x: Vec<CellId> = design.movable_cells().collect();
         by_x.sort_by_key(|&c| design.cells[c.0 as usize].gp);
         for n in 0..config.nets {
-            let deg = rng.gen_range(config.net_degree.0..=config.net_degree.1.max(config.net_degree.0));
+            let deg =
+                rng.gen_range(config.net_degree.0..=config.net_degree.1.max(config.net_degree.0));
             let anchor = rng.gen_range(0..by_x.len());
             let mut pins = Vec::with_capacity(deg);
             for k in 0..deg {
@@ -373,7 +370,6 @@ fn finish_design(
             }
         }
     }
-
 }
 
 fn edge_table(config: &GeneratorConfig) -> EdgeSpacingTable {
@@ -447,7 +443,11 @@ mod tests {
         }
         let rep = Checker::new(&d).check();
         assert!(rep.is_legal(), "{:?}", rep.details);
-        assert_eq!(rep.edge_spacing, 0, "packer honors spacing: {:?}", rep.details);
+        assert_eq!(
+            rep.edge_spacing, 0,
+            "packer honors spacing: {:?}",
+            rep.details
+        );
         // Pin/rail violations are *soft*; the golden packing may have some
         // (dodging them is the legalizer's job, not the generator's).
     }
@@ -473,7 +473,12 @@ mod tests {
             assert_eq!(ca.type_id, cb.type_id);
         }
         let c = generate(&GeneratorConfig::small(43)).unwrap();
-        assert!(a.design.cells.iter().zip(&c.design.cells).any(|(x, y)| x.gp != y.gp));
+        assert!(a
+            .design
+            .cells
+            .iter()
+            .zip(&c.design.cells)
+            .any(|(x, y)| x.gp != y.gp));
     }
 
     #[test]

@@ -246,7 +246,10 @@ pub fn pack(design: &Design, rng: &mut StdRng) -> Result<Vec<Point>, usize> {
     if unplaced > 0 {
         return Err(unplaced);
     }
-    Ok(pos.into_iter().map(|p| p.expect("all cells placed")).collect())
+    Ok(pos
+        .into_iter()
+        .map(|p| p.expect("all cells placed"))
+        .collect())
 }
 
 /// Probes one base row for a tall cell: x position where all spanned rows
@@ -272,11 +275,12 @@ fn try_place_tall(
         let mut x0 = segs[s0].frontier + gap_for(segs[s0].last_rc, ct.edge_class.0);
         let mut used = vec![s0];
         #[allow(clippy::needless_range_loop)]
-    for r in base_row + 1..base_row + h {
+        for r in base_row + 1..base_row + h {
             // The overlapping segment of the same fence in this row.
-            let Some(&si) = by_row[r].iter().find(|&&si| {
-                segs[si].fence == c.fence && segs[si].x.overlaps(interval)
-            }) else {
+            let Some(&si) = by_row[r]
+                .iter()
+                .find(|&&si| segs[si].fence == c.fence && segs[si].x.overlaps(interval))
+            else {
                 continue 'seg;
             };
             interval = interval.intersect(segs[si].x);
@@ -285,10 +289,7 @@ fn try_place_tall(
         }
         x0 = x0.max(interval.lo);
         if x0 + ct.width <= interval.hi {
-            let waste: Dbu = used
-                .iter()
-                .map(|&si| (x0 - segs[si].frontier).max(0))
-                .sum();
+            let waste: Dbu = used.iter().map(|&si| (x0 - segs[si].frontier).max(0)).sum();
             return Some((x0, waste));
         }
     }

@@ -23,22 +23,102 @@ pub struct Iccad17Stats {
 
 /// The 16 Table-1 benchmarks (statistics transcribed from the paper).
 pub const ICCAD17: [Iccad17Stats; 16] = [
-    Iccad17Stats { name: "des_perf_1",         cells: 112_644, multi: [0, 0, 0],          density: 0.906 },
-    Iccad17Stats { name: "des_perf_a_md1",     cells: 103_589, multi: [11_313, 1_815, 0], density: 0.551 },
-    Iccad17Stats { name: "des_perf_a_md2",     cells: 105_030, multi: [1_086, 1_086, 1_086], density: 0.559 },
-    Iccad17Stats { name: "des_perf_b_md1",     cells: 106_782, multi: [5_862, 0, 0],      density: 0.550 },
-    Iccad17Stats { name: "des_perf_b_md2",     cells: 101_908, multi: [6_781, 2_260, 1_695], density: 0.647 },
-    Iccad17Stats { name: "edit_dist_1_md1",    cells: 118_005, multi: [7_994, 2_664, 1_998], density: 0.674 },
-    Iccad17Stats { name: "edit_dist_a_md2",    cells: 115_066, multi: [7_799, 2_599, 1_949], density: 0.594 },
-    Iccad17Stats { name: "edit_dist_a_md3",    cells: 119_616, multi: [2_599, 2_599, 2_599], density: 0.572 },
-    Iccad17Stats { name: "fft_2_md2",          cells: 28_930,  multi: [2_117, 705, 529],  density: 0.827 },
-    Iccad17Stats { name: "fft_a_md2",          cells: 27_431,  multi: [2_018, 672, 504],  density: 0.323 },
-    Iccad17Stats { name: "fft_a_md3",          cells: 28_609,  multi: [672, 672, 672],    density: 0.312 },
-    Iccad17Stats { name: "pci_bridge32_a_md1", cells: 26_680,  multi: [1_792, 597, 448],  density: 0.495 },
-    Iccad17Stats { name: "pci_bridge32_a_md2", cells: 25_239,  multi: [2_090, 1_194, 994], density: 0.577 },
-    Iccad17Stats { name: "pci_bridge32_b_md1", cells: 26_134,  multi: [585, 439, 292],    density: 0.266 },
-    Iccad17Stats { name: "pci_bridge32_b_md2", cells: 28_038,  multi: [292, 292, 292],    density: 0.183 },
-    Iccad17Stats { name: "pci_bridge32_b_md3", cells: 27_452,  multi: [292, 585, 585],    density: 0.222 },
+    Iccad17Stats {
+        name: "des_perf_1",
+        cells: 112_644,
+        multi: [0, 0, 0],
+        density: 0.906,
+    },
+    Iccad17Stats {
+        name: "des_perf_a_md1",
+        cells: 103_589,
+        multi: [11_313, 1_815, 0],
+        density: 0.551,
+    },
+    Iccad17Stats {
+        name: "des_perf_a_md2",
+        cells: 105_030,
+        multi: [1_086, 1_086, 1_086],
+        density: 0.559,
+    },
+    Iccad17Stats {
+        name: "des_perf_b_md1",
+        cells: 106_782,
+        multi: [5_862, 0, 0],
+        density: 0.550,
+    },
+    Iccad17Stats {
+        name: "des_perf_b_md2",
+        cells: 101_908,
+        multi: [6_781, 2_260, 1_695],
+        density: 0.647,
+    },
+    Iccad17Stats {
+        name: "edit_dist_1_md1",
+        cells: 118_005,
+        multi: [7_994, 2_664, 1_998],
+        density: 0.674,
+    },
+    Iccad17Stats {
+        name: "edit_dist_a_md2",
+        cells: 115_066,
+        multi: [7_799, 2_599, 1_949],
+        density: 0.594,
+    },
+    Iccad17Stats {
+        name: "edit_dist_a_md3",
+        cells: 119_616,
+        multi: [2_599, 2_599, 2_599],
+        density: 0.572,
+    },
+    Iccad17Stats {
+        name: "fft_2_md2",
+        cells: 28_930,
+        multi: [2_117, 705, 529],
+        density: 0.827,
+    },
+    Iccad17Stats {
+        name: "fft_a_md2",
+        cells: 27_431,
+        multi: [2_018, 672, 504],
+        density: 0.323,
+    },
+    Iccad17Stats {
+        name: "fft_a_md3",
+        cells: 28_609,
+        multi: [672, 672, 672],
+        density: 0.312,
+    },
+    Iccad17Stats {
+        name: "pci_bridge32_a_md1",
+        cells: 26_680,
+        multi: [1_792, 597, 448],
+        density: 0.495,
+    },
+    Iccad17Stats {
+        name: "pci_bridge32_a_md2",
+        cells: 25_239,
+        multi: [2_090, 1_194, 994],
+        density: 0.577,
+    },
+    Iccad17Stats {
+        name: "pci_bridge32_b_md1",
+        cells: 26_134,
+        multi: [585, 439, 292],
+        density: 0.266,
+    },
+    Iccad17Stats {
+        name: "pci_bridge32_b_md2",
+        cells: 28_038,
+        multi: [292, 292, 292],
+        density: 0.183,
+    },
+    Iccad17Stats {
+        name: "pci_bridge32_b_md3",
+        cells: 27_452,
+        multi: [292, 585, 585],
+        density: 0.222,
+    },
 ];
 
 /// Statistics of one ISPD-2015-derived benchmark of \[12\] (Table 2): 10% of
@@ -55,26 +135,106 @@ pub struct Ispd15Stats {
 
 /// The 20 Table-2 benchmarks.
 pub const ISPD15: [Ispd15Stats; 20] = [
-    Ispd15Stats { name: "des_perf_1",     cells: 112_644,   density: 0.9058 },
-    Ispd15Stats { name: "des_perf_a",     cells: 108_292,   density: 0.4290 },
-    Ispd15Stats { name: "des_perf_b",     cells: 112_644,   density: 0.4971 },
-    Ispd15Stats { name: "edit_dist_a",    cells: 127_419,   density: 0.4554 },
-    Ispd15Stats { name: "fft_1",          cells: 32_281,    density: 0.8355 },
-    Ispd15Stats { name: "fft_2",          cells: 32_281,    density: 0.4997 },
-    Ispd15Stats { name: "fft_a",          cells: 30_631,    density: 0.2509 },
-    Ispd15Stats { name: "fft_b",          cells: 30_631,    density: 0.2819 },
-    Ispd15Stats { name: "matrix_mult_1",  cells: 155_325,   density: 0.8024 },
-    Ispd15Stats { name: "matrix_mult_2",  cells: 155_325,   density: 0.7903 },
-    Ispd15Stats { name: "matrix_mult_a",  cells: 149_655,   density: 0.4195 },
-    Ispd15Stats { name: "matrix_mult_b",  cells: 146_442,   density: 0.3090 },
-    Ispd15Stats { name: "matrix_mult_c",  cells: 146_442,   density: 0.3083 },
-    Ispd15Stats { name: "pci_bridge32_a", cells: 29_521,    density: 0.3839 },
-    Ispd15Stats { name: "pci_bridge32_b", cells: 28_920,    density: 0.1430 },
-    Ispd15Stats { name: "superblue11_a",  cells: 927_074,   density: 0.4292 },
-    Ispd15Stats { name: "superblue12",    cells: 1_287_037, density: 0.4472 },
-    Ispd15Stats { name: "superblue14",    cells: 612_583,   density: 0.5578 },
-    Ispd15Stats { name: "superblue16_a",  cells: 680_869,   density: 0.4785 },
-    Ispd15Stats { name: "superblue19",    cells: 506_383,   density: 0.5233 },
+    Ispd15Stats {
+        name: "des_perf_1",
+        cells: 112_644,
+        density: 0.9058,
+    },
+    Ispd15Stats {
+        name: "des_perf_a",
+        cells: 108_292,
+        density: 0.4290,
+    },
+    Ispd15Stats {
+        name: "des_perf_b",
+        cells: 112_644,
+        density: 0.4971,
+    },
+    Ispd15Stats {
+        name: "edit_dist_a",
+        cells: 127_419,
+        density: 0.4554,
+    },
+    Ispd15Stats {
+        name: "fft_1",
+        cells: 32_281,
+        density: 0.8355,
+    },
+    Ispd15Stats {
+        name: "fft_2",
+        cells: 32_281,
+        density: 0.4997,
+    },
+    Ispd15Stats {
+        name: "fft_a",
+        cells: 30_631,
+        density: 0.2509,
+    },
+    Ispd15Stats {
+        name: "fft_b",
+        cells: 30_631,
+        density: 0.2819,
+    },
+    Ispd15Stats {
+        name: "matrix_mult_1",
+        cells: 155_325,
+        density: 0.8024,
+    },
+    Ispd15Stats {
+        name: "matrix_mult_2",
+        cells: 155_325,
+        density: 0.7903,
+    },
+    Ispd15Stats {
+        name: "matrix_mult_a",
+        cells: 149_655,
+        density: 0.4195,
+    },
+    Ispd15Stats {
+        name: "matrix_mult_b",
+        cells: 146_442,
+        density: 0.3090,
+    },
+    Ispd15Stats {
+        name: "matrix_mult_c",
+        cells: 146_442,
+        density: 0.3083,
+    },
+    Ispd15Stats {
+        name: "pci_bridge32_a",
+        cells: 29_521,
+        density: 0.3839,
+    },
+    Ispd15Stats {
+        name: "pci_bridge32_b",
+        cells: 28_920,
+        density: 0.1430,
+    },
+    Ispd15Stats {
+        name: "superblue11_a",
+        cells: 927_074,
+        density: 0.4292,
+    },
+    Ispd15Stats {
+        name: "superblue12",
+        cells: 1_287_037,
+        density: 0.4472,
+    },
+    Ispd15Stats {
+        name: "superblue14",
+        cells: 612_583,
+        density: 0.5578,
+    },
+    Ispd15Stats {
+        name: "superblue16_a",
+        cells: 680_869,
+        density: 0.4785,
+    },
+    Ispd15Stats {
+        name: "superblue19",
+        cells: 506_383,
+        density: 0.5233,
+    },
 ];
 
 /// Generator configuration for one Table-1 benchmark at `scale`.

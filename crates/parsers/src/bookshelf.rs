@@ -59,7 +59,10 @@ pub fn read(bundle: &Bundle) -> Result<Design> {
             return Err(ParseError::new(
                 ".nodes",
                 n.line,
-                format!("node {} height {} is not a whole number of rows", n.name, n.height),
+                format!(
+                    "node {} height {} is not a whole number of rows",
+                    n.name, n.height
+                ),
             ));
         }
         let tid = *type_cache.entry((n.width, n.height)).or_insert_with(|| {
@@ -78,7 +81,11 @@ pub fn read(bundle: &Bundle) -> Result<Design> {
     // Placement.
     for p in parse_pl(&bundle.pl)? {
         let Some(&id) = name_to_id.get(&p.name) else {
-            return Err(ParseError::new(".pl", p.line, format!("unknown node {}", p.name)));
+            return Err(ParseError::new(
+                ".pl",
+                p.line,
+                format!("unknown node {}", p.name),
+            ));
         };
         let cell = &mut design.cells[id.0 as usize];
         cell.gp = Point::new(p.x, p.y);
@@ -166,7 +173,11 @@ pub fn apply_pl(design: &mut Design, pl: &str) -> Result<()> {
         .collect();
     for p in parse_pl(pl)? {
         let Some(&i) = index.get(p.name.as_str()) else {
-            return Err(ParseError::new(".pl", p.line, format!("unknown node {}", p.name)));
+            return Err(ParseError::new(
+                ".pl",
+                p.line,
+                format!("unknown node {}", p.name),
+            ));
         };
         if design.cells[i].fixed {
             continue;
@@ -319,7 +330,10 @@ fn parse_nodes(text: &str) -> Result<Vec<NodeRec>> {
             .ok_or_else(|| ParseError::new(".nodes", line, "missing name"))?;
         let width: Dbu = parse_num(it.next(), ".nodes", line)?;
         let height: Dbu = parse_num(it.next(), ".nodes", line)?;
-        let terminal = it.next().map(|t| t.eq_ignore_ascii_case("terminal")).unwrap_or(false);
+        let terminal = it
+            .next()
+            .map(|t| t.eq_ignore_ascii_case("terminal"))
+            .unwrap_or(false);
         out.push(NodeRec {
             name: name.to_string(),
             width,
@@ -440,13 +454,10 @@ fn parse_nets(text: &str) -> Result<Vec<NetRec>> {
         if let Some(rest) = l.strip_prefix("NetDegree") {
             let mut it = rest.trim().trim_start_matches(':').split_whitespace();
             let _deg: usize = parse_num(it.next(), ".nets", line)? as usize;
-            let name = it
-                .next()
-                .map(str::to_string)
-                .unwrap_or_else(|| {
-                    auto += 1;
-                    format!("net{auto}")
-                });
+            let name = it.next().map(str::to_string).unwrap_or_else(|| {
+                auto += 1;
+                format!("net{auto}")
+            });
             out.push(NetRec {
                 name,
                 pins: Vec::new(),
@@ -486,7 +497,10 @@ fn parse_fence(text: &str) -> Result<Vec<FenceRec>> {
                 .ok_or_else(|| ParseError::new(".fence", line, "Rect before Fence"))?;
             let v: Vec<Dbu> = r
                 .split_whitespace()
-                .map(|t| t.parse().map_err(|_| ParseError::new(".fence", line, "bad rect")))
+                .map(|t| {
+                    t.parse()
+                        .map_err(|_| ParseError::new(".fence", line, "bad rect"))
+                })
                 .collect::<Result<_>>()?;
             if v.len() != 4 {
                 return Err(ParseError::new(".fence", line, "Rect needs 4 numbers"));
@@ -529,11 +543,7 @@ fn parse_rails(text: &str) -> Result<(PowerGrid, Vec<IoPin>)> {
                         "VPitch" => grid.v_pitch = v,
                         "VOffset" => grid.v_offset = v,
                         t => {
-                            return Err(ParseError::new(
-                                ".rails",
-                                line,
-                                format!("unknown key {t}"),
-                            ))
+                            return Err(ParseError::new(".rails", line, format!("unknown key {t}")))
                         }
                     }
                     k += 2;

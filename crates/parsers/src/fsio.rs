@@ -18,8 +18,7 @@ pub fn read_bookshelf_dir(dir: &Path) -> Result<Design> {
     let entries = std::fs::read_dir(dir)
         .map_err(|e| ParseError::new("fs", 0, format!("read_dir {}: {e}", dir.display())))?;
     for entry in entries {
-        let entry =
-            entry.map_err(|e| ParseError::new("fs", 0, format!("read_dir entry: {e}")))?;
+        let entry = entry.map_err(|e| ParseError::new("fs", 0, format!("read_dir entry: {e}")))?;
         let path = entry.path();
         let Some(ext) = path.extension().and_then(|s| s.to_str()) else {
             continue;

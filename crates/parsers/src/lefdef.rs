@@ -63,7 +63,9 @@ pub fn read_lef(text: &str) -> Result<LefLibrary> {
         match t {
             "SITE" => {
                 // SITE name ... SIZE w BY h ; ... END name
-                let name = toks.get(i + 1).ok_or_else(|| err(*line, "SITE needs a name"))?;
+                let name = toks
+                    .get(i + 1)
+                    .ok_or_else(|| err(*line, "SITE needs a name"))?;
                 let mut j = i + 2;
                 while j < toks.len() && toks[j].1 != "END" {
                     if toks[j].1 == "SIZE" {
@@ -131,9 +133,7 @@ fn read_macro(
                             layer = lname
                                 .trim_start_matches(['M', 'm'])
                                 .parse()
-                                .map_err(|_| {
-                                    ParseError::new("LEF", toks[i].0, "bad layer name")
-                                })?;
+                                .map_err(|_| ParseError::new("LEF", toks[i].0, "bad layer name"))?;
                             i += 2;
                         }
                         "RECT" => {
@@ -183,7 +183,11 @@ fn read_macro(
             _ => i += 1,
         }
     }
-    Err(ParseError::new("LEF", 0, format!("unterminated MACRO {name}")))
+    Err(ParseError::new(
+        "LEF",
+        0,
+        format!("unterminated MACRO {name}"),
+    ))
 }
 
 /// Reads a DEF design, resolving macros against the LEF library.
@@ -324,8 +328,7 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
                                     i += 11;
                                 }
                                 "PLACED" | "FIXED" => {
-                                    placed =
-                                        Point::new(num(&toks, i + 3)?, num(&toks, i + 4)?);
+                                    placed = Point::new(num(&toks, i + 3)?, num(&toks, i + 4)?);
                                     i += 6;
                                 }
                                 _ => i += 1,
@@ -408,7 +411,11 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
     }
     for (members, region) in groups {
         let Some(&fid) = region_ids.get(&region) else {
-            return Err(ParseError::new("DEF", 0, format!("unknown region {region}")));
+            return Err(ParseError::new(
+                "DEF",
+                0,
+                format!("unknown region {region}"),
+            ));
         };
         for m in members {
             if let Some(&cid) = cell_ids.get(&m) {
@@ -428,7 +435,11 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
                 continue;
             }
             let Some(&cid) = cell_ids.get(&cname) else {
-                return Err(ParseError::new("DEF", 0, format!("unknown component {cname}")));
+                return Err(ParseError::new(
+                    "DEF",
+                    0,
+                    format!("unknown component {cname}"),
+                ));
             };
             let ct = design.type_of(cid);
             let pin = ct.pins.iter().position(|p| p.name == pname).unwrap_or(0);
@@ -530,11 +541,7 @@ pub fn write_def(design: &Design) -> String {
                     NetPin::Cell { cell, pin } => {
                         let c = &design.cells[cell.0 as usize];
                         let ct = design.type_of(*cell);
-                        let pname = ct
-                            .pins
-                            .get(*pin)
-                            .map(|p| p.name.as_str())
-                            .unwrap_or("P");
+                        let pname = ct.pins.get(*pin).map(|p| p.name.as_str()).unwrap_or("P");
                         let _ = write!(line, " ( {} {} )", c.name, pname);
                     }
                     NetPin::Fixed(_) => {}
@@ -569,7 +576,11 @@ pub fn write_lef(design: &Design) -> String {
             ct.height_rows as Dbu * design.tech.row_height
         );
         if ct.edge_class != (0, 0) {
-            let _ = writeln!(s, "  PROPERTY EDGETYPE {} {} ;", ct.edge_class.0, ct.edge_class.1);
+            let _ = writeln!(
+                s,
+                "  PROPERTY EDGETYPE {} {} ;",
+                ct.edge_class.0, ct.edge_class.1
+            );
         }
         for p in &ct.pins {
             let _ = writeln!(s, "  PIN {}", p.name);

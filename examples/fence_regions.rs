@@ -36,7 +36,9 @@ fn main() {
     // scattered so fenced cells must travel into their regions.
     let mut k = 0u64;
     let mut rng = move || {
-        k = k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        k = k
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (k >> 33) as i64
     };
     for i in 0..600 {

@@ -28,6 +28,10 @@ fn main() {
     for threads in [1usize, 2, 4, 8] {
         let mut cfg = LegalizerConfig::contest();
         cfg.threads = threads;
+        // Spawn the full worker pool even on machines with fewer cores, so
+        // the bit-identical assertion below actually compares different
+        // worker counts (the default clamps threads to the hardware).
+        cfg.clamp_threads_to_hardware = false;
         let t = Instant::now();
         let (placed, stats) = Legalizer::new(cfg).run(design);
         let secs = t.elapsed().as_secs_f64();
@@ -38,7 +42,11 @@ fn main() {
             secs,
             m.avg_disp_rows,
             m.max_disp_rows,
-            if threads == 1 { "  (sequential schedule)" } else { "" }
+            if threads == 1 {
+                "  (sequential schedule)"
+            } else {
+                ""
+            }
         );
         if threads == 1 {
             continue; // different (sequential) schedule by design

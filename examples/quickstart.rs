@@ -52,10 +52,17 @@ fn main() {
 
     // Verify and score.
     let report = Checker::new(&placed).check();
-    assert!(report.is_legal(), "placement must be legal: {:?}", report.details);
+    assert!(
+        report.is_legal(),
+        "placement must be legal: {:?}",
+        report.details
+    );
     let metrics = Metrics::measure(&placed);
     println!();
-    println!("average displacement : {:.3} rows (Eq. 2)", metrics.avg_disp_rows);
+    println!(
+        "average displacement : {:.3} rows (Eq. 2)",
+        metrics.avg_disp_rows
+    );
     println!("maximum displacement : {:.1} rows", metrics.max_disp_rows);
     println!("HPWL increase        : {:.2}%", 100.0 * metrics.s_hpwl);
     println!(

@@ -125,8 +125,7 @@ fn load_design(flags: &Flags) -> Result<Design, String> {
     let mut design = if let Some(dir) = flags.get("bookshelf") {
         parsers::read_bookshelf_dir(Path::new(dir)).map_err(|e| e.to_string())?
     } else if let (Some(lef), Some(def)) = (flags.get("lef"), flags.get("def")) {
-        parsers::read_lefdef_files(Path::new(lef), Path::new(def))
-            .map_err(|e| e.to_string())?
+        parsers::read_lefdef_files(Path::new(lef), Path::new(def)).map_err(|e| e.to_string())?
     } else {
         return Err("provide --bookshelf <dir> or --lef <file> --def <file>".into());
     };
@@ -140,10 +139,7 @@ fn load_design(flags: &Flags) -> Result<Design, String> {
 }
 
 fn cmd_generate(flags: &Flags) -> Result<(), String> {
-    let out: PathBuf = flags
-        .get("out")
-        .ok_or("generate needs --out <dir>")?
-        .into();
+    let out: PathBuf = flags.get("out").ok_or("generate needs --out <dir>")?.into();
     let config = if let Some(spec) = flags.get("preset") {
         let scale: f64 = flags.num("scale")?.unwrap_or(0.05);
         preset_config(spec, scale)?
@@ -232,7 +228,11 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
             LegalizerConfig::contest().reference,
             DisplacementReference::Gp
         );
-        if flags.get("eco").map(|v| v == "true" || v == "1").unwrap_or(false) {
+        if flags
+            .get("eco")
+            .map(|v| v == "true" || v == "1")
+            .unwrap_or(false)
+        {
             Legalizer::new(cfg)
                 .run_eco(&design)
                 .map_err(|(c, e)| format!("pre-placed cell {} not adoptable: {e}", c.0))?
@@ -252,9 +252,15 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
     let design = load_design(flags)?;
     let rep = Checker::new(&design).check();
     println!("hard violations : {}", rep.hard_violations());
-    println!("  unplaced {} | out-of-core {} | misaligned {} | parity {} | overlaps {} | fence {}",
-        rep.unplaced, rep.out_of_core, rep.misaligned, rep.bad_parity, rep.overlaps,
-        rep.fence_violations);
+    println!(
+        "  unplaced {} | out-of-core {} | misaligned {} | parity {} | overlaps {} | fence {}",
+        rep.unplaced,
+        rep.out_of_core,
+        rep.misaligned,
+        rep.bad_parity,
+        rep.overlaps,
+        rep.fence_violations
+    );
     println!("soft violations : {}", rep.soft_violations());
     println!(
         "  edge spacing {} | pin shorts {} | pin access {}",
@@ -345,11 +351,8 @@ fn write_outputs(flags: &Flags, design: &Design) -> Result<(), String> {
         println!("wrote {p}");
     }
     if let Some(p) = flags.get("svg") {
-        std::fs::write(
-            p,
-            viz::render_svg(design, &viz::SvgOptions::default()),
-        )
-        .map_err(|e| e.to_string())?;
+        std::fs::write(p, viz::render_svg(design, &viz::SvgOptions::default()))
+            .map_err(|e| e.to_string())?;
         println!("wrote {p}");
     }
     Ok(())

@@ -20,7 +20,11 @@ fn full_flow_on_fenced_routability_benchmark() {
     let rep = Checker::new(&placed).check();
     assert!(rep.is_legal(), "{:?}", rep.details);
     assert_eq!(rep.fence_violations, 0);
-    assert_eq!(rep.edge_spacing, 0, "ours must satisfy edge spacing: {:?}", rep.details);
+    assert_eq!(
+        rep.edge_spacing, 0,
+        "ours must satisfy edge spacing: {:?}",
+        rep.details
+    );
 }
 
 #[test]
@@ -34,7 +38,9 @@ fn all_legalizers_produce_legal_placements() {
         ("lcp", legalize_lcp(&d).0),
         (
             "ours",
-            Legalizer::new(LegalizerConfig::total_displacement()).run(&d).0,
+            Legalizer::new(LegalizerConfig::total_displacement())
+                .run(&d)
+                .0,
         ),
     ];
     for (name, placed) in runs {
@@ -53,7 +59,9 @@ fn ours_beats_every_baseline_on_dense_total_displacement() {
     let stats = &ISPD15[0]; // des_perf_1, the dense one
     let d = generate(&ispd15_config(stats, 0.01)).unwrap().design;
     let ours = Metrics::measure(
-        &Legalizer::new(LegalizerConfig::total_displacement()).run(&d).0,
+        &Legalizer::new(LegalizerConfig::total_displacement())
+            .run(&d)
+            .0,
     )
     .total_disp_dbu;
     for (name, placed) in [
@@ -111,7 +119,10 @@ fn post_processing_improves_or_preserves_quality() {
     assert!(stats.fixed_order.applied);
     let mb = Metrics::measure(&before);
     let ma = Metrics::measure(&after);
-    assert!(ma.max_disp_rows <= mb.max_disp_rows + 1e-9, "stage 2 target");
+    assert!(
+        ma.max_disp_rows <= mb.max_disp_rows + 1e-9,
+        "stage 2 target"
+    );
     assert!(Checker::new(&after).check().is_legal());
 }
 

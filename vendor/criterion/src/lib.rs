@@ -1,0 +1,169 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` this
+//! workspace uses (the build environment has no registry access, so the
+//! workspace vendors the few external APIs it needs).
+//!
+//! Implements [`Criterion::benchmark_group`], `bench_with_input`,
+//! [`Bencher::iter`], [`BenchmarkId::new`], [`black_box`] and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! warmup + timed-batch loop printing median ns/iter — enough to compare
+//! runs locally; no statistics, plots or baselines.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { sample_size: 20 }
+    }
+
+    /// Upstream-compat hook; settings are fixed in the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Upstream-compat finalizer.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named benchmark group.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut samples: Vec<u128> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed_ns: 0,
+                iters: 0,
+            };
+            f(&mut b, input);
+            if b.iters > 0 {
+                samples.push(b.elapsed_ns / b.iters as u128);
+            }
+        }
+        samples.sort_unstable();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or(0);
+        println!("  {:<40} {:>12} ns/iter", id.label, median);
+        self
+    }
+
+    /// Runs one benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &()),
+    {
+        self.bench_with_input(BenchmarkId::new(name, ""), &(), f)
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup call, then a small timed batch.
+        black_box(routine());
+        const BATCH: u64 = 3;
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            black_box(routine());
+        }
+        self.elapsed_ns += t.elapsed().as_nanos();
+        self.iters += BATCH;
+    }
+}
+
+/// A benchmark identifier (`function_name/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayed parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Declares a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("id", 1), &3u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, trivial_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
