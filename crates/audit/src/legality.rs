@@ -1,0 +1,454 @@
+//! Clean-room legality verifier.
+//!
+//! Re-checks every hard constraint of §2 against raw coordinates, using no
+//! geometry helpers from `mcl_db` beyond plain field access. The counting
+//! contract matches [`mcl_db::legal::Checker`] category for category so the
+//! two can be differentially tested:
+//!
+//! - fixed cells participate in overlap checking only (at `pos`, if any);
+//! - unplaced movable cells count as `unplaced` and are skipped;
+//! - out-of-core cells are skipped by the remaining checks;
+//! - misaligned cells are skipped by parity/fence/overlap checks;
+//! - each overlapping *pair* is counted exactly once, even when the pair
+//!   shares several rows.
+
+use mcl_db::cell::{CellId, RowParity};
+use mcl_db::design::Design;
+use mcl_db::geom::{Dbu, Orient};
+
+/// Hard-constraint violation counts found by the independent auditor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Movable cells without a position.
+    pub unplaced: usize,
+    /// Cells whose rectangle leaves the core.
+    pub out_of_core: usize,
+    /// Cells off the site grid in x or the row grid in y.
+    pub misaligned: usize,
+    /// Parity/orientation violations against the P/G rails.
+    pub bad_parity: usize,
+    /// Overlapping cell pairs (independent sweep line).
+    pub overlaps: usize,
+    /// Cells not fully inside a segment of their fence region.
+    pub fence_violations: usize,
+    /// Up to [`AuditReport::MAX_NOTES`] human-readable violation notes.
+    pub notes: Vec<String>,
+}
+
+impl AuditReport {
+    /// Maximum number of notes retained.
+    pub const MAX_NOTES: usize = 32;
+
+    /// Total hard violations, including unplaced cells (mirrors
+    /// `LegalityReport::hard_violations`).
+    pub fn hard_violations(&self) -> usize {
+        self.unplaced
+            + self.out_of_core
+            + self.misaligned
+            + self.bad_parity
+            + self.overlaps
+            + self.fence_violations
+    }
+
+    /// Hard violations excluding `unplaced`. Stage audits use this: a stage
+    /// may legitimately leave overflow cells unplaced, but everything it
+    /// *did* place must be legal.
+    pub fn placement_violations(&self) -> usize {
+        self.hard_violations() - self.unplaced
+    }
+
+    /// Whether the placement satisfies every hard constraint.
+    pub fn is_clean(&self) -> bool {
+        self.hard_violations() == 0
+    }
+
+    fn note(&mut self, msg: String) {
+        if self.notes.len() < Self::MAX_NOTES {
+            self.notes.push(msg);
+        }
+    }
+}
+
+/// One placed rectangle participating in the overlap sweep.
+struct Entry {
+    xl: Dbu,
+    xh: Dbu,
+    row_lo: usize,
+    row_hi: usize,
+    id: CellId,
+}
+
+/// Independently re-derived placeable spans: `(xl, xh, fence)` per row.
+///
+/// Reconstructs the row-segment partition rule from its specification
+/// (named fences claim spans on rows they fully cover vertically, earlier
+/// claims win, the default fence owns the gaps, fixed obstacles are
+/// subtracted, spans snap inward to whole sites) without calling
+/// `Design::build_segments`.
+pub(crate) struct FenceSpans {
+    rows: Vec<Vec<(Dbu, Dbu, u16)>>,
+}
+
+impl FenceSpans {
+    pub(crate) fn build(d: &Design) -> Self {
+        let sw = d.tech.site_width;
+        let rh = d.tech.row_height;
+        // Fixed obstacles, at pos when placed, else at their GP location.
+        let obstacles: Vec<(Dbu, Dbu, Dbu, Dbu)> = d
+            .cells
+            .iter()
+            .filter(|c| c.fixed)
+            .map(|c| {
+                let ct = &d.cell_types[c.type_id.0 as usize];
+                let p = c.pos.unwrap_or(c.gp);
+                (
+                    p.x,
+                    p.y,
+                    p.x + ct.width,
+                    p.y + i64::from(ct.height_rows) * rh,
+                )
+            })
+            .collect();
+
+        let mut rows = Vec::with_capacity(d.num_rows);
+        for row in 0..d.num_rows {
+            let y0 = d.core.yl + row as Dbu * rh;
+            let y1 = y0 + rh;
+
+            // Named-fence claims on this row, clipped to the core.
+            let mut claims: Vec<(Dbu, Dbu, u16)> = Vec::new();
+            for (fi, fence) in d.fences.iter().enumerate().skip(1) {
+                for r in &fence.rects {
+                    if r.yl <= y0 && y1 <= r.yh {
+                        let lo = r.xl.max(d.core.xl);
+                        let hi = r.xh.min(d.core.xh);
+                        if hi > lo {
+                            claims.push((lo, hi, fi as u16));
+                        }
+                    }
+                }
+            }
+            claims.sort_by_key(|&(lo, _, _)| lo);
+
+            // Cursor sweep: earlier claims win overlaps, default fence owns
+            // the gaps.
+            let mut spans: Vec<(Dbu, Dbu, u16)> = Vec::new();
+            let mut cursor = d.core.xl;
+            for (lo, hi, f) in claims {
+                if lo > cursor {
+                    spans.push((cursor, lo, 0));
+                }
+                let start = lo.max(cursor);
+                if hi > start {
+                    spans.push((start, hi, f));
+                }
+                cursor = cursor.max(hi);
+            }
+            if cursor < d.core.xh {
+                spans.push((cursor, d.core.xh, 0));
+            }
+
+            // Subtract fixed obstacles whose rectangle crosses this row.
+            let mut blocks: Vec<(Dbu, Dbu)> = obstacles
+                .iter()
+                .filter(|&&(xl, yl, xh, yh)| yl < y1 && y0 < yh && yl < yh && xl < xh)
+                .map(|&(xl, _, xh, _)| (xl, xh))
+                .collect();
+            blocks.sort_unstable_by_key(|&(lo, _)| lo);
+
+            let mut out: Vec<(Dbu, Dbu, u16)> = Vec::new();
+            for (slo, shi, f) in spans {
+                let mut lo = slo;
+                for &(blo, bhi) in blocks.iter().filter(|&&(blo, bhi)| blo < shi && slo < bhi) {
+                    if blo > lo {
+                        push_snapped(&mut out, lo, blo, f, d.core.xl, sw);
+                    }
+                    lo = lo.max(bhi);
+                }
+                if lo < shi {
+                    push_snapped(&mut out, lo, shi, f, d.core.xl, sw);
+                }
+            }
+            rows.push(out);
+        }
+        Self { rows }
+    }
+
+    /// Whether some span of `fence` on `row` fully contains `[xl, xh)`.
+    pub(crate) fn covers(&self, row: usize, fence: u16, xl: Dbu, xh: Dbu) -> bool {
+        match self.rows.get(row) {
+            Some(spans) => spans
+                .iter()
+                .any(|&(lo, hi, f)| f == fence && lo <= xl && xh <= hi),
+            None => false,
+        }
+    }
+}
+
+/// Snaps `[lo, hi)` inward to whole sites relative to `origin` and keeps it
+/// when at least one site survives.
+fn push_snapped(
+    out: &mut Vec<(Dbu, Dbu, u16)>,
+    lo: Dbu,
+    hi: Dbu,
+    fence: u16,
+    origin: Dbu,
+    sw: Dbu,
+) {
+    let slo = origin + (lo - origin + sw - 1).div_euclid(sw) * sw;
+    let shi = origin + (hi - origin).div_euclid(sw) * sw;
+    if shi - slo >= sw {
+        out.push((slo, shi, fence));
+    }
+}
+
+/// The row span `[lo, hi)` a rectangle occupies, clipped to valid rows.
+/// Mirrors the checker's row-marking rule for fixed cells that may stick out
+/// of the core.
+pub(crate) fn clipped_rows(
+    yl: Dbu,
+    yh: Dbu,
+    core_yl: Dbu,
+    rh: Dbu,
+    num_rows: usize,
+) -> (usize, usize) {
+    let lo = (yl - core_yl).div_euclid(rh).max(0) as usize;
+    let hi = (yh - core_yl + rh - 1).div_euclid(rh).max(0) as usize;
+    (lo, hi.min(num_rows))
+}
+
+/// Runs the independent audit over a design's current placement.
+pub fn verify(d: &Design) -> AuditReport {
+    let mut rep = AuditReport::default();
+    let spans = FenceSpans::build(d);
+    let rh = d.tech.row_height;
+    let sw = d.tech.site_width;
+    let mut entries: Vec<Entry> = Vec::new();
+
+    for (i, cell) in d.cells.iter().enumerate() {
+        let id = CellId(i as u32);
+        let ct = &d.cell_types[cell.type_id.0 as usize];
+        let h = i64::from(ct.height_rows) * rh;
+
+        if cell.fixed {
+            // Fixed cells only participate in overlap checking.
+            if let Some(p) = cell.pos {
+                let (row_lo, row_hi) = clipped_rows(p.y, p.y + h, d.core.yl, rh, d.num_rows);
+                if row_lo < row_hi {
+                    entries.push(Entry {
+                        xl: p.x,
+                        xh: p.x + ct.width,
+                        row_lo,
+                        row_hi,
+                        id,
+                    });
+                }
+            }
+            continue;
+        }
+
+        let Some(p) = cell.pos else {
+            rep.unplaced += 1;
+            rep.note(format!("cell {} unplaced", cell.name));
+            continue;
+        };
+        let (xl, yl) = (p.x, p.y);
+        let (xh, yh) = (xl + ct.width, yl + h);
+
+        if xl < d.core.xl || xh > d.core.xh || yl < d.core.yl || yh > d.core.yh {
+            rep.out_of_core += 1;
+            rep.note(format!(
+                "cell {} out of core: [{xl},{xh})x[{yl},{yh})",
+                cell.name
+            ));
+            continue;
+        }
+        let aligned_x = (xl - d.core.xl).rem_euclid(sw) == 0;
+        let aligned_y = (yl - d.core.yl) % rh == 0;
+        if !aligned_x || !aligned_y {
+            rep.misaligned += 1;
+            rep.note(format!("cell {} misaligned at ({xl}, {yl})", cell.name));
+            continue;
+        }
+        let row = ((yl - d.core.yl) / rh) as usize;
+
+        // P/G rail compatibility: cells with a pinned parity must sit on a
+        // matching row; free (odd-height) cells must be flipped exactly on
+        // odd rows.
+        match ct.rail_parity {
+            Some(RowParity::Even) if row % 2 != 0 => {
+                rep.bad_parity += 1;
+                rep.note(format!("cell {} needs an even row, got {row}", cell.name));
+            }
+            Some(RowParity::Odd) if row % 2 != 1 => {
+                rep.bad_parity += 1;
+                rep.note(format!("cell {} needs an odd row, got {row}", cell.name));
+            }
+            None => {
+                let flipped = matches!(cell.orient, Orient::FS | Orient::S);
+                if flipped != (row % 2 == 1) {
+                    rep.bad_parity += 1;
+                    rep.note(format!("cell {} wrong flip on row {row}", cell.name));
+                }
+            }
+            _ => {}
+        }
+
+        // Fence containment on every spanned row.
+        let row_hi = row + ct.height_rows as usize;
+        if !(row..row_hi).all(|rr| spans.covers(rr, cell.fence.0, xl, xh)) {
+            rep.fence_violations += 1;
+            rep.note(format!(
+                "cell {} escapes fence {} on rows {row}..{row_hi}",
+                cell.name, cell.fence.0
+            ));
+        }
+
+        entries.push(Entry {
+            xl,
+            xh,
+            row_lo: row,
+            row_hi,
+            id,
+        });
+    }
+
+    // Overlap detection: plane sweep over x. A pair overlaps when their x
+    // spans intersect with positive width on at least one shared row; each
+    // pair is counted once.
+    entries.sort_unstable_by_key(|e| (e.xl, e.id));
+    let mut active: Vec<usize> = Vec::new();
+    for i in 0..entries.len() {
+        let e = &entries[i];
+        active.retain(|&j| entries[j].xh > e.xl);
+        for &j in &active {
+            let a = &entries[j];
+            // x overlap is guaranteed: a.xl <= e.xl < a.xh and e.xl < e.xh.
+            if a.row_lo < e.row_hi && e.row_lo < a.row_hi {
+                rep.overlaps += 1;
+                let (an, en) = (
+                    &d.cells[a.id.0 as usize].name,
+                    &d.cells[e.id.0 as usize].name,
+                );
+                rep.note(format!(
+                    "cells {an} and {en} overlap: [{},{}) vs [{},{})",
+                    a.xl, a.xh, e.xl, e.xh
+                ));
+            }
+        }
+        active.push(i);
+    }
+
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcl_db::prelude::*;
+
+    fn base() -> (Design, CellTypeId, CellTypeId) {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 1000, 900));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        let m = d.add_cell_type(CellType::new("m", 30, 2));
+        (d, s, m)
+    }
+
+    fn place(d: &mut Design, name: &str, ct: CellTypeId, x: Dbu, row: usize) -> CellId {
+        let y = d.row_y(row);
+        let mut c = Cell::new(name, ct, Point::new(x, y));
+        c.pos = Some(Point::new(x, y));
+        c.orient = d.orient_for_row(ct, row);
+        d.add_cell(c)
+    }
+
+    #[test]
+    fn clean_placement_is_clean() {
+        let (mut d, s, m) = base();
+        place(&mut d, "a", s, 0, 0);
+        place(&mut d, "b", s, 20, 0);
+        place(&mut d, "c", m, 100, 2);
+        let rep = verify(&d);
+        assert!(rep.is_clean(), "{rep:?}");
+    }
+
+    #[test]
+    fn counts_each_category() {
+        let (mut d, s, m) = base();
+        d.add_cell(Cell::new("u", s, Point::new(0, 0))); // unplaced
+        let a = place(&mut d, "a", s, 0, 0);
+        d.cells[a.0 as usize].pos = Some(Point::new(13, 0)); // off-site
+        let b = place(&mut d, "b", s, 40, 0);
+        d.cells[b.0 as usize].pos = Some(Point::new(990, 0)); // leaves core
+        place(&mut d, "p", m, 200, 1); // even-height on odd row
+        let rep = verify(&d);
+        assert_eq!(rep.unplaced, 1);
+        assert_eq!(rep.misaligned, 1);
+        assert_eq!(rep.out_of_core, 1);
+        assert_eq!(rep.bad_parity, 1);
+        assert_eq!(rep.hard_violations(), 4);
+        assert_eq!(rep.placement_violations(), 3);
+    }
+
+    #[test]
+    fn sweep_catches_non_adjacent_overlap() {
+        // A wide cell covering a third cell with another in between: the
+        // pair (a, c) is not adjacent in xl order but still overlaps.
+        let (mut d, _, _) = base();
+        let wide = d.add_cell_type(CellType::new("w", 200, 1));
+        let tiny = d.add_cell_type(CellType::new("t", 10, 1));
+        place(&mut d, "a", wide, 0, 0); // [0, 200)
+        place(&mut d, "b", tiny, 20, 0); // [20, 30)
+        place(&mut d, "c", tiny, 50, 0); // [50, 60)
+        let rep = verify(&d);
+        assert_eq!(rep.overlaps, 2, "{:?}", rep.notes);
+    }
+
+    #[test]
+    fn overlap_counted_once_across_rows() {
+        let (mut d, _, m) = base();
+        place(&mut d, "a", m, 100, 0);
+        place(&mut d, "b", m, 110, 0);
+        assert_eq!(verify(&d).overlaps, 1);
+    }
+
+    #[test]
+    fn fixed_cells_block_but_are_not_checked() {
+        let (mut d, s, _) = base();
+        let blk = d.add_cell_type(CellType::new("blk", 100, 1));
+        let mut f = Cell::new("obs", blk, Point::new(3, 0)); // off-grid fixed: fine
+        f.pos = Some(Point::new(3, 0));
+        f.fixed = true;
+        d.add_cell(f);
+        place(&mut d, "a", s, 50, 0);
+        let rep = verify(&d);
+        assert_eq!(rep.misaligned, 0);
+        assert_eq!(rep.overlaps, 1);
+    }
+
+    #[test]
+    fn fence_rules() {
+        let (mut d, s, _) = base();
+        let f = d.add_fence(FenceRegion::new("g0", vec![Rect::new(300, 0, 600, 180)]));
+        // A fenced cell outside its fence, and a default cell inside it.
+        let a = place(&mut d, "a", s, 0, 0);
+        d.cells[a.0 as usize].fence = f;
+        place(&mut d, "b", s, 400, 0);
+        let rep = verify(&d);
+        assert_eq!(rep.fence_violations, 2, "{:?}", rep.notes);
+        // A fenced cell inside the fence is fine.
+        let c = place(&mut d, "c", s, 320, 1);
+        d.cells[c.0 as usize].fence = f;
+        assert_eq!(verify(&d).fence_violations, 2);
+    }
+
+    #[test]
+    fn multi_row_fence_requires_every_row() {
+        let (mut d, _, m) = base();
+        // Fence covers rows 0..1 only; a two-row cell needs rows 0..2.
+        let f = d.add_fence(FenceRegion::new("g0", vec![Rect::new(0, 0, 400, 90)]));
+        let a = place(&mut d, "a", m, 100, 0);
+        d.cells[a.0 as usize].fence = f;
+        assert_eq!(verify(&d).fence_violations, 1);
+    }
+}

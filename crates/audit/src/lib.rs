@@ -1,0 +1,36 @@
+//! Independent certifying audit layer.
+//!
+//! This crate re-checks the legalizer's output contract without reusing any
+//! of the code that produced it. The three auditors are deliberately
+//! *clean-room* implementations:
+//!
+//! - [`legality`] re-verifies every hard constraint from §2 of the paper
+//!   (core bounds, site/row alignment, P/G parity and flipping, pairwise
+//!   overlap via an independent sweep line, fence containment) directly from
+//!   raw coordinates. It shares no geometry or segment helpers with
+//!   `mcl_db::legal` or the legalizer itself, so a bug in shared code cannot
+//!   hide from it.
+//! - [`flow_cert`] certifies min-cost-flow solutions from their dual
+//!   potentials: feasibility (capacity bounds + conservation) plus
+//!   complementary slackness proves optimality outright, independent of the
+//!   solver that produced the flow.
+//! - [`replay`] replays an append-only log of placement operations against
+//!   its own occupancy model, turning the parallel scheduler's determinism
+//!   claim (bit-identical results for any thread count) into an enforced,
+//!   auditable invariant.
+//!
+//! The independence rule for this crate: it may read the data model
+//! (`Design`, `Cell`, `CellType`, raw `Dbu` coordinates) but must not call
+//! derived-geometry helpers (`Rect::overlaps`, `Interval::covers`,
+//! `SegmentMap`, `Checker`, `PlacementState`). All comparisons are spelled
+//! out in integer arithmetic here.
+
+#![forbid(unsafe_code)]
+
+pub mod flow_cert;
+pub mod legality;
+pub mod replay;
+
+pub use flow_cert::{certify, Certificate, Violation};
+pub use legality::{verify, AuditReport};
+pub use replay::{ReplayError, ReplayErrorKind, ReplayLog, ReplayOp};

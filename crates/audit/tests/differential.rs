@@ -1,0 +1,160 @@
+//! Differential test: the independent auditor and `db::legal::Checker` must
+//! agree on random designs — same legal/illegal verdict over the six hard
+//! constraint categories and the same per-category counts. The two
+//! implementations share no geometry helpers (see `mcl_audit` docs), so
+//! agreement here means both derive the §2 constraints correctly or both
+//! carry the same misreading — which is exactly what this generator tries to
+//! rule out by covering fences, multi-row parity, misalignment, and
+//! out-of-core edge cases.
+
+use mcl_db::prelude::*;
+use proptest::prelude::*;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A random design with a named fence, optional fixed obstacles, and cells
+/// of heights 1/2/4 in states ranging from legal to misaligned, overlapping,
+/// out-of-core, mis-fenced, parity-broken, or unplaced.
+fn random_design(seed: u64) -> Design {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    // 10 rows of 90 dbu, 200 sites of 10 dbu.
+    let mut d = Design::new("diff", Technology::example(), Rect::new(0, 0, 2000, 900));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    d.add_cell_type(CellType::new("d", 30, 2));
+    d.add_cell_type(CellType::new("q", 40, 4));
+    // A fence over the left half of rows 2..=4 (multi-row, so multi-row
+    // fenced cells must be covered in *every* spanned row).
+    let fence = d.add_fence(FenceRegion::new("g", vec![Rect::new(0, 180, 900, 450)]));
+    if xorshift(&mut s) % 2 == 0 {
+        let mut obs = Cell::new("obs", CellTypeId(2), Point::new(1500, 180));
+        obs.fixed = true;
+        obs.pos = Some(Point::new(1500, 180));
+        d.add_cell(obs);
+    }
+    let n = 8 + (xorshift(&mut s) % 24) as usize;
+    for i in 0..n {
+        let t = (xorshift(&mut s) % 3) as u32;
+        let gp = Point::new(
+            (xorshift(&mut s) % 2000) as Dbu,
+            (xorshift(&mut s) % 900) as Dbu,
+        );
+        let mut c = Cell::new(format!("c{i}"), CellTypeId(t), gp);
+        if xorshift(&mut s) % 4 == 0 {
+            c.fence = fence;
+        }
+        if xorshift(&mut s) % 3 == 0 {
+            c.orient = Orient::FS;
+        }
+        match xorshift(&mut s) % 12 {
+            0 => {} // unplaced
+            1 => {
+                // Raw position: may be misaligned, out of core, anything.
+                c.pos = Some(Point::new(
+                    (xorshift(&mut s) % 2100) as Dbu - 50,
+                    (xorshift(&mut s) % 1000) as Dbu - 50,
+                ));
+            }
+            2 => {
+                // Aligned but possibly hanging off the right/top edge.
+                c.pos = Some(Point::new(
+                    ((xorshift(&mut s) % 210) as Dbu) * 10,
+                    ((xorshift(&mut s) % 11) as Dbu) * 90,
+                ));
+            }
+            _ => {
+                // Aligned and inside; overlaps arise from the tight packing.
+                c.pos = Some(Point::new(
+                    ((xorshift(&mut s) % 190) as Dbu) * 10,
+                    ((xorshift(&mut s) % 7) as Dbu) * 90,
+                ));
+            }
+        }
+        d.add_cell(c);
+    }
+    d
+}
+
+fn assert_agreement(d: &Design) {
+    let reference = Checker::new(d).check();
+    let audit = mcl_audit::verify(d);
+    assert_eq!(audit.unplaced, reference.unplaced, "unplaced");
+    assert_eq!(audit.out_of_core, reference.out_of_core, "out_of_core");
+    assert_eq!(audit.misaligned, reference.misaligned, "misaligned");
+    assert_eq!(audit.bad_parity, reference.bad_parity, "bad_parity");
+    assert_eq!(audit.overlaps, reference.overlaps, "overlaps");
+    assert_eq!(
+        audit.fence_violations, reference.fence_violations,
+        "fence_violations"
+    );
+    assert_eq!(audit.hard_violations(), reference.hard_violations());
+}
+
+proptest! {
+    #[test]
+    fn auditor_agrees_with_checker(seed in 0u64..4096) {
+        let d = random_design(seed);
+        assert_agreement(&d);
+    }
+}
+
+/// The generator must actually exercise every hard-constraint category —
+/// otherwise the differential test proves agreement on nothing.
+#[test]
+fn generator_covers_all_categories() {
+    let mut seen = [0usize; 6];
+    for seed in 0..256 {
+        let r = Checker::new(&random_design(seed)).check();
+        seen[0] += r.unplaced;
+        seen[1] += r.out_of_core;
+        seen[2] += r.misaligned;
+        seen[3] += r.bad_parity;
+        seen[4] += r.overlaps;
+        seen[5] += r.fence_violations;
+    }
+    let names = [
+        "unplaced",
+        "out_of_core",
+        "misaligned",
+        "bad_parity",
+        "overlaps",
+        "fence_violations",
+    ];
+    for (n, &c) in names.iter().zip(&seen) {
+        assert!(c > 0, "generator never produced a {n} violation");
+    }
+}
+
+#[test]
+fn auditor_agrees_on_directed_edge_cases() {
+    // Multi-row parity: an even-height cell on an odd row.
+    let mut d = Design::new("p", Technology::example(), Rect::new(0, 0, 1000, 900));
+    d.add_cell_type(CellType::new("d", 30, 2));
+    let mut c = Cell::new("a", CellTypeId(0), Point::new(0, 90));
+    c.pos = Some(Point::new(0, 90));
+    d.add_cell(c);
+    assert_agreement(&d);
+
+    // Odd-height cell with an orientation inconsistent with its row.
+    let mut d = Design::new("o", Technology::example(), Rect::new(0, 0, 1000, 900));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    let mut c = Cell::new("a", CellTypeId(0), Point::new(0, 0));
+    c.pos = Some(Point::new(0, 0));
+    c.orient = Orient::FS;
+    d.add_cell(c);
+    assert_agreement(&d);
+
+    // Fenced multi-row cell whose fence covers only its bottom row.
+    let mut d = Design::new("f", Technology::example(), Rect::new(0, 0, 1000, 900));
+    d.add_cell_type(CellType::new("q", 40, 4));
+    let f = d.add_fence(FenceRegion::new("g", vec![Rect::new(0, 0, 1000, 90)]));
+    let mut c = Cell::new("a", CellTypeId(0), Point::new(0, 0));
+    c.pos = Some(Point::new(0, 0));
+    c.fence = f;
+    d.add_cell(c);
+    assert_agreement(&d);
+}

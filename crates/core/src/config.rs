@@ -163,7 +163,9 @@ impl LegalizerConfig {
 
     /// `δ₀` in database units for a given row height.
     pub fn delta0_dbu(&self, row_height: Dbu) -> Dbu {
-        (self.delta0_rows * row_height as f64).round() as Dbu
+        mcl_db::geom::dbu_from_f64_saturating(
+            (self.delta0_rows * mcl_db::geom::dbu_to_f64(row_height)).round(),
+        )
     }
 }
 

@@ -141,7 +141,7 @@ impl PwlCurve {
             }
             v -= slope as i128 * (cur - x) as i128;
         }
-        v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+        clamp_i64(v)
     }
 
     /// Slope immediately right of `x_ref`.
@@ -195,7 +195,7 @@ impl PwlCurve {
             slope0,
             events: merged,
             x_ref,
-            v_ref: v_ref.clamp(i64::MIN as i128, i64::MAX as i128) as i64,
+            v_ref: clamp_i64(v_ref),
         }
     }
 
@@ -302,8 +302,12 @@ impl PwlCurve {
     }
 }
 
+/// Narrows an `i128` accumulator to `i64`, saturating at the bounds. Curve
+/// values saturate rather than wrap: a clamped displacement sum stays a
+/// valid (if pessimistic) upper bound, while wrap-around would invert the
+/// comparison in [`PwlCurve::min_on`].
 fn clamp_i64(v: i128) -> i64 {
-    v.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+    i64::try_from(v).unwrap_or(if v > 0 { i64::MAX } else { i64::MIN })
 }
 
 /// A displacement-curve contribution in closed form (Fig. 4 curve types plus

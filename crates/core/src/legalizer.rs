@@ -42,6 +42,29 @@ pub struct Legalizer {
     config: LegalizerConfig,
 }
 
+/// Runs the independent auditor (`mcl_audit`) over the state after a stage
+/// and panics on any hard violation among the *placed* cells. Stages may
+/// leave overflow cells unplaced (reported through their stats); everything
+/// they did place must satisfy every §2 constraint.
+///
+/// Active under `debug_assertions` and in `--features audit` builds; CI runs
+/// the latter so every stage of every test design is independently checked.
+#[cfg(any(debug_assertions, feature = "audit"))]
+fn audit_stage(state: &PlacementState<'_>, design: &Design, stage: &str) {
+    let mut snapshot = design.clone();
+    state.write_back(&mut snapshot);
+    let rep = mcl_audit::verify(&snapshot);
+    assert_eq!(
+        rep.placement_violations(),
+        0,
+        "independent audit failed after {stage}: {:?}",
+        rep.notes
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "audit")))]
+fn audit_stage(_state: &PlacementState<'_>, _design: &Design, _stage: &str) {}
+
 impl Legalizer {
     /// Creates a legalizer with the given configuration.
     pub fn new(config: LegalizerConfig) -> Self {
@@ -56,6 +79,18 @@ impl Legalizer {
     /// Legalizes a design, returning the placed design and statistics.
     /// The input design is not modified; its `pos` fields are ignored.
     pub fn run(&self, design: &Design) -> (Design, LegalizeStats) {
+        let (out, stats, _) = self.run_with_replay(design);
+        (out, stats)
+    }
+
+    /// Like [`Self::run`], additionally returning the replay log of every
+    /// committed placement mutation, for the determinism auditor
+    /// (`mcl_audit::replay`). Two runs are bit-identical iff their logs are
+    /// equal. Empty unless the `replay-log` feature (default) is enabled.
+    pub fn run_with_replay(
+        &self,
+        design: &Design,
+    ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
         let weights = compute_weights(design, self.config.weights);
         let oracle_store;
         let oracle = if self.config.routability {
@@ -75,22 +110,26 @@ impl Legalizer {
             run_serial(&mut state, &self.config, &weights, oracle)
         };
         stats.seconds[0] = t0.elapsed().as_secs_f64();
+        audit_stage(&state, design, "stage 1 (MGL insertion)");
 
         if self.config.max_disp_matching {
             let t1 = Instant::now();
             stats.max_disp = optimize_max_disp(&mut state, &self.config);
             stats.seconds[1] = t1.elapsed().as_secs_f64();
+            audit_stage(&state, design, "stage 2 (max-disp matching)");
         }
 
         if self.config.fixed_order_refine {
             let t2 = Instant::now();
             stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
             stats.seconds[2] = t2.elapsed().as_secs_f64();
+            audit_stage(&state, design, "stage 3 (fixed-order refinement)");
         }
 
         let mut out = design.clone();
         state.write_back(&mut out);
-        (out, stats)
+        let log = state.take_replay_log();
+        (out, stats, log)
     }
 
     /// Incremental (ECO) legalization: cells that already have a legal
@@ -124,15 +163,18 @@ impl Legalizer {
             run_serial(&mut state, &self.config, &weights, oracle)
         };
         stats.seconds[0] = t0.elapsed().as_secs_f64();
+        audit_stage(&state, design, "ECO stage 1 (MGL insertion)");
         if self.config.max_disp_matching {
             let t1 = Instant::now();
             stats.max_disp = optimize_max_disp(&mut state, &self.config);
             stats.seconds[1] = t1.elapsed().as_secs_f64();
+            audit_stage(&state, design, "ECO stage 2 (max-disp matching)");
         }
         if self.config.fixed_order_refine {
             let t2 = Instant::now();
             stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
             stats.seconds[2] = t2.elapsed().as_secs_f64();
+            audit_stage(&state, design, "ECO stage 3 (fixed-order refinement)");
         }
         let mut out = design.clone();
         state.write_back(&mut out);
@@ -164,11 +206,13 @@ impl Legalizer {
             let t1 = Instant::now();
             stats.max_disp = optimize_max_disp(&mut state, &self.config);
             stats.seconds[1] = t1.elapsed().as_secs_f64();
+            audit_stage(&state, design, "refine stage 2 (max-disp matching)");
         }
         if self.config.fixed_order_refine {
             let t2 = Instant::now();
             stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
             stats.seconds[2] = t2.elapsed().as_secs_f64();
+            audit_stage(&state, design, "refine stage 3 (fixed-order refinement)");
         }
         let mut out = design.clone();
         state.write_back(&mut out);

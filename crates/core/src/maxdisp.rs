@@ -14,8 +14,9 @@
 
 use crate::config::LegalizerConfig;
 use crate::state::PlacementState;
+use mcl_db::geom::{dbu_from_f64_saturating, dbu_to_f64};
 use mcl_db::prelude::*;
-use mcl_flow::min_cost_matching;
+use mcl_flow::matching::min_cost_matching_with_witness;
 use std::collections::HashMap;
 
 /// Statistics of one stage-2 run.
@@ -35,13 +36,13 @@ pub fn phi(delta: Dbu, delta0: Dbu) -> i64 {
     if delta <= delta0 {
         return delta;
     }
-    let d = delta as f64;
-    let d0 = (delta0.max(1)) as f64;
+    let d = dbu_to_f64(delta);
+    let d0 = dbu_to_f64(delta0.max(1));
     let v = d * (d / d0).powi(4);
     if v >= 1e15 {
         1_000_000_000_000_000
     } else {
-        v as i64
+        dbu_from_f64_saturating(v)
     }
 }
 
@@ -298,14 +299,24 @@ fn solve_group(job: &GroupJob, delta0: Dbu, dense_limit: usize) -> Vec<(usize, u
         }
     }
 
-    match min_cost_matching(n, job.positions.len(), &edges) {
-        Some(m) => m
-            .assignment
-            .iter()
-            .enumerate()
-            .filter(|&(i, &j)| i != j)
-            .map(|(i, &j)| (i, j))
-            .collect(),
+    match min_cost_matching_with_witness(n, job.positions.len(), &edges) {
+        Some((m, _witness)) => {
+            // Every matching applied to the placement carries an optimality
+            // certificate: the independent auditor re-derives feasibility and
+            // complementary slackness from the witness's dual potentials.
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            {
+                let cert = mcl_audit::certify(&_witness.graph, &_witness.solution)
+                    .expect("max-disp matching failed its optimality certificate");
+                debug_assert_eq!(cert.cost, m.cost, "certified cost must match matching cost");
+            }
+            m.assignment
+                .iter()
+                .enumerate()
+                .filter(|&(i, &j)| i != j)
+                .map(|(i, &j)| (i, j))
+                .collect()
+        }
         None => Vec::new(),
     }
 }

@@ -51,6 +51,10 @@ pub struct PlacementState<'d> {
     seg_cells: Vec<Vec<CellId>>,
     /// Working position per cell (index = CellId).
     pos: Vec<Option<Point>>,
+    /// Append-only record of committed mutations, consumed by the
+    /// determinism auditor (`mcl_audit::replay`).
+    #[cfg(feature = "replay-log")]
+    replay: mcl_audit::ReplayLog,
 }
 
 impl<'d> PlacementState<'d> {
@@ -79,6 +83,8 @@ impl<'d> PlacementState<'d> {
             segmap,
             seg_cells,
             pos,
+            #[cfg(feature = "replay-log")]
+            replay: mcl_audit::ReplayLog::new(),
         }
     }
 
@@ -182,6 +188,8 @@ impl<'d> PlacementState<'d> {
             let idx = self.insert_index(&self.seg_cells[seg_idx], p.x);
             self.seg_cells[seg_idx].insert(idx, cell);
         }
+        #[cfg(feature = "replay-log")]
+        self.replay.record_place(cell, p.x, p.y);
         Ok(())
     }
 
@@ -204,6 +212,8 @@ impl<'d> PlacementState<'d> {
             self.seg_cells[seg_idx].retain(|&x| x != cell);
         }
         self.pos[cell.0 as usize] = None;
+        #[cfg(feature = "replay-log")]
+        self.replay.record_remove(cell);
     }
 
     /// Horizontally shifts a placed cell to `new_x`. The caller must
@@ -214,6 +224,29 @@ impl<'d> PlacementState<'d> {
         let p = self.pos[cell.0 as usize].expect("cell not placed");
         debug_assert!(self.shift_is_order_preserving(cell, new_x));
         self.pos[cell.0 as usize] = Some(Point::new(new_x, p.y));
+        #[cfg(feature = "replay-log")]
+        self.replay.record_shift_x(cell, new_x);
+    }
+
+    /// The replay log of every committed mutation since construction (or the
+    /// last [`Self::take_replay_log`]).
+    #[cfg(feature = "replay-log")]
+    pub fn replay_log(&self) -> &mcl_audit::ReplayLog {
+        &self.replay
+    }
+
+    /// Takes ownership of the replay log, leaving an empty one. Without the
+    /// `replay-log` feature nothing is recorded and this returns an empty
+    /// log.
+    pub fn take_replay_log(&mut self) -> mcl_audit::ReplayLog {
+        #[cfg(feature = "replay-log")]
+        {
+            std::mem::take(&mut self.replay)
+        }
+        #[cfg(not(feature = "replay-log"))]
+        {
+            mcl_audit::ReplayLog::new()
+        }
     }
 
     #[allow(dead_code)]

@@ -1,0 +1,143 @@
+//! Scheduler determinism audit: the legalizer must produce bit-identical
+//! mutation sequences regardless of thread count, and every intermediate
+//! state in that sequence must be legal under the independent replay
+//! verifier (`mcl_audit::replay`).
+
+#![cfg(feature = "replay-log")]
+
+use mcl_core::{Legalizer, LegalizerConfig};
+use mcl_db::prelude::*;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A messy multi-height design large enough to engage the parallel
+/// scheduler's window pipeline and the matching stage.
+fn messy_design(n: usize, seed: u64) -> Design {
+    let mut s = seed | 1;
+    let mut d = Design::new("det", Technology::example(), Rect::new(0, 0, 6000, 2700));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    d.add_cell_type(CellType::new("d", 30, 2));
+    d.add_cell_type(CellType::new("q", 40, 4));
+    for i in 0..n {
+        let t = (xorshift(&mut s) % 3) as u32;
+        let gp = Point::new(
+            (xorshift(&mut s) % 5900) as Dbu,
+            (xorshift(&mut s) % 2600) as Dbu,
+        );
+        d.add_cell(Cell::new(format!("c{i}"), CellTypeId(t), gp));
+    }
+    d
+}
+
+fn run_with_threads(d: &Design, threads: usize) -> (Design, mcl_audit::ReplayLog) {
+    let mut cfg = LegalizerConfig::contest();
+    cfg.threads = threads;
+    let (out, stats, log) = Legalizer::new(cfg).run_with_replay(d);
+    assert_eq!(stats.mgl.failed, 0, "all cells must place");
+    (out, log)
+}
+
+#[test]
+fn scheduler_mutation_sequence_invariant_across_thread_counts() {
+    // The parallel scheduler must commit the exact same mutation sequence
+    // whether windows are evaluated inline (1 thread) or by worker replicas
+    // (2, 4 threads). This is stronger than comparing final positions: two
+    // runs with equal logs are bit-identical step by step.
+    use mcl_core::mgl::compute_weights;
+    use mcl_core::scheduler::run_parallel;
+    use mcl_core::state::PlacementState;
+
+    let d = messy_design(160, 0xC0FFEE);
+    let run = |threads: usize| {
+        let mut cfg = LegalizerConfig::contest();
+        cfg.threads = threads;
+        cfg.clamp_threads_to_hardware = false;
+        let weights = compute_weights(&d, cfg.weights);
+        let mut state = PlacementState::new(&d);
+        let stats = run_parallel(&mut state, &cfg, &weights, None);
+        assert_eq!(stats.failed, 0);
+        state.take_replay_log()
+    };
+    let log1 = run(1);
+    let log2 = run(2);
+    let log4 = run(4);
+    // Digest is the cheap fleet check; op-for-op equality gives a usable
+    // failure message.
+    assert_eq!(log1.digest(), log2.digest());
+    assert_eq!(log1.digest(), log4.digest());
+    assert_eq!(log1.ops(), log2.ops());
+    assert_eq!(log1.ops(), log4.ops());
+}
+
+#[test]
+fn full_pipeline_log_invariant_across_thread_counts() {
+    // End-to-end: MGL + max-disp matching + fixed-order refinement, 2 vs 4
+    // threads, must record identical logs and produce identical outputs.
+    // (The 1-thread path runs a different serial MGL algorithm and is
+    // audited separately by the replay verifier below.)
+    let d = messy_design(160, 0xC0FFEE);
+    let (out2, log2) = run_with_threads(&d, 2);
+    let (out4, log4) = run_with_threads(&d, 4);
+    assert_eq!(log2.digest(), log4.digest());
+    assert_eq!(log2.ops(), log4.ops());
+    for (a, b) in out2.cells.iter().zip(&out4.cells) {
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.orient, b.orient);
+    }
+}
+
+#[test]
+fn serial_path_log_replays_cleanly() {
+    let d = messy_design(100, 0xFACADE);
+    let (out, log) = run_with_threads(&d, 1);
+    let final_pos = log.verify(&d).expect("serial run must replay legally");
+    for (c, p) in out.cells.iter().zip(&final_pos) {
+        if !c.fixed {
+            assert_eq!(c.pos, *p);
+        }
+    }
+}
+
+#[test]
+fn replay_verifier_accepts_the_real_run_and_matches_final_positions() {
+    let d = messy_design(120, 0xBADC0DE);
+    let (out, log) = run_with_threads(&d, 4);
+    assert!(!log.is_empty());
+    // Independent replay: every op must be legal at the moment it applies.
+    let final_pos = log.verify(&d).expect("replayed run must be legal");
+    for (c, p) in out.cells.iter().zip(&final_pos) {
+        if !c.fixed {
+            assert_eq!(c.pos, *p, "replayed position differs for {}", c.name);
+        }
+    }
+}
+
+#[test]
+fn tampered_log_is_rejected() {
+    use mcl_audit::ReplayOp;
+    let d = messy_design(60, 0x5EED);
+    let (_, log) = run_with_threads(&d, 1);
+    // Re-place the first placed cell at a misaligned x: the verifier must
+    // reject the doctored sequence.
+    let mut ops = log.ops().to_vec();
+    let Some(ReplayOp::Place { cell, x, y }) = ops.first().copied() else {
+        panic!("first op is a placement");
+    };
+    ops.push(ReplayOp::Remove { cell });
+    ops.push(ReplayOp::Place { cell, x: x + 1, y });
+    let mut doctored = mcl_audit::ReplayLog::new();
+    for op in ops {
+        match op {
+            ReplayOp::Place { cell, x, y } => doctored.record_place(cell, x, y),
+            ReplayOp::Remove { cell } => doctored.record_remove(cell),
+            ReplayOp::ShiftX { cell, x } => doctored.record_shift_x(cell, x),
+        }
+    }
+    let err = doctored.verify(&d).expect_err("misaligned replacement");
+    assert_eq!(err.cell, cell);
+}

@@ -9,6 +9,35 @@ use std::fmt;
 /// one row is [`crate::Technology::row_height`].
 pub type Dbu = i64;
 
+/// Converts a float to [`Dbu`], truncating toward zero and saturating at the
+/// `i64` range; `NaN` maps to zero.
+///
+/// This is the single sanctioned float→integer conversion point for
+/// coordinates: everywhere else, bare `as` casts between float and integer
+/// types are rejected by `cargo xtask lint` so that silent truncation cannot
+/// creep into displacement math.
+///
+/// ```
+/// use mcl_db::geom::dbu_from_f64_saturating;
+/// assert_eq!(dbu_from_f64_saturating(41.9), 41);
+/// assert_eq!(dbu_from_f64_saturating(-41.9), -41);
+/// assert_eq!(dbu_from_f64_saturating(f64::INFINITY), i64::MAX);
+/// assert_eq!(dbu_from_f64_saturating(f64::NAN), 0);
+/// ```
+pub fn dbu_from_f64_saturating(v: f64) -> Dbu {
+    // Rust's float-to-int `as` casts saturate and map NaN to zero; this
+    // wrapper exists to give that behavior a name and a choke point.
+    v as i64
+}
+
+/// Converts a [`Dbu`] to `f64` for ratio/penalty math. Exact up to ±2⁵³;
+/// beyond that the nearest representable double is returned, which is
+/// acceptable for cost curves but not for coordinates — never round-trip
+/// positions through this.
+pub fn dbu_to_f64(v: Dbu) -> f64 {
+    v as f64
+}
+
 /// A point in database units.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Point {

@@ -164,11 +164,17 @@ impl<'a> Checker<'a> {
         let mut seen_spacing = std::collections::HashSet::new();
         for row in rows.iter_mut() {
             row.sort_unstable_by_key(|&(xl, _, _)| xl);
-            for w in row.windows(2) {
-                let (axl, axh, a) = w[0];
-                let (bxl, _bxh, b) = w[1];
-                let key = (a.min(b), a.max(b));
-                if bxl < axh {
+            let row = &*row;
+
+            // Overlaps: active-list sweep over the sorted row, so a wide
+            // cell overlapping several neighbors (not just the adjacent one)
+            // contributes every overlapping pair.
+            let mut active: Vec<usize> = Vec::new();
+            for (k, &(bxl, _, b)) in row.iter().enumerate() {
+                active.retain(|&j| row[j].1 > bxl);
+                for &j in &active {
+                    let (axl, axh, a) = row[j];
+                    let key = (a.min(b), a.max(b));
                     if seen_overlap.insert(key) {
                         rep.overlaps += 1;
                         detail(
@@ -179,22 +185,33 @@ impl<'a> Checker<'a> {
                             ),
                         );
                     }
-                } else {
-                    let ea = d.type_of(a).edge_class.1;
-                    let eb = d.type_of(b).edge_class.0;
-                    let need = d.tech.edge_spacing.spacing(ea, eb);
-                    if bxl - axh < need && seen_spacing.insert(key) {
-                        rep.edge_spacing += 1;
-                        detail(
-                            &mut rep,
-                            format!(
-                                "edge spacing {} < {need} between {} and {}",
-                                bxl - axh,
-                                d.cells[a.0 as usize].name,
-                                d.cells[b.0 as usize].name
-                            ),
-                        );
-                    }
+                }
+                active.push(k);
+            }
+
+            // Edge spacing applies between abutting neighbors, where
+            // adjacency in x order is the right notion.
+            for w in row.windows(2) {
+                let (_axl, axh, a) = w[0];
+                let (bxl, _bxh, b) = w[1];
+                if bxl < axh {
+                    continue; // overlapping pair, counted above
+                }
+                let key = (a.min(b), a.max(b));
+                let ea = d.type_of(a).edge_class.1;
+                let eb = d.type_of(b).edge_class.0;
+                let need = d.tech.edge_spacing.spacing(ea, eb);
+                if bxl - axh < need && seen_spacing.insert(key) {
+                    rep.edge_spacing += 1;
+                    detail(
+                        &mut rep,
+                        format!(
+                            "edge spacing {} < {need} between {} and {}",
+                            bxl - axh,
+                            d.cells[a.0 as usize].name,
+                            d.cells[b.0 as usize].name
+                        ),
+                    );
                 }
             }
         }
@@ -369,6 +386,20 @@ mod tests {
         place(&mut d, "b", m, 110, 0); // overlaps on both rows, count once
         let rep = Checker::new(&d).check();
         assert_eq!(rep.overlaps, 1);
+    }
+
+    #[test]
+    fn overlap_non_adjacent_pairs_counted() {
+        // A wide cell covers a third cell with another in between: the pair
+        // (a, c) is not adjacent after sorting by xl but still overlaps.
+        let (mut d, _, _) = base();
+        let wide = d.add_cell_type(CellType::new("w", 200, 1));
+        let tiny = d.add_cell_type(CellType::new("t", 10, 1));
+        place(&mut d, "a", wide, 0, 0); // [0, 200)
+        place(&mut d, "b", tiny, 20, 0); // [20, 30)
+        place(&mut d, "c", tiny, 50, 0); // [50, 60)
+        let rep = Checker::new(&d).check();
+        assert_eq!(rep.overlaps, 2, "{:?}", rep.details);
     }
 
     #[test]

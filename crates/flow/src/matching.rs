@@ -4,7 +4,7 @@
 //! type within one fence region are matched to the multiset of their current
 //! positions under the convex cost `φ` of Eq. 3.
 
-use crate::graph::{FlowGraph, NodeId};
+use crate::graph::{ArcId, FlowGraph, FlowSolution, NodeId};
 use crate::ssp;
 
 /// A perfect matching of all left vertices.
@@ -14,6 +14,20 @@ pub struct Matching {
     pub assignment: Vec<usize>,
     /// Total cost of the matching.
     pub cost: i128,
+}
+
+/// The flow network and dual-certified solution a matching was read from.
+/// An external verifier can certify optimality of the matching from this
+/// witness alone (feasibility + complementary slackness of `solution`
+/// against `graph`), without trusting the solver.
+#[derive(Debug, Clone)]
+pub struct MatchingWitness {
+    /// The bipartite flow network the matching was solved on.
+    pub graph: FlowGraph,
+    /// The solver's flow and dual potentials.
+    pub solution: FlowSolution,
+    /// Arc ids of the left-right edges, parallel to the input edge list.
+    pub edge_arcs: Vec<ArcId>,
 }
 
 /// Finds a min-cost matching covering every left vertex, over a sparse edge
@@ -31,11 +45,33 @@ pub fn min_cost_matching(
     n_right: usize,
     edges: &[(usize, usize, i64)],
 ) -> Option<Matching> {
+    min_cost_matching_with_witness(n_left, n_right, edges).map(|(m, _)| m)
+}
+
+/// Like [`min_cost_matching`], additionally returning the underlying flow
+/// network and dual solution as an optimality witness. The witness for the
+/// trivial `n_left == 0` case is an empty graph with an empty solution.
+pub fn min_cost_matching_with_witness(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize, i64)],
+) -> Option<(Matching, MatchingWitness)> {
     if n_left == 0 {
-        return Some(Matching {
-            assignment: Vec::new(),
-            cost: 0,
-        });
+        return Some((
+            Matching {
+                assignment: Vec::new(),
+                cost: 0,
+            },
+            MatchingWitness {
+                graph: FlowGraph::new(),
+                solution: FlowSolution {
+                    flow: Vec::new(),
+                    potential: Vec::new(),
+                    cost: 0,
+                },
+                edge_arcs: Vec::new(),
+            },
+        ));
     }
     if n_left > n_right {
         return None;
@@ -69,10 +105,15 @@ pub fn min_cost_matching(
     if assignment.contains(&usize::MAX) {
         return None;
     }
-    Some(Matching {
-        assignment,
-        cost: sol.cost,
-    })
+    let cost = sol.cost;
+    Some((
+        Matching { assignment, cost },
+        MatchingWitness {
+            graph: g,
+            solution: sol,
+            edge_arcs,
+        },
+    ))
 }
 
 /// Dense variant: `costs[l][r]` is the cost of pairing left `l` with right
@@ -168,6 +209,18 @@ mod tests {
         let m = min_cost_matching_dense(&costs).unwrap();
         assert_eq!(m.assignment, vec![0, 1, 2]);
         assert_eq!(m.cost, 0);
+    }
+
+    #[test]
+    fn witness_carries_certified_solution() {
+        let edges = [(0, 0, 5), (0, 1, 1), (1, 0, 2), (1, 1, 9)];
+        let (m, w) = min_cost_matching_with_witness(2, 2, &edges).unwrap();
+        assert_eq!(m.cost, 3);
+        assert!(w.solution.verify(&w.graph).is_none());
+        // Exactly the matched edges carry flow.
+        for (aid, &(l, r, _)) in w.edge_arcs.iter().zip(&edges) {
+            assert_eq!(w.solution.flow[aid.0] > 0, m.assignment[l] == r);
+        }
     }
 
     #[test]

@@ -179,6 +179,34 @@ mod tests {
     }
 
     #[test]
+    fn potentials_certify_duality() {
+        // Mirror of `network_simplex::tests::potentials_certify_duality`:
+        // the SSP potentials must satisfy the same complementary-slackness
+        // certificate on the same instance.
+        let mut g = FlowGraph::with_nodes(4);
+        g.set_supply(NodeId(0), 6);
+        g.set_supply(NodeId(3), -6);
+        g.add_arc(NodeId(0), NodeId(1), 4, 2);
+        g.add_arc(NodeId(0), NodeId(2), 4, 3);
+        g.add_arc(NodeId(1), NodeId(3), 5, 2);
+        g.add_arc(NodeId(2), NodeId(3), 5, 1);
+        let s = solve(&g).unwrap();
+        assert!(s.verify(&g).is_none());
+        assert_eq!(s.cost, 4 * 4 + 2 * 4);
+        // Spot-check the dual inequalities directly: every arc must have
+        // rc >= 0 when idle and rc <= 0 when saturated.
+        for (i, a) in g.arcs().iter().enumerate() {
+            let rc = a.cost as i128 - s.potential[a.from.0] as i128 + s.potential[a.to.0] as i128;
+            if s.flow[i] == 0 {
+                assert!(rc >= 0, "arc {i}: idle with rc {rc}");
+            }
+            if s.flow[i] == a.cap {
+                assert!(rc <= 0, "arc {i}: saturated with rc {rc}");
+            }
+        }
+    }
+
+    #[test]
     fn infeasible() {
         let mut g = FlowGraph::with_nodes(2);
         g.set_supply(NodeId(0), 5);

@@ -397,16 +397,19 @@ fn parse_scl(text: &str) -> Result<SclInfo> {
     for (line, l) in content_lines(text) {
         let lower = l.to_ascii_lowercase();
         let val = || -> Result<Dbu> {
-            let v = l
-                .split(':')
-                .nth(1)
-                .map(str::trim)
+            let colon = l
+                .find(':')
                 .ok_or_else(|| ParseError::new(".scl", line, "missing value"))?;
-            v.split_whitespace()
-                .next()
-                .unwrap_or("")
-                .parse()
-                .map_err(|_| ParseError::new(".scl", line, format!("bad number in {l:?}")))
+            let v = l[colon + 1..].trim_start();
+            // 1-based column of the value token within the trimmed line.
+            let column = l.len() - v.len() + 1;
+            let tok = v.split_whitespace().next().ok_or_else(|| {
+                ParseError::new(".scl", line, "missing value after ':'").with_column(column)
+            })?;
+            tok.parse().map_err(|_| {
+                ParseError::new(".scl", line, format!("bad number {tok:?} in {l:?}"))
+                    .with_column(column)
+            })
         };
         if lower.starts_with("corerow") {
             rows_seen += 1;

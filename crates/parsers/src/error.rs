@@ -9,24 +9,42 @@ pub struct ParseError {
     pub context: String,
     /// 1-based line number, when known.
     pub line: usize,
+    /// 1-based column number; 0 when unknown.
+    pub column: usize,
     /// Human-readable message.
     pub message: String,
 }
 
 impl ParseError {
-    /// Creates an error.
+    /// Creates an error (column unknown).
     pub fn new(context: impl Into<String>, line: usize, message: impl Into<String>) -> Self {
         Self {
             context: context.into(),
             line,
+            column: 0,
             message: message.into(),
         }
+    }
+
+    /// Attaches a 1-based column number.
+    #[must_use]
+    pub fn with_column(mut self, column: usize) -> Self {
+        self.column = column;
+        self
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} line {}: {}", self.context, self.line, self.message)
+        if self.column > 0 {
+            write!(
+                f,
+                "{} line {} col {}: {}",
+                self.context, self.line, self.column, self.message
+            )
+        } else {
+            write!(f, "{} line {}: {}", self.context, self.line, self.message)
+        }
     }
 }
 
@@ -43,5 +61,11 @@ mod tests {
     fn display_includes_context() {
         let e = ParseError::new(".nodes", 7, "bad token");
         assert_eq!(e.to_string(), ".nodes line 7: bad token");
+    }
+
+    #[test]
+    fn display_includes_column_when_known() {
+        let e = ParseError::new(".pl", 3, "bad number").with_column(12);
+        assert_eq!(e.to_string(), ".pl line 3 col 12: bad number");
     }
 }

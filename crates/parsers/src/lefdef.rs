@@ -205,7 +205,8 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
     let mut regions: Vec<(String, Vec<Rect>)> = Vec::new();
     let mut groups: Vec<(Vec<String>, String)> = Vec::new();
     let mut io: Vec<IoPin> = Vec::new();
-    let mut nets: Vec<(String, Vec<(String, String)>)> = Vec::new();
+    // Net pins carry their source line so resolution errors can point at it.
+    let mut nets: Vec<(String, Vec<(String, String, usize)>)> = Vec::new();
 
     while i < toks.len() {
         match toks[i].1.as_str() {
@@ -354,7 +355,7 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
                     let mut pins = Vec::new();
                     while toks[i].1 != ";" {
                         if toks[i].1 == "(" {
-                            pins.push((toks[i + 1].1.clone(), toks[i + 2].1.clone()));
+                            pins.push((toks[i + 1].1.clone(), toks[i + 2].1.clone(), toks[i].0));
                             i += 4;
                         } else {
                             i += 1;
@@ -426,7 +427,7 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
     design.io_pins = io;
     for (nname, pins) in nets {
         let mut np = Vec::new();
-        for (cname, pname) in pins {
+        for (cname, pname, line) in pins {
             if cname == "PIN" {
                 // External pin reference: locate the IO pin center.
                 if let Some(p) = design.io_pins.iter().find(|p| p.name == pname) {
@@ -437,15 +438,26 @@ pub fn read_def(text: &str, lef: &LefLibrary) -> Result<Design> {
             let Some(&cid) = cell_ids.get(&cname) else {
                 return Err(ParseError::new(
                     "DEF",
-                    0,
+                    line,
                     format!("unknown component {cname}"),
                 ));
             };
             let ct = design.type_of(cid);
-            let pin = ct.pins.iter().position(|p| p.name == pname).unwrap_or(0);
-            if !ct.pins.is_empty() {
-                np.push(NetPin::Cell { cell: cid, pin });
+            // Macros parsed without pin geometry contribute nothing to nets.
+            if ct.pins.is_empty() {
+                continue;
             }
+            let Some(pin) = ct.pins.iter().position(|p| p.name == pname) else {
+                return Err(ParseError::new(
+                    "DEF",
+                    line,
+                    format!(
+                        "unknown pin {pname} on component {cname} (macro {})",
+                        ct.name
+                    ),
+                ));
+            };
+            np.push(NetPin::Cell { cell: cid, pin });
         }
         if np.len() >= 2 {
             design.nets.push(Net::new(nname, np));
@@ -743,6 +755,21 @@ END DESIGN
         let def = "DIEAREA ( 0 0 ) ( 100 90 ) ;\nCOMPONENTS 1 ;\n- u1 NAND + PLACED ( 0 0 ) N ;\nEND COMPONENTS\n";
         let err = read_def(def, &lib).unwrap_err();
         assert!(err.message.contains("unknown macro"));
+    }
+
+    #[test]
+    fn unknown_net_pin_rejected_with_line() {
+        let lib = read_lef(LEF).unwrap();
+        let def = DEF.replace("( u1 ZN )", "( u1 BOGUS )");
+        let err = read_def(&def, &lib).unwrap_err();
+        assert!(err.message.contains("unknown pin BOGUS"), "{err}");
+        // The error points at the NETS line the reference appears on.
+        let expect_line = def
+            .lines()
+            .position(|l| l.contains("BOGUS"))
+            .map(|i| i + 1)
+            .unwrap();
+        assert_eq!(err.line, expect_line);
     }
 
     #[test]

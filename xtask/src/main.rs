@@ -1,0 +1,195 @@
+//! Workspace automation tasks. Run as `cargo xtask <task>`.
+//!
+//! Currently one task: `lint`, the custom static-analysis pass described in
+//! DESIGN.md ("Verification architecture"). It enforces three rules over the
+//! library crates (`crates/*/src`):
+//!
+//! 1. `unwrap` — no `.unwrap()` / `.expect(` outside test code;
+//! 2. `float-cast` — no bare `as` float↔int casts outside `db::geom`;
+//! 3. `hash-iter` — no `HashMap`/`HashSet` iteration in legalization hot
+//!    paths.
+//!
+//! Pre-existing hits are recorded per (rule, file) in `xtask/lint-allow.txt`
+//! — a *ratchet*: the pass fails only when a file exceeds its recorded
+//! count, so new code cannot add violations while old ones are triaged away.
+//! Re-baseline with `cargo xtask lint --bless` after removing violations.
+
+mod lexer;
+mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--bless")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--bless]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask lives at <root>/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits inside the workspace")
+        .to_path_buf()
+}
+
+/// Collects every `.rs` file under `crates/*/src`, workspace-relative.
+fn library_sources(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let src = e.path().join("src");
+        if src.is_dir() {
+            walk(&src, root, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            walk(&p, root, out);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .expect("walked path is under the root")
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+}
+
+type Counts = BTreeMap<(String, String), usize>;
+
+fn allowlist_path(root: &Path) -> PathBuf {
+    root.join("xtask").join("lint-allow.txt")
+}
+
+fn read_allowlist(root: &Path) -> Counts {
+    let mut out = Counts::new();
+    let Ok(text) = std::fs::read_to_string(allowlist_path(root)) else {
+        return out;
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(rule), Some(count), Some(file)) = (it.next(), it.next(), it.next()) else {
+            eprintln!("lint-allow.txt:{}: malformed line (rule count file)", i + 1);
+            continue;
+        };
+        let Ok(count) = count.parse::<usize>() else {
+            eprintln!("lint-allow.txt:{}: bad count {count:?}", i + 1);
+            continue;
+        };
+        out.insert((rule.to_string(), file.to_string()), count);
+    }
+    out
+}
+
+fn write_allowlist(root: &Path, counts: &Counts) {
+    let mut s = String::from(
+        "# Lint ratchet baseline: `rule count file`, one line per (rule, file).\n\
+         # Maintained by `cargo xtask lint --bless`. The lint pass fails when a\n\
+         # file exceeds its recorded count; shrink counts by fixing violations\n\
+         # and re-blessing. Do not raise counts by hand.\n",
+    );
+    for ((rule, file), n) in counts {
+        if *n > 0 {
+            s.push_str(&format!("{rule} {n} {file}\n"));
+        }
+    }
+    std::fs::write(allowlist_path(root), s).expect("write lint-allow.txt");
+}
+
+fn lint(bless: bool) -> ExitCode {
+    let root = workspace_root();
+    let files = library_sources(&root);
+    if files.is_empty() {
+        eprintln!("xtask lint: no sources found under crates/*/src");
+        return ExitCode::FAILURE;
+    }
+
+    let mut all = Vec::new();
+    for rel in &files {
+        let Ok(src) = std::fs::read_to_string(root.join(rel)) else {
+            eprintln!("xtask lint: unreadable {rel}");
+            return ExitCode::FAILURE;
+        };
+        all.extend(rules::lint_source(rel, &src));
+    }
+
+    let mut counts = Counts::new();
+    for v in &all {
+        *counts
+            .entry((v.rule.to_string(), v.file.clone()))
+            .or_default() += 1;
+    }
+
+    if bless {
+        write_allowlist(&root, &counts);
+        println!(
+            "xtask lint: blessed {} violations across {} (rule, file) pairs",
+            all.len(),
+            counts.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allowed = read_allowlist(&root);
+    let mut failed = false;
+    for (key, &n) in &counts {
+        let cap = allowed.get(key).copied().unwrap_or(0);
+        if n > cap {
+            failed = true;
+            let (rule, file) = key;
+            eprintln!("lint[{rule}] {file}: {n} violations (allowlisted: {cap})");
+            for v in all.iter().filter(|v| v.rule == rule && &v.file == file) {
+                eprintln!("  {}:{}: {}", v.file, v.line, v.excerpt);
+            }
+        }
+    }
+    // Stale entries mean violations were fixed: tighten the ratchet.
+    for (key, &cap) in &allowed {
+        let n = counts.get(key).copied().unwrap_or(0);
+        if n < cap {
+            let (rule, file) = key;
+            println!(
+                "lint[{rule}] {file}: down to {n} from {cap} — run `cargo xtask lint --bless` to ratchet"
+            );
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "xtask lint: FAILED (new violations; fix them or route through the sanctioned helpers)"
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "xtask lint: ok ({} files, {} allowlisted violations)",
+            files.len(),
+            all.len()
+        );
+        ExitCode::SUCCESS
+    }
+}
