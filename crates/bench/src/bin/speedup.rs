@@ -11,16 +11,21 @@
 //! Both schedulers are bit-identical in output (asserted below), so the
 //! comparison is pure throughput. Knobs: `MCL_BENCH_CELLS` (default 3000),
 //! `MCL_BENCH_REPS` (default 2, best-of), `MCL_BENCH_SEED`.
+//!
+//! Pass `--report` to additionally run the full three-stage pipeline on
+//! the bench design and print the structured run-report summary
+//! (DESIGN.md §9); the per-stage wall-time breakdown of that run is
+//! always written to `BENCH_mgl.json` under `stage_breakdown`.
 
 use mcl_core::config::LegalizerConfig;
 use mcl_core::insertion::{CostModel, Insertion};
 use mcl_core::insertion_reference::best_insertion_reference;
 use mcl_core::mgl::{apply_insertion, cell_order, compute_weights, fallback_scan, window_for};
 use mcl_core::scheduler::run_parallel;
-use mcl_core::PlacementState;
+use mcl_core::{build_run_report, Legalizer, PlacementState};
 use mcl_db::prelude::*;
+use mcl_obs::clock::Stopwatch;
 use std::collections::VecDeque;
-use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name)
@@ -176,9 +181,9 @@ fn time_best<F: FnMut() -> Vec<Option<Point>>>(reps: usize, mut f: F) -> (f64, V
     let mut best = f64::INFINITY;
     let mut out = Vec::new();
     for _ in 0..reps.max(1) {
-        let t = Instant::now();
+        let t = Stopwatch::start();
         let p = f();
-        let s = t.elapsed().as_secs_f64();
+        let s = t.elapsed_seconds();
         if s < best {
             best = s;
         }
@@ -188,6 +193,7 @@ fn time_best<F: FnMut() -> Vec<Option<Point>>>(reps: usize, mut f: F) -> (f64, V
 }
 
 fn main() {
+    let want_report = std::env::args().any(|a| a == "--report");
     let n_cells = env_usize("MCL_BENCH_CELLS", 4000);
     let reps = env_usize("MCL_BENCH_REPS", 3);
     let seed = env_usize("MCL_BENCH_SEED", 1234) as u64;
@@ -290,6 +296,25 @@ fn main() {
         seed1 / new4
     );
 
+    // Full three-stage pipeline at 4 threads on the same design: the
+    // per-stage wall-time breakdown feeds `stage_breakdown` below, and
+    // `--report` prints the whole structured run report.
+    let mut pcfg = cfg.clone();
+    pcfg.threads = 4;
+    pcfg.clamp_threads_to_hardware = false;
+    let (placed, pstats) = Legalizer::new(pcfg.clone()).run(&d);
+    assert_eq!(pstats.mgl.failed, 0, "pipeline failed cells");
+    let report = build_run_report(&placed, &pstats, &pcfg);
+    if want_report {
+        println!("\n{}", report.summary());
+    }
+    let breakdown: String = report
+        .stage_seconds
+        .iter()
+        .map(|s| format!("\"{}\": {:.6}", s.name, s.seconds))
+        .collect::<Vec<_>>()
+        .join(", ");
+
     let json =
         format!
     (
@@ -298,7 +323,8 @@ fn main() {
          \"window_list_capacity\": {cap},\n  \"reps\": {reps},\n  \"results\": [\n{rows}\n  ],\n  \
          \"single_thread_speedup\": {single_speedup:.3},\n  \
          \"aggregate_speedup_at_4_threads\": {agg4:.3},\n  \
-         \"new_at_4_vs_seed_at_1\": {cross:.3}\n}}\n",
+         \"new_at_4_vs_seed_at_1\": {cross:.3},\n  \
+         \"stage_breakdown\": {{{breakdown}}}\n}}\n",
         cross = seed1 / new4,
         cap = cfg.window_list_capacity,
     );

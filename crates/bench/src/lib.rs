@@ -16,7 +16,7 @@
 #![forbid(unsafe_code)]
 
 use mcl_db::prelude::*;
-use std::time::Instant;
+use mcl_obs::clock::Stopwatch;
 
 /// Reads the benchmark scale factor from `MCL_SCALE` (default 0.05).
 pub fn scale_from_env() -> f64 {
@@ -68,9 +68,9 @@ pub fn evaluate<F>(design: &Design, f: F) -> Eval
 where
     F: FnOnce(&Design) -> Design,
 {
-    let t = Instant::now();
+    let t = Stopwatch::start();
     let placed = f(design);
-    let seconds = t.elapsed().as_secs_f64();
+    let seconds = t.elapsed_seconds();
     let metrics = Metrics::measure(&placed);
     let report = Checker::new(&placed).check();
     let score = metrics.contest_score(&placed, &report);

@@ -33,6 +33,7 @@ use crate::routability::RoutOracle;
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
 use mcl_flow::{FlowGraph, NetworkSimplex, NodeId, INF_CAP};
+use mcl_obs::Meter;
 use std::collections::HashSet;
 
 /// Statistics of one stage-3 run.
@@ -59,6 +60,19 @@ pub fn optimize_fixed_order(
     config: &LegalizerConfig,
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
+) -> FixedOrderStats {
+    let mut obs = Meter::new();
+    optimize_fixed_order_metered(state, config, weights, oracle, &mut obs)
+}
+
+/// [`optimize_fixed_order`] that records the dual flow solve (span + pivot
+/// count) into `obs`.
+pub fn optimize_fixed_order_metered(
+    state: &mut PlacementState<'_>,
+    config: &LegalizerConfig,
+    weights: &[i64],
+    oracle: Option<&RoutOracle<'_>>,
+    obs: &mut Meter,
 ) -> FixedOrderStats {
     let d = state.design();
     let sw = d.tech.site_width;
@@ -133,7 +147,14 @@ pub fn optimize_fixed_order(
                 let ta = d.type_of(a);
                 let tb = d.type_of(b);
                 let sep = ta.width / sw + spacing_snapped(ta.edge_class.1, tb.edge_class.0);
-                pairs.push((ia, ib, sep));
+                // On dense designs stage 1 may leave *soft* edge-spacing
+                // violations; requiring the full rule here would make the
+                // constraint system infeasible (the dual flow then pushes
+                // INF_CAP around a negative cycle and its potentials are
+                // meaningless). Never ask for more separation than the
+                // incumbent has: the LP stays feasible and an existing
+                // soft gap can only grow, never shrink.
+                pairs.push((ia, ib, sep.min(cur[ib] - cur[ia])));
             }
         }
     }
@@ -187,9 +208,10 @@ pub fn optimize_fixed_order(
         g.add_arc(nn, z, n0, max_dy);
     }
 
-    let Ok(sol) = NetworkSimplex::new().solve(&g) else {
+    let Ok(sol) = NetworkSimplex::new().solve_metered(&g, obs, 0) else {
         return stats;
     };
+    debug_assert_eq!(sol.verify(&g), None, "dual solution failed certification");
     let pi_z = sol.potential[0];
     let xs: Vec<i64> = (0..k).map(|i| sol.potential[1 + i] - pi_z).collect();
 
@@ -277,6 +299,29 @@ mod tests {
         assert_eq!(out.cells[1].pos.unwrap().x, 400);
         assert_eq!(out.cells[2].pos.unwrap().x, 800);
         assert_eq!(stats.weighted_after, 0);
+    }
+
+    #[test]
+    fn tolerates_soft_edge_spacing_violations_in_input() {
+        // Two cells of a spacing-constrained class placed abutted (a *soft*
+        // violation stage 1 may legitimately leave on dense designs). The
+        // full-rule separation would make the LP infeasible; the builder
+        // must relax to the incumbent gap, keep the dual meaningful, and
+        // still apply an improvement without shrinking the bad gap.
+        let mut d = row_design(&[(100, 300), (400, 320), (800, 380)]);
+        let mut table = EdgeSpacingTable::new(2);
+        table.set(1, 1, 40);
+        d.tech.edge_spacing = table;
+        d.cell_types[0].edge_class = (1, 1);
+        let (out, stats) = run(&d, 0);
+        assert!(stats.applied, "LP must stay feasible: {stats:?}");
+        let xs: Vec<Dbu> = out.cells.iter().map(|c| c.pos.unwrap().x).collect();
+        // The violated pair keeps at least its incumbent gap (cells are 20
+        // wide, so the abutted pair keeps >= 20); satisfied pairs keep the
+        // full rule (20 width + 40 spacing).
+        assert!(xs[1] - xs[0] >= 20, "{xs:?}");
+        assert!(xs[2] - xs[1] >= 60, "{xs:?}");
+        assert!(stats.weighted_after <= stats.weighted_before);
     }
 
     #[test]

@@ -1,17 +1,17 @@
 //! The complete three-stage legalization flow (Fig. 2).
 
 use crate::config::LegalizerConfig;
-use crate::fixed_order::{optimize_fixed_order, FixedOrderStats};
-use crate::maxdisp::{optimize_max_disp, MaxDispStats};
+use crate::fixed_order::{optimize_fixed_order_metered, FixedOrderStats};
+use crate::maxdisp::{optimize_max_disp_metered, MaxDispStats};
 use crate::mgl::{compute_weights, run_serial, MglStats};
 use crate::routability::RoutOracle;
 use crate::scheduler::run_parallel;
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
-use std::time::Instant;
+use mcl_obs::{clock::Stopwatch, HistoKind, Meter, SpanKind};
 
 /// Combined statistics of a full legalization run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct LegalizeStats {
     /// Stage 1 statistics.
     pub mgl: MglStats,
@@ -21,6 +21,46 @@ pub struct LegalizeStats {
     pub fixed_order: FixedOrderStats,
     /// Wall-clock seconds per stage.
     pub seconds: [f64; 3],
+    /// Merged observability meter across all stages: run/stage spans,
+    /// algorithm counters, and per-stage displacement histograms. Timing
+    /// data varies run to run, so it is excluded from `==` (which otherwise
+    /// compares every field, including `seconds`, as before).
+    pub obs: Meter,
+}
+
+impl PartialEq for LegalizeStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.mgl == other.mgl
+            && self.max_disp == other.max_disp
+            && self.fixed_order == other.fixed_order
+            && self.seconds == other.seconds
+    }
+}
+
+/// Records the per-cell displacement histogram of the current placement
+/// (Manhattan distance from the global-placement position, in site widths)
+/// into `obs` under `kind`. Fixed and unplaced cells are skipped, matching
+/// `Metrics::measure`.
+fn record_disp_histogram(
+    obs: &mut Meter,
+    state: &PlacementState<'_>,
+    design: &Design,
+    kind: HistoKind,
+) {
+    if !(mcl_obs::compiled() && mcl_obs::recording()) {
+        return;
+    }
+    let sw = design.tech.site_width.max(1);
+    for (i, cell) in design.cells.iter().enumerate() {
+        if cell.fixed {
+            continue;
+        }
+        let Some(p) = state.pos(CellId(i as u32)) else {
+            continue;
+        };
+        let d = (p.x - cell.gp.x).abs() + (p.y - cell.gp.y).abs();
+        obs.observe(kind, (d / sw) as u64);
+    }
 }
 
 /// The top-level legalizer.
@@ -103,29 +143,57 @@ impl Legalizer {
         let mut stats = LegalizeStats::default();
         let mut state = PlacementState::new(design);
 
-        let t0 = Instant::now();
+        let run_sw = Stopwatch::start();
+        let t0 = Stopwatch::start();
         stats.mgl = if self.config.threads > 1 {
             run_parallel(&mut state, &self.config, &weights, oracle)
         } else {
             run_serial(&mut state, &self.config, &weights, oracle)
         };
-        stats.seconds[0] = t0.elapsed().as_secs_f64();
+        stats.seconds[0] = t0.elapsed_seconds();
+        stats
+            .obs
+            .record_span(SpanKind::StageMgl, t0.elapsed_nanos(), 0);
+        stats.obs.merge(&stats.mgl.obs);
+        record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMgl);
         audit_stage(&state, design, "stage 1 (MGL insertion)");
 
         if self.config.max_disp_matching {
-            let t1 = Instant::now();
-            stats.max_disp = optimize_max_disp(&mut state, &self.config);
-            stats.seconds[1] = t1.elapsed().as_secs_f64();
+            let t1 = Stopwatch::start();
+            stats.max_disp = optimize_max_disp_metered(&mut state, &self.config, &mut stats.obs);
+            stats.seconds[1] = t1.elapsed_seconds();
+            stats
+                .obs
+                .record_span(SpanKind::StageMaxDisp, t1.elapsed_nanos(), 0);
+            record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMaxDisp);
             audit_stage(&state, design, "stage 2 (max-disp matching)");
         }
 
         if self.config.fixed_order_refine {
-            let t2 = Instant::now();
-            stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
-            stats.seconds[2] = t2.elapsed().as_secs_f64();
+            let t2 = Stopwatch::start();
+            stats.fixed_order = optimize_fixed_order_metered(
+                &mut state,
+                &self.config,
+                &weights,
+                oracle,
+                &mut stats.obs,
+            );
+            stats.seconds[2] = t2.elapsed_seconds();
+            stats
+                .obs
+                .record_span(SpanKind::StageFixedOrder, t2.elapsed_nanos(), 0);
+            record_disp_histogram(
+                &mut stats.obs,
+                &state,
+                design,
+                HistoKind::DispSitesFixedOrder,
+            );
             audit_stage(&state, design, "stage 3 (fixed-order refinement)");
         }
 
+        stats
+            .obs
+            .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
         let mut out = design.clone();
         state.write_back(&mut out);
         let log = state.take_replay_log();
@@ -156,26 +224,54 @@ impl Legalizer {
         };
         let mut state = PlacementState::from_design_positions(design)?;
         let mut stats = LegalizeStats::default();
-        let t0 = Instant::now();
+        let run_sw = Stopwatch::start();
+        let t0 = Stopwatch::start();
         stats.mgl = if self.config.threads > 1 {
             run_parallel(&mut state, &self.config, &weights, oracle)
         } else {
             run_serial(&mut state, &self.config, &weights, oracle)
         };
-        stats.seconds[0] = t0.elapsed().as_secs_f64();
+        stats.seconds[0] = t0.elapsed_seconds();
+        stats
+            .obs
+            .record_span(SpanKind::StageMgl, t0.elapsed_nanos(), 0);
+        stats.obs.merge(&stats.mgl.obs);
+        record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMgl);
         audit_stage(&state, design, "ECO stage 1 (MGL insertion)");
         if self.config.max_disp_matching {
-            let t1 = Instant::now();
-            stats.max_disp = optimize_max_disp(&mut state, &self.config);
-            stats.seconds[1] = t1.elapsed().as_secs_f64();
+            let t1 = Stopwatch::start();
+            stats.max_disp = optimize_max_disp_metered(&mut state, &self.config, &mut stats.obs);
+            stats.seconds[1] = t1.elapsed_seconds();
+            stats
+                .obs
+                .record_span(SpanKind::StageMaxDisp, t1.elapsed_nanos(), 0);
+            record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMaxDisp);
             audit_stage(&state, design, "ECO stage 2 (max-disp matching)");
         }
         if self.config.fixed_order_refine {
-            let t2 = Instant::now();
-            stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
-            stats.seconds[2] = t2.elapsed().as_secs_f64();
+            let t2 = Stopwatch::start();
+            stats.fixed_order = optimize_fixed_order_metered(
+                &mut state,
+                &self.config,
+                &weights,
+                oracle,
+                &mut stats.obs,
+            );
+            stats.seconds[2] = t2.elapsed_seconds();
+            stats
+                .obs
+                .record_span(SpanKind::StageFixedOrder, t2.elapsed_nanos(), 0);
+            record_disp_histogram(
+                &mut stats.obs,
+                &state,
+                design,
+                HistoKind::DispSitesFixedOrder,
+            );
             audit_stage(&state, design, "ECO stage 3 (fixed-order refinement)");
         }
+        stats
+            .obs
+            .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
@@ -202,18 +298,41 @@ impl Legalizer {
         };
         let mut state = PlacementState::from_design_positions(design)?;
         let mut stats = LegalizeStats::default();
+        let run_sw = Stopwatch::start();
         if self.config.max_disp_matching {
-            let t1 = Instant::now();
-            stats.max_disp = optimize_max_disp(&mut state, &self.config);
-            stats.seconds[1] = t1.elapsed().as_secs_f64();
+            let t1 = Stopwatch::start();
+            stats.max_disp = optimize_max_disp_metered(&mut state, &self.config, &mut stats.obs);
+            stats.seconds[1] = t1.elapsed_seconds();
+            stats
+                .obs
+                .record_span(SpanKind::StageMaxDisp, t1.elapsed_nanos(), 0);
+            record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMaxDisp);
             audit_stage(&state, design, "refine stage 2 (max-disp matching)");
         }
         if self.config.fixed_order_refine {
-            let t2 = Instant::now();
-            stats.fixed_order = optimize_fixed_order(&mut state, &self.config, &weights, oracle);
-            stats.seconds[2] = t2.elapsed().as_secs_f64();
+            let t2 = Stopwatch::start();
+            stats.fixed_order = optimize_fixed_order_metered(
+                &mut state,
+                &self.config,
+                &weights,
+                oracle,
+                &mut stats.obs,
+            );
+            stats.seconds[2] = t2.elapsed_seconds();
+            stats
+                .obs
+                .record_span(SpanKind::StageFixedOrder, t2.elapsed_nanos(), 0);
+            record_disp_histogram(
+                &mut stats.obs,
+                &state,
+                design,
+                HistoKind::DispSitesFixedOrder,
+            );
             audit_stage(&state, design, "refine stage 3 (fixed-order refinement)");
         }
+        stats
+            .obs
+            .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))

@@ -25,6 +25,7 @@ pub mod legalizer;
 pub mod maxdisp;
 pub mod mgl;
 pub mod perf;
+pub mod report;
 pub mod routability;
 pub mod scheduler;
 pub mod state;
@@ -32,4 +33,5 @@ pub mod winindex;
 
 pub use config::{CellOrder, DisplacementReference, LegalizerConfig, WeightMode};
 pub use legalizer::{LegalizeStats, Legalizer};
+pub use report::build_run_report;
 pub use state::{PlaceError, PlacementState};

@@ -16,7 +16,8 @@ use crate::config::LegalizerConfig;
 use crate::state::PlacementState;
 use mcl_db::geom::{dbu_from_f64_saturating, dbu_to_f64};
 use mcl_db::prelude::*;
-use mcl_flow::matching::min_cost_matching_with_witness;
+use mcl_flow::matching::min_cost_matching_with_witness_metered;
+use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 use std::collections::HashMap;
 
 /// Statistics of one stage-2 run.
@@ -55,6 +56,17 @@ struct GroupJob {
 
 /// Runs the matching-based maximum-displacement optimization in place.
 pub fn optimize_max_disp(state: &mut PlacementState<'_>, config: &LegalizerConfig) -> MaxDispStats {
+    let mut obs = Meter::new();
+    optimize_max_disp_metered(state, config, &mut obs)
+}
+
+/// [`optimize_max_disp`] that records group spans, matching counters and
+/// the group-size histogram into `obs`.
+pub fn optimize_max_disp_metered(
+    state: &mut PlacementState<'_>,
+    config: &LegalizerConfig,
+    obs: &mut Meter,
+) -> MaxDispStats {
     let d = state.design();
     let delta0 = config.delta0_dbu(d.tech.row_height);
     let mut stats = MaxDispStats::default();
@@ -112,7 +124,7 @@ pub fn optimize_max_disp(state: &mut PlacementState<'_>, config: &LegalizerConfi
     let dense_limit = config.matching_dense_limit;
     let results: Vec<Vec<(usize, usize)>> = if threads <= 1 {
         jobs.iter()
-            .map(|j| solve_group(j, delta0, dense_limit))
+            .map(|j| solve_group(j, delta0, dense_limit, obs, 0))
             .collect()
     } else {
         let jobs_ref = &jobs;
@@ -127,14 +139,19 @@ pub fn optimize_max_disp(state: &mut PlacementState<'_>, config: &LegalizerConfi
                     break;
                 }
                 handles.push(scope.spawn(move || {
-                    jobs_ref[lo..hi]
+                    let mut local = Meter::new();
+                    let results = jobs_ref[lo..hi]
                         .iter()
-                        .map(|j| solve_group(j, delta0, dense_limit))
-                        .collect::<Vec<_>>()
+                        .map(|j| solve_group(j, delta0, dense_limit, &mut local, t))
+                        .collect::<Vec<_>>();
+                    (results, local)
                 }));
             }
+            // Joined in spawn order, so the meter fold is deterministic.
             for h in handles {
-                out.extend(h.join().expect("matching worker panicked"));
+                let (results, local) = h.join().expect("matching worker panicked");
+                out.extend(results);
+                obs.merge(&local);
             }
         });
         out
@@ -156,6 +173,8 @@ pub fn optimize_max_disp(state: &mut PlacementState<'_>, config: &LegalizerConfi
             stats.cells_moved += 1;
         }
     }
+    obs.add(CounterKind::MatchingGroups, stats.groups as u64);
+    obs.add(CounterKind::MatchingCellsMoved, stats.cells_moved as u64);
     stats
 }
 
@@ -224,7 +243,29 @@ fn tail_closure(positions: &[Point], gps: &[Point], delta0: Dbu) -> Vec<usize> {
 }
 
 /// Solves one group; returns the non-identity part of the assignment.
-fn solve_group(job: &GroupJob, delta0: Dbu, dense_limit: usize) -> Vec<(usize, usize)> {
+/// Records a `maxdisp.group` span (attributed to `thread`), the group-size
+/// histogram and the underlying flow work into `obs`.
+fn solve_group(
+    job: &GroupJob,
+    delta0: Dbu,
+    dense_limit: usize,
+    obs: &mut Meter,
+    thread: usize,
+) -> Vec<(usize, usize)> {
+    let t_group = Stopwatch::start();
+    let out = solve_group_inner(job, delta0, dense_limit, obs, thread);
+    obs.record_span(SpanKind::MatchingGroup, t_group.elapsed_nanos(), thread);
+    obs.observe(HistoKind::MatchingGroupCells, job.cells.len() as u64);
+    out
+}
+
+fn solve_group_inner(
+    job: &GroupJob,
+    delta0: Dbu,
+    dense_limit: usize,
+    obs: &mut Meter,
+    thread: usize,
+) -> Vec<(usize, usize)> {
     let n = job.cells.len();
     let edges = if n <= dense_limit {
         let mut edges = Vec::with_capacity(n * n);
@@ -299,7 +340,7 @@ fn solve_group(job: &GroupJob, delta0: Dbu, dense_limit: usize) -> Vec<(usize, u
         }
     }
 
-    match min_cost_matching_with_witness(n, job.positions.len(), &edges) {
+    match min_cost_matching_with_witness_metered(n, job.positions.len(), &edges, obs, thread) {
         Some((m, _witness)) => {
             // Every matching applied to the placement carries an optimality
             // certificate: the independent auditor re-derives feasibility and

@@ -11,12 +11,13 @@ use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
+use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 
 /// Statistics of one MGL run.
 ///
 /// Equality compares the *placement outcome* counters only; [`Self::perf`]
-/// carries wall-clock data that legitimately differs between otherwise
-/// identical runs and is excluded from `==`.
+/// and [`Self::obs`] carry wall-clock data that legitimately differs
+/// between otherwise identical runs and are excluded from `==`.
 #[derive(Debug, Clone, Default)]
 pub struct MglStats {
     /// Cells placed through window insertion.
@@ -29,6 +30,8 @@ pub struct MglStats {
     pub failed: usize,
     /// Per-stage timings and throughput counters (not part of equality).
     pub perf: crate::perf::PerfStats,
+    /// Structured spans/counters/histograms (not part of equality).
+    pub obs: Meter,
 }
 
 impl PartialEq for MglStats {
@@ -180,7 +183,7 @@ pub fn run_serial(
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
-    let t_total = std::time::Instant::now();
+    let t_total = Stopwatch::start();
     let design = state.design();
     let order = cell_order(design, config.order);
     let model = CostModel {
@@ -199,20 +202,23 @@ pub fn run_serial(
         }
         stats.perf.rounds += 1;
         let mut done = false;
+        let t_window = Stopwatch::start();
         for n in 0..=config.max_expansions {
             let window = window_for(design, cell, config, n);
-            let t_eval = std::time::Instant::now();
+            let t_eval = Stopwatch::start();
             let ins = best_insertion_in(state, cell, window, &model, &mut scratch);
-            let dt = t_eval.elapsed().as_nanos() as u64;
+            let dt = t_eval.elapsed_nanos();
             stats.perf.eval_nanos += dt;
             stats.perf.eval_cpu_nanos += dt;
             stats.perf.windows_evaluated += 1;
+            stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
+            stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
+            stats.obs.add(CounterKind::WindowsEvaluated, 1);
             if let Some(ins) = ins {
-                let t_apply = std::time::Instant::now();
+                let t_apply = Stopwatch::start();
                 apply_insertion(state, cell, &ins);
-                stats.perf.apply_nanos += t_apply.elapsed().as_nanos() as u64;
+                stats.perf.apply_nanos += t_apply.elapsed_nanos();
                 stats.placed_in_window += 1;
-                stats.expansions += n;
                 done = true;
                 break;
             }
@@ -220,13 +226,30 @@ pub fn run_serial(
             if window == design.core && n > 0 {
                 break;
             }
+            // The next iteration (if any) retries with a grown window:
+            // count that expansion when it is performed, so retries that
+            // end in fallback are counted too.
+            if n < config.max_expansions {
+                stats.expansions += 1;
+                stats.obs.add(CounterKind::WindowsExpanded, 1);
+            }
         }
+        stats
+            .obs
+            .record_span(SpanKind::Window, t_window.elapsed_nanos(), 0);
         if !done {
             // Last resorts: nearest gap honoring routability, then nearest
             // gap accepting pin violations (a placed cell with a soft
             // violation beats an unplaced cell).
-            let t_fb = std::time::Instant::now();
-            let p = fallback_scan(state, cell, oracle).or_else(|| fallback_scan(state, cell, None));
+            let t_fb = Stopwatch::start();
+            stats.obs.add(CounterKind::FallbackScans, 1);
+            let p = match fallback_scan(state, cell, oracle) {
+                Some(p) => Some(p),
+                None => {
+                    stats.obs.add(CounterKind::FallbackScans, 1);
+                    fallback_scan(state, cell, None)
+                }
+            };
             match p {
                 Some(p) => {
                     state
@@ -236,12 +259,23 @@ pub fn run_serial(
                 }
                 None => stats.failed += 1,
             }
-            stats.perf.fallback_nanos += t_fb.elapsed().as_nanos() as u64;
+            let fb = t_fb.elapsed_nanos();
+            stats.perf.fallback_nanos += fb;
+            stats.obs.record_span(SpanKind::FallbackScan, fb, 0);
         }
     }
     stats.perf.scratch = scratch.stats;
-    stats.perf.total_nanos = t_total.elapsed().as_nanos() as u64;
+    record_scratch_counters(&mut stats.obs, &scratch.stats);
+    stats.perf.total_nanos = t_total.elapsed_nanos();
     stats
+}
+
+/// Mirrors the insertion-eval scratch counters into the typed obs counters.
+pub(crate) fn record_scratch_counters(obs: &mut Meter, s: &crate::insertion::ScratchStats) {
+    obs.add(CounterKind::AlignedRegions, s.regions);
+    obs.add(CounterKind::InsertionAnchors, s.anchors);
+    obs.add(CounterKind::DedupHits, s.dedup_hits);
+    obs.add(CounterKind::CurveMinimizations, s.curve_mins);
 }
 
 /// Whole-design scan: nearest gap (no pushing) that fits the cell, honoring

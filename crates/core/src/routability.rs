@@ -247,6 +247,46 @@ impl<'d> RoutOracle<'d> {
         (l.max(lo), r.min(hi))
     }
 
+    /// Independent recount of soft pin violations over every placed movable
+    /// cell: `(pin_shorts, pin_access)` — pins overlapping a P/G shape or IO
+    /// pin on their own layer, resp. one layer above. The class definitions
+    /// match `mcl_db::legal::Checker`, but the totals are recomposed from
+    /// the oracle's rail / stripe / IO primitives, giving a second
+    /// accounting path for the report cross-check property test.
+    pub fn recount_pin_violations(&self) -> (u64, u64) {
+        let d = self.design;
+        let mut shorts = 0u64;
+        let mut access = 0u64;
+        for (i, cell) in d.cells.iter().enumerate() {
+            if cell.fixed {
+                continue;
+            }
+            let Some(pos) = cell.pos else { continue };
+            let id = CellId(i as u32);
+            let ct = d.type_of(id);
+            for pin in 0..ct.pins.len() {
+                let layer = ct.pins[pin].layer;
+                let pr = d.pin_rect_at(id, pin, pos, cell.orient);
+                if self.pin_rect_blocked(layer, pr) {
+                    shorts += 1;
+                }
+                if self.pin_rect_blocked(layer + 1, pr) {
+                    access += 1;
+                }
+            }
+        }
+        (shorts, access)
+    }
+
+    /// Whether `pr` overlaps any P/G rail, P/G stripe, or IO pin on `layer`.
+    fn pin_rect_blocked(&self, layer: u8, pr: Rect) -> bool {
+        let d = self.design;
+        d.grid
+            .h_rail_overlaps(layer, pr.y_interval(), d.core.yl, d.tech.row_height)
+            || d.grid.v_stripe_overlaps(layer, pr.x_interval())
+            || self.layer_io_overlap(layer, pr)
+    }
+
     fn layer_io_overlap(&self, layer: u8, q: Rect) -> bool {
         let Some(list) = self.io_by_layer.get(layer as usize) else {
             return false;

@@ -35,11 +35,11 @@ use crate::routability::RoutOracle;
 use crate::state::PlacementState;
 use crate::winindex::WindowIndex;
 use mcl_db::prelude::*;
+use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// One evaluation job: target cell, expansion level, search window.
 type Job = (CellId, usize, Rect);
@@ -59,6 +59,11 @@ enum Msg {
 struct WorkerReport {
     scratch: ScratchStats,
     eval_nanos: u64,
+    /// Thread-local spans/histograms. Which worker evaluated which window
+    /// depends on the work-stealing race, so per-thread attribution is
+    /// best-effort; the merged aggregate is well-defined regardless because
+    /// meter merging is commutative.
+    obs: Meter,
 }
 
 /// Runs MGL with the parallel window scheduler.
@@ -68,7 +73,7 @@ pub fn run_parallel(
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
-    let t_total = Instant::now();
+    let t_total = Stopwatch::start();
     let design = state.design();
     // Results are bit-identical for any worker count, so clamping to the
     // hardware is free: extra workers past the core count only add context
@@ -103,7 +108,7 @@ pub fn run_parallel(
         let (results_tx, results_rx) = mpsc::channel::<(usize, Option<Insertion>)>();
         let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
         let mut senders: Vec<mpsc::Sender<Msg>> = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let (tx, rx) = mpsc::channel::<Msg>();
             senders.push(tx);
             let replica = state.clone();
@@ -121,6 +126,9 @@ pub fn run_parallel(
                 };
                 let mut scratch = InsertionScratch::new();
                 let mut eval_nanos = 0u64;
+                // Worker thread ids start at 1; 0 is the coordinator.
+                let thread_id = w + 1;
+                let mut obs = Meter::new();
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         Msg::Round { jobs, cursor } => loop {
@@ -129,9 +137,12 @@ pub fn run_parallel(
                                 break;
                             }
                             let (cell, _, win) = jobs[i];
-                            let t = Instant::now();
+                            let t = Stopwatch::start();
                             let r = best_insertion_in(&replica, cell, win, &model, &mut scratch);
-                            eval_nanos += t.elapsed().as_nanos() as u64;
+                            let dt = t.elapsed_nanos();
+                            eval_nanos += dt;
+                            obs.record_span(SpanKind::InsertionEval, dt, thread_id);
+                            obs.observe(HistoKind::InsertionEvalNanos, dt);
                             if results_tx.send((i, r)).is_err() {
                                 return; // coordinator gone
                             }
@@ -146,6 +157,7 @@ pub fn run_parallel(
                 let _ = report_tx.send(WorkerReport {
                     scratch: scratch.stats,
                     eval_nanos,
+                    obs,
                 });
             });
         }
@@ -165,7 +177,7 @@ pub fn run_parallel(
         while !pending.is_empty() {
             stats.perf.rounds += 1;
             // Select non-overlapping windows, preserving order for the rest.
-            let t_select = Instant::now();
+            let t_select = Stopwatch::start();
             let mut selected: Vec<Job> = Vec::new();
             let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
             windex.clear();
@@ -184,13 +196,20 @@ pub fn run_parallel(
                     }
                 }
             }
-            stats.perf.select_nanos += t_select.elapsed().as_nanos() as u64;
+            let select_nanos = t_select.elapsed_nanos();
+            stats.perf.select_nanos += select_nanos;
+            stats
+                .obs
+                .record_span(SpanKind::SchedSelect, select_nanos, 0);
 
             // Evaluate concurrently against the immutable round-start state:
             // broadcast the job list, then steal from the shared cursor
             // alongside the workers until it runs dry, then collect.
-            let t_eval = Instant::now();
+            let t_eval = Stopwatch::start();
             stats.perf.windows_evaluated += selected.len() as u64;
+            stats
+                .obs
+                .add(CounterKind::WindowsEvaluated, selected.len() as u64);
             results.clear();
             results.resize(selected.len(), None);
             let mut outstanding = 0usize;
@@ -209,10 +228,13 @@ pub fn run_parallel(
                     if i >= jobs.len() {
                         break;
                     }
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     let r =
                         best_insertion_in(state, jobs[i].0, jobs[i].2, &model, &mut main_scratch);
-                    stats.perf.eval_cpu_nanos += t.elapsed().as_nanos() as u64;
+                    let dt = t.elapsed_nanos();
+                    stats.perf.eval_cpu_nanos += dt;
+                    stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
+                    stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
                     results[i] = Some(r);
                     outstanding += 1;
                 }
@@ -223,24 +245,31 @@ pub fn run_parallel(
                 }
             } else {
                 for (i, &(cell, _, win)) in selected.iter().enumerate() {
-                    let t = Instant::now();
+                    let t = Stopwatch::start();
                     let r = best_insertion_in(state, cell, win, &model, &mut main_scratch);
-                    stats.perf.eval_cpu_nanos += t.elapsed().as_nanos() as u64;
+                    let dt = t.elapsed_nanos();
+                    stats.perf.eval_cpu_nanos += dt;
+                    stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
+                    stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
                     results[i] = Some(r);
                 }
             }
-            stats.perf.eval_nanos += t_eval.elapsed().as_nanos() as u64;
+            let eval_nanos = t_eval.elapsed_nanos();
+            stats.perf.eval_nanos += eval_nanos;
+            stats.obs.record_span(SpanKind::SchedEval, eval_nanos, 0);
 
             // Apply sequentially in selection order; broadcast the applied
             // ops so replicas stay in lockstep.
-            let t_apply = Instant::now();
+            let t_apply = Stopwatch::start();
             let mut ops: Vec<(CellId, Insertion)> = Vec::new();
             for (i, (cell, n, win)) in selected.into_iter().enumerate() {
                 match results[i].take().expect("every job evaluated") {
                     Some(ins) => {
                         apply_insertion(state, cell, &ins);
                         stats.placed_in_window += 1;
-                        stats.expansions += n;
+                        // Expansions were already counted one-by-one when
+                        // each failed window re-entered expanded (the
+                        // previous `+= n` here double-counted every retry).
                         ops.push((cell, ins));
                     }
                     None => {
@@ -249,6 +278,7 @@ pub fn run_parallel(
                         let full_core = win == design.core && n > 0;
                         if n < config.max_expansions && !full_core {
                             stats.expansions += 1;
+                            stats.obs.add(CounterKind::WindowsExpanded, 1);
                             // Retry the expanded window first thing next
                             // round, like the sequential algorithm's
                             // immediate retry — otherwise neighbours fill
@@ -269,23 +299,37 @@ pub fn run_parallel(
                     .expect("worker died");
                 }
             }
-            stats.perf.apply_nanos += t_apply.elapsed().as_nanos() as u64;
+            let apply_nanos = t_apply.elapsed_nanos();
+            stats.perf.apply_nanos += apply_nanos;
+            stats.obs.record_span(SpanKind::SchedApply, apply_nanos, 0);
             pending = deferred;
         }
 
         // Shut the pool down and fold worker counters into the run stats.
+        // Reports arrive in worker-finish order, which is nondeterministic;
+        // scratch and meter merging are commutative, so the fold is
+        // order-independent.
         drop(senders);
         for _ in 0..workers {
             let report = report_rx.recv().expect("worker report");
             stats.perf.scratch.merge(&report.scratch);
             stats.perf.eval_cpu_nanos += report.eval_nanos;
+            stats.obs.merge(&report.obs);
         }
     });
     stats.perf.scratch.merge(&main_scratch.stats);
+    crate::mgl::record_scratch_counters(&mut stats.obs, &stats.perf.scratch);
 
-    let t_fb = Instant::now();
+    let t_fb = Stopwatch::start();
     for cell in fallback_queue {
-        let p = fallback_scan(state, cell, oracle).or_else(|| fallback_scan(state, cell, None));
+        stats.obs.add(CounterKind::FallbackScans, 1);
+        let p = match fallback_scan(state, cell, oracle) {
+            Some(p) => Some(p),
+            None => {
+                stats.obs.add(CounterKind::FallbackScans, 1);
+                fallback_scan(state, cell, None)
+            }
+        };
         match p {
             Some(p) => {
                 state
@@ -296,8 +340,12 @@ pub fn run_parallel(
             None => stats.failed += 1,
         }
     }
-    stats.perf.fallback_nanos += t_fb.elapsed().as_nanos() as u64;
-    stats.perf.total_nanos = t_total.elapsed().as_nanos() as u64;
+    let fb_nanos = t_fb.elapsed_nanos();
+    stats.perf.fallback_nanos += fb_nanos;
+    if fb_nanos > 0 && stats.fallbacks + stats.failed > 0 {
+        stats.obs.record_span(SpanKind::FallbackScan, fb_nanos, 0);
+    }
+    stats.perf.total_nanos = t_total.elapsed_nanos();
     stats
 }
 

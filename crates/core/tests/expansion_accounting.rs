@@ -1,0 +1,101 @@
+//! Expansion-counter accounting: on a crafted design where the number of
+//! window expansions is known by construction, both MGL algorithms must
+//! report that exact count (regression test: the parallel scheduler used
+//! to add `n` again on success after already counting each retry, so any
+//! cell that expanded before placing was double-counted).
+
+use mcl_core::mgl::{compute_weights, run_serial};
+use mcl_core::scheduler::run_parallel;
+use mcl_core::{LegalizerConfig, PlacementState};
+use mcl_db::prelude::*;
+
+/// One row, three movable 20-wide cells, two fixed blockers sized so the
+/// expansion count per cell is forced:
+///
+/// * `c0` (gp x=400): blocker `[240,580)` swallows windows n=0..=3
+///   (half-extents 20/40/80/160 around centre 410); n=4 reaches free
+///   space — exactly 4 expansions.
+/// * `c1` (gp x=1100): blocker `[1090,1130)` equals the n=0 window;
+///   n=1 (`[1070,1150)`) has a 20-dbu gap on the left — exactly 1.
+/// * `c2` (gp x=1700): open space — 0 expansions.
+fn crafted_design() -> Design {
+    let mut d = Design::new("exp", Technology::example(), Rect::new(0, 0, 2000, 90));
+    let s = d.add_cell_type(CellType::new("s", 20, 1));
+    let b1 = d.add_cell_type(CellType::new("b1", 340, 1));
+    let b2 = d.add_cell_type(CellType::new("b2", 40, 1));
+    for (name, t, x) in [("blk0", b1, 240), ("blk1", b2, 1090)] {
+        let mut c = Cell::new(name, t, Point::new(x, 0));
+        c.pos = Some(Point::new(x, 0));
+        c.fixed = true;
+        d.add_cell(c);
+    }
+    for (name, x) in [("c0", 400), ("c1", 1100), ("c2", 1700)] {
+        d.add_cell(Cell::new(name, s, Point::new(x, 0)));
+    }
+    d
+}
+
+/// Small initial window (half-extent 2 sites = 20 dbu, but floored at
+/// width/2 + site = 20 dbu) doubling per expansion, so the crafted
+/// blockers pin the counts above.
+fn crafted_config() -> LegalizerConfig {
+    let mut cfg = LegalizerConfig::contest();
+    cfg.window_sites = 2;
+    cfg.window_rows = 1;
+    cfg.window_growth = (2, 1);
+    cfg.max_expansions = 12;
+    cfg.routability = false;
+    cfg.clamp_threads_to_hardware = false;
+    cfg
+}
+
+const EXPECTED_EXPANSIONS: usize = 4 + 1; // c0: 4, c1: 1, c2: 0
+
+#[test]
+fn serial_counts_each_performed_expansion_once() {
+    let d = crafted_design();
+    let cfg = crafted_config();
+    let weights = compute_weights(&d, cfg.weights);
+    let mut state = PlacementState::new(&d);
+    let stats = run_serial(&mut state, &cfg, &weights, None);
+    assert_eq!(stats.failed, 0, "{stats:?}");
+    assert_eq!(stats.placed_in_window, 3, "{stats:?}");
+    assert_eq!(stats.fallbacks, 0, "{stats:?}");
+    assert_eq!(stats.expansions, EXPECTED_EXPANSIONS, "{stats:?}");
+}
+
+#[test]
+fn parallel_counts_match_serial_at_every_thread_count() {
+    let d = crafted_design();
+    for threads in [1usize, 2, 4] {
+        let mut cfg = crafted_config();
+        cfg.threads = threads;
+        let weights = compute_weights(&d, cfg.weights);
+        let mut state = PlacementState::new(&d);
+        let stats = run_parallel(&mut state, &cfg, &weights, None);
+        assert_eq!(stats.failed, 0, "threads={threads}: {stats:?}");
+        assert_eq!(stats.placed_in_window, 3, "threads={threads}: {stats:?}");
+        assert_eq!(stats.fallbacks, 0, "threads={threads}: {stats:?}");
+        assert_eq!(
+            stats.expansions, EXPECTED_EXPANSIONS,
+            "threads={threads}: {stats:?}"
+        );
+    }
+}
+
+#[test]
+fn expansion_counter_matches_obs_counter() {
+    // The typed observability counter and the legacy stats field are two
+    // views of the same events; they must never drift apart.
+    let d = crafted_design();
+    let cfg = crafted_config();
+    let weights = compute_weights(&d, cfg.weights);
+    let mut state = PlacementState::new(&d);
+    let stats = run_serial(&mut state, &cfg, &weights, None);
+    if mcl_obs::compiled() {
+        assert_eq!(
+            stats.obs.counter(mcl_obs::CounterKind::WindowsExpanded),
+            stats.expansions as u64
+        );
+    }
+}

@@ -8,6 +8,10 @@
 //!   cross-validation and sparse assignment problems.
 //! - [`matching`]: min-cost bipartite perfect matching.
 //!
+//! Every solver has a `*_metered` variant that records a span and its work
+//! counter (simplex pivots, SSP augmentations) into an [`mcl_obs::Meter`];
+//! the plain entry points record nothing.
+//!
 //! ```
 //! use mcl_flow::{FlowGraph, NodeId, NetworkSimplex};
 //!

@@ -6,6 +6,7 @@
 
 use crate::graph::{ArcId, FlowGraph, FlowSolution, NodeId};
 use crate::ssp;
+use mcl_obs::Meter;
 
 /// A perfect matching of all left vertices.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +57,19 @@ pub fn min_cost_matching_with_witness(
     n_right: usize,
     edges: &[(usize, usize, i64)],
 ) -> Option<(Matching, MatchingWitness)> {
+    let mut meter = Meter::new();
+    min_cost_matching_with_witness_metered(n_left, n_right, edges, &mut meter, 0)
+}
+
+/// [`min_cost_matching_with_witness`] that records the underlying flow
+/// solve (span + augmentation count, attributed to `thread`) into `meter`.
+pub fn min_cost_matching_with_witness_metered(
+    n_left: usize,
+    n_right: usize,
+    edges: &[(usize, usize, i64)],
+    meter: &mut Meter,
+    thread: usize,
+) -> Option<(Matching, MatchingWitness)> {
     if n_left == 0 {
         return Some((
             Matching {
@@ -95,7 +109,7 @@ pub fn min_cost_matching_with_witness(
     for r in 0..n_right {
         g.add_arc(NodeId(right0 + r), NodeId(sink), 1, 0);
     }
-    let sol = ssp::solve(&g).ok()?;
+    let sol = ssp::solve_metered(&g, meter, thread).ok()?;
     let mut assignment = vec![usize::MAX; n_left];
     for (aid, &(l, r, _)) in edge_arcs.iter().zip(edges) {
         if sol.flow[aid.0] > 0 {
@@ -220,6 +234,18 @@ mod tests {
         // Exactly the matched edges carry flow.
         for (aid, &(l, r, _)) in w.edge_arcs.iter().zip(&edges) {
             assert_eq!(w.solution.flow[aid.0] > 0, m.assignment[l] == r);
+        }
+    }
+
+    #[test]
+    fn metered_matching_records_flow_work() {
+        let edges = [(0, 0, 5), (0, 1, 1), (1, 0, 2), (1, 1, 9)];
+        let mut meter = Meter::new();
+        let (m, _) = min_cost_matching_with_witness_metered(2, 2, &edges, &mut meter, 1).unwrap();
+        assert_eq!(m.cost, 3);
+        if mcl_obs::compiled() && mcl_obs::recording() {
+            assert!(meter.counter(mcl_obs::CounterKind::SspAugmentations) > 0);
+            assert_eq!(meter.span(mcl_obs::SpanKind::FlowSsp).count, 1);
         }
     }
 

@@ -11,6 +11,7 @@
 //! the dual solution of LPs encoded as flows.
 
 use crate::graph::{Arc, FlowError, FlowGraph, FlowSolution, NodeId};
+use mcl_obs::{clock::Stopwatch, CounterKind, Meter, SpanKind};
 
 /// Arc state in the simplex basis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,7 +63,34 @@ impl NetworkSimplex {
         if !g.is_balanced() {
             return Err(FlowError::Unbalanced);
         }
-        Solver::new(g, self.max_pivots).run()
+        Solver::new(g, self.max_pivots).run().map(|(sol, _)| sol)
+    }
+
+    /// [`NetworkSimplex::solve`] that also records a `flow.simplex` span
+    /// (attributed to `thread`) and the pivot count into `meter`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NetworkSimplex::solve`].
+    pub fn solve_metered(
+        &self,
+        g: &FlowGraph,
+        meter: &mut Meter,
+        thread: usize,
+    ) -> Result<FlowSolution, FlowError> {
+        if !g.is_balanced() {
+            return Err(FlowError::Unbalanced);
+        }
+        let t = Stopwatch::start();
+        let out = Solver::new(g, self.max_pivots).run();
+        meter.record_span(SpanKind::FlowSimplex, t.elapsed_nanos(), thread);
+        match out {
+            Ok((sol, pivots)) => {
+                meter.add(CounterKind::SimplexPivots, pivots);
+                Ok(sol)
+            }
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -148,7 +176,9 @@ impl<'a> Solver<'a> {
         }
     }
 
-    fn run(mut self) -> Result<FlowSolution, FlowError> {
+    /// Runs the simplex to optimality; returns the solution and the number
+    /// of pivots performed.
+    fn run(mut self) -> Result<(FlowSolution, u64), FlowError> {
         let m = self.arcs.len();
         let budget = if self.max_pivots > 0 {
             self.max_pivots
@@ -204,11 +234,14 @@ impl<'a> Solver<'a> {
                 p as i64
             })
             .collect();
-        Ok(FlowSolution {
-            flow,
-            potential,
-            cost,
-        })
+        Ok((
+            FlowSolution {
+                flow,
+                potential,
+                cost,
+            },
+            pivots as u64,
+        ))
     }
 
     fn rc(&self, a: usize) -> i128 {
@@ -539,6 +572,27 @@ mod tests {
         // Optimal: s0->t0:2, s0->t2:1, s1->t1:2, s1->t2:2 = 8+9+6+16 = 39.
         assert_eq!(s.cost, 39);
         assert!(s.verify(&g).is_none());
+    }
+
+    #[test]
+    fn metered_solve_matches_and_counts_pivots() {
+        let mut g = FlowGraph::with_nodes(3);
+        g.set_supply(NodeId(0), 4);
+        g.set_supply(NodeId(2), -4);
+        g.add_arc(NodeId(0), NodeId(1), 10, 1);
+        g.add_arc(NodeId(1), NodeId(2), 10, 1);
+        g.add_arc(NodeId(0), NodeId(2), 2, 5);
+        let mut m = Meter::new();
+        let s = NetworkSimplex::new()
+            .solve_metered(&g, &mut m, 3)
+            .expect("solvable");
+        assert_eq!(s, solve(&g));
+        if mcl_obs::compiled() && mcl_obs::recording() {
+            assert!(m.counter(CounterKind::SimplexPivots) > 0);
+            let span = m.span(SpanKind::FlowSimplex);
+            assert_eq!(span.count, 1);
+            assert_eq!(span.thread_ids(), vec![3]);
+        }
     }
 
     #[test]

@@ -297,6 +297,75 @@ pub fn ispd15_config(stats: &Ispd15Stats, scale: f64) -> GeneratorConfig {
     }
 }
 
+/// The golden end-to-end corpus: four small fully deterministic designs
+/// exercising distinct stress axes. The golden-corpus test legalizes each
+/// one and diffs the run report's golden subset against a checked-in
+/// snapshot, so these configurations must never change silently — treat
+/// every field as part of the snapshot contract.
+pub fn golden_corpus() -> Vec<GeneratorConfig> {
+    let base = GeneratorConfig {
+        seed: 0,
+        num_cells: 500,
+        height_mix: [0.82, 0.10, 0.05, 0.03],
+        density: 0.6,
+        sigma_rows: 2.5,
+        hotspots: 0,
+        hotspot_strength: 0.0,
+        hotspot_radius: 0.0,
+        fences: 0,
+        fence_cell_fraction: 0.0,
+        edge_classes: 3,
+        edge_spacing_sites: 2,
+        rails: true,
+        io_pins: 12,
+        nets: 200,
+        net_degree: (2, 5),
+        aspect: 1.3,
+        name: String::new(),
+    };
+    vec![
+        // Plain mixed-height design: the baseline of the corpus.
+        GeneratorConfig {
+            name: "golden_uniform".into(),
+            seed: hash_name("golden_uniform"),
+            ..base.clone()
+        },
+        // Fence-heavy: many regions, nearly half the cells fenced, so both
+        // MGL fence filtering and the fence-aware matching stage are hot.
+        GeneratorConfig {
+            name: "golden_fence_heavy".into(),
+            seed: hash_name("golden_fence_heavy"),
+            num_cells: 600,
+            fences: 6,
+            fence_cell_fraction: 0.45,
+            ..base.clone()
+        },
+        // Parity-stressing: mostly even-height cells, whose legal rows are
+        // constrained by rail parity, plus rails on.
+        GeneratorConfig {
+            name: "golden_parity".into(),
+            seed: hash_name("golden_parity"),
+            num_cells: 400,
+            height_mix: [0.30, 0.40, 0.10, 0.20],
+            density: 0.5,
+            ..base.clone()
+        },
+        // Dense with GP hotspots: windows overflow and expand, exercising
+        // the expansion/fallback paths.
+        GeneratorConfig {
+            name: "golden_hotspot_dense".into(),
+            seed: hash_name("golden_hotspot_dense"),
+            num_cells: 700,
+            density: 0.78,
+            hotspots: 4,
+            hotspot_strength: 0.8,
+            hotspot_radius: 0.12,
+            sigma_rows: 3.0,
+            ..base
+        },
+    ]
+}
+
 /// All Table-1 configurations at `scale`.
 pub fn iccad17_suite(scale: f64) -> Vec<GeneratorConfig> {
     ICCAD17.iter().map(|s| iccad17_config(s, scale)).collect()
@@ -325,6 +394,7 @@ fn hash_name(name: &str) -> u64 {
 mod tests {
     use super::*;
     use crate::generate::generate;
+    use mcl_db::prelude::FenceId;
 
     #[test]
     fn suites_have_published_sizes() {
@@ -364,5 +434,46 @@ mod tests {
     #[test]
     fn seeds_differ_per_benchmark() {
         assert_ne!(hash_name("fft_1"), hash_name("fft_2"));
+    }
+
+    #[test]
+    fn golden_corpus_generates_with_requested_stresses() {
+        let corpus = golden_corpus();
+        assert_eq!(corpus.len(), 4);
+        for cfg in &corpus {
+            let g = generate(cfg).unwrap_or_else(|e| panic!("{}: {e}", cfg.name));
+            assert_eq!(g.design.cells.len(), cfg.num_cells, "{}", cfg.name);
+            assert_eq!(g.design.fences.len() - 1, cfg.fences, "{}", cfg.name);
+        }
+        // Generation is deterministic: same config, same design.
+        let a = generate(&corpus[0]).unwrap();
+        let b = generate(&corpus[0]).unwrap();
+        assert_eq!(a.design.cells.len(), b.design.cells.len());
+        for (ca, cb) in a.design.cells.iter().zip(&b.design.cells) {
+            assert_eq!(ca.gp, cb.gp, "{}", ca.name);
+        }
+        let fenced = |g: &crate::Generated| {
+            g.design
+                .cells
+                .iter()
+                .filter(|c| c.fence != FenceId::DEFAULT)
+                .count()
+        };
+        let heavy = generate(&corpus[1]).unwrap();
+        assert!(
+            fenced(&heavy) >= corpus[1].num_cells / 3,
+            "fence-heavy corpus entry must actually fence cells: {}",
+            fenced(&heavy)
+        );
+        let parity = generate(&corpus[2]).unwrap();
+        let even = parity
+            .design
+            .movable_cells()
+            .filter(|&c| parity.design.type_of(c).height_rows % 2 == 0)
+            .count();
+        assert!(
+            even * 2 >= parity.design.cells.len(),
+            "parity corpus entry must be majority even-height: {even}"
+        );
     }
 }

@@ -189,6 +189,109 @@ pub fn render_disp_histogram(design: &Design, buckets: usize) -> String {
     s
 }
 
+/// Renders a per-stage displacement/latency heatmap from a structured run
+/// report (DESIGN.md §9): one row per pipeline stage, one column per log₂
+/// displacement bucket (sites) from the stage's `*.cell_disp_sites`
+/// histogram, shaded by cell count; the right-hand bar shows each stage's
+/// share of the run's wall time. Stages without a histogram (obs compiled
+/// out, or the stage skipped) still get their latency bar.
+pub fn render_report_heatmap(report: &mcl_obs::report::RunReport) -> String {
+    let stages: Vec<(&str, Option<&mcl_obs::report::HistoReport>, f64)> = report
+        .stage_seconds
+        .iter()
+        .map(|s| {
+            let histo = report
+                .histograms
+                .iter()
+                .find(|h| h.name == format!("{}.cell_disp_sites", s.name));
+            (s.name.as_str(), histo, s.seconds)
+        })
+        .collect();
+
+    // Union of occupied log₂ buckets across stages, so columns line up.
+    let max_bucket = stages
+        .iter()
+        .filter_map(|(_, h, _)| h.map(|h| h.buckets.iter().map(|&(b, _)| b).max().unwrap_or(0)))
+        .max()
+        .unwrap_or(0);
+    let cols = max_bucket as usize + 1;
+    let peak = mcl_obs::count_to_float(
+        stages
+            .iter()
+            .filter_map(|(_, h, _)| h.map(|h| h.buckets.iter().map(|&(_, c)| c).max().unwrap_or(0)))
+            .max()
+            .unwrap_or(1)
+            .max(1),
+    );
+    let total_secs = stages.iter().map(|(_, _, s)| s).sum::<f64>().max(1e-12);
+
+    let (cell, label_w, bar_w, margin) = (26.0, 110.0, 120.0, 30.0);
+    let grid_w = mcl_obs::count_to_float(cols as u64) * cell;
+    let rows_f = mcl_obs::count_to_float(stages.len() as u64);
+    let w = label_w + grid_w + bar_w + 2.0 * margin;
+    let h = rows_f * cell + 2.0 * margin + 20.0;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w:.0}" height="{h:.0}">"#
+    );
+    let _ = writeln!(
+        s,
+        r##"<rect width="{w:.0}" height="{h:.0}" fill="#ffffff" stroke="#555"/>"##
+    );
+    let _ = writeln!(
+        s,
+        r##"<text x="{:.1}" y="{:.1}" font-size="12" fill="#333">{}: displacement (log2 sites) per stage; right bar = share of wall time</text>"##,
+        margin,
+        margin - 10.0,
+        report.design
+    );
+    for (row, (name, histo, secs)) in stages.iter().enumerate() {
+        let y = margin + mcl_obs::count_to_float(row as u64) * cell;
+        let _ = writeln!(
+            s,
+            r##"<text x="{:.1}" y="{:.1}" font-size="11" fill="#333">{name}</text>"##,
+            margin,
+            y + cell * 0.65
+        );
+        if let Some(h) = histo {
+            for &(b, count) in &h.buckets {
+                // Log shading so the (typically huge) zero-displacement
+                // bucket doesn't flatten everything else to white.
+                let t = (mcl_obs::count_to_float(count).ln_1p() / peak.ln_1p()).clamp(0.0, 1.0);
+                let shade = 255 - mcl_db::geom::dbu_from_f64_saturating(t * 200.0).clamp(0, 200);
+                let x = margin + label_w + f64::from(b) * cell;
+                let _ = writeln!(
+                    s,
+                    r##"<rect x="{x:.1}" y="{y:.1}" width="{cell:.1}" height="{cell:.1}" fill="rgb({shade},{shade},255)" stroke="#999" stroke-width="0.3"><title>{name} 2^{b} sites: {count} cells</title></rect>"##
+                );
+            }
+        }
+        let frac = secs / total_secs;
+        let _ = writeln!(
+            s,
+            r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#d08540" stroke="#333" stroke-width="0.4"><title>{name}: {secs:.6}s ({:.1}%)</title></rect>"##,
+            margin + label_w + grid_w + 8.0,
+            y + cell * 0.2,
+            (bar_w - 16.0) * frac,
+            cell * 0.6,
+            100.0 * frac
+        );
+    }
+    // Column axis: bucket exponents.
+    for b in 0..cols {
+        let bx = mcl_obs::count_to_float(b as u64);
+        let _ = writeln!(
+            s,
+            r##"<text x="{:.1}" y="{:.1}" font-size="9" fill="#666" text-anchor="middle">{b}</text>"##,
+            margin + label_w + (bx + 0.5) * cell,
+            margin + rows_f * cell + 12.0
+        );
+    }
+    let _ = writeln!(s, "</svg>");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,5 +359,54 @@ mod tests {
         d.cells[1].pos = None;
         let svg = render_disp_histogram(&d, 5);
         assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    fn heatmap_report() -> mcl_obs::report::RunReport {
+        let mut r = mcl_obs::report::RunReport::new("demo");
+        r.stage("mgl", 0.08);
+        r.stage("maxdisp", 0.01);
+        r.stage("fixed_order", 0.01);
+        r.histograms.push(mcl_obs::report::HistoReport {
+            name: "mgl.cell_disp_sites".into(),
+            count: 110,
+            p50: 4,
+            p95: 16,
+            p100: 32,
+            buckets: vec![(0, 80), (2, 20), (5, 10)],
+        });
+        r.histograms.push(mcl_obs::report::HistoReport {
+            name: "fixed_order.cell_disp_sites".into(),
+            count: 100,
+            p50: 2,
+            p95: 8,
+            p100: 8,
+            buckets: vec![(0, 90), (3, 10)],
+        });
+        r
+    }
+
+    #[test]
+    fn report_heatmap_renders_stage_rows_and_latency_bars() {
+        let svg = render_report_heatmap(&heatmap_report());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        for stage in ["mgl", "maxdisp", "fixed_order"] {
+            assert!(svg.contains(stage), "missing stage label {stage}");
+        }
+        // 5 histogram cells + 3 latency bars + background.
+        assert!(svg.matches("<rect").count() >= 9);
+        // Hover titles carry the exact counts.
+        assert!(svg.contains("2^5 sites: 10 cells"));
+        assert!(svg.contains("80.0%"));
+    }
+
+    #[test]
+    fn report_heatmap_without_histograms_still_renders() {
+        // Obs compiled out (or a baseline run): stage bars only.
+        let mut r = mcl_obs::report::RunReport::new("bare");
+        r.stage("mgl", 0.5);
+        let svg = render_report_heatmap(&r);
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("mgl"));
     }
 }

@@ -73,6 +73,9 @@ COMMANDS
              --threads <n>      MGL worker threads
              --baseline tetris|abacus|lcp   run a baseline instead
              --eco true            incremental: keep pre-placed cells
+             --report true      print the structured run-report summary
+             --report-json <file>   write the full run report as JSON
+             --heatmap <file>   write the per-stage displacement/latency heatmap SVG
              --out-pl <file>    write placed .pl
              --out-def <file>   write placed DEF
              --svg <file>       write an SVG rendering
@@ -195,7 +198,8 @@ fn preset_config(spec: &str, scale: f64) -> Result<gen::GeneratorConfig, String>
 
 fn cmd_legalize(flags: &Flags) -> Result<(), String> {
     let design = load_design(flags)?;
-    let t = std::time::Instant::now();
+    let t = mclegal::obs::clock::Stopwatch::start();
+    let mut run_info: Option<(mclegal::core::LegalizeStats, LegalizerConfig)> = None;
     let placed = if let Some(b) = flags.get("baseline") {
         match b {
             "tetris" => baselines::legalize_tetris(&design).0,
@@ -228,22 +232,51 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
             LegalizerConfig::contest().reference,
             DisplacementReference::Gp
         );
-        if flags
+        let (placed, stats) = if flags
             .get("eco")
             .map(|v| v == "true" || v == "1")
             .unwrap_or(false)
         {
-            Legalizer::new(cfg)
+            Legalizer::new(cfg.clone())
                 .run_eco(&design)
                 .map_err(|(c, e)| format!("pre-placed cell {} not adoptable: {e}", c.0))?
-                .0
         } else {
-            Legalizer::new(cfg).run(&design).0
-        }
+            Legalizer::new(cfg.clone()).run(&design)
+        };
+        run_info = Some((stats, cfg));
+        placed
     };
-    let secs = t.elapsed().as_secs_f64();
+    let secs = t.elapsed_seconds();
     print_report(&placed);
     println!("runtime: {secs:.2}s");
+    if let Some((stats, cfg)) = &run_info {
+        let want_report = flags
+            .get("report")
+            .map(|v| v == "true" || v == "1")
+            .unwrap_or(false);
+        if want_report || flags.get("report-json").is_some() || flags.get("heatmap").is_some() {
+            let rep = mclegal::core::build_run_report(&placed, stats, cfg);
+            if want_report {
+                print!("{}", rep.summary());
+            }
+            if let Some(path) = flags.get("report-json") {
+                std::fs::write(path, rep.to_json()).map_err(|e| e.to_string())?;
+                println!("[wrote {path}]");
+            }
+            if let Some(path) = flags.get("heatmap") {
+                std::fs::write(path, viz::render_report_heatmap(&rep))
+                    .map_err(|e| e.to_string())?;
+                println!("[wrote {path}]");
+            }
+        }
+    } else if flags.get("report").is_some()
+        || flags.get("report-json").is_some()
+        || flags.get("heatmap").is_some()
+    {
+        return Err(
+            "--report/--report-json/--heatmap require the main legalizer (no --baseline)".into(),
+        );
+    }
     write_outputs(flags, &placed)?;
     Ok(())
 }

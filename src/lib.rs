@@ -11,6 +11,7 @@
 //! - [`baselines`] — comparison legalizers (Tetris, Abacus, MLL, LCP)
 //! - [`parsers`] — Bookshelf and LEF/DEF-lite I/O
 //! - [`gen`] — synthetic benchmark generation
+//! - [`obs`] — structured tracing, metrics and run reports
 //! - [`viz`] — SVG plots
 
 #![forbid(unsafe_code)]
@@ -19,5 +20,6 @@ pub use mcl_core as core;
 pub use mcl_db as db;
 pub use mcl_flow as flow;
 pub use mcl_gen as gen;
+pub use mcl_obs as obs;
 pub use mcl_parsers as parsers;
 pub use mcl_viz as viz;

@@ -1,0 +1,125 @@
+//! Golden end-to-end corpus: legalize the four deterministic corpus
+//! designs (`mcl_gen::presets::golden_corpus`) through the full contest
+//! pipeline and diff each run report's golden subset against the
+//! checked-in snapshot in `tests/goldens/`.
+//!
+//! To bless new snapshots after an intentional behavior or schema change:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test --test golden_corpus
+//! ```
+
+use mclegal::core::{build_run_report, Legalizer, LegalizerConfig};
+use mclegal::db::prelude::*;
+use mclegal::gen::generate;
+use mclegal::gen::presets::golden_corpus;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+/// The pinned corpus configuration: the snapshots are taken at two threads
+/// (with hardware clamping off so CI core counts don't matter), which the
+/// scheduler guarantees is bit-identical to any other thread count.
+fn corpus_config() -> LegalizerConfig {
+    let mut lc = LegalizerConfig::contest();
+    lc.threads = 2;
+    lc.clamp_threads_to_hardware = false;
+    lc
+}
+
+fn report_for(cfg_name: &str, threads: usize) -> String {
+    let gen_cfg = golden_corpus()
+        .into_iter()
+        .find(|c| c.name == cfg_name)
+        .unwrap();
+    let g = generate(&gen_cfg).unwrap_or_else(|e| panic!("{cfg_name}: {e}"));
+    let mut lc = corpus_config();
+    lc.threads = threads;
+    let (placed, stats) = Legalizer::new(lc.clone()).run(&g.design);
+    build_run_report(&placed, &stats, &lc).golden_json()
+}
+
+#[test]
+fn golden_corpus_reports_match_snapshots() {
+    let bless = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let lc = corpus_config();
+    let mut mismatches = Vec::new();
+    for gen_cfg in golden_corpus() {
+        let g = generate(&gen_cfg).unwrap_or_else(|e| panic!("{}: {e}", gen_cfg.name));
+        let (placed, stats) = Legalizer::new(lc.clone()).run(&g.design);
+        // The corpus must stay fully solvable: snapshots of broken runs
+        // would freeze the breakage in.
+        assert_eq!(stats.mgl.failed, 0, "{} failed cells", gen_cfg.name);
+        let rep = Checker::new(&placed).check();
+        assert!(rep.is_legal(), "{}: {:?}", gen_cfg.name, rep.details);
+
+        let json = build_run_report(&placed, &stats, &lc).golden_json();
+        let path = golden_path(&gen_cfg.name);
+        if bless {
+            fs::write(&path, format!("{json}\n")).unwrap();
+            continue;
+        }
+        match fs::read_to_string(&path) {
+            Ok(want) if want.trim_end() == json => {}
+            Ok(want) => mismatches.push(format!(
+                "{}:\n  snapshot: {}\n  actual:   {json}",
+                gen_cfg.name,
+                want.trim_end()
+            )),
+            Err(e) => mismatches.push(format!(
+                "{}: cannot read {}: {e} (bless with UPDATE_GOLDENS=1)",
+                gen_cfg.name,
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden corpus drifted — if intentional, re-bless with \
+         UPDATE_GOLDENS=1 cargo test --test golden_corpus\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn golden_subset_is_identical_across_thread_counts() {
+    // 2 vs 4 threads: both drive the parallel scheduler, whose results are
+    // thread-count invariant (threads = 1 selects the distinct serial MGL
+    // algorithm, which is not part of this contract).
+    let mut two = report_for("golden_fence_heavy", 2);
+    let mut four = report_for("golden_fence_heavy", 4);
+    // The threads field describes the run configuration; everything else
+    // must be bit-identical.
+    two = two.replace("\"threads\":2", "\"threads\":0");
+    four = four.replace("\"threads\":4", "\"threads\":0");
+    assert_eq!(two, four);
+}
+
+#[test]
+fn snapshots_carry_current_schema_version() {
+    // A schema bump without a re-bless must fail loudly (CI also guards
+    // this); the marker below is the first field of every golden file.
+    let marker = format!(
+        "{{\"schema_version\":{}",
+        mclegal::obs::report::SCHEMA_VERSION
+    );
+    for gen_cfg in golden_corpus() {
+        let path = golden_path(&gen_cfg.name);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing snapshot {} ({e}); bless with UPDATE_GOLDENS=1",
+                path.display()
+            )
+        });
+        assert!(
+            text.starts_with(&marker),
+            "{}: schema version drifted; re-bless the goldens",
+            gen_cfg.name
+        );
+    }
+}

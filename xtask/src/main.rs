@@ -1,13 +1,15 @@
 //! Workspace automation tasks. Run as `cargo xtask <task>`.
 //!
 //! Currently one task: `lint`, the custom static-analysis pass described in
-//! DESIGN.md ("Verification architecture"). It enforces three rules over the
+//! DESIGN.md ("Verification architecture"). It enforces four rules over the
 //! library crates (`crates/*/src`):
 //!
 //! 1. `unwrap` — no `.unwrap()` / `.expect(` outside test code;
 //! 2. `float-cast` — no bare `as` float↔int casts outside `db::geom`;
 //! 3. `hash-iter` — no `HashMap`/`HashSet` iteration in legalization hot
-//!    paths.
+//!    paths;
+//! 4. `instant-now` — no ad-hoc `std::time::Instant` timing outside
+//!    `obs::clock` (everything times through `Stopwatch`).
 //!
 //! Pre-existing hits are recorded per (rule, file) in `xtask/lint-allow.txt`
 //! — a *ratchet*: the pass fails only when a file exceeds its recorded

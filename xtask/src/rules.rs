@@ -1,4 +1,4 @@
-//! The three lint rules.
+//! The lint rules.
 //!
 //! All rules are lexical (see `lexer`): they run on masked source with test
 //! regions removed, and err on the side of flagging. Pre-existing hits live
@@ -35,6 +35,12 @@ const HOT_PATH_FILES: [&str; 7] = [
 
 /// The one sanctioned float→int conversion point; exempt from `float-cast`.
 const FLOAT_CAST_EXEMPT: [&str; 1] = ["crates/db/src/geom.rs"];
+
+/// The one crate allowed to read the monotonic clock directly; everything
+/// else times through `mcl_obs::clock::Stopwatch` so spans, stage timings
+/// and perf counters share a single clock discipline (exempt from
+/// `instant-now`).
+const INSTANT_EXEMPT_PREFIX: &str = "crates/obs/src/";
 
 /// Integer type names a float expression must not be `as`-cast to.
 const INT_TYPES: [&str; 13] = [
@@ -78,8 +84,19 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         if HOT_PATH_FILES.contains(&rel) && has_hash_iteration(line, &map_names) {
             report(&mut out, "hash-iter");
         }
+        // Rule `instant-now`: no ad-hoc `Instant` timing outside the obs
+        // crate's clock module.
+        if !rel.starts_with(INSTANT_EXEMPT_PREFIX) && has_instant_use(line) {
+            report(&mut out, "instant-now");
+        }
     }
     out
+}
+
+/// Lexical `Instant` detection: a call to `Instant::now()` (possibly fully
+/// qualified) or an import/mention of `std::time::Instant`.
+fn has_instant_use(line: &str) -> bool {
+    line.contains("Instant::now(") || line.contains("time::Instant")
 }
 
 /// Lexical float↔int cast detection. Flags `as f32`/`as f64` whose operand
@@ -266,6 +283,31 @@ mod tests {
         assert_eq!(v[0].rule, "hash-iter");
         // Same code outside the hot path is fine.
         assert!(lint_source("crates/core/src/config.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_instant_now_is_caught() {
+        let src = "fn f() { let t = std::time::Instant::now(); let _ = t; }\n";
+        let v = lint_source("crates/core/src/legalizer.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "instant-now");
+        // The obs clock module is the sanctioned call site.
+        assert!(lint_source("crates/obs/src/clock.rs", src).is_empty());
+    }
+
+    #[test]
+    fn imported_instant_is_caught_too() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); let _ = t; }\n";
+        let v = lint_source("crates/bench/src/lib.rs", src);
+        let rules: Vec<_> = v.iter().map(|x| (x.rule, x.line)).collect();
+        assert_eq!(rules, vec![("instant-now", 1), ("instant-now", 2)]);
+    }
+
+    #[test]
+    fn instant_in_tests_and_strings_ignored() {
+        let src = "fn f() { let _ = \"Instant::now()\"; }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(lint_source("crates/core/src/mgl.rs", src).is_empty());
     }
 
     #[test]
