@@ -16,13 +16,18 @@
 //! the bench design and print the structured run-report summary
 //! (DESIGN.md §9); the per-stage wall-time breakdown of that run is
 //! always written to `BENCH_mgl.json` under `stage_breakdown`.
+//!
+//! A batch-throughput comparison (`MCL_BENCH_BATCH` design variants,
+//! default 6, through one shared `Engine` vs per-design `Legalizer::run`)
+//! is written under `batch`; outputs are asserted bit-identical, so the
+//! delta is pure setup amortization.
 
 use mcl_core::config::LegalizerConfig;
 use mcl_core::insertion::{CostModel, Insertion};
 use mcl_core::insertion_reference::best_insertion_reference;
 use mcl_core::mgl::{apply_insertion, cell_order, compute_weights, fallback_scan, window_for};
 use mcl_core::scheduler::run_parallel;
-use mcl_core::{build_run_report, Legalizer, PlacementState};
+use mcl_core::{build_run_report, Engine, Legalizer, PlacementState};
 use mcl_db::prelude::*;
 use mcl_obs::clock::Stopwatch;
 use std::collections::VecDeque;
@@ -315,6 +320,46 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
 
+    // Batch throughput: several smaller design variants through one shared
+    // Engine (one pool spawn, reused scratch) vs one Legalizer::run per
+    // design. Bit-identity is asserted, so the ratio is pure setup/teardown
+    // amortization plus pool reuse.
+    let batch_n = env_usize("MCL_BENCH_BATCH", 6);
+    let batch_cells = (n_cells / 4).max(200);
+    let variants: Vec<Design> = (0..batch_n)
+        .map(|i| dense_design(batch_cells, density, seed.wrapping_add(1 + i as u64)))
+        .collect();
+    let (solo_s, solo_pos) = time_best(reps, || {
+        variants
+            .iter()
+            .flat_map(|d| {
+                let (placed, stats) = Legalizer::new(pcfg.clone()).run(d);
+                assert_eq!(stats.mgl.failed, 0, "solo run failed cells");
+                placed.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
+            })
+            .collect()
+    });
+    let mut pool_spawns = 0u64;
+    let (batch_s, batch_pos) = time_best(reps, || {
+        let mut engine = Engine::new(pcfg.clone());
+        let results = engine.legalize_batch(&variants);
+        pool_spawns = engine.diag().pool_spawns;
+        results
+            .iter()
+            .flat_map(|(placed, _)| placed.cells.iter().map(|c| c.pos))
+            .collect()
+    });
+    assert_eq!(
+        solo_pos, batch_pos,
+        "engine batch must match per-design runs bit-identically"
+    );
+    assert_eq!(pool_spawns, 1, "engine batch must share one worker pool");
+    let batch_speedup = solo_s / batch_s;
+    println!(
+        "batch ({batch_n} x {batch_cells} cells, 4 threads): solo {solo_s:.3}s, \
+         engine {batch_s:.3}s, {batch_speedup:.2}x"
+    );
+
     let json =
         format!
     (
@@ -324,7 +369,10 @@ fn main() {
          \"single_thread_speedup\": {single_speedup:.3},\n  \
          \"aggregate_speedup_at_4_threads\": {agg4:.3},\n  \
          \"new_at_4_vs_seed_at_1\": {cross:.3},\n  \
-         \"stage_breakdown\": {{{breakdown}}}\n}}\n",
+         \"stage_breakdown\": {{{breakdown}}},\n  \
+         \"batch\": {{\"designs\": {batch_n}, \"cells_per_design\": {batch_cells}, \
+         \"solo_seconds\": {solo_s:.6}, \"engine_seconds\": {batch_s:.6}, \
+         \"engine_speedup\": {batch_speedup:.3}}}\n}}\n",
         cross = seed1 / new4,
         cap = cfg.window_list_capacity,
     );

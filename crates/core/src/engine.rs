@@ -1,0 +1,486 @@
+//! Reusable legalization engine for batch workloads.
+//!
+//! [`Legalizer`](crate::Legalizer) is stateless: every call pays full setup
+//! (thread spawn, scratch-arena growth) again. The [`Engine`] owns that
+//! state instead — one [`InsertionScratch`] and, for the whole of a batch
+//! call, one persistent [`EvalPool`] of worker threads — and runs each
+//! design through the same [`crate::pipeline`] driver. Results are
+//! bit-identical to the equivalent [`Legalizer`](crate::Legalizer) calls
+//! (pinned by the golden corpus); only the setup cost is amortized.
+//!
+//! Buffer-reuse contract (asserted by tests via [`EngineDiag`] and the
+//! scratch `created` counter): within one [`Engine::legalize_batch`] call,
+//! exactly one pool is spawned (`threads − 1` workers), and every scratch —
+//! the coordinator's and each worker's — is constructed at most once for
+//! the engine's lifetime.
+
+use crate::config::LegalizerConfig;
+use crate::insertion::InsertionScratch;
+use crate::legalizer::LegalizeStats;
+use crate::pipeline::{self, includes_mgl, Prep, Stage, FULL_PIPELINE, POST_PIPELINE};
+use crate::scheduler::EvalPool;
+use crate::state::{PlaceError, PlacementState};
+use mcl_db::prelude::*;
+
+/// Setup-cost counters for asserting the engine's reuse contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineDiag {
+    /// Pipeline runs driven by this engine (one per design).
+    pub runs: u64,
+    /// Worker pools spawned ([`Engine::legalize_batch`] spawns one per
+    /// *call*, not per design; single-design calls spawn one per call too).
+    pub pool_spawns: u64,
+    /// Total worker threads spawned across all pools.
+    pub worker_spawns: u64,
+}
+
+/// A seed error from a position-adopting batch run: design `design` could
+/// not adopt `cell`'s existing position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSeedError {
+    /// Index of the offending design in the batch slice.
+    pub design: usize,
+    /// The cell whose position could not be adopted.
+    pub cell: CellId,
+    /// Why adoption failed.
+    pub error: PlaceError,
+}
+
+/// A reusable legalization engine: configuration plus long-lived scratch.
+///
+/// ```
+/// use mcl_core::{Engine, LegalizerConfig};
+/// use mcl_db::prelude::*;
+///
+/// let mut designs = Vec::new();
+/// for k in 0..3 {
+///     let mut d = Design::new(format!("d{k}"), Technology::example(), Rect::new(0, 0, 1000, 900));
+///     let inv = d.add_cell_type(CellType::new("INV", 20, 1));
+///     d.add_cell(Cell::new("u1", inv, Point::new(33 + k * 7, 47)));
+///     d.add_cell(Cell::new("u2", inv, Point::new(41, 52 + k * 11)));
+///     designs.push(d);
+/// }
+/// let mut engine = Engine::new(LegalizerConfig::contest());
+/// let results = engine.legalize_batch(&designs);
+/// assert_eq!(results.len(), 3);
+/// for (legal, stats) in &results {
+///     assert_eq!(stats.mgl.failed, 0);
+///     assert!(Checker::new(legal).check().is_legal());
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: LegalizerConfig,
+    scratch: InsertionScratch,
+    diag: EngineDiag,
+}
+
+impl Engine {
+    /// Creates an engine. The hardware thread clamp is resolved here, once,
+    /// instead of on every run.
+    pub fn new(mut config: LegalizerConfig) -> Self {
+        if config.clamp_threads_to_hardware {
+            let hw = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            config.threads = config.threads.max(1).min(hw);
+            config.clamp_threads_to_hardware = false;
+        } else {
+            config.threads = config.threads.max(1);
+        }
+        Self {
+            config,
+            scratch: InsertionScratch::new(),
+            diag: EngineDiag::default(),
+        }
+    }
+
+    /// The (clamp-resolved) configuration.
+    pub fn config(&self) -> &LegalizerConfig {
+        &self.config
+    }
+
+    /// Setup-cost counters since construction.
+    pub fn diag(&self) -> EngineDiag {
+        self.diag
+    }
+
+    fn pool_workers(&self) -> usize {
+        self.config.threads - 1
+    }
+
+    /// Legalizes one design from scratch (the engine twin of
+    /// [`crate::Legalizer::run`]).
+    pub fn legalize(&mut self, design: &Design) -> (Design, LegalizeStats) {
+        let (out, stats, _) = self.legalize_with_replay(design);
+        (out, stats)
+    }
+
+    /// Like [`Self::legalize`], additionally returning the replay log.
+    pub fn legalize_with_replay(
+        &mut self,
+        design: &Design,
+    ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::new(design);
+        let stats = self.run_single(design, &mut state, &FULL_PIPELINE, &prep);
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        let log = state.take_replay_log();
+        (out, stats, log)
+    }
+
+    /// Incremental legalization adopting existing positions (the engine
+    /// twin of [`crate::Legalizer::run_eco`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending cell when an existing position cannot be
+    /// adopted (the pre-placed part must be legal).
+    pub fn legalize_eco(
+        &mut self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats), (CellId, PlaceError)> {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::from_design_positions(design)?;
+        let stats = self.run_single(design, &mut state, &FULL_PIPELINE, &prep);
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+
+    /// Post-processing only (the engine twin of
+    /// [`crate::Legalizer::refine`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending cell when the input positions are not
+    /// adoptable (i.e. the input is not legal).
+    pub fn refine(
+        &mut self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats), (CellId, PlaceError)> {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::from_design_positions(design)?;
+        let stats = self.run_single(design, &mut state, &POST_PIPELINE, &prep);
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+
+    /// Legalizes a batch of designs from scratch through one shared worker
+    /// pool and one shared coordinator scratch. Output is bit-identical to
+    /// calling [`Self::legalize`] per design; only setup is amortized.
+    pub fn legalize_batch(&mut self, designs: &[Design]) -> Vec<(Design, LegalizeStats)> {
+        match self.legalize_batch_with(designs, &FULL_PIPELINE, false) {
+            Ok(results) => results,
+            // Fresh seeding never adopts positions, so it cannot fail.
+            Err(_) => unreachable!("fresh-seeded batch cannot hit a seed error"),
+        }
+    }
+
+    /// ECO-legalizes a batch: every design's existing positions are adopted
+    /// before the full pipeline runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first design/cell whose position could not be adopted;
+    /// no design is legalized in that case.
+    pub fn legalize_batch_eco(
+        &mut self,
+        designs: &[Design],
+    ) -> Result<Vec<(Design, LegalizeStats)>, BatchSeedError> {
+        self.legalize_batch_with(designs, &FULL_PIPELINE, true)
+    }
+
+    /// The general batch entry point: run an explicit stage list over every
+    /// design. Positions are adopted when `adopt_positions` is set *or* the
+    /// stage list skips MGL (post-processing needs a placed input).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first design/cell whose position could not be adopted;
+    /// no design is legalized in that case.
+    pub fn legalize_batch_with(
+        &mut self,
+        designs: &[Design],
+        stages: &[&dyn Stage],
+        adopt_positions: bool,
+    ) -> Result<Vec<(Design, LegalizeStats)>, BatchSeedError> {
+        let adopt = adopt_positions || !includes_mgl(stages);
+        // Prepare weights/oracles and seed every state up-front: seed errors
+        // surface before any work is done, and the prepared borrows outlive
+        // the pool scope below.
+        let preps: Vec<Prep<'_>> = designs.iter().map(|d| Prep::new(d, &self.config)).collect();
+        let mut states: Vec<PlacementState<'_>> = Vec::with_capacity(designs.len());
+        for (i, d) in designs.iter().enumerate() {
+            states.push(if adopt {
+                PlacementState::from_design_positions(d).map_err(|(cell, error)| {
+                    BatchSeedError {
+                        design: i,
+                        cell,
+                        error,
+                    }
+                })?
+            } else {
+                PlacementState::new(d)
+            });
+        }
+
+        let workers = self.pool_workers();
+        let Self {
+            config,
+            scratch,
+            diag,
+        } = self;
+        let mut results = Vec::with_capacity(designs.len());
+        if workers == 0 {
+            for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
+                diag.runs += 1;
+                results.push(Self::batch_run_one(
+                    config, scratch, stages, d, prep, state, None,
+                ));
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let pool = EvalPool::spawn(scope, workers);
+                diag.pool_spawns += 1;
+                diag.worker_spawns += workers as u64;
+                for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
+                    diag.runs += 1;
+                    results.push(Self::batch_run_one(
+                        config,
+                        scratch,
+                        stages,
+                        d,
+                        prep,
+                        state,
+                        Some(&pool),
+                    ));
+                }
+            });
+        }
+        Ok(results)
+    }
+
+    /// Runs one batch member through the pipeline and writes its output
+    /// design. A free function (not a closure) because the `'d: 'p` bound
+    /// between the design and the pool's prepared borrows cannot be spelled
+    /// on closure parameters.
+    #[allow(clippy::too_many_arguments)]
+    fn batch_run_one<'d: 'p, 'p>(
+        config: &LegalizerConfig,
+        scratch: &mut InsertionScratch,
+        stages: &[&dyn Stage],
+        d: &'d Design,
+        prep: &'p Prep<'d>,
+        state: &mut PlacementState<'d>,
+        pool: Option<&EvalPool<'p>>,
+    ) -> (Design, LegalizeStats) {
+        let stats = pipeline::run_stages(
+            d,
+            state,
+            config,
+            stages,
+            &prep.weights,
+            prep.oracle(),
+            pool,
+            scratch,
+            "batch",
+        );
+        let mut out = d.clone();
+        state.write_back(&mut out);
+        (out, stats)
+    }
+
+    /// Runs one prepared design through the pipeline, spawning a pool for
+    /// the call when the configuration is multi-threaded.
+    fn run_single<'d>(
+        &mut self,
+        design: &'d Design,
+        state: &mut PlacementState<'d>,
+        stages: &[&dyn Stage],
+        prep: &Prep<'d>,
+    ) -> LegalizeStats {
+        let workers = self.pool_workers();
+        let Self {
+            config,
+            scratch,
+            diag,
+        } = self;
+        diag.runs += 1;
+        if workers == 0 {
+            pipeline::run_stages(
+                design,
+                state,
+                config,
+                stages,
+                &prep.weights,
+                prep.oracle(),
+                None,
+                scratch,
+                "engine",
+            )
+        } else {
+            std::thread::scope(|scope| {
+                let pool = EvalPool::spawn(scope, workers);
+                diag.pool_spawns += 1;
+                diag.worker_spawns += workers as u64;
+                pipeline::run_stages(
+                    design,
+                    state,
+                    config,
+                    stages,
+                    &prep.weights,
+                    prep.oracle(),
+                    Some(&pool),
+                    scratch,
+                    "engine",
+                )
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legalizer::Legalizer;
+
+    fn batch_designs(n: usize) -> Vec<Design> {
+        (0..n)
+            .map(|k| {
+                let mut d = Design::new(
+                    format!("b{k}"),
+                    Technology::example(),
+                    Rect::new(0, 0, 2400, 1800),
+                );
+                d.add_cell_type(CellType::new("s", 20, 1));
+                d.add_cell_type(CellType::new("d", 30, 2));
+                let mut s = 0x9e37_79b9u64.wrapping_mul(k as u64 + 1) | 1;
+                let mut rng = move || {
+                    s ^= s << 13;
+                    s ^= s >> 7;
+                    s ^= s << 17;
+                    s
+                };
+                for i in 0..140 {
+                    let t = CellTypeId(u32::from(rng() % 5 == 0));
+                    let x = (rng() % 2300) as Dbu;
+                    let y = (rng() % 1700) as Dbu;
+                    d.add_cell(Cell::new(format!("c{i}"), t, Point::new(x, y)));
+                }
+                d
+            })
+            .collect()
+    }
+
+    fn cfg(threads: usize) -> LegalizerConfig {
+        let mut c = LegalizerConfig::total_displacement();
+        c.threads = threads;
+        c.clamp_threads_to_hardware = false;
+        c
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_bit_identically() {
+        let designs = batch_designs(4);
+        for threads in [1usize, 3] {
+            let mut engine = Engine::new(cfg(threads));
+            let batch = engine.legalize_batch(&designs);
+            for (d, (out, stats)) in designs.iter().zip(&batch) {
+                let (solo_out, solo_stats) = Legalizer::new(cfg(threads)).run(d);
+                assert_eq!(
+                    solo_out.cells.iter().map(|c| c.pos).collect::<Vec<_>>(),
+                    out.cells.iter().map(|c| c.pos).collect::<Vec<_>>(),
+                    "engine batch diverged from Legalizer::run at {threads} threads"
+                );
+                assert_eq!(&solo_stats, stats);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_reuses_pool_and_scratch() {
+        let designs = batch_designs(4);
+        let workers = 2usize;
+        let mut engine = Engine::new(cfg(workers + 1));
+        let batch = engine.legalize_batch(&designs);
+        let diag = engine.diag();
+        assert_eq!(diag.runs, 4);
+        assert_eq!(diag.pool_spawns, 1, "batch must share one pool");
+        assert_eq!(diag.worker_spawns, workers as u64);
+        // The first run is charged with every scratch construction (one
+        // coordinator + one per worker); later runs construct none.
+        let created: Vec<u64> = batch
+            .iter()
+            .map(|(_, s)| s.mgl.perf.scratch.created)
+            .collect();
+        assert_eq!(created, vec![1 + workers as u64, 0, 0, 0]);
+
+        // Per-design engines pay the pool (and scratches) once per design.
+        let mut spawns = 0u64;
+        for d in &designs {
+            let mut solo = Engine::new(cfg(workers + 1));
+            let _ = solo.legalize(d);
+            spawns += solo.diag().pool_spawns;
+        }
+        assert_eq!(spawns, 4);
+    }
+
+    #[test]
+    fn engine_single_design_paths_match_legalizer() {
+        let designs = batch_designs(2);
+        let d = &designs[0];
+        let mut engine = Engine::new(cfg(4));
+        let legalizer = Legalizer::new(cfg(4));
+
+        let (eo, es, elog) = engine.legalize_with_replay(d);
+        let (lo, ls, llog) = legalizer.run_with_replay(d);
+        assert_eq!(
+            eo.cells.iter().map(|c| c.pos).collect::<Vec<_>>(),
+            lo.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
+        );
+        assert_eq!(es, ls);
+        assert_eq!(elog, llog, "replay logs must be bit-identical");
+
+        // refine twins: run stage 1 only, then refine the result both ways.
+        let mut s1 = cfg(4);
+        s1.max_disp_matching = false;
+        s1.fixed_order_refine = false;
+        let (placed, _) = Legalizer::new(s1).run(d);
+        let (er, ers) = engine.refine(&placed).unwrap();
+        let (lr, lrs) = legalizer.refine(&placed).unwrap();
+        assert_eq!(
+            er.cells.iter().map(|c| c.pos).collect::<Vec<_>>(),
+            lr.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
+        );
+        assert_eq!(ers, lrs);
+    }
+
+    #[test]
+    fn batch_eco_adopts_and_reports_seed_errors() {
+        let designs = batch_designs(2);
+        let mut engine = Engine::new(cfg(2));
+        // Legal inputs: stage-1 legalize, then batch-ECO adopts cleanly.
+        let placed: Vec<Design> = {
+            let mut s1 = cfg(2);
+            s1.max_disp_matching = false;
+            s1.fixed_order_refine = false;
+            designs
+                .iter()
+                .map(|d| Legalizer::new(s1.clone()).run(d).0)
+                .collect()
+        };
+        let out = engine.legalize_batch_eco(&placed);
+        assert!(out.is_ok());
+
+        // An illegal position in design 1 is reported with its index.
+        let mut bad = placed.clone();
+        bad[1].cells[0].pos = Some(Point::new(13, 7));
+        match engine.legalize_batch_eco(&bad) {
+            Err(e) => assert_eq!((e.design, e.cell), (1, CellId(0))),
+            Ok(_) => panic!("misaligned seed position must be rejected"),
+        }
+    }
+}

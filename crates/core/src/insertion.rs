@@ -83,6 +83,11 @@ pub struct ScratchStats {
     pub dedup_hits: u64,
     /// Curve minimizations performed.
     pub curve_mins: u64,
+    /// Scratches constructed and charged to this run. A fresh scratch
+    /// starts at 1; taking the stats (end of run) resets it to 0, so a
+    /// reused scratch contributes 0 to its next run — which is exactly
+    /// what the engine's buffer-reuse tests assert on.
+    pub created: u64,
 }
 
 impl ScratchStats {
@@ -92,6 +97,7 @@ impl ScratchStats {
         self.anchors += other.anchors;
         self.dedup_hits += other.dedup_hits;
         self.curve_mins += other.curve_mins;
+        self.created += other.created;
     }
 }
 
@@ -130,7 +136,9 @@ pub struct InsertionScratch {
 impl InsertionScratch {
     /// A fresh scratch with empty buffers.
     pub fn new() -> Self {
-        Self::default()
+        let mut s = Self::default();
+        s.stats.created = 1;
+        s
     }
 }
 

@@ -1,14 +1,23 @@
 //! The complete three-stage legalization flow (Fig. 2).
+//!
+//! [`Legalizer`] is a thin wrapper over the declarative stage pipeline in
+//! [`crate::pipeline`]: each entry point builds the initial
+//! [`PlacementState`] (fresh for [`Legalizer::run`], adopted from existing
+//! positions for [`Legalizer::run_eco`] / [`Legalizer::refine`]) and hands
+//! off to [`pipeline::run_stages`] with the appropriate stage list. All
+//! span/audit/histogram middleware lives in the pipeline, not here. For
+//! batch workloads that should reuse threads and scratch buffers across
+//! designs, see [`crate::Engine`].
 
 use crate::config::LegalizerConfig;
-use crate::fixed_order::{optimize_fixed_order_metered, FixedOrderStats};
-use crate::maxdisp::{optimize_max_disp_metered, MaxDispStats};
-use crate::mgl::{compute_weights, run_serial, MglStats};
-use crate::routability::RoutOracle;
-use crate::scheduler::run_parallel;
+use crate::fixed_order::FixedOrderStats;
+use crate::insertion::InsertionScratch;
+use crate::maxdisp::MaxDispStats;
+use crate::mgl::MglStats;
+use crate::pipeline::{self, Prep, StageTiming, FULL_PIPELINE, POST_PIPELINE};
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
-use mcl_obs::{clock::Stopwatch, HistoKind, Meter, SpanKind};
+use mcl_obs::Meter;
 
 /// Combined statistics of a full legalization run.
 #[derive(Debug, Clone, Default)]
@@ -19,47 +28,34 @@ pub struct LegalizeStats {
     pub max_disp: MaxDispStats,
     /// Stage 3 statistics (zeroed when disabled).
     pub fixed_order: FixedOrderStats,
-    /// Wall-clock seconds per stage.
-    pub seconds: [f64; 3],
+    /// Wall-clock seconds per *enabled* stage, in execution order, keyed by
+    /// stage name (`"mgl"`, `"maxdisp"`, `"fixed_order"`). Disabled stages
+    /// emit no entry.
+    pub stage_seconds: Vec<StageTiming>,
     /// Merged observability meter across all stages: run/stage spans,
-    /// algorithm counters, and per-stage displacement histograms. Timing
-    /// data varies run to run, so it is excluded from `==` (which otherwise
-    /// compares every field, including `seconds`, as before).
+    /// algorithm counters, and per-stage displacement histograms.
     pub obs: Meter,
 }
 
+impl LegalizeStats {
+    /// Wall-clock seconds of the named stage, or `None` when the stage did
+    /// not run.
+    #[must_use]
+    pub fn stage_seconds_for(&self, name: &str) -> Option<f64> {
+        self.stage_seconds
+            .iter()
+            .find(|t| t.name == name)
+            .map(|t| t.seconds)
+    }
+}
+
 impl PartialEq for LegalizeStats {
+    /// Compares algorithmic outcomes only. Timing (`stage_seconds`) and the
+    /// meter vary run to run and are excluded.
     fn eq(&self, other: &Self) -> bool {
         self.mgl == other.mgl
             && self.max_disp == other.max_disp
             && self.fixed_order == other.fixed_order
-            && self.seconds == other.seconds
-    }
-}
-
-/// Records the per-cell displacement histogram of the current placement
-/// (Manhattan distance from the global-placement position, in site widths)
-/// into `obs` under `kind`. Fixed and unplaced cells are skipped, matching
-/// `Metrics::measure`.
-fn record_disp_histogram(
-    obs: &mut Meter,
-    state: &PlacementState<'_>,
-    design: &Design,
-    kind: HistoKind,
-) {
-    if !(mcl_obs::compiled() && mcl_obs::recording()) {
-        return;
-    }
-    let sw = design.tech.site_width.max(1);
-    for (i, cell) in design.cells.iter().enumerate() {
-        if cell.fixed {
-            continue;
-        }
-        let Some(p) = state.pos(CellId(i as u32)) else {
-            continue;
-        };
-        let d = (p.x - cell.gp.x).abs() + (p.y - cell.gp.y).abs();
-        obs.observe(kind, (d / sw) as u64);
     }
 }
 
@@ -81,29 +77,6 @@ fn record_disp_histogram(
 pub struct Legalizer {
     config: LegalizerConfig,
 }
-
-/// Runs the independent auditor (`mcl_audit`) over the state after a stage
-/// and panics on any hard violation among the *placed* cells. Stages may
-/// leave overflow cells unplaced (reported through their stats); everything
-/// they did place must satisfy every §2 constraint.
-///
-/// Active under `debug_assertions` and in `--features audit` builds; CI runs
-/// the latter so every stage of every test design is independently checked.
-#[cfg(any(debug_assertions, feature = "audit"))]
-fn audit_stage(state: &PlacementState<'_>, design: &Design, stage: &str) {
-    let mut snapshot = design.clone();
-    state.write_back(&mut snapshot);
-    let rep = mcl_audit::verify(&snapshot);
-    assert_eq!(
-        rep.placement_violations(),
-        0,
-        "independent audit failed after {stage}: {:?}",
-        rep.notes
-    );
-}
-
-#[cfg(not(any(debug_assertions, feature = "audit")))]
-fn audit_stage(_state: &PlacementState<'_>, _design: &Design, _stage: &str) {}
 
 impl Legalizer {
     /// Creates a legalizer with the given configuration.
@@ -131,69 +104,20 @@ impl Legalizer {
         &self,
         design: &Design,
     ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
-        let weights = compute_weights(design, self.config.weights);
-        let oracle_store;
-        let oracle = if self.config.routability {
-            oracle_store = Some(RoutOracle::new(design));
-            oracle_store.as_ref()
-        } else {
-            None
-        };
-
-        let mut stats = LegalizeStats::default();
+        let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::new(design);
-
-        let run_sw = Stopwatch::start();
-        let t0 = Stopwatch::start();
-        stats.mgl = if self.config.threads > 1 {
-            run_parallel(&mut state, &self.config, &weights, oracle)
-        } else {
-            run_serial(&mut state, &self.config, &weights, oracle)
-        };
-        stats.seconds[0] = t0.elapsed_seconds();
-        stats
-            .obs
-            .record_span(SpanKind::StageMgl, t0.elapsed_nanos(), 0);
-        stats.obs.merge(&stats.mgl.obs);
-        record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMgl);
-        audit_stage(&state, design, "stage 1 (MGL insertion)");
-
-        if self.config.max_disp_matching {
-            let t1 = Stopwatch::start();
-            stats.max_disp = optimize_max_disp_metered(&mut state, &self.config, &mut stats.obs);
-            stats.seconds[1] = t1.elapsed_seconds();
-            stats
-                .obs
-                .record_span(SpanKind::StageMaxDisp, t1.elapsed_nanos(), 0);
-            record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMaxDisp);
-            audit_stage(&state, design, "stage 2 (max-disp matching)");
-        }
-
-        if self.config.fixed_order_refine {
-            let t2 = Stopwatch::start();
-            stats.fixed_order = optimize_fixed_order_metered(
-                &mut state,
-                &self.config,
-                &weights,
-                oracle,
-                &mut stats.obs,
-            );
-            stats.seconds[2] = t2.elapsed_seconds();
-            stats
-                .obs
-                .record_span(SpanKind::StageFixedOrder, t2.elapsed_nanos(), 0);
-            record_disp_histogram(
-                &mut stats.obs,
-                &state,
-                design,
-                HistoKind::DispSitesFixedOrder,
-            );
-            audit_stage(&state, design, "stage 3 (fixed-order refinement)");
-        }
-
-        stats
-            .obs
-            .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
+        let mut scratch = InsertionScratch::new();
+        let stats = pipeline::run_stages(
+            design,
+            &mut state,
+            &self.config,
+            &FULL_PIPELINE,
+            &prep.weights,
+            prep.oracle(),
+            None,
+            &mut scratch,
+            "run",
+        );
         let mut out = design.clone();
         state.write_back(&mut out);
         let log = state.take_replay_log();
@@ -214,67 +138,40 @@ impl Legalizer {
         &self,
         design: &Design,
     ) -> Result<(Design, LegalizeStats), (CellId, crate::state::PlaceError)> {
-        let weights = compute_weights(design, self.config.weights);
-        let oracle_store;
-        let oracle = if self.config.routability {
-            oracle_store = Some(RoutOracle::new(design));
-            oracle_store.as_ref()
-        } else {
-            None
-        };
+        let (out, stats, _) = self.run_eco_with_replay(design)?;
+        Ok((out, stats))
+    }
+
+    /// Like [`Self::run_eco`], additionally returning the replay log (which
+    /// includes the adoption of the pre-placed positions).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending cell when an existing position cannot be
+    /// adopted (the pre-placed part must be legal).
+    pub fn run_eco_with_replay(
+        &self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats, mcl_audit::ReplayLog), (CellId, crate::state::PlaceError)>
+    {
+        let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design)?;
-        let mut stats = LegalizeStats::default();
-        let run_sw = Stopwatch::start();
-        let t0 = Stopwatch::start();
-        stats.mgl = if self.config.threads > 1 {
-            run_parallel(&mut state, &self.config, &weights, oracle)
-        } else {
-            run_serial(&mut state, &self.config, &weights, oracle)
-        };
-        stats.seconds[0] = t0.elapsed_seconds();
-        stats
-            .obs
-            .record_span(SpanKind::StageMgl, t0.elapsed_nanos(), 0);
-        stats.obs.merge(&stats.mgl.obs);
-        record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMgl);
-        audit_stage(&state, design, "ECO stage 1 (MGL insertion)");
-        if self.config.max_disp_matching {
-            let t1 = Stopwatch::start();
-            stats.max_disp = optimize_max_disp_metered(&mut state, &self.config, &mut stats.obs);
-            stats.seconds[1] = t1.elapsed_seconds();
-            stats
-                .obs
-                .record_span(SpanKind::StageMaxDisp, t1.elapsed_nanos(), 0);
-            record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMaxDisp);
-            audit_stage(&state, design, "ECO stage 2 (max-disp matching)");
-        }
-        if self.config.fixed_order_refine {
-            let t2 = Stopwatch::start();
-            stats.fixed_order = optimize_fixed_order_metered(
-                &mut state,
-                &self.config,
-                &weights,
-                oracle,
-                &mut stats.obs,
-            );
-            stats.seconds[2] = t2.elapsed_seconds();
-            stats
-                .obs
-                .record_span(SpanKind::StageFixedOrder, t2.elapsed_nanos(), 0);
-            record_disp_histogram(
-                &mut stats.obs,
-                &state,
-                design,
-                HistoKind::DispSitesFixedOrder,
-            );
-            audit_stage(&state, design, "ECO stage 3 (fixed-order refinement)");
-        }
-        stats
-            .obs
-            .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
+        let mut scratch = InsertionScratch::new();
+        let stats = pipeline::run_stages(
+            design,
+            &mut state,
+            &self.config,
+            &FULL_PIPELINE,
+            &prep.weights,
+            prep.oracle(),
+            None,
+            &mut scratch,
+            "ECO",
+        );
         let mut out = design.clone();
         state.write_back(&mut out);
-        Ok((out, stats))
+        let log = state.take_replay_log();
+        Ok((out, stats, log))
     }
 
     /// Runs only the two post-processing stages on an already-legal design
@@ -288,51 +185,20 @@ impl Legalizer {
         &self,
         design: &Design,
     ) -> Result<(Design, LegalizeStats), (CellId, crate::state::PlaceError)> {
-        let weights = compute_weights(design, self.config.weights);
-        let oracle_store;
-        let oracle = if self.config.routability {
-            oracle_store = Some(RoutOracle::new(design));
-            oracle_store.as_ref()
-        } else {
-            None
-        };
+        let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design)?;
-        let mut stats = LegalizeStats::default();
-        let run_sw = Stopwatch::start();
-        if self.config.max_disp_matching {
-            let t1 = Stopwatch::start();
-            stats.max_disp = optimize_max_disp_metered(&mut state, &self.config, &mut stats.obs);
-            stats.seconds[1] = t1.elapsed_seconds();
-            stats
-                .obs
-                .record_span(SpanKind::StageMaxDisp, t1.elapsed_nanos(), 0);
-            record_disp_histogram(&mut stats.obs, &state, design, HistoKind::DispSitesMaxDisp);
-            audit_stage(&state, design, "refine stage 2 (max-disp matching)");
-        }
-        if self.config.fixed_order_refine {
-            let t2 = Stopwatch::start();
-            stats.fixed_order = optimize_fixed_order_metered(
-                &mut state,
-                &self.config,
-                &weights,
-                oracle,
-                &mut stats.obs,
-            );
-            stats.seconds[2] = t2.elapsed_seconds();
-            stats
-                .obs
-                .record_span(SpanKind::StageFixedOrder, t2.elapsed_nanos(), 0);
-            record_disp_histogram(
-                &mut stats.obs,
-                &state,
-                design,
-                HistoKind::DispSitesFixedOrder,
-            );
-            audit_stage(&state, design, "refine stage 3 (fixed-order refinement)");
-        }
-        stats
-            .obs
-            .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
+        let mut scratch = InsertionScratch::new();
+        let stats = pipeline::run_stages(
+            design,
+            &mut state,
+            &self.config,
+            &POST_PIPELINE,
+            &prep.weights,
+            prep.oracle(),
+            None,
+            &mut scratch,
+            "refine",
+        );
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
@@ -396,6 +262,23 @@ mod tests {
         // With n0 = 0 stage 3 optimizes total displacement only, so the max
         // may drift a little; it must not explode.
         assert!(m_full.max_disp_rows <= 1.5 * m_1.max_disp_rows + 1.0);
+    }
+
+    #[test]
+    fn stage_timings_are_named_and_follow_enablement() {
+        let d = messy_design(120, 9);
+        let (_, full) = Legalizer::new(LegalizerConfig::total_displacement()).run(&d);
+        let names: Vec<_> = full.stage_seconds.iter().map(|t| t.name).collect();
+        assert_eq!(names, ["mgl", "maxdisp", "fixed_order"]);
+        assert!(full.stage_seconds_for("mgl").is_some());
+
+        let mut cfg1 = LegalizerConfig::total_displacement();
+        cfg1.max_disp_matching = false;
+        cfg1.fixed_order_refine = false;
+        let (_, only1) = Legalizer::new(cfg1).run(&d);
+        let names: Vec<_> = only1.stage_seconds.iter().map(|t| t.name).collect();
+        assert_eq!(names, ["mgl"], "disabled stages must emit no timing row");
+        assert_eq!(only1.stage_seconds_for("maxdisp"), None);
     }
 
     #[test]

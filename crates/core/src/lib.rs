@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod curve;
+pub mod engine;
 pub mod fixed_order;
 pub mod insertion;
 pub mod insertion_reference;
@@ -25,6 +26,7 @@ pub mod legalizer;
 pub mod maxdisp;
 pub mod mgl;
 pub mod perf;
+pub mod pipeline;
 pub mod report;
 pub mod routability;
 pub mod scheduler;
@@ -32,6 +34,8 @@ pub mod state;
 pub mod winindex;
 
 pub use config::{CellOrder, DisplacementReference, LegalizerConfig, WeightMode};
+pub use engine::{BatchSeedError, Engine, EngineDiag};
 pub use legalizer::{LegalizeStats, Legalizer};
+pub use pipeline::{Stage, StageStats, StageTiming};
 pub use report::build_run_report;
 pub use state::{PlaceError, PlacementState};

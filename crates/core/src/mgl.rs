@@ -183,6 +183,20 @@ pub fn run_serial(
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
+    let mut scratch = InsertionScratch::new();
+    run_serial_with_scratch(state, config, weights, oracle, &mut scratch)
+}
+
+/// [`run_serial`] with a caller-owned scratch, so the engine can reuse one
+/// warmed scratch across a whole batch of designs. The scratch's work
+/// counters are taken (and reset) into the returned stats.
+pub fn run_serial_with_scratch(
+    state: &mut PlacementState<'_>,
+    config: &LegalizerConfig,
+    weights: &[i64],
+    oracle: Option<&RoutOracle<'_>>,
+    scratch: &mut InsertionScratch,
+) -> MglStats {
     let t_total = Stopwatch::start();
     let design = state.design();
     let order = cell_order(design, config.order);
@@ -195,7 +209,6 @@ pub fn run_serial(
         rail_penalty: config.rail_penalty,
     };
     let mut stats = MglStats::default();
-    let mut scratch = InsertionScratch::new();
     for cell in order {
         if state.pos(cell).is_some() {
             continue;
@@ -206,7 +219,7 @@ pub fn run_serial(
         for n in 0..=config.max_expansions {
             let window = window_for(design, cell, config, n);
             let t_eval = Stopwatch::start();
-            let ins = best_insertion_in(state, cell, window, &model, &mut scratch);
+            let ins = best_insertion_in(state, cell, window, &model, &mut *scratch);
             let dt = t_eval.elapsed_nanos();
             stats.perf.eval_nanos += dt;
             stats.perf.eval_cpu_nanos += dt;
@@ -264,8 +277,8 @@ pub fn run_serial(
             stats.obs.record_span(SpanKind::FallbackScan, fb, 0);
         }
     }
-    stats.perf.scratch = scratch.stats;
-    record_scratch_counters(&mut stats.obs, &scratch.stats);
+    stats.perf.scratch = std::mem::take(&mut scratch.stats);
+    record_scratch_counters(&mut stats.obs, &stats.perf.scratch);
     stats.perf.total_nanos = t_total.elapsed_nanos();
     stats
 }

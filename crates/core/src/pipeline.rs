@@ -1,0 +1,446 @@
+//! Declarative stage pipeline for the three-stage flow.
+//!
+//! The paper's flow is an ordered composition of stages (MGL insertion →
+//! max-displacement matching → fixed-order refinement). This module is the
+//! single place that composition lives: each stage is a [`Stage`] trait
+//! object, the driver [`run_stages`] walks a stage list, and every stage is
+//! wrapped uniformly by the same middleware — wall-clock timing into
+//! [`StageTiming`], a stage span in the meter, the per-stage displacement
+//! histogram, and the independent clean-room audit. A new stage therefore
+//! cannot forget to be timed, metered or audited; and the three public
+//! drivers ([`crate::Legalizer::run`], `run_eco`, `refine`) plus the batch
+//! [`crate::Engine`] are thin wrappers that differ only in how the initial
+//! [`PlacementState`] is built and which stage list they pass.
+//!
+//! Middleware order per enabled stage (fixed; meter merging is commutative
+//! so the aggregate is insensitive to it, but the order is kept identical to
+//! the pre-pipeline drivers so full reports diff cleanly):
+//!
+//! 1. run the stage body,
+//! 2. push the named [`StageTiming`],
+//! 3. record the stage span,
+//! 4. fold the stage's [`StageStats`] into [`LegalizeStats`] (MGL also
+//!    merges its worker meters),
+//! 5. record the displacement histogram of the current placement,
+//! 6. run the clean-room audit (`debug_assertions` / `audit` feature).
+
+use crate::config::LegalizerConfig;
+use crate::fixed_order::optimize_fixed_order_metered;
+use crate::insertion::InsertionScratch;
+use crate::legalizer::LegalizeStats;
+use crate::maxdisp::optimize_max_disp_metered;
+use crate::mgl::{compute_weights, run_serial_with_scratch};
+use crate::routability::RoutOracle;
+use crate::scheduler::{drive_rounds, run_parallel, EvalPool};
+use crate::state::PlacementState;
+use mcl_db::prelude::*;
+use mcl_obs::{clock::Stopwatch, HistoKind, Meter, SpanKind};
+
+/// Statistics returned by one stage, folded into [`LegalizeStats`] by the
+/// driver.
+#[derive(Debug, Clone)]
+pub enum StageStats {
+    /// Stage 1 (MGL insertion).
+    Mgl(crate::mgl::MglStats),
+    /// Stage 2 (max-displacement matching).
+    MaxDisp(crate::maxdisp::MaxDispStats),
+    /// Stage 3 (fixed row-and-order refinement).
+    FixedOrder(crate::fixed_order::FixedOrderStats),
+}
+
+/// Wall-clock seconds of one enabled stage, keyed by stage name. Disabled
+/// stages emit no entry (they used to report a misleading `0.0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageTiming {
+    /// The stage's [`Stage::name`].
+    pub name: &'static str,
+    /// Wall-clock seconds spent in the stage body.
+    pub seconds: f64,
+}
+
+/// Everything a stage body may read or mutate. `'d` is the design's
+/// lifetime; `'p` (with `'d: 'p`) bounds the prepared per-run data (weights,
+/// oracle) that worker threads may borrow.
+pub struct PipelineCtx<'run, 'd: 'p, 'p> {
+    /// The design being legalized.
+    pub design: &'d Design,
+    /// The working placement.
+    pub state: &'run mut PlacementState<'d>,
+    /// The run's configuration.
+    pub config: &'run LegalizerConfig,
+    /// Per-cell displacement weights (from [`compute_weights`]).
+    pub weights: &'p [i64],
+    /// Routability oracle, when `config.routability` is on.
+    pub oracle: Option<&'p RoutOracle<'p>>,
+    /// The run's meter; stage bodies may record directly into it.
+    pub obs: &'run mut Meter,
+    /// A long-lived evaluation pool (engine batch path); `None` means the
+    /// MGL stage manages its own threads.
+    pub pool: Option<&'run EvalPool<'p>>,
+    /// Caller-owned insertion scratch, reused across runs by the engine.
+    pub scratch: &'run mut InsertionScratch,
+}
+
+/// One stage of the flow. Implementations are stateless unit structs; all
+/// run state flows through [`PipelineCtx`].
+pub trait Stage: Sync {
+    /// Stable stage name, used for [`StageTiming`], report rows and CLI
+    /// `--stages` specs.
+    fn name(&self) -> &'static str;
+    /// Whether the configuration enables this stage.
+    fn enabled(&self, config: &LegalizerConfig) -> bool;
+    /// The span recorded around the stage body.
+    fn span(&self) -> SpanKind;
+    /// The displacement histogram recorded after the stage body.
+    fn histo(&self) -> HistoKind;
+    /// The stage body.
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats;
+}
+
+/// Stage 1: MGL window insertion over the unplaced cells.
+pub struct MglStage;
+
+impl Stage for MglStage {
+    fn name(&self) -> &'static str {
+        "mgl"
+    }
+    fn enabled(&self, _config: &LegalizerConfig) -> bool {
+        true
+    }
+    fn span(&self) -> SpanKind {
+        SpanKind::StageMgl
+    }
+    fn histo(&self) -> HistoKind {
+        HistoKind::DispSitesMgl
+    }
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats {
+        let stats = match ctx.pool {
+            // Engine path: reuse the long-lived pool and scratch.
+            Some(pool) if pool.workers() > 0 => drive_rounds(
+                ctx.state,
+                ctx.config,
+                ctx.weights,
+                ctx.oracle,
+                pool,
+                ctx.scratch,
+            ),
+            // Standalone paths, bit-identical to the pre-pipeline drivers:
+            // a private pool per run, or fully serial.
+            _ => {
+                if ctx.config.threads > 1 {
+                    run_parallel(ctx.state, ctx.config, ctx.weights, ctx.oracle)
+                } else {
+                    run_serial_with_scratch(
+                        ctx.state,
+                        ctx.config,
+                        ctx.weights,
+                        ctx.oracle,
+                        ctx.scratch,
+                    )
+                }
+            }
+        };
+        StageStats::Mgl(stats)
+    }
+}
+
+/// Stage 2: per (type × fence) min-cost bipartite matching minimizing the
+/// convex max-displacement objective.
+pub struct MaxDispStage;
+
+impl Stage for MaxDispStage {
+    fn name(&self) -> &'static str {
+        "maxdisp"
+    }
+    fn enabled(&self, config: &LegalizerConfig) -> bool {
+        config.max_disp_matching
+    }
+    fn span(&self) -> SpanKind {
+        SpanKind::StageMaxDisp
+    }
+    fn histo(&self) -> HistoKind {
+        HistoKind::DispSitesMaxDisp
+    }
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats {
+        StageStats::MaxDisp(optimize_max_disp_metered(ctx.state, ctx.config, ctx.obs))
+    }
+}
+
+/// Stage 3: fixed row-and-order refinement via the dual min-cost flow.
+pub struct FixedOrderStage;
+
+impl Stage for FixedOrderStage {
+    fn name(&self) -> &'static str {
+        "fixed_order"
+    }
+    fn enabled(&self, config: &LegalizerConfig) -> bool {
+        config.fixed_order_refine
+    }
+    fn span(&self) -> SpanKind {
+        SpanKind::StageFixedOrder
+    }
+    fn histo(&self) -> HistoKind {
+        HistoKind::DispSitesFixedOrder
+    }
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats {
+        StageStats::FixedOrder(optimize_fixed_order_metered(
+            ctx.state,
+            ctx.config,
+            ctx.weights,
+            ctx.oracle,
+            ctx.obs,
+        ))
+    }
+}
+
+/// The full three-stage flow (`run` / `run_eco` / batch legalization).
+pub static FULL_PIPELINE: [&dyn Stage; 3] = [&MglStage, &MaxDispStage, &FixedOrderStage];
+
+/// The two post-processing stages only (`refine`, Table 3 ablations).
+pub static POST_PIPELINE: [&dyn Stage; 2] = [&MaxDispStage, &FixedOrderStage];
+
+/// Resolves a CLI-style comma-separated stage spec (`mgl,maxdisp,fixed`)
+/// into a stage list. Stage names are `mgl`, `maxdisp` and
+/// `fixed`/`fixed_order`; the spec must be a non-empty subsequence of the
+/// canonical order (stages can be dropped, not reordered).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown names, duplicates, an empty
+/// spec, or out-of-order stages.
+pub fn parse_stages(spec: &str) -> Result<Vec<&'static dyn Stage>, String> {
+    let mut stages: Vec<&'static dyn Stage> = Vec::new();
+    let mut last = 0usize;
+    for (i, raw) in spec.split(',').enumerate() {
+        let name = raw.trim();
+        let (rank, stage): (usize, &'static dyn Stage) = match name {
+            "mgl" => (1, &MglStage),
+            "maxdisp" => (2, &MaxDispStage),
+            "fixed" | "fixed_order" => (3, &FixedOrderStage),
+            "" => {
+                return Err(format!("empty stage name at position {i} in `{spec}`"));
+            }
+            other => {
+                return Err(format!(
+                    "unknown stage `{other}` (expected mgl, maxdisp, fixed)"
+                ));
+            }
+        };
+        if rank == last {
+            return Err(format!("duplicate stage `{name}` in `{spec}`"));
+        }
+        if rank < last {
+            return Err(format!(
+                "stage `{name}` out of order in `{spec}` (canonical order: mgl,maxdisp,fixed)"
+            ));
+        }
+        last = rank;
+        stages.push(stage);
+    }
+    if stages.is_empty() {
+        return Err("empty stage list".into());
+    }
+    Ok(stages)
+}
+
+/// Whether a parsed stage list starts with MGL insertion (stage lists
+/// without it run in refine semantics: existing positions are adopted).
+pub fn includes_mgl(stages: &[&dyn Stage]) -> bool {
+    stages.iter().any(|s| s.name() == "mgl")
+}
+
+/// Per-run prepared inputs shared by every stage: displacement weights and
+/// the optional routability oracle. Building one of these (plus the initial
+/// [`PlacementState`]) is all a driver does before handing off to
+/// [`run_stages`].
+pub struct Prep<'d> {
+    /// Per-cell displacement weights.
+    pub weights: Vec<i64>,
+    oracle: Option<RoutOracle<'d>>,
+}
+
+impl<'d> Prep<'d> {
+    /// Computes weights and (when configured) the routability oracle.
+    pub fn new(design: &'d Design, config: &LegalizerConfig) -> Self {
+        Prep {
+            weights: compute_weights(design, config.weights),
+            oracle: if config.routability {
+                Some(RoutOracle::new(design))
+            } else {
+                None
+            },
+        }
+    }
+
+    /// The oracle, when routability mode is on.
+    pub fn oracle(&self) -> Option<&RoutOracle<'d>> {
+        self.oracle.as_ref()
+    }
+}
+
+/// Records the per-cell displacement histogram of the current placement
+/// (Manhattan distance from the global-placement position, in site widths)
+/// into `obs` under `kind`. Fixed and unplaced cells are skipped, matching
+/// `Metrics::measure`.
+fn record_disp_histogram(
+    obs: &mut Meter,
+    state: &PlacementState<'_>,
+    design: &Design,
+    kind: HistoKind,
+) {
+    if !(mcl_obs::compiled() && mcl_obs::recording()) {
+        return;
+    }
+    let sw = design.tech.site_width.max(1);
+    for (i, cell) in design.cells.iter().enumerate() {
+        if cell.fixed {
+            continue;
+        }
+        let Some(p) = state.pos(CellId(i as u32)) else {
+            continue;
+        };
+        let d = (p.x - cell.gp.x).abs() + (p.y - cell.gp.y).abs();
+        obs.observe(kind, (d / sw) as u64);
+    }
+}
+
+/// Runs the independent auditor (`mcl_audit`) over the state after a stage
+/// and panics on any hard violation among the *placed* cells. Stages may
+/// leave overflow cells unplaced (reported through their stats); everything
+/// they did place must satisfy every §2 constraint.
+///
+/// Active under `debug_assertions` and in `--features audit` builds; CI runs
+/// the latter so every stage of every test design is independently checked.
+#[cfg(any(debug_assertions, feature = "audit"))]
+fn audit_stage(state: &PlacementState<'_>, design: &Design, label: &str, stage: &str) {
+    let mut snapshot = design.clone();
+    state.write_back(&mut snapshot);
+    let rep = mcl_audit::verify(&snapshot);
+    assert_eq!(
+        rep.placement_violations(),
+        0,
+        "independent audit failed after {label} stage `{stage}`: {:?}",
+        rep.notes
+    );
+}
+
+#[cfg(not(any(debug_assertions, feature = "audit")))]
+fn audit_stage(_state: &PlacementState<'_>, _design: &Design, _label: &str, _stage: &str) {}
+
+/// The single pipeline driver behind `run`, `run_eco`, `refine` and the
+/// engine. Walks `stages`, skipping disabled ones, applying the module-doc
+/// middleware around each, and finishes with the run-level span. `label`
+/// names the driver in audit panics ("run", "ECO", "refine", "batch").
+#[allow(clippy::too_many_arguments)]
+pub fn run_stages<'d: 'p, 'p>(
+    design: &'d Design,
+    state: &mut PlacementState<'d>,
+    config: &LegalizerConfig,
+    stages: &[&dyn Stage],
+    weights: &'p [i64],
+    oracle: Option<&'p RoutOracle<'p>>,
+    pool: Option<&EvalPool<'p>>,
+    scratch: &mut InsertionScratch,
+    label: &str,
+) -> LegalizeStats {
+    let mut stats = LegalizeStats::default();
+    let run_sw = Stopwatch::start();
+    for stage in stages {
+        if !stage.enabled(config) {
+            continue;
+        }
+        let t = Stopwatch::start();
+        let out = {
+            let mut ctx = PipelineCtx {
+                design,
+                state: &mut *state,
+                config,
+                weights,
+                oracle,
+                obs: &mut stats.obs,
+                pool,
+                scratch: &mut *scratch,
+            };
+            stage.run(&mut ctx)
+        };
+        stats.stage_seconds.push(StageTiming {
+            name: stage.name(),
+            seconds: t.elapsed_seconds(),
+        });
+        stats.obs.record_span(stage.span(), t.elapsed_nanos(), 0);
+        match out {
+            StageStats::Mgl(s) => {
+                stats.mgl = s;
+                stats.obs.merge(&stats.mgl.obs);
+            }
+            StageStats::MaxDisp(s) => stats.max_disp = s,
+            StageStats::FixedOrder(s) => stats.fixed_order = s,
+        }
+        record_disp_histogram(&mut stats.obs, state, design, stage.histo());
+        audit_stage(state, design, label, stage.name());
+    }
+    stats
+        .obs
+        .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_lists_cover_the_flow_in_order() {
+        let names: Vec<_> = FULL_PIPELINE.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["mgl", "maxdisp", "fixed_order"]);
+        let post: Vec<_> = POST_PIPELINE.iter().map(|s| s.name()).collect();
+        assert_eq!(post, ["maxdisp", "fixed_order"]);
+        assert!(includes_mgl(&FULL_PIPELINE));
+        assert!(!includes_mgl(&POST_PIPELINE));
+    }
+
+    #[test]
+    fn parse_stages_accepts_subsequences() {
+        for (spec, want) in [
+            ("mgl,maxdisp,fixed", vec!["mgl", "maxdisp", "fixed_order"]),
+            (
+                "mgl,maxdisp,fixed_order",
+                vec!["mgl", "maxdisp", "fixed_order"],
+            ),
+            ("mgl", vec!["mgl"]),
+            ("maxdisp,fixed", vec!["maxdisp", "fixed_order"]),
+            (" mgl , fixed ", vec!["mgl", "fixed_order"]),
+        ] {
+            let got: Vec<_> = parse_stages(spec)
+                .unwrap_or_else(|e| panic!("{spec}: {e}"))
+                .iter()
+                .map(|s| s.name())
+                .collect();
+            assert_eq!(got, want, "{spec}");
+        }
+    }
+
+    #[test]
+    fn parse_stages_rejects_bad_specs() {
+        for spec in [
+            "",
+            "mgl,",
+            "bogus",
+            "mgl,mgl",
+            "maxdisp,mgl",
+            "fixed,maxdisp",
+        ] {
+            assert!(parse_stages(spec).is_err(), "{spec:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn stage_enablement_follows_config() {
+        let mut cfg = LegalizerConfig::contest();
+        cfg.max_disp_matching = false;
+        cfg.fixed_order_refine = true;
+        assert!(MglStage.enabled(&cfg));
+        assert!(!MaxDispStage.enabled(&cfg));
+        assert!(FixedOrderStage.enabled(&cfg));
+    }
+}

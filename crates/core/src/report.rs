@@ -69,9 +69,9 @@ pub fn build_run_report(
     rep.outcome("refine_cells_moved", stats.fixed_order.cells_moved as u64);
     rep.outcome("refine_applied", u64::from(stats.fixed_order.applied));
 
-    rep.stage("mgl", stats.seconds[0]);
-    rep.stage("maxdisp", stats.seconds[1]);
-    rep.stage("fixed_order", stats.seconds[2]);
+    for t in &stats.stage_seconds {
+        rep.stage(t.name, t.seconds);
+    }
     rep.attach_meter(&stats.obs);
     rep
 }

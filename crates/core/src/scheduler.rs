@@ -12,24 +12,28 @@
 //!
 //! ## Execution model
 //!
-//! Workers are spawned **once per run** and live across rounds (the seed
-//! implementation respawned OS threads every round with static slice
-//! chunking). Each worker owns a full replica of the placement state,
-//! cloned at spawn and kept in lockstep by replaying the applied insertions
-//! broadcast after every round — so evaluation needs no locks at all. Jobs
-//! are pulled from a shared atomic cursor (work stealing), which keeps all
-//! workers busy even when one window is much more expensive than the rest;
-//! the coordinating thread steals jobs too, so `threads == n` means `n`
+//! Workers live in an [`EvalPool`]: OS threads spawned once and reused for
+//! **any number of runs** (the [`crate::engine::Engine`] keeps one pool
+//! alive across a whole batch of designs; the standalone [`run_parallel`]
+//! spawns a pool for its single run). Each run starts with a `Begin`
+//! message carrying a full replica of the placement state, which the worker
+//! keeps in lockstep by replaying the applied insertions broadcast after
+//! every round — so evaluation needs no locks at all. Jobs are pulled from
+//! a shared atomic cursor (work stealing), which keeps all workers busy
+//! even when one window is much more expensive than the rest; the
+//! coordinating thread steals jobs too, so `threads == n` means `n`
 //! evaluating threads (and `threads == 1` runs inline with no pool, no
 //! replica and no channels). Results are keyed by job index, making the
-//! apply order independent of which worker produced each result.
+//! apply order independent of which worker produced each result. An `End`
+//! message closes the run: the worker reports (and resets) its per-run
+//! counters, then waits for the next `Begin`.
 //!
 //! Window-overlap selection uses a [`WindowIndex`] (row-band interval
 //! index) instead of scanning the selected list per pending cell, keeping
 //! each round's selection near-linear in the pending count.
 
 use crate::config::LegalizerConfig;
-use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch, ScratchStats};
+use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch};
 use crate::mgl::{apply_insertion, cell_order, fallback_scan, window_for, MglStats};
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
@@ -44,8 +48,36 @@ use std::sync::Arc;
 /// One evaluation job: target cell, expansion level, search window.
 type Job = (CellId, usize, Rect);
 
-/// Round-loop messages broadcast from the coordinator to every worker.
-enum Msg {
+/// Everything a worker needs to evaluate windows for one run: its private
+/// state replica plus the run's cost-model inputs. Sent once per run via
+/// [`Msg::Begin`]; the replica is kept in lockstep via [`Msg::Apply`].
+struct RunSpec<'a> {
+    replica: PlacementState<'a>,
+    weights: &'a [i64],
+    oracle: Option<&'a RoutOracle<'a>>,
+    reference: crate::config::DisplacementReference,
+    normalize: bool,
+    io_penalty: i64,
+    rail_penalty: i64,
+}
+
+impl<'a> RunSpec<'a> {
+    fn model(&self) -> CostModel<'_> {
+        CostModel {
+            reference: self.reference,
+            normalize: self.normalize,
+            weights: self.weights,
+            oracle: self.oracle,
+            io_penalty: self.io_penalty,
+            rail_penalty: self.rail_penalty,
+        }
+    }
+}
+
+/// Messages broadcast from the coordinator to every pool worker.
+enum Msg<'a> {
+    /// Start a run: adopt the replica and cost model.
+    Begin(Box<RunSpec<'a>>),
     /// Evaluate jobs pulled from the shared cursor against the replica.
     Round {
         jobs: Arc<Vec<Job>>,
@@ -53,11 +85,14 @@ enum Msg {
     },
     /// Replay the round's applied insertions to keep the replica in sync.
     Apply { ops: Arc<Vec<(CellId, Insertion)>> },
+    /// End the run: report per-run counters, drop the replica, await the
+    /// next `Begin`.
+    End,
 }
 
 /// End-of-run report from one worker.
 struct WorkerReport {
-    scratch: ScratchStats,
+    scratch: crate::insertion::ScratchStats,
     eval_nanos: u64,
     /// Thread-local spans/histograms. Which worker evaluated which window
     /// depends on the work-stealing race, so per-thread attribution is
@@ -66,15 +101,154 @@ struct WorkerReport {
     obs: Meter,
 }
 
-/// Runs MGL with the parallel window scheduler.
+/// A persistent pool of evaluation workers, reusable across runs (and
+/// across designs, when the caller's scope outlives them). Workers own
+/// their [`InsertionScratch`] for the pool's whole lifetime, so scratch
+/// arenas warmed by one design are reused by the next.
+pub struct EvalPool<'a> {
+    senders: Vec<mpsc::Sender<Msg<'a>>>,
+    results_rx: mpsc::Receiver<(usize, Option<Insertion>)>,
+    report_rx: mpsc::Receiver<WorkerReport>,
+    workers: usize,
+}
+
+impl<'a> EvalPool<'a> {
+    /// Spawns `workers` evaluation threads onto `scope`. The pool lives
+    /// until dropped (closing the channels exits the threads); the scope
+    /// must outlive it.
+    pub fn spawn<'scope, 'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        workers: usize,
+    ) -> EvalPool<'a>
+    where
+        'a: 'scope,
+    {
+        let (results_tx, results_rx) = mpsc::channel::<(usize, Option<Insertion>)>();
+        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
+        let mut senders: Vec<mpsc::Sender<Msg<'a>>> = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<Msg<'a>>();
+            senders.push(tx);
+            let results_tx = results_tx.clone();
+            let report_tx = report_tx.clone();
+            scope.spawn(move || {
+                let mut scratch = InsertionScratch::new();
+                let mut eval_nanos = 0u64;
+                let mut obs = Meter::new();
+                let mut cur: Option<Box<RunSpec<'a>>> = None;
+                // Worker thread ids start at 1; 0 is the coordinator.
+                let thread_id = w + 1;
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        Msg::Begin(spec) => cur = Some(spec),
+                        Msg::Round { jobs, cursor } => {
+                            let Some(spec) = cur.as_ref() else { continue };
+                            let model = spec.model();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= jobs.len() {
+                                    break;
+                                }
+                                let (cell, _, win) = jobs[i];
+                                let t = Stopwatch::start();
+                                let r = best_insertion_in(
+                                    &spec.replica,
+                                    cell,
+                                    win,
+                                    &model,
+                                    &mut scratch,
+                                );
+                                let dt = t.elapsed_nanos();
+                                eval_nanos += dt;
+                                obs.record_span(SpanKind::InsertionEval, dt, thread_id);
+                                obs.observe(HistoKind::InsertionEvalNanos, dt);
+                                if results_tx.send((i, r)).is_err() {
+                                    return; // coordinator gone
+                                }
+                            }
+                        }
+                        Msg::Apply { ops } => {
+                            if let Some(spec) = cur.as_mut() {
+                                for (cell, ins) in ops.iter() {
+                                    apply_insertion(&mut spec.replica, *cell, ins);
+                                }
+                            }
+                        }
+                        Msg::End => {
+                            cur = None;
+                            let report = WorkerReport {
+                                scratch: std::mem::take(&mut scratch.stats),
+                                eval_nanos: std::mem::take(&mut eval_nanos),
+                                obs: std::mem::take(&mut obs),
+                            };
+                            if report_tx.send(report).is_err() {
+                                return;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        EvalPool {
+            senders,
+            results_rx,
+            report_rx,
+            workers,
+        }
+    }
+
+    /// Number of worker threads (the coordinator is not counted).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn begin(
+        &self,
+        state: &PlacementState<'a>,
+        config: &LegalizerConfig,
+        weights: &'a [i64],
+        oracle: Option<&'a RoutOracle<'a>>,
+    ) {
+        for tx in &self.senders {
+            let spec = Box::new(RunSpec {
+                replica: state.clone(),
+                weights,
+                oracle,
+                reference: config.reference,
+                normalize: config.normalize_curves,
+                io_penalty: config.io_penalty,
+                rail_penalty: config.rail_penalty,
+            });
+            tx.send(Msg::Begin(spec)).expect("worker died");
+        }
+    }
+
+    /// Ends the current run: every worker reports and resets its per-run
+    /// counters, which are folded into `stats`. Reports arrive in
+    /// worker-finish order, which is nondeterministic; scratch and meter
+    /// merging are commutative, so the fold is order-independent.
+    fn finish(&self, stats: &mut MglStats) {
+        for tx in &self.senders {
+            tx.send(Msg::End).expect("worker died");
+        }
+        for _ in 0..self.workers {
+            let report = self.report_rx.recv().expect("worker report");
+            stats.perf.scratch.merge(&report.scratch);
+            stats.perf.eval_cpu_nanos += report.eval_nanos;
+            stats.obs.merge(&report.obs);
+        }
+    }
+}
+
+/// Runs MGL with the parallel window scheduler, spawning a private
+/// [`EvalPool`] for this one run. The engine path reuses a long-lived pool
+/// instead — see [`drive_rounds`].
 pub fn run_parallel(
     state: &mut PlacementState<'_>,
     config: &LegalizerConfig,
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
-    let t_total = Stopwatch::start();
-    let design = state.design();
     // Results are bit-identical for any worker count, so clamping to the
     // hardware is free: extra workers past the core count only add context
     // switches and replica clones.
@@ -86,6 +260,30 @@ pub fn run_parallel(
         usize::MAX
     };
     let threads = config.threads.max(1).min(hw);
+    let unplaced = state.unplaced_count();
+    let workers = threads.saturating_sub(1).min(unplaced.saturating_sub(1));
+    let mut scratch = InsertionScratch::new();
+    std::thread::scope(|scope| {
+        let pool = EvalPool::spawn(scope, workers);
+        drive_rounds(state, config, weights, oracle, &pool, &mut scratch)
+    })
+}
+
+/// The deterministic round loop: select non-overlapping windows, evaluate
+/// them on `pool` (coordinator steals too), apply in selection order,
+/// broadcast the applied ops. This is the single MGL driver behind both
+/// [`run_parallel`] and the engine's batch path; the caller owns the pool
+/// and the coordinator scratch, so both survive across runs.
+pub(crate) fn drive_rounds<'d: 'p, 'p>(
+    state: &mut PlacementState<'d>,
+    config: &LegalizerConfig,
+    weights: &'p [i64],
+    oracle: Option<&'p RoutOracle<'p>>,
+    pool: &EvalPool<'p>,
+    main_scratch: &mut InsertionScratch,
+) -> MglStats {
+    let t_total = Stopwatch::start();
+    let design = state.design();
     let capacity = config.window_list_capacity.max(1);
     let mut stats = MglStats::default();
 
@@ -97,227 +295,164 @@ pub fn run_parallel(
         .collect();
     let mut fallback_queue: Vec<CellId> = Vec::new();
     let mut windex = WindowIndex::new(design.core, design.tech.row_height);
-    let mut main_scratch = InsertionScratch::new();
-    let workers = threads
-        .saturating_sub(1)
-        .min(pending.len().saturating_sub(1));
+    // A run with 0 or 1 pending cells never fans out; skip the replica
+    // clones entirely.
+    let use_pool = pool.workers > 0 && pending.len() > 1;
+    if use_pool {
+        let replica_src: &PlacementState<'p> = &*state;
+        pool.begin(replica_src, config, weights, oracle);
+    }
 
-    std::thread::scope(|scope| {
-        // Spawn the persistent pool: `threads − 1` workers (the coordinator
-        // is the remaining evaluator), each owning a state replica.
-        let (results_tx, results_rx) = mpsc::channel::<(usize, Option<Insertion>)>();
-        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
-        let mut senders: Vec<mpsc::Sender<Msg>> = Vec::with_capacity(workers);
-        for w in 0..workers {
-            let (tx, rx) = mpsc::channel::<Msg>();
-            senders.push(tx);
-            let replica = state.clone();
-            let results_tx = results_tx.clone();
-            let report_tx = report_tx.clone();
-            scope.spawn(move || {
-                let mut replica = replica;
-                let model = CostModel {
-                    reference: config.reference,
-                    normalize: config.normalize_curves,
-                    weights,
-                    oracle,
-                    io_penalty: config.io_penalty,
-                    rail_penalty: config.rail_penalty,
-                };
-                let mut scratch = InsertionScratch::new();
-                let mut eval_nanos = 0u64;
-                // Worker thread ids start at 1; 0 is the coordinator.
-                let thread_id = w + 1;
-                let mut obs = Meter::new();
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        Msg::Round { jobs, cursor } => loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs.len() {
-                                break;
-                            }
-                            let (cell, _, win) = jobs[i];
-                            let t = Stopwatch::start();
-                            let r = best_insertion_in(&replica, cell, win, &model, &mut scratch);
-                            let dt = t.elapsed_nanos();
-                            eval_nanos += dt;
-                            obs.record_span(SpanKind::InsertionEval, dt, thread_id);
-                            obs.observe(HistoKind::InsertionEvalNanos, dt);
-                            if results_tx.send((i, r)).is_err() {
-                                return; // coordinator gone
-                            }
-                        },
-                        Msg::Apply { ops } => {
-                            for (cell, ins) in ops.iter() {
-                                apply_insertion(&mut replica, *cell, ins);
-                            }
-                        }
-                    }
-                }
-                let _ = report_tx.send(WorkerReport {
-                    scratch: scratch.stats,
-                    eval_nanos,
-                    obs,
-                });
-            });
-        }
-        drop(report_tx);
+    let model = CostModel {
+        reference: config.reference,
+        normalize: config.normalize_curves,
+        weights,
+        oracle,
+        io_penalty: config.io_penalty,
+        rail_penalty: config.rail_penalty,
+    };
+    // Reused per round; results are slotted by job index.
+    let mut results: Vec<Option<Option<Insertion>>> = Vec::new();
 
-        let model = CostModel {
-            reference: config.reference,
-            normalize: config.normalize_curves,
-            weights,
-            oracle,
-            io_penalty: config.io_penalty,
-            rail_penalty: config.rail_penalty,
-        };
-        // Reused per round; results are slotted by job index.
-        let mut results: Vec<Option<Option<Insertion>>> = Vec::new();
-
-        while !pending.is_empty() {
-            stats.perf.rounds += 1;
-            // Select non-overlapping windows, preserving order for the rest.
-            let t_select = Stopwatch::start();
-            let mut selected: Vec<Job> = Vec::new();
-            let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
-            windex.clear();
-            while let Some((cell, n)) = pending.pop_front() {
-                let win = window_for(design, cell, config, n);
-                if windex.overlaps_any(win) {
-                    deferred.push_back((cell, n));
-                } else {
-                    windex.insert(win);
-                    selected.push((cell, n, win));
-                    if selected.len() >= capacity {
-                        // Capacity reached: everything else waits for the
-                        // next round, order preserved.
-                        deferred.extend(pending.drain(..));
-                        break;
-                    }
-                }
-            }
-            let select_nanos = t_select.elapsed_nanos();
-            stats.perf.select_nanos += select_nanos;
-            stats
-                .obs
-                .record_span(SpanKind::SchedSelect, select_nanos, 0);
-
-            // Evaluate concurrently against the immutable round-start state:
-            // broadcast the job list, then steal from the shared cursor
-            // alongside the workers until it runs dry, then collect.
-            let t_eval = Stopwatch::start();
-            stats.perf.windows_evaluated += selected.len() as u64;
-            stats
-                .obs
-                .add(CounterKind::WindowsEvaluated, selected.len() as u64);
-            results.clear();
-            results.resize(selected.len(), None);
-            let mut outstanding = 0usize;
-            if workers > 0 && selected.len() > 1 {
-                let jobs = Arc::new(selected.clone());
-                let cursor = Arc::new(AtomicUsize::new(0));
-                for tx in &senders {
-                    let msg = Msg::Round {
-                        jobs: Arc::clone(&jobs),
-                        cursor: Arc::clone(&cursor),
-                    };
-                    tx.send(msg).expect("worker died");
-                }
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let t = Stopwatch::start();
-                    let r =
-                        best_insertion_in(state, jobs[i].0, jobs[i].2, &model, &mut main_scratch);
-                    let dt = t.elapsed_nanos();
-                    stats.perf.eval_cpu_nanos += dt;
-                    stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
-                    stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
-                    results[i] = Some(r);
-                    outstanding += 1;
-                }
-                while outstanding < selected.len() {
-                    let (i, r) = results_rx.recv().expect("worker died");
-                    results[i] = Some(r);
-                    outstanding += 1;
-                }
+    while !pending.is_empty() {
+        stats.perf.rounds += 1;
+        // Select non-overlapping windows, preserving order for the rest.
+        let t_select = Stopwatch::start();
+        let mut selected: Vec<Job> = Vec::new();
+        let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
+        windex.clear();
+        while let Some((cell, n)) = pending.pop_front() {
+            let win = window_for(design, cell, config, n);
+            if windex.overlaps_any(win) {
+                deferred.push_back((cell, n));
             } else {
-                for (i, &(cell, _, win)) in selected.iter().enumerate() {
-                    let t = Stopwatch::start();
-                    let r = best_insertion_in(state, cell, win, &model, &mut main_scratch);
-                    let dt = t.elapsed_nanos();
-                    stats.perf.eval_cpu_nanos += dt;
-                    stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
-                    stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
-                    results[i] = Some(r);
+                windex.insert(win);
+                selected.push((cell, n, win));
+                if selected.len() >= capacity {
+                    // Capacity reached: everything else waits for the
+                    // next round, order preserved.
+                    deferred.extend(pending.drain(..));
+                    break;
                 }
             }
-            let eval_nanos = t_eval.elapsed_nanos();
-            stats.perf.eval_nanos += eval_nanos;
-            stats.obs.record_span(SpanKind::SchedEval, eval_nanos, 0);
-
-            // Apply sequentially in selection order; broadcast the applied
-            // ops so replicas stay in lockstep.
-            let t_apply = Stopwatch::start();
-            let mut ops: Vec<(CellId, Insertion)> = Vec::new();
-            for (i, (cell, n, win)) in selected.into_iter().enumerate() {
-                match results[i].take().expect("every job evaluated") {
-                    Some(ins) => {
-                        apply_insertion(state, cell, &ins);
-                        stats.placed_in_window += 1;
-                        // Expansions were already counted one-by-one when
-                        // each failed window re-entered expanded (the
-                        // previous `+= n` here double-counted every retry).
-                        ops.push((cell, ins));
-                    }
-                    None => {
-                        // Mirror the serial algorithm: stop expanding once
-                        // the window already covers the whole core.
-                        let full_core = win == design.core && n > 0;
-                        if n < config.max_expansions && !full_core {
-                            stats.expansions += 1;
-                            stats.obs.add(CounterKind::WindowsExpanded, 1);
-                            // Retry the expanded window first thing next
-                            // round, like the sequential algorithm's
-                            // immediate retry — otherwise neighbours fill
-                            // the cell's space while it waits.
-                            deferred.push_front((cell, n + 1));
-                        } else {
-                            fallback_queue.push(cell);
-                        }
-                    }
-                }
-            }
-            if workers > 0 && !ops.is_empty() {
-                let ops = Arc::new(ops);
-                for tx in &senders {
-                    tx.send(Msg::Apply {
-                        ops: Arc::clone(&ops),
-                    })
-                    .expect("worker died");
-                }
-            }
-            let apply_nanos = t_apply.elapsed_nanos();
-            stats.perf.apply_nanos += apply_nanos;
-            stats.obs.record_span(SpanKind::SchedApply, apply_nanos, 0);
-            pending = deferred;
         }
+        let select_nanos = t_select.elapsed_nanos();
+        stats.perf.select_nanos += select_nanos;
+        stats
+            .obs
+            .record_span(SpanKind::SchedSelect, select_nanos, 0);
 
-        // Shut the pool down and fold worker counters into the run stats.
-        // Reports arrive in worker-finish order, which is nondeterministic;
-        // scratch and meter merging are commutative, so the fold is
-        // order-independent.
-        drop(senders);
-        for _ in 0..workers {
-            let report = report_rx.recv().expect("worker report");
-            stats.perf.scratch.merge(&report.scratch);
-            stats.perf.eval_cpu_nanos += report.eval_nanos;
-            stats.obs.merge(&report.obs);
+        // Evaluate concurrently against the immutable round-start state:
+        // broadcast the job list, then steal from the shared cursor
+        // alongside the workers until it runs dry, then collect.
+        let t_eval = Stopwatch::start();
+        stats.perf.windows_evaluated += selected.len() as u64;
+        stats
+            .obs
+            .add(CounterKind::WindowsEvaluated, selected.len() as u64);
+        results.clear();
+        results.resize(selected.len(), None);
+        let mut outstanding = 0usize;
+        if use_pool && selected.len() > 1 {
+            let jobs = Arc::new(selected.clone());
+            let cursor = Arc::new(AtomicUsize::new(0));
+            for tx in &pool.senders {
+                let msg = Msg::Round {
+                    jobs: Arc::clone(&jobs),
+                    cursor: Arc::clone(&cursor),
+                };
+                tx.send(msg).expect("worker died");
+            }
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let t = Stopwatch::start();
+                let r = best_insertion_in(state, jobs[i].0, jobs[i].2, &model, main_scratch);
+                let dt = t.elapsed_nanos();
+                stats.perf.eval_cpu_nanos += dt;
+                stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
+                stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
+                results[i] = Some(r);
+                outstanding += 1;
+            }
+            while outstanding < selected.len() {
+                let (i, r) = pool.results_rx.recv().expect("worker died");
+                results[i] = Some(r);
+                outstanding += 1;
+            }
+        } else {
+            for (i, &(cell, _, win)) in selected.iter().enumerate() {
+                let t = Stopwatch::start();
+                let r = best_insertion_in(state, cell, win, &model, main_scratch);
+                let dt = t.elapsed_nanos();
+                stats.perf.eval_cpu_nanos += dt;
+                stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
+                stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
+                results[i] = Some(r);
+            }
         }
-    });
-    stats.perf.scratch.merge(&main_scratch.stats);
+        let eval_nanos = t_eval.elapsed_nanos();
+        stats.perf.eval_nanos += eval_nanos;
+        stats.obs.record_span(SpanKind::SchedEval, eval_nanos, 0);
+
+        // Apply sequentially in selection order; broadcast the applied
+        // ops so replicas stay in lockstep.
+        let t_apply = Stopwatch::start();
+        let mut ops: Vec<(CellId, Insertion)> = Vec::new();
+        for (i, (cell, n, win)) in selected.into_iter().enumerate() {
+            match results[i].take().expect("every job evaluated") {
+                Some(ins) => {
+                    apply_insertion(state, cell, &ins);
+                    stats.placed_in_window += 1;
+                    // Expansions were already counted one-by-one when
+                    // each failed window re-entered expanded (the
+                    // previous `+= n` here double-counted every retry).
+                    ops.push((cell, ins));
+                }
+                None => {
+                    // Mirror the serial algorithm: stop expanding once
+                    // the window already covers the whole core.
+                    let full_core = win == design.core && n > 0;
+                    if n < config.max_expansions && !full_core {
+                        stats.expansions += 1;
+                        stats.obs.add(CounterKind::WindowsExpanded, 1);
+                        // Retry the expanded window first thing next
+                        // round, like the sequential algorithm's
+                        // immediate retry — otherwise neighbours fill
+                        // the cell's space while it waits.
+                        deferred.push_front((cell, n + 1));
+                    } else {
+                        fallback_queue.push(cell);
+                    }
+                }
+            }
+        }
+        if use_pool && !ops.is_empty() {
+            let ops = Arc::new(ops);
+            for tx in &pool.senders {
+                tx.send(Msg::Apply {
+                    ops: Arc::clone(&ops),
+                })
+                .expect("worker died");
+            }
+        }
+        let apply_nanos = t_apply.elapsed_nanos();
+        stats.perf.apply_nanos += apply_nanos;
+        stats.obs.record_span(SpanKind::SchedApply, apply_nanos, 0);
+        pending = deferred;
+    }
+
+    // Close the run and fold worker counters into the run stats. The
+    // workers stay alive for the pool owner's next run.
+    if use_pool {
+        pool.finish(&mut stats);
+    }
+    stats
+        .perf
+        .scratch
+        .merge(&std::mem::take(&mut main_scratch.stats));
     crate::mgl::record_scratch_counters(&mut stats.obs, &stats.perf.scratch);
 
     let t_fb = Stopwatch::start();
@@ -554,5 +689,52 @@ mod tests {
         assert!(stats.perf.total_nanos > 0);
         assert!(stats.perf.scratch.regions > 0);
         assert!(stats.perf.scratch.anchors > 0);
+        // Exactly one coordinator scratch and one worker scratch were
+        // constructed for this standalone run.
+        assert_eq!(stats.perf.scratch.created, 2);
+    }
+
+    #[test]
+    fn pool_reuse_across_runs_is_bit_identical() {
+        // One pool serving two consecutive runs must produce exactly what
+        // two private pools produce, and the second run must not allocate
+        // new scratches.
+        let d1 = dense_design(120, 42);
+        let d2 = dense_design(130, 43);
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = 3;
+        cfg.clamp_threads_to_hardware = false;
+        let w1 = compute_weights(&d1, cfg.weights);
+        let w2 = compute_weights(&d2, cfg.weights);
+
+        let solo = |d: &Design, w: &[i64]| {
+            let mut state = PlacementState::new(d);
+            let stats = run_parallel(&mut state, &cfg, w, None);
+            assert_eq!(stats.failed, 0);
+            d.movable_cells().map(|c| state.pos(c)).collect::<Vec<_>>()
+        };
+        let (solo1, solo2) = (solo(&d1, &w1), solo(&d2, &w2));
+
+        let mut scratch = InsertionScratch::new();
+        let mut created = Vec::new();
+        let (pool1, pool2) = std::thread::scope(|scope| {
+            let pool = EvalPool::spawn(scope, 2);
+            let mut state1 = PlacementState::new(&d1);
+            let s1 = drive_rounds(&mut state1, &cfg, &w1, None, &pool, &mut scratch);
+            assert_eq!(s1.failed, 0);
+            created.push(s1.perf.scratch.created);
+            let p1: Vec<_> = d1.movable_cells().map(|c| state1.pos(c)).collect();
+            let mut state2 = PlacementState::new(&d2);
+            let s2 = drive_rounds(&mut state2, &cfg, &w2, None, &pool, &mut scratch);
+            assert_eq!(s2.failed, 0);
+            created.push(s2.perf.scratch.created);
+            let p2: Vec<_> = d2.movable_cells().map(|c| state2.pos(c)).collect();
+            (p1, p2)
+        });
+        assert_eq!(solo1, pool1);
+        assert_eq!(solo2, pool2);
+        // First run sees the coordinator + 2 worker scratch constructions;
+        // the second run reuses all three.
+        assert_eq!(created, vec![3, 0]);
     }
 }

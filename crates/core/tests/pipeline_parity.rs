@@ -1,0 +1,141 @@
+//! Parity of the pipeline entry points (satellite of the stage-pipeline
+//! refactor): the three thin drivers must be *the same flow* wearing
+//! different seeding, not three re-implementations.
+//!
+//! - `run_eco` on a fully-unplaced design is exactly `run` (bit-identical
+//!   placements, equal stats, equal replay logs): adopting zero positions
+//!   must not perturb anything downstream.
+//! - `refine` after a stage-1-only `run` reproduces the full `run`
+//!   placements: splitting the flow at the stage-1/stage-2 boundary is
+//!   lossless.
+//!
+//! Both are checked at 1 and 4 threads (serial and pooled MGL paths).
+
+use mcl_core::{Legalizer, LegalizerConfig};
+use mcl_db::prelude::*;
+
+fn messy_design(n: usize, seed: u64) -> Design {
+    let mut d = Design::new("parity", Technology::example(), Rect::new(0, 0, 3000, 2700));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    d.add_cell_type(CellType::new("d", 30, 2));
+    d.add_cell_type(CellType::new("q", 40, 4));
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    for i in 0..n {
+        let t = match rng() % 12 {
+            0..=8 => CellTypeId(0),
+            9..=10 => CellTypeId(1),
+            _ => CellTypeId(2),
+        };
+        let x = (rng() % 2900) as Dbu;
+        let y = (rng() % 2500) as Dbu;
+        d.add_cell(Cell::new(format!("c{i}"), t, Point::new(x, y)));
+    }
+    d
+}
+
+fn config(threads: usize) -> LegalizerConfig {
+    let mut c = LegalizerConfig::total_displacement();
+    c.threads = threads;
+    c.clamp_threads_to_hardware = false;
+    c
+}
+
+fn positions(d: &Design) -> Vec<Option<Point>> {
+    d.cells.iter().map(|c| c.pos).collect()
+}
+
+#[test]
+fn eco_on_fully_unplaced_design_is_run() {
+    let d = messy_design(180, 2027);
+    for threads in [1usize, 4] {
+        let lg = Legalizer::new(config(threads));
+        let (run_out, run_stats, run_log) = lg.run_with_replay(&d);
+        let (eco_out, eco_stats, eco_log) = lg
+            .run_eco_with_replay(&d)
+            .expect("unplaced design has no positions to reject");
+        assert_eq!(
+            positions(&run_out),
+            positions(&eco_out),
+            "placements diverged at {threads} threads"
+        );
+        assert_eq!(run_stats, eco_stats, "stats diverged at {threads} threads");
+        assert_eq!(
+            run_log, eco_log,
+            "replay logs diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn eco_on_fully_unplaced_design_is_run_with_routability() {
+    // Same parity through the oracle-enabled contest preset.
+    let mut d = messy_design(140, 11);
+    d.grid = PowerGrid {
+        h_layer: 2,
+        h_width: 6,
+        h_pitch_rows: 1,
+        v_layer: 3,
+        v_width: 8,
+        v_pitch: 500,
+        v_offset: 250,
+    };
+    d.cell_types[0].pins.push(PinShape {
+        name: "a".into(),
+        layer: 1,
+        rect: Rect::new(4, 30, 12, 50),
+    });
+    for threads in [1usize, 4] {
+        let mut c = LegalizerConfig::contest();
+        c.threads = threads;
+        c.clamp_threads_to_hardware = false;
+        let lg = Legalizer::new(c);
+        let (run_out, run_stats, run_log) = lg.run_with_replay(&d);
+        let (eco_out, eco_stats, eco_log) = lg
+            .run_eco_with_replay(&d)
+            .expect("unplaced design has no positions to reject");
+        assert_eq!(
+            positions(&run_out),
+            positions(&eco_out),
+            "{threads} threads"
+        );
+        assert_eq!(run_stats, eco_stats, "{threads} threads");
+        assert_eq!(run_log, eco_log, "{threads} threads");
+    }
+}
+
+#[test]
+fn refine_after_stage1_run_reproduces_full_run() {
+    let d = messy_design(180, 4242);
+    for threads in [1usize, 4] {
+        let full_cfg = config(threads);
+        let mut stage1_cfg = full_cfg.clone();
+        stage1_cfg.max_disp_matching = false;
+        stage1_cfg.fixed_order_refine = false;
+
+        let (full_out, full_stats) = Legalizer::new(full_cfg.clone()).run(&d);
+        let (stage1_out, stage1_stats) = Legalizer::new(stage1_cfg).run(&d);
+        assert_eq!(full_stats.mgl, stage1_stats.mgl, "{threads} threads");
+        let (refined_out, refined_stats) = Legalizer::new(full_cfg)
+            .refine(&stage1_out)
+            .expect("stage-1 output is legal");
+        assert_eq!(
+            positions(&full_out),
+            positions(&refined_out),
+            "run ≠ stage1+refine at {threads} threads"
+        );
+        assert_eq!(
+            full_stats.max_disp, refined_stats.max_disp,
+            "{threads} threads"
+        );
+        assert_eq!(
+            full_stats.fixed_order, refined_stats.fixed_order,
+            "{threads} threads"
+        );
+    }
+}

@@ -1,11 +1,17 @@
-//! Bookshelf reader/writer (UCLA `.nodes/.pl/.scl/.nets`) with two
+//! Bookshelf reader/writer (UCLA `.nodes/.pl/.scl/.nets`) with three
 //! documented extensions for this problem domain:
 //!
 //! - `.fence` — fence regions and their cell membership;
-//! - `.rails` — the P/G grid and IO pins.
+//! - `.rails` — the P/G grid and IO pins;
+//! - `.types` — the cell-type library (edge classes, rail parity, pin
+//!   shapes) plus technology extras (layer count, edge-spacing table),
+//!   which plain Bookshelf cannot express.
 //!
-//! Node dimensions map onto synthesized [`CellType`]s (one per distinct
-//! width × height); the `.pl` positions are read as the GP input.
+//! Without a `.types` file, node dimensions map onto synthesized
+//! [`CellType`]s (one per distinct width × height); with one, the bundle
+//! round-trips a [`Design`] faithfully enough that legalizing the re-read
+//! design reproduces the original results bit-for-bit. The `.pl` positions
+//! are read as the GP input.
 
 use crate::error::{ParseError, Result};
 use mcl_db::prelude::*;
@@ -27,6 +33,8 @@ pub struct Bundle {
     pub fence: String,
     /// `.rails` contents (optional extension).
     pub rails: String,
+    /// `.types` contents (optional extension).
+    pub types: String,
 }
 
 /// Reads a bundle into a [`Design`].
@@ -95,11 +103,17 @@ pub fn read(bundle: &Bundle) -> Result<Design> {
         }
     }
 
+    // Cell-type library (extension). Applied before nets so net pin
+    // indices resolve against the real pin lists.
+    if !bundle.types.trim().is_empty() {
+        apply_types(&mut design, &bundle.types, &name_to_id)?;
+    }
+
     // Nets.
     if !bundle.nets.trim().is_empty() {
         for net in parse_nets(&bundle.nets)? {
             let mut pins = Vec::new();
-            for (name, line) in net.pins {
+            for (name, pin, line) in net.pins {
                 let Some(&id) = name_to_id.get(&name) else {
                     return Err(ParseError::new(
                         ".nets",
@@ -109,8 +123,9 @@ pub fn read(bundle: &Bundle) -> Result<Design> {
                 };
                 // Bookshelf nets have no physical pins; use offset (0,0) via
                 // a synthetic pin at the cell center... we keep a Fixed-less
-                // representation: cell pin index 0 if the type has pins,
-                // otherwise record the cell origin as the pin point.
+                // representation: the `P<idx>` extension token selects a pin
+                // of the type, otherwise pin 0 — synthesized at the cell
+                // center when the type has none.
                 let ct = design.type_of(id);
                 if ct.pins.is_empty() {
                     let tid = design.cells[id.0 as usize].type_id;
@@ -124,7 +139,15 @@ pub fn read(bundle: &Bundle) -> Result<Design> {
                         rect: Rect::new(w / 2, y, w / 2 + 1, y + 1),
                     });
                 }
-                pins.push(NetPin::Cell { cell: id, pin: 0 });
+                let ct = design.type_of(id);
+                if pin >= ct.pins.len() {
+                    return Err(ParseError::new(
+                        ".nets",
+                        line,
+                        format!("node {name} has no pin {pin}"),
+                    ));
+                }
+                pins.push(NetPin::Cell { cell: id, pin });
             }
             design.nets.push(Net::new(net.name, pins));
         }
@@ -243,14 +266,65 @@ pub fn write(design: &Design) -> Bundle {
         let _ = writeln!(nets, "NetDegree : {} {}", n.pins.len(), n.name);
         for p in &n.pins {
             match p {
-                NetPin::Cell { cell, .. } => {
-                    let _ = writeln!(nets, "  {} I : 0 0", design.cells[cell.0 as usize].name);
+                NetPin::Cell { cell, pin } => {
+                    // The trailing `P<idx>` token is this dialect's pin
+                    // reference; standard Bookshelf readers ignore it.
+                    let _ = writeln!(
+                        nets,
+                        "  {} I : 0 0 P{pin}",
+                        design.cells[cell.0 as usize].name
+                    );
                 }
                 NetPin::Fixed(pt) => {
                     let _ = writeln!(nets, "  FIXED I : {} {}", pt.x, pt.y);
                 }
             }
         }
+    }
+
+    let mut types = String::new();
+    let t = &design.tech;
+    let _ = writeln!(
+        types,
+        "Tech NumLayers {} MaxDispRows {}",
+        t.num_layers, t.max_disp_rows
+    );
+    let nc = t.edge_spacing.n_classes();
+    let _ = writeln!(types, "EdgeSpacing {nc}");
+    for a in 0..nc {
+        let row: Vec<String> = (0..nc)
+            .map(|b| t.edge_spacing.spacing(a as u8, b as u8).to_string())
+            .collect();
+        let _ = writeln!(types, "  Row {}", row.join(" "));
+    }
+    for (ti, ct) in design.cell_types.iter().enumerate() {
+        let parity = match ct.rail_parity {
+            None => "none",
+            Some(RowParity::Even) => "even",
+            Some(RowParity::Odd) => "odd",
+        };
+        let _ = writeln!(
+            types,
+            "CellType {} Width {} HeightRows {} EdgeClass {} {} Parity {}",
+            ct.name, ct.width, ct.height_rows, ct.edge_class.0, ct.edge_class.1, parity
+        );
+        for p in &ct.pins {
+            let _ = writeln!(
+                types,
+                "  Pin {} {} {} {} {} {}",
+                p.name, p.layer, p.rect.xl, p.rect.yl, p.rect.xh, p.rect.yh
+            );
+        }
+        let members: Vec<&str> = design
+            .cells
+            .iter()
+            .filter(|c| c.type_id.0 as usize == ti)
+            .map(|c| c.name.as_str())
+            .collect();
+        if !members.is_empty() {
+            let _ = writeln!(types, "  Cells {}", members.join(" "));
+        }
+        let _ = writeln!(types, "End");
     }
 
     let mut fence = String::new();
@@ -293,6 +367,7 @@ pub fn write(design: &Design) -> Bundle {
         nets,
         fence,
         rails,
+        types,
     }
 }
 
@@ -444,7 +519,9 @@ fn parse_scl(text: &str) -> Result<SclInfo> {
 
 struct NetRec {
     name: String,
-    pins: Vec<(String, usize)>,
+    /// `(node name, pin index, source line)`. The pin index comes from the
+    /// trailing `P<idx>` extension token and defaults to 0.
+    pins: Vec<(String, usize, usize)>,
 }
 
 fn parse_nets(text: &str) -> Result<Vec<NetRec>> {
@@ -469,11 +546,19 @@ fn parse_nets(text: &str) -> Result<Vec<NetRec>> {
             let Some(net) = out.last_mut() else {
                 return Err(ParseError::new(".nets", line, "pin before NetDegree"));
             };
-            let name = l
-                .split_whitespace()
-                .next()
+            let toks: Vec<&str> = l.split_whitespace().collect();
+            let name = *toks
+                .first()
                 .ok_or_else(|| ParseError::new(".nets", line, "missing pin node"))?;
-            net.pins.push((name.to_string(), line));
+            let pin = if toks.len() > 1 {
+                toks.last()
+                    .and_then(|t| t.strip_prefix('P'))
+                    .and_then(|t| t.parse::<usize>().ok())
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            net.pins.push((name.to_string(), pin, line));
         }
     }
     Ok(out)
@@ -522,6 +607,188 @@ fn parse_fence(text: &str) -> Result<Vec<FenceRec>> {
         }
     }
     Ok(out)
+}
+
+struct TypeRec {
+    ct: CellType,
+    cells: Vec<(String, usize)>,
+    line: usize,
+}
+
+/// Replaces the synthesized per-dimension cell types with the library from
+/// a `.types` file, remapping every listed cell, and applies the technology
+/// extras (layer count, edge-spacing table, max-disp normalizer).
+fn apply_types(
+    design: &mut Design,
+    text: &str,
+    name_to_id: &HashMap<String, CellId>,
+) -> Result<()> {
+    let (types, tech) = parse_types(text)?;
+    if let Some((num_layers, max_disp_rows, spacing)) = tech {
+        design.tech.num_layers = num_layers;
+        design.tech.max_disp_rows = max_disp_rows;
+        design.tech.edge_spacing = spacing;
+    }
+    let old = std::mem::take(&mut design.cell_types);
+    let mut assigned = vec![false; design.cells.len()];
+    for (ti, t) in types.iter().enumerate() {
+        for (name, line) in &t.cells {
+            let Some(&id) = name_to_id.get(name) else {
+                return Err(ParseError::new(
+                    ".types",
+                    *line,
+                    format!("unknown node {name}"),
+                ));
+            };
+            let cell = &mut design.cells[id.0 as usize];
+            // Dimensions must agree with the `.nodes` record (captured by
+            // the synthesized type the node mapped to).
+            let node_ct = &old[cell.type_id.0 as usize];
+            if node_ct.width != t.ct.width || node_ct.height_rows != t.ct.height_rows {
+                return Err(ParseError::new(
+                    ".types",
+                    t.line,
+                    format!(
+                        "type {} is {}x{} rows but node {name} is {}x{}",
+                        t.ct.name, t.ct.width, t.ct.height_rows, node_ct.width, node_ct.height_rows
+                    ),
+                ));
+            }
+            cell.type_id = CellTypeId(ti as u32);
+            assigned[id.0 as usize] = true;
+        }
+    }
+    if let Some(i) = assigned.iter().position(|a| !a) {
+        return Err(ParseError::new(
+            ".types",
+            0,
+            format!(
+                ".types must assign every node; {} is missing",
+                design.cells[i].name
+            ),
+        ));
+    }
+    design.cell_types = types.into_iter().map(|t| t.ct).collect();
+    Ok(())
+}
+
+type TechExtras = (u8, f64, EdgeSpacingTable);
+
+fn parse_types(text: &str) -> Result<(Vec<TypeRec>, Option<TechExtras>)> {
+    let mut out: Vec<TypeRec> = Vec::new();
+    let mut tech: Option<TechExtras> = None;
+    let mut spacing_rows_left = 0usize;
+    for (line, l) in content_lines(text) {
+        let bad = |m: &str| ParseError::new(".types", line, m.to_string());
+        if spacing_rows_left > 0 {
+            let Some((_, _, table)) = tech.as_mut() else {
+                return Err(bad("spacing row outside EdgeSpacing"));
+            };
+            let n = table.n_classes();
+            let a = (n - spacing_rows_left) as u8;
+            let row = l.strip_prefix("Row").ok_or_else(|| bad("expected Row"))?;
+            let vals: Vec<Dbu> = row
+                .split_whitespace()
+                .map(|t| t.parse().map_err(|_| bad("bad spacing")))
+                .collect::<Result<_>>()?;
+            if vals.len() != n {
+                return Err(bad("wrong spacing row length"));
+            }
+            for (b, v) in vals.iter().enumerate() {
+                if *v < 0 {
+                    return Err(bad("negative spacing"));
+                }
+                table.set(a, b as u8, *v);
+            }
+            spacing_rows_left -= 1;
+        } else if let Some(rest) = l.strip_prefix("Tech ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            let mut num_layers = 3u8;
+            let mut max_disp_rows = 100.0f64;
+            let mut k = 0;
+            while k + 1 < toks.len() {
+                match toks[k] {
+                    "NumLayers" => {
+                        num_layers = toks[k + 1].parse().map_err(|_| bad("bad NumLayers"))?;
+                    }
+                    "MaxDispRows" => {
+                        max_disp_rows = toks[k + 1].parse().map_err(|_| bad("bad MaxDispRows"))?;
+                    }
+                    t => return Err(bad(&format!("unknown Tech key {t}"))),
+                }
+                k += 2;
+            }
+            tech = Some((num_layers, max_disp_rows, EdgeSpacingTable::new(1)));
+        } else if let Some(rest) = l.strip_prefix("EdgeSpacing") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| bad("bad EdgeSpacing class count"))?;
+            if n == 0 {
+                return Err(bad("EdgeSpacing needs at least one class"));
+            }
+            let Some((_, _, table)) = tech.as_mut() else {
+                return Err(bad("EdgeSpacing before Tech"));
+            };
+            *table = EdgeSpacingTable::new(n);
+            spacing_rows_left = n;
+        } else if let Some(rest) = l.strip_prefix("CellType ") {
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 10 || toks[1] != "Width" || toks[3] != "HeightRows" {
+                return Err(bad(
+                    "CellType <name> Width <w> HeightRows <h> EdgeClass <l> <r> Parity <p>",
+                ));
+            }
+            let width: Dbu = toks[2].parse().map_err(|_| bad("bad width"))?;
+            let height: u32 = toks[4].parse().map_err(|_| bad("bad height"))?;
+            if width <= 0 || height == 0 {
+                return Err(bad("cell dimensions must be positive"));
+            }
+            let mut ct = CellType::new(toks[0], width, height);
+            ct.edge_class = (
+                toks[6].parse().map_err(|_| bad("bad edge class"))?,
+                toks[7].parse().map_err(|_| bad("bad edge class"))?,
+            );
+            ct.rail_parity = match toks[9] {
+                "none" => None,
+                "even" => Some(RowParity::Even),
+                "odd" => Some(RowParity::Odd),
+                p => return Err(bad(&format!("unknown parity {p}"))),
+            };
+            out.push(TypeRec {
+                ct,
+                cells: Vec::new(),
+                line,
+            });
+        } else if let Some(rest) = l.strip_prefix("Pin ") {
+            let t = out.last_mut().ok_or_else(|| bad("Pin before CellType"))?;
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if toks.len() != 6 {
+                return Err(bad("Pin <name> <layer> <xl> <yl> <xh> <yh>"));
+            }
+            let nums: Vec<Dbu> = toks[1..]
+                .iter()
+                .map(|s| s.parse().map_err(|_| bad("bad pin number")))
+                .collect::<Result<_>>()?;
+            t.ct.pins.push(PinShape {
+                name: toks[0].to_string(),
+                layer: nums[0] as u8,
+                rect: Rect::new(nums[1], nums[2], nums[3], nums[4]),
+            });
+        } else if let Some(cells) = l.strip_prefix("Cells ") {
+            let t = out.last_mut().ok_or_else(|| bad("Cells before CellType"))?;
+            t.cells
+                .extend(cells.split_whitespace().map(|s| (s.to_string(), line)));
+        } else if l == "End" {
+            // section terminator
+        } else {
+            return Err(bad(&format!("unexpected: {l}")));
+        }
+    }
+    if spacing_rows_left > 0 {
+        return Err(ParseError::new(".types", 0, "truncated EdgeSpacing table"));
+    }
+    Ok((out, tech))
 }
 
 fn parse_rails(text: &str) -> Result<(PowerGrid, Vec<IoPin>)> {
@@ -610,6 +877,7 @@ mod tests {
             rails: "Grid HLayer 2 HWidth 6 HPitchRows 1 VLayer 3 VWidth 8 VPitch 200 VOffset 100\n\
                     IoPin io0 2 500 40 520 60\n"
                 .into(),
+            types: String::new(),
         }
     }
 
@@ -646,6 +914,58 @@ mod tests {
         assert_eq!(d.grid, d2.grid);
         assert_eq!(d.io_pins, d2.io_pins);
         assert_eq!(d.nets.len(), d2.nets.len());
+    }
+
+    #[test]
+    fn types_extension_roundtrips_faithfully() {
+        // A design with non-default type metadata (edge classes, parity,
+        // multiple pins, edge-spacing table) survives write→read exactly:
+        // this is what lets batch CLI runs over written bundles reproduce
+        // in-memory golden results.
+        let mut d = read(&sample_bundle()).unwrap();
+        d.tech.edge_spacing = EdgeSpacingTable::new(2);
+        d.tech.edge_spacing.set(1, 1, 30);
+        d.cell_types[0].edge_class = (0, 1);
+        d.cell_types[1].rail_parity = Some(RowParity::Odd);
+        d.cell_types[0].pins.push(PinShape {
+            name: "ZN".into(),
+            layer: 2,
+            rect: Rect::new(4, 10, 8, 20),
+        });
+        d.nets[0].pins[0] = NetPin::Cell {
+            cell: CellId(0),
+            pin: 1,
+        };
+        let d2 = read(&write(&d)).unwrap();
+        assert_eq!(d.tech, d2.tech);
+        assert_eq!(d.cell_types, d2.cell_types);
+        assert_eq!(d.cells, d2.cells);
+        assert_eq!(d.nets, d2.nets);
+        assert_eq!(d.fences, d2.fences);
+    }
+
+    #[test]
+    fn types_file_errors_are_caught() {
+        let mut b = sample_bundle();
+        let d = read(&b).unwrap();
+        b.types = write(&d).types;
+        // A well-formed sidecar round-trips.
+        assert!(read(&b).is_ok());
+        // Unknown node in a Cells list.
+        let mut bad = b.clone();
+        bad.types = bad.types.replace("Cells a", "Cells ghost");
+        assert!(read(&bad).unwrap_err().message.contains("unknown node"));
+        // Dimension mismatch against .nodes.
+        let mut bad = b.clone();
+        bad.types = bad.types.replace("Width 20", "Width 50");
+        assert!(read(&bad).unwrap_err().message.contains("but node"));
+        // A node left unassigned.
+        let mut bad = b.clone();
+        bad.types = bad.types.replace("  Cells a\n", "");
+        assert!(read(&bad)
+            .unwrap_err()
+            .message
+            .contains("must assign every node"));
     }
 
     #[test]

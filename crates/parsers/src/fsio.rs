@@ -15,6 +15,7 @@ use std::path::Path;
 /// I/O failures and parse errors are both reported as [`ParseError`].
 pub fn read_bookshelf_dir(dir: &Path) -> Result<Design> {
     let mut bundle = Bundle::default();
+    let mut stem = None;
     let entries = std::fs::read_dir(dir)
         .map_err(|e| ParseError::new("fs", 0, format!("read_dir {}: {e}", dir.display())))?;
     for entry in entries {
@@ -30,8 +31,17 @@ pub fn read_bookshelf_dir(dir: &Path) -> Result<Design> {
             "nets" => &mut bundle.nets,
             "fence" => &mut bundle.fence,
             "rails" => &mut bundle.rails,
+            "types" => &mut bundle.types,
             _ => continue,
         };
+        // The bundle's file stem is the design name (that is what
+        // `write_bookshelf_dir` uses); the `.nodes` file is authoritative.
+        if ext == "nodes" {
+            stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string);
+        }
         *slot = std::fs::read_to_string(&path)
             .map_err(|e| ParseError::new("fs", 0, format!("read {}: {e}", path.display())))?;
     }
@@ -45,7 +55,11 @@ pub fn read_bookshelf_dir(dir: &Path) -> Result<Design> {
             ),
         ));
     }
-    bookshelf::read(&bundle)
+    let mut design = bookshelf::read(&bundle)?;
+    if let Some(stem) = stem {
+        design.name = stem;
+    }
+    Ok(design)
 }
 
 /// Writes a design as a Bookshelf bundle into `dir` (created if missing),
@@ -65,8 +79,9 @@ pub fn write_bookshelf_dir(design: &Design, dir: &Path, name: &str) -> Result<()
         ("nets", &bundle.nets),
         ("fence", &bundle.fence),
         ("rails", &bundle.rails),
+        ("types", &bundle.types),
     ] {
-        if text.trim().is_empty() && matches!(ext, "nets" | "fence" | "rails") {
+        if text.trim().is_empty() && matches!(ext, "nets" | "fence" | "rails" | "types") {
             continue;
         }
         let path = dir.join(format!("{name}.{ext}"));

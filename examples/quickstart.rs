@@ -34,20 +34,26 @@ fn main() {
     // average/maximum displacement objective).
     let legalizer = Legalizer::new(LegalizerConfig::contest());
     let (placed, stats) = legalizer.run(design);
+    let secs = |name: &str| stats.stage_seconds_for(name).unwrap_or(0.0);
     println!(
         "stage 1 (MGL): {} in-window, {} fallbacks, {} expansions, {:.2}s",
-        stats.mgl.placed_in_window, stats.mgl.fallbacks, stats.mgl.expansions, stats.seconds[0]
+        stats.mgl.placed_in_window,
+        stats.mgl.fallbacks,
+        stats.mgl.expansions,
+        secs("mgl")
     );
     println!(
         "stage 2 (matching): {} groups, {} cells moved, {:.2}s",
-        stats.max_disp.groups, stats.max_disp.cells_moved, stats.seconds[1]
+        stats.max_disp.groups,
+        stats.max_disp.cells_moved,
+        secs("maxdisp")
     );
     println!(
         "stage 3 (dual MCF): {} cells, {} arcs, {} moved, {:.2}s",
         stats.fixed_order.cells,
         stats.fixed_order.neighbor_arcs,
         stats.fixed_order.cells_moved,
-        stats.seconds[2]
+        secs("fixed_order")
     );
 
     // Verify and score.

@@ -13,7 +13,8 @@
 //! Run `mclegal help` for the full flag list.
 
 use mclegal::baselines;
-use mclegal::core::{CellOrder, DisplacementReference, Legalizer, LegalizerConfig};
+use mclegal::core::pipeline::{self, Stage};
+use mclegal::core::{CellOrder, DisplacementReference, Engine, Legalizer, LegalizerConfig};
 use mclegal::db::prelude::*;
 use mclegal::gen::{self, presets};
 use mclegal::parsers;
@@ -63,18 +64,26 @@ USAGE: mclegal <command> [flags]
 
 COMMANDS
   generate   synthesize a benchmark
-             --preset iccad17:<name> | ispd15:<name>   use a paper preset
-             --scale <f>        preset scale factor (default 0.05)
+             --preset iccad17:<name> | ispd15:<name> | golden:<name>
+                                use a paper preset or a golden-corpus design
+             --scale <f>        preset scale factor (default 0.05; ignored
+                                for golden: presets, which are pinned)
              --cells <n> --density <f> --fences <n> --seed <n>
              --out <dir>        write a Bookshelf bundle there (required)
   legalize   legalize a design
              --bookshelf <dir> | --lef <file> --def <file>   input (required)
+             --batch <dir>      legalize every Bookshelf bundle subdirectory
+                                of <dir> through one shared engine instead
              --mode contest|total|mll    configuration (default contest)
              --threads <n>      MGL worker threads
+             --stages mgl,maxdisp,fixed   run a pipeline stage subset
+                                (skipping mgl adopts the input placement)
              --baseline tetris|abacus|lcp   run a baseline instead
              --eco true            incremental: keep pre-placed cells
              --report true      print the structured run-report summary
              --report-json <file>   write the full run report as JSON
+             --report-dir <dir>   batch: write per-design run reports there
+                                (<name>.json full, <name>.golden.json subset)
              --heatmap <file>   write the per-stage displacement/latency heatmap SVG
              --out-pl <file>    write placed .pl
              --out-def <file>   write placed DEF
@@ -192,11 +201,70 @@ fn preset_config(spec: &str, scale: f64) -> Result<gen::GeneratorConfig, String>
             .find(|s| s.name == name)
             .map(|s| presets::ispd15_config(s, scale))
             .ok_or_else(|| format!("unknown ispd15 preset {name:?} (see `mclegal presets`)")),
-        other => Err(format!("unknown suite {other:?} (iccad17 or ispd15)")),
+        // The golden corpus ignores --scale: its configurations are pinned
+        // by the snapshot contract.
+        "golden" => presets::golden_corpus()
+            .into_iter()
+            .find(|c| c.name == name)
+            .ok_or_else(|| format!("unknown golden preset {name:?} (see `mclegal presets`)")),
+        other => Err(format!(
+            "unknown suite {other:?} (iccad17, ispd15 or golden)"
+        )),
     }
 }
 
+/// Builds the legalizer configuration from `--mode`, `--threads` and
+/// `--order` (shared by the single-design and `--batch` paths).
+fn build_config(flags: &Flags) -> Result<LegalizerConfig, String> {
+    let mut cfg = match flags.get("mode").unwrap_or("contest") {
+        "contest" => LegalizerConfig::contest(),
+        "total" => LegalizerConfig::total_displacement(),
+        "mll" => LegalizerConfig::mll_baseline(),
+        other => return Err(format!("unknown mode {other:?}")),
+    };
+    if let Some(t) = flags.num("threads")? {
+        // An explicit thread count is honored exactly (results are
+        // thread-count invariant for threads >= 2, so snapshots taken at
+        // --threads 2 reproduce on any machine, including 1-core CI).
+        cfg.threads = t;
+        cfg.clamp_threads_to_hardware = false;
+    }
+    if let Some(order) = flags.get("order") {
+        cfg.order = match order {
+            "auto" => CellOrder::Auto,
+            "gpx" => CellOrder::GpX,
+            "height" => CellOrder::HeightThenWidth,
+            "shuffled" => CellOrder::HeightThenShuffled,
+            "id" => CellOrder::Id,
+            other => return Err(format!("unknown order {other:?}")),
+        };
+    }
+    debug_assert_eq!(
+        LegalizerConfig::contest().reference,
+        DisplacementReference::Gp
+    );
+    Ok(cfg)
+}
+
+/// The requested stage list: `--stages` parsed, or the full pipeline.
+fn stage_list(flags: &Flags) -> Result<Vec<&'static dyn Stage>, String> {
+    match flags.get("stages") {
+        Some(spec) => pipeline::parse_stages(spec).map_err(|e| format!("--stages: {e}")),
+        None => Ok(pipeline::FULL_PIPELINE.to_vec()),
+    }
+}
+
+fn eco_flag(flags: &Flags) -> bool {
+    flags
+        .get("eco")
+        .map(|v| v == "true" || v == "1")
+        .unwrap_or(false)
+}
+
 fn cmd_legalize(flags: &Flags) -> Result<(), String> {
+    if flags.get("batch").is_some() {
+        return cmd_legalize_batch(flags);
+    }
     let design = load_design(flags)?;
     let t = mclegal::obs::clock::Stopwatch::start();
     let mut run_info: Option<(mclegal::core::LegalizeStats, LegalizerConfig)> = None;
@@ -209,34 +277,17 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
             other => return Err(format!("unknown baseline {other:?}")),
         }
     } else {
-        let mut cfg = match flags.get("mode").unwrap_or("contest") {
-            "contest" => LegalizerConfig::contest(),
-            "total" => LegalizerConfig::total_displacement(),
-            "mll" => LegalizerConfig::mll_baseline(),
-            other => return Err(format!("unknown mode {other:?}")),
-        };
-        if let Some(t) = flags.num("threads")? {
-            cfg.threads = t;
-        }
-        if let Some(order) = flags.get("order") {
-            cfg.order = match order {
-                "auto" => CellOrder::Auto,
-                "gpx" => CellOrder::GpX,
-                "height" => CellOrder::HeightThenWidth,
-                "shuffled" => CellOrder::HeightThenShuffled,
-                "id" => CellOrder::Id,
-                other => return Err(format!("unknown order {other:?}")),
-            };
-        }
-        debug_assert_eq!(
-            LegalizerConfig::contest().reference,
-            DisplacementReference::Gp
-        );
-        let (placed, stats) = if flags
-            .get("eco")
-            .map(|v| v == "true" || v == "1")
-            .unwrap_or(false)
-        {
+        let cfg = build_config(flags)?;
+        let eco = eco_flag(flags);
+        let (placed, stats) = if let Some(spec) = flags.get("stages") {
+            // A stage subset runs through the engine's general entry point.
+            let stages = pipeline::parse_stages(spec).map_err(|e| format!("--stages: {e}"))?;
+            let mut engine = Engine::new(cfg.clone());
+            let mut results = engine
+                .legalize_batch_with(std::slice::from_ref(&design), &stages, eco)
+                .map_err(|e| format!("pre-placed cell {} not adoptable: {}", e.cell.0, e.error))?;
+            results.pop().ok_or("empty batch result")?
+        } else if eco {
             Legalizer::new(cfg.clone())
                 .run_eco(&design)
                 .map_err(|(c, e)| format!("pre-placed cell {} not adoptable: {e}", c.0))?
@@ -278,6 +329,80 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
         );
     }
     write_outputs(flags, &placed)?;
+    Ok(())
+}
+
+/// `legalize --batch <dir>`: legalize every Bookshelf bundle found in the
+/// immediate subdirectories of `<dir>` (sorted by name) through one shared
+/// [`Engine`], so the worker pool and coordinator scratch are set up once
+/// and amortized across the whole batch.
+fn cmd_legalize_batch(flags: &Flags) -> Result<(), String> {
+    let dir = PathBuf::from(flags.get("batch").ok_or("missing --batch")?);
+    if flags.get("baseline").is_some() {
+        return Err("--batch runs the main legalizer; drop --baseline".into());
+    }
+    let mut bundles: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("--batch {}: {e}", dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    bundles.sort();
+    if bundles.is_empty() {
+        return Err(format!(
+            "--batch {}: no bundle subdirectories found",
+            dir.display()
+        ));
+    }
+    let designs: Vec<Design> = bundles
+        .iter()
+        .map(|p| parsers::read_bookshelf_dir(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect::<Result<_, _>>()?;
+
+    let cfg = build_config(flags)?;
+    let stages = stage_list(flags)?;
+    let t = mclegal::obs::clock::Stopwatch::start();
+    let mut engine = Engine::new(cfg.clone());
+    let results = engine
+        .legalize_batch_with(&designs, &stages, eco_flag(flags))
+        .map_err(|e| {
+            format!(
+                "design {} ({}): pre-placed cell {} not adoptable: {}",
+                e.design, designs[e.design].name, e.cell.0, e.error
+            )
+        })?;
+    let secs = t.elapsed_seconds();
+
+    let report_dir = flags.get("report-dir").map(PathBuf::from);
+    if let Some(rd) = &report_dir {
+        std::fs::create_dir_all(rd).map_err(|e| format!("--report-dir: {e}"))?;
+    }
+    for (placed, stats) in &results {
+        let check = Checker::new(placed).check();
+        println!(
+            "{:<24} {:>7} cells | {} failed | {} hard violations | score {:.4}",
+            placed.name,
+            placed.cells.len(),
+            stats.mgl.failed,
+            check.hard_violations(),
+            Metrics::measure(placed).contest_score(placed, &check)
+        );
+        if let Some(rd) = &report_dir {
+            let rep = mclegal::core::build_run_report(placed, stats, &cfg);
+            let full = rd.join(format!("{}.json", placed.name));
+            std::fs::write(&full, rep.to_json()).map_err(|e| e.to_string())?;
+            // The golden subset (quality + outcome, no timing) is the
+            // stable file: CI diffs it against `tests/goldens/`.
+            let golden = rd.join(format!("{}.golden.json", placed.name));
+            std::fs::write(&golden, format!("{}\n", rep.golden_json()))
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    println!(
+        "batch: {} designs in {secs:.2}s ({:.1} designs/s, {} worker pool spawn)",
+        results.len(),
+        results.len() as f64 / secs.max(1e-9),
+        engine.diag().pool_spawns
+    );
     Ok(())
 }
 
@@ -345,6 +470,16 @@ fn cmd_presets() -> Result<(), String> {
             s.name,
             s.cells,
             100.0 * s.density
+        );
+    }
+    println!("golden (snapshot corpus; --scale ignored):");
+    for c in presets::golden_corpus() {
+        println!(
+            "  {:<22} {:>8} cells, density {:.1}%, fences {}",
+            c.name,
+            c.num_cells,
+            100.0 * c.density,
+            c.fences
         );
     }
     Ok(())

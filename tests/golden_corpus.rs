@@ -9,12 +9,34 @@
 //! UPDATE_GOLDENS=1 cargo test --test golden_corpus
 //! ```
 
-use mclegal::core::{build_run_report, Legalizer, LegalizerConfig};
+use mclegal::core::{build_run_report, Engine, Legalizer, LegalizerConfig};
 use mclegal::db::prelude::*;
 use mclegal::gen::generate;
 use mclegal::gen::presets::golden_corpus;
 use std::fs;
 use std::path::PathBuf;
+
+/// Diffs (or, under `UPDATE_GOLDENS=1`, blesses) one golden-subset JSON
+/// against its snapshot, appending to `mismatches`.
+fn check_snapshot(name: &str, json: &str, mismatches: &mut Vec<String>) {
+    let bless = std::env::var_os("UPDATE_GOLDENS").is_some();
+    let path = golden_path(name);
+    if bless {
+        fs::write(&path, format!("{json}\n")).unwrap();
+        return;
+    }
+    match fs::read_to_string(&path) {
+        Ok(want) if want.trim_end() == json => {}
+        Ok(want) => mismatches.push(format!(
+            "{name}:\n  snapshot: {}\n  actual:   {json}",
+            want.trim_end()
+        )),
+        Err(e) => mismatches.push(format!(
+            "{name}: cannot read {}: {e} (bless with UPDATE_GOLDENS=1)",
+            path.display()
+        )),
+    }
+}
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -81,6 +103,97 @@ fn golden_corpus_reports_match_snapshots() {
     assert!(
         mismatches.is_empty(),
         "golden corpus drifted — if intentional, re-bless with \
+         UPDATE_GOLDENS=1 cargo test --test golden_corpus\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn engine_batch_matches_individual_goldens() {
+    // A batched Engine run over the whole corpus must hit the *same*
+    // snapshots as the per-design `Legalizer::run` above: the shared worker
+    // pool and reused scratch are pure setup amortization, never visible in
+    // results.
+    let lc = corpus_config();
+    let designs: Vec<Design> = golden_corpus()
+        .iter()
+        .map(|c| {
+            generate(c)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name))
+                .design
+        })
+        .collect();
+    let mut engine = Engine::new(lc.clone());
+    let results = engine.legalize_batch(&designs);
+    assert_eq!(engine.diag().pool_spawns, 1, "batch must share one pool");
+    let mut mismatches = Vec::new();
+    for (cfg, (placed, stats)) in golden_corpus().iter().zip(&results) {
+        assert_eq!(stats.mgl.failed, 0, "{} failed cells", cfg.name);
+        let json = build_run_report(placed, stats, &lc).golden_json();
+        check_snapshot(&cfg.name, &json, &mut mismatches);
+    }
+    assert!(
+        mismatches.is_empty(),
+        "engine batch drifted from the per-design goldens\n{}",
+        mismatches.join("\n")
+    );
+}
+
+/// The ECO golden scenario: stage-1-legalize `golden_uniform`, insert a
+/// deterministic dozen of new unplaced cells, and ECO-legalize through the
+/// engine. Returns the design ready for `Engine::legalize_eco`.
+fn eco_scenario() -> Design {
+    let gen_cfg = golden_corpus()
+        .into_iter()
+        .find(|c| c.name == "golden_uniform")
+        .unwrap();
+    let g = generate(&gen_cfg).unwrap_or_else(|e| panic!("{e}"));
+    let mut stage1 = corpus_config();
+    stage1.max_disp_matching = false;
+    stage1.fixed_order_refine = false;
+    let (mut placed, stats) = Legalizer::new(stage1).run(&g.design);
+    assert_eq!(stats.mgl.failed, 0, "eco base must be fully placed");
+    placed.name = "golden_eco".into();
+    // Deterministic ECO insertions: a dozen single-height cells on a fixed
+    // xorshift stream, scattered over the core.
+    let mut s = 0x00c0_ffeeu64 | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let core = placed.core;
+    for i in 0..12 {
+        let x = core.xl + (rng() % (core.xh - core.xl).unsigned_abs()) as Dbu;
+        let y = core.yl + (rng() % (core.yh - core.yl).unsigned_abs()) as Dbu;
+        placed.add_cell(Cell::new(
+            format!("eco{i}"),
+            CellTypeId(0),
+            Point::new(x, y),
+        ));
+    }
+    placed
+}
+
+#[test]
+fn golden_eco_report_matches_snapshot() {
+    let lc = corpus_config();
+    let design = eco_scenario();
+    let mut engine = Engine::new(lc.clone());
+    let (placed, stats) = engine
+        .legalize_eco(&design)
+        .unwrap_or_else(|e| panic!("eco seed rejected: {e:?}"));
+    assert_eq!(stats.mgl.failed, 0, "eco insertions must all place");
+    let rep = Checker::new(&placed).check();
+    assert!(rep.is_legal(), "{:?}", rep.details);
+
+    let json = build_run_report(&placed, &stats, &lc).golden_json();
+    let mut mismatches = Vec::new();
+    check_snapshot("golden_eco", &json, &mut mismatches);
+    assert!(
+        mismatches.is_empty(),
+        "ECO golden drifted — if intentional, re-bless with \
          UPDATE_GOLDENS=1 cargo test --test golden_corpus\n{}",
         mismatches.join("\n")
     );

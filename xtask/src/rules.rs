@@ -42,6 +42,27 @@ const FLOAT_CAST_EXEMPT: [&str; 1] = ["crates/db/src/geom.rs"];
 /// `instant-now`).
 const INSTANT_EXEMPT_PREFIX: &str = "crates/obs/src/";
 
+/// Raw per-stage entry points that bypass the stage pipeline's middleware
+/// (span recording, displacement histograms, clean-room audit). New code
+/// goes through `pipeline::run_stages` / `Engine`; calling these directly
+/// silently loses the cross-cutting instrumentation.
+const STAGE_BYPASS_FNS: [&str; 4] = [
+    "run_serial",
+    "run_parallel",
+    "optimize_max_disp_metered",
+    "optimize_fixed_order_metered",
+];
+
+/// Files allowed to call the raw stage entry points: the pipeline module
+/// itself plus the modules that define (and internally compose) them.
+const STAGE_BYPASS_EXEMPT: [&str; 5] = [
+    "crates/core/src/pipeline.rs",
+    "crates/core/src/mgl.rs",
+    "crates/core/src/scheduler.rs",
+    "crates/core/src/maxdisp.rs",
+    "crates/core/src/fixed_order.rs",
+];
+
 /// Integer type names a float expression must not be `as`-cast to.
 const INT_TYPES: [&str; 13] = [
     "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "Dbu",
@@ -89,6 +110,11 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         if !rel.starts_with(INSTANT_EXEMPT_PREFIX) && has_instant_use(line) {
             report(&mut out, "instant-now");
         }
+        // Rule `stage-bypass`: no raw stage entry-point calls outside the
+        // pipeline and the defining modules.
+        if !STAGE_BYPASS_EXEMPT.contains(&rel) && has_stage_bypass_call(line) {
+            report(&mut out, "stage-bypass");
+        }
     }
     out
 }
@@ -97,6 +123,23 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
 /// qualified) or an import/mention of `std::time::Instant`.
 fn has_instant_use(line: &str) -> bool {
     line.contains("Instant::now(") || line.contains("time::Instant")
+}
+
+/// Lexical detection of a call to a raw stage entry point. Matches
+/// `name(` with an identifier boundary on the left, so wrappers like
+/// `seed_run_parallel(` or `run_serial_with_scratch(` don't trip it.
+fn has_stage_bypass_call(line: &str) -> bool {
+    STAGE_BYPASS_FNS.iter().any(|name| {
+        line.match_indices(&format!("{name}("))
+            .any(|(pos, _)| !prev_is_ident_char(line, pos))
+    })
+}
+
+fn prev_is_ident_char(line: &str, pos: usize) -> bool {
+    pos > 0 && {
+        let c = line.as_bytes()[pos - 1];
+        c.is_ascii_alphanumeric() || c == b'_'
+    }
 }
 
 /// Lexical float↔int cast detection. Flags `as f32`/`as f64` whose operand
@@ -308,6 +351,45 @@ mod tests {
         let src = "fn f() { let _ = \"Instant::now()\"; }\n\
                    #[cfg(test)]\nmod tests {\n    fn g() { let _ = std::time::Instant::now(); }\n}\n";
         assert!(lint_source("crates/core/src/mgl.rs", src).is_empty());
+    }
+
+    #[test]
+    fn seeded_stage_bypass_is_caught() {
+        let src = "fn f() {\n    let s = run_parallel(&mut state, &cfg, &w, None);\n}\n";
+        let v = lint_source("crates/core/src/legalizer.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "stage-bypass");
+        assert_eq!(v[0].line, 2);
+        // The pipeline module and the defining modules are sanctioned.
+        assert!(lint_source("crates/core/src/pipeline.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/scheduler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stage_bypass_flags_every_raw_entry_point() {
+        for call in [
+            "run_serial(s, c, w, o)",
+            "run_parallel(s, c, w, o)",
+            "optimize_max_disp_metered(s, c, m)",
+            "optimize_fixed_order_metered(s, c, w, o, m)",
+        ] {
+            let src = format!("fn f() {{ let _ = {call}; }}\n");
+            let v = lint_source("crates/core/src/engine.rs", &src);
+            assert_eq!(v.len(), 1, "{call} not flagged");
+            assert_eq!(v[0].rule, "stage-bypass");
+        }
+    }
+
+    #[test]
+    fn stage_bypass_respects_ident_boundaries() {
+        // Prefixed/suffixed identifiers are different functions.
+        let src = "fn f() {\n    seed_run_parallel(&d);\n    \
+                   run_serial_with_scratch(s, c, w, o, scr);\n}\n";
+        assert!(lint_source("crates/core/src/engine.rs", src).is_empty());
+        // Test code and strings are masked like every other rule.
+        let masked = "fn f() { let _ = \"run_parallel(x)\"; }\n\
+                      #[cfg(test)]\nmod tests {\n    fn g() { run_serial(s, c, w, o); }\n}\n";
+        assert!(lint_source("crates/core/src/engine.rs", masked).is_empty());
     }
 
     #[test]
