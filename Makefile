@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test fmt clippy lint audit check bench-json tables
+.PHONY: build test fmt clippy lint audit chaos check bench-json tables
 
 build:
 	cargo build --release
@@ -29,7 +29,14 @@ audit:
 	cargo test --release -p mcl-core --features audit
 	cargo test --release -p mcl-core --features replay-log --test replay_determinism
 
-check: build test fmt clippy lint audit
+# Chaos suite (DESIGN.md §11): deterministic fault injection against the
+# containment contract — no success-claiming reports under faults, no
+# partial mutation out of failed stages, degradation rungs equal their
+# declared algorithms, batch survivors byte-identical, at 1/2/4 threads.
+chaos:
+	cargo test --features faultinject --test chaos
+
+check: build test fmt clippy lint audit chaos
 
 # Regenerate BENCH_mgl.json (cells/s at 1/2/4/8 threads, seed scheduler vs
 # current). Knobs: MCL_BENCH_CELLS, MCL_BENCH_DENSITY_PCT, MCL_BENCH_REPS.

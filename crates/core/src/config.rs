@@ -1,6 +1,8 @@
 //! Legalizer configuration.
 
+use crate::faultinject::FaultPlan;
 use mcl_db::geom::Dbu;
+use std::sync::Arc;
 
 /// Which reference the displacement curves measure against.
 ///
@@ -105,6 +107,20 @@ pub struct LegalizerConfig {
     /// closely (capacity 1 reproduces it exactly), large ones admit more
     /// parallelism at some displacement cost.
     pub window_list_capacity: usize,
+    /// Wall-clock budget for the whole pipeline, checked at stage
+    /// boundaries only (never mid-stage, so fault-free results stay
+    /// deterministic). Once exceeded, remaining stages take their
+    /// degradation rung: MGL runs serially, maxdisp and refine are
+    /// skipped. `None` disables the budget.
+    pub stage_budget_secs: Option<f64>,
+    /// Deterministic retry budget for a failed per-cell insertion
+    /// evaluation before the cell is quarantined (DESIGN.md §11). Retries
+    /// run on the coordinator in cell order, so the outcome is independent
+    /// of thread count.
+    pub fault_retry_budget: u32,
+    /// Armed fault-injection plan (chaos testing; see [`crate::faultinject`]).
+    /// `None` in production — every probe is then a single branch.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl LegalizerConfig {
@@ -191,6 +207,9 @@ impl Default for LegalizerConfig {
             threads: 1,
             clamp_threads_to_hardware: true,
             window_list_capacity: 8,
+            stage_budget_secs: None,
+            fault_retry_budget: 1,
+            faults: None,
         }
     }
 }

@@ -15,6 +15,7 @@
 //! the engine's lifetime.
 
 use crate::config::LegalizerConfig;
+use crate::error::LegalizeError;
 use crate::insertion::InsertionScratch;
 use crate::legalizer::LegalizeStats;
 use crate::pipeline::{self, includes_mgl, Prep, Stage, FULL_PIPELINE, POST_PIPELINE};
@@ -116,6 +117,24 @@ impl Engine {
         (out, stats)
     }
 
+    /// Fallible variant of [`Self::legalize`]: a run whose degradation
+    /// ladder is exhausted returns the typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run.
+    pub fn try_legalize(
+        &mut self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats), LegalizeError> {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::new(design);
+        let stats = self.run_single(design, &mut state, &FULL_PIPELINE, &prep)?;
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+
     /// Like [`Self::legalize`], additionally returning the replay log.
     pub fn legalize_with_replay(
         &mut self,
@@ -123,7 +142,9 @@ impl Engine {
     ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::new(design);
-        let stats = self.run_single(design, &mut state, &FULL_PIPELINE, &prep);
+        let stats = self
+            .run_single(design, &mut state, &FULL_PIPELINE, &prep)
+            .unwrap_or_else(|e| panic!("legalization of `{}` failed: {e}", design.name));
         let mut out = design.clone();
         state.write_back(&mut out);
         let log = state.take_replay_log();
@@ -143,7 +164,33 @@ impl Engine {
     ) -> Result<(Design, LegalizeStats), (CellId, PlaceError)> {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design)?;
-        let stats = self.run_single(design, &mut state, &FULL_PIPELINE, &prep);
+        let stats = self
+            .run_single(design, &mut state, &FULL_PIPELINE, &prep)
+            .unwrap_or_else(|e| panic!("ECO legalization of `{}` failed: {e}", design.name));
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+
+    /// Fallible variant of [`Self::legalize_eco`]: seed rejection maps to
+    /// [`LegalizeError::SeedRejected`] and pipeline failures come back
+    /// typed.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run.
+    pub fn try_legalize_eco(
+        &mut self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats), LegalizeError> {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::from_design_positions(design).map_err(|(cell, e)| {
+            LegalizeError::SeedRejected {
+                cell: Some(cell.0),
+                message: e.to_string(),
+            }
+        })?;
+        let stats = self.run_single(design, &mut state, &FULL_PIPELINE, &prep)?;
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
@@ -162,7 +209,9 @@ impl Engine {
     ) -> Result<(Design, LegalizeStats), (CellId, PlaceError)> {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design)?;
-        let stats = self.run_single(design, &mut state, &POST_PIPELINE, &prep);
+        let stats = self
+            .run_single(design, &mut state, &POST_PIPELINE, &prep)
+            .unwrap_or_else(|e| panic!("refine of `{}` failed: {e}", design.name));
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
@@ -237,9 +286,12 @@ impl Engine {
         if workers == 0 {
             for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
                 diag.runs += 1;
-                results.push(Self::batch_run_one(
-                    config, scratch, stages, d, prep, state, None,
-                ));
+                results.push(
+                    Self::batch_run_one(config, scratch, stages, d, prep, state, None)
+                        .unwrap_or_else(|e| {
+                            panic!("batch legalization of `{}` failed: {e}", d.name)
+                        }),
+                );
             }
         } else {
             std::thread::scope(|scope| {
@@ -248,19 +300,102 @@ impl Engine {
                 diag.worker_spawns += workers as u64;
                 for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
                     diag.runs += 1;
-                    results.push(Self::batch_run_one(
-                        config,
-                        scratch,
-                        stages,
-                        d,
-                        prep,
-                        state,
-                        Some(&pool),
-                    ));
+                    results.push(
+                        Self::batch_run_one(config, scratch, stages, d, prep, state, Some(&pool))
+                            .unwrap_or_else(|e| {
+                                panic!("batch legalization of `{}` failed: {e}", d.name)
+                            }),
+                    );
                 }
             });
         }
         Ok(results)
+    }
+
+    /// Fault-isolating batch entry point: every design gets its own
+    /// [`Result`]. One job exhausting its degradation ladder (or failing to
+    /// seed) does not abort the batch — the remaining jobs still run on the
+    /// shared pool, and their outputs are bit-identical to fault-free solo
+    /// runs (pinned by the chaos suite).
+    pub fn try_legalize_batch(
+        &mut self,
+        designs: &[Design],
+    ) -> Vec<Result<(Design, LegalizeStats), LegalizeError>> {
+        self.try_legalize_batch_with(designs, &FULL_PIPELINE, false)
+    }
+
+    /// The general fault-isolating batch entry point (see
+    /// [`Self::try_legalize_batch`]). Seeding happens per job: a design
+    /// whose positions cannot be adopted yields
+    /// [`LegalizeError::SeedRejected`] for that job only.
+    pub fn try_legalize_batch_with(
+        &mut self,
+        designs: &[Design],
+        stages: &[&dyn Stage],
+        adopt_positions: bool,
+    ) -> Vec<Result<(Design, LegalizeStats), LegalizeError>> {
+        let adopt = adopt_positions || !includes_mgl(stages);
+        let preps: Vec<Prep<'_>> = designs.iter().map(|d| Prep::new(d, &self.config)).collect();
+        let mut states: Vec<Result<PlacementState<'_>, LegalizeError>> = designs
+            .iter()
+            .map(|d| {
+                if adopt {
+                    PlacementState::from_design_positions(d).map_err(|(cell, e)| {
+                        LegalizeError::SeedRejected {
+                            cell: Some(cell.0),
+                            message: e.to_string(),
+                        }
+                    })
+                } else {
+                    Ok(PlacementState::new(d))
+                }
+            })
+            .collect();
+
+        let workers = self.pool_workers();
+        let Self {
+            config,
+            scratch,
+            diag,
+        } = self;
+        let mut results = Vec::with_capacity(designs.len());
+        if workers == 0 {
+            for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
+                match state {
+                    Ok(state) => {
+                        diag.runs += 1;
+                        results.push(Self::batch_run_one(
+                            config, scratch, stages, d, prep, state, None,
+                        ));
+                    }
+                    Err(e) => results.push(Err(e.clone())),
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                let pool = EvalPool::spawn(scope, workers);
+                diag.pool_spawns += 1;
+                diag.worker_spawns += workers as u64;
+                for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
+                    match state {
+                        Ok(state) => {
+                            diag.runs += 1;
+                            results.push(Self::batch_run_one(
+                                config,
+                                scratch,
+                                stages,
+                                d,
+                                prep,
+                                state,
+                                Some(&pool),
+                            ));
+                        }
+                        Err(e) => results.push(Err(e.clone())),
+                    }
+                }
+            });
+        }
+        results
     }
 
     /// Runs one batch member through the pipeline and writes its output
@@ -276,7 +411,7 @@ impl Engine {
         prep: &'p Prep<'d>,
         state: &mut PlacementState<'d>,
         pool: Option<&EvalPool<'p>>,
-    ) -> (Design, LegalizeStats) {
+    ) -> Result<(Design, LegalizeStats), LegalizeError> {
         let stats = pipeline::run_stages(
             d,
             state,
@@ -287,10 +422,10 @@ impl Engine {
             pool,
             scratch,
             "batch",
-        );
+        )?;
         let mut out = d.clone();
         state.write_back(&mut out);
-        (out, stats)
+        Ok((out, stats))
     }
 
     /// Runs one prepared design through the pipeline, spawning a pool for
@@ -301,7 +436,7 @@ impl Engine {
         state: &mut PlacementState<'d>,
         stages: &[&dyn Stage],
         prep: &Prep<'d>,
-    ) -> LegalizeStats {
+    ) -> Result<LegalizeStats, LegalizeError> {
         let workers = self.pool_workers();
         let Self {
             config,

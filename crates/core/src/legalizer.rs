@@ -10,6 +10,7 @@
 //! designs, see [`crate::Engine`].
 
 use crate::config::LegalizerConfig;
+use crate::error::{Degradation, FailureRecord, LegalizeError};
 use crate::fixed_order::FixedOrderStats;
 use crate::insertion::InsertionScratch;
 use crate::maxdisp::MaxDispStats;
@@ -32,6 +33,13 @@ pub struct LegalizeStats {
     /// stage name (`"mgl"`, `"maxdisp"`, `"fixed_order"`). Disabled stages
     /// emit no entry.
     pub stage_seconds: Vec<StageTiming>,
+    /// Contained pipeline-level failures (stage panics, deadline misses,
+    /// pool breakage) recorded by the driver. Per-cell MGL failures live in
+    /// [`MglStats::failures`]; [`Self::failure_rows`] chains both.
+    pub failures: Vec<FailureRecord>,
+    /// Degradation-ladder rungs taken by the driver, in order (DESIGN.md
+    /// §11). Empty on a clean run.
+    pub degradations: Vec<Degradation>,
     /// Merged observability meter across all stages: run/stage spans,
     /// algorithm counters, and per-stage displacement histograms.
     pub obs: Meter,
@@ -47,15 +55,36 @@ impl LegalizeStats {
             .find(|t| t.name == name)
             .map(|t| t.seconds)
     }
+
+    /// Every failure row of the run: pipeline-level rows first, then the
+    /// per-cell rows recorded inside the MGL stage.
+    pub fn failure_rows(&self) -> impl Iterator<Item = &FailureRecord> {
+        self.failures.iter().chain(self.mgl.failures.iter())
+    }
+
+    /// Whether this run may be reported as a full success: no failure rows,
+    /// no degradation rungs, no unplaced/quarantined/retried cells.
+    #[must_use]
+    pub fn claims_full_success(&self) -> bool {
+        self.failures.is_empty()
+            && self.degradations.is_empty()
+            && self.mgl.failures.is_empty()
+            && self.mgl.failed == 0
+            && self.mgl.quarantined == 0
+            && self.mgl.retries == 0
+    }
 }
 
 impl PartialEq for LegalizeStats {
-    /// Compares algorithmic outcomes only. Timing (`stage_seconds`) and the
+    /// Compares algorithmic outcomes (including failure and degradation
+    /// rows, which are deterministic) only. Timing (`stage_seconds`) and the
     /// meter vary run to run and are excluded.
     fn eq(&self, other: &Self) -> bool {
         self.mgl == other.mgl
             && self.max_disp == other.max_disp
             && self.fixed_order == other.fixed_order
+            && self.failures == other.failures
+            && self.degradations == other.degradations
     }
 }
 
@@ -91,9 +120,27 @@ impl Legalizer {
 
     /// Legalizes a design, returning the placed design and statistics.
     /// The input design is not modified; its `pos` fields are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault-containment ladder is exhausted (only
+    /// reachable under injected faults or real stage panics); callers that
+    /// want the typed error use [`Self::try_run`].
     pub fn run(&self, design: &Design) -> (Design, LegalizeStats) {
         let (out, stats, _) = self.run_with_replay(design);
         (out, stats)
+    }
+
+    /// Fallible variant of [`Self::run`]: a run whose degradation ladder is
+    /// exhausted (or whose degraded result fails certification) returns the
+    /// typed [`LegalizeError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run.
+    pub fn try_run(&self, design: &Design) -> Result<(Design, LegalizeStats), LegalizeError> {
+        let (out, stats, _) = self.try_run_with_replay(design)?;
+        Ok((out, stats))
     }
 
     /// Like [`Self::run`], additionally returning the replay log of every
@@ -104,6 +151,19 @@ impl Legalizer {
         &self,
         design: &Design,
     ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
+        self.try_run_with_replay(design)
+            .unwrap_or_else(|e| panic!("legalization of `{}` failed: {e}", design.name))
+    }
+
+    /// Fallible variant of [`Self::run_with_replay`].
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run.
+    pub fn try_run_with_replay(
+        &self,
+        design: &Design,
+    ) -> Result<(Design, LegalizeStats, mcl_audit::ReplayLog), LegalizeError> {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::new(design);
         let mut scratch = InsertionScratch::new();
@@ -117,11 +177,11 @@ impl Legalizer {
             None,
             &mut scratch,
             "run",
-        );
+        )?;
         let mut out = design.clone();
         state.write_back(&mut out);
         let log = state.take_replay_log();
-        (out, stats, log)
+        Ok((out, stats, log))
     }
 
     /// Incremental (ECO) legalization: cells that already have a legal
@@ -167,11 +227,44 @@ impl Legalizer {
             None,
             &mut scratch,
             "ECO",
-        );
+        )
+        .unwrap_or_else(|e| panic!("ECO legalization of `{}` failed: {e}", design.name));
         let mut out = design.clone();
         state.write_back(&mut out);
         let log = state.take_replay_log();
         Ok((out, stats, log))
+    }
+
+    /// Fallible variant of [`Self::run_eco`]: both seed rejection (mapped to
+    /// [`LegalizeError::SeedRejected`]) and pipeline failures come back as
+    /// the typed error.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run.
+    pub fn try_run_eco(&self, design: &Design) -> Result<(Design, LegalizeStats), LegalizeError> {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::from_design_positions(design).map_err(|(cell, e)| {
+            LegalizeError::SeedRejected {
+                cell: Some(cell.0),
+                message: e.to_string(),
+            }
+        })?;
+        let mut scratch = InsertionScratch::new();
+        let stats = pipeline::run_stages(
+            design,
+            &mut state,
+            &self.config,
+            &FULL_PIPELINE,
+            &prep.weights,
+            prep.oracle(),
+            None,
+            &mut scratch,
+            "ECO",
+        )?;
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
     }
 
     /// Runs only the two post-processing stages on an already-legal design
@@ -198,7 +291,39 @@ impl Legalizer {
             None,
             &mut scratch,
             "refine",
-        );
+        )
+        .unwrap_or_else(|e| panic!("refine of `{}` failed: {e}", design.name));
+        let mut out = design.clone();
+        state.write_back(&mut out);
+        Ok((out, stats))
+    }
+
+    /// Fallible variant of [`Self::refine`].
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run; unadoptable input maps to
+    /// [`LegalizeError::SeedRejected`].
+    pub fn try_refine(&self, design: &Design) -> Result<(Design, LegalizeStats), LegalizeError> {
+        let prep = Prep::new(design, &self.config);
+        let mut state = PlacementState::from_design_positions(design).map_err(|(cell, e)| {
+            LegalizeError::SeedRejected {
+                cell: Some(cell.0),
+                message: e.to_string(),
+            }
+        })?;
+        let mut scratch = InsertionScratch::new();
+        let stats = pipeline::run_stages(
+            design,
+            &mut state,
+            &self.config,
+            &POST_PIPELINE,
+            &prep.weights,
+            prep.oracle(),
+            None,
+            &mut scratch,
+            "refine",
+        )?;
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))

@@ -19,6 +19,8 @@
 pub mod config;
 pub mod curve;
 pub mod engine;
+pub mod error;
+pub mod faultinject;
 pub mod fixed_order;
 pub mod insertion;
 pub mod insertion_reference;
@@ -35,6 +37,8 @@ pub mod winindex;
 
 pub use config::{CellOrder, DisplacementReference, LegalizerConfig, WeightMode};
 pub use engine::{BatchSeedError, Engine, EngineDiag};
+pub use error::{Degradation, FailureClass, FailureRecord, LegalizeError};
+pub use faultinject::{FaultPlan, FaultSite};
 pub use legalizer::{LegalizeStats, Legalizer};
 pub use pipeline::{Stage, StageStats, StageTiming};
 pub use report::build_run_report;

@@ -7,9 +7,11 @@
 //! whenever capacity exists).
 
 use crate::config::{CellOrder, LegalizerConfig, WeightMode};
+use crate::error::{FailureClass, FailureRecord, LegalizeError};
+use crate::faultinject::FaultSite;
 use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch};
 use crate::routability::RoutOracle;
-use crate::state::PlacementState;
+use crate::state::{PlaceError, PlacementState};
 use mcl_db::prelude::*;
 use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 
@@ -28,6 +30,14 @@ pub struct MglStats {
     pub fallbacks: usize,
     /// Cells that could not be placed at all.
     pub failed: usize,
+    /// Contained per-cell evaluation failures that were retried (the
+    /// deterministic repair pass; DESIGN.md §11). Zero on fault-free runs.
+    pub retries: u64,
+    /// Cells quarantined (left unplaced) after the retry budget ran out.
+    pub quarantined: usize,
+    /// Failure rows for quarantines and rejected fallback placements,
+    /// surfaced into `LegalizeStats` and the RunReport `failures` array.
+    pub failures: Vec<FailureRecord>,
     /// Per-stage timings and throughput counters (not part of equality).
     pub perf: crate::perf::PerfStats,
     /// Structured spans/counters/histograms (not part of equality).
@@ -40,6 +50,9 @@ impl PartialEq for MglStats {
             && self.expansions == other.expansions
             && self.fallbacks == other.fallbacks
             && self.failed == other.failed
+            && self.retries == other.retries
+            && self.quarantined == other.quarantined
+            && self.failures == other.failures
     }
 }
 
@@ -215,11 +228,16 @@ pub fn run_serial_with_scratch(
         }
         stats.perf.rounds += 1;
         let mut done = false;
+        let mut quarantined = false;
         let t_window = Stopwatch::start();
         for n in 0..=config.max_expansions {
             let window = window_for(design, cell, config, n);
             let t_eval = Stopwatch::start();
-            let ins = best_insertion_in(state, cell, window, &model, &mut *scratch);
+            let Ok(ins) = eval_contained(state, cell, window, &model, scratch, config, &mut stats)
+            else {
+                quarantined = true;
+                break;
+            };
             let dt = t_eval.elapsed_nanos();
             stats.perf.eval_nanos += dt;
             stats.perf.eval_cpu_nanos += dt;
@@ -228,6 +246,10 @@ pub fn run_serial_with_scratch(
             stats.obs.observe(HistoKind::InsertionEvalNanos, dt);
             stats.obs.add(CounterKind::WindowsEvaluated, 1);
             if let Some(ins) = ins {
+                let site = FaultSite::MglApply { cell: cell.0 };
+                if crate::faultinject::fires(config.faults.as_ref(), &design.name, &site) {
+                    crate::faultinject::injected_panic(&site);
+                }
                 let t_apply = Stopwatch::start();
                 apply_insertion(state, cell, &ins);
                 stats.perf.apply_nanos += t_apply.elapsed_nanos();
@@ -250,6 +272,11 @@ pub fn run_serial_with_scratch(
         stats
             .obs
             .record_span(SpanKind::Window, t_window.elapsed_nanos(), 0);
+        if quarantined {
+            // Quarantined cells take no fallback either: they stay
+            // unplaced, and the failure row already explains why.
+            continue;
+        }
         if !done {
             // Last resorts: nearest gap honoring routability, then nearest
             // gap accepting pin violations (a placed cell with a soft
@@ -264,12 +291,10 @@ pub fn run_serial_with_scratch(
                 }
             };
             match p {
-                Some(p) => {
-                    state
-                        .place(cell, p)
-                        .expect("fallback position must be free");
-                    stats.fallbacks += 1;
-                }
+                Some(p) => match state.place(cell, p) {
+                    Ok(()) => stats.fallbacks += 1,
+                    Err(e) => record_fallback_reject(&mut stats, cell, p, &e),
+                },
                 None => stats.failed += 1,
             }
             let fb = t_fb.elapsed_nanos();
@@ -281,6 +306,70 @@ pub fn run_serial_with_scratch(
     record_scratch_counters(&mut stats.obs, &stats.perf.scratch);
     stats.perf.total_nanos = t_total.elapsed_nanos();
     stats
+}
+
+/// Serial-path guarded evaluation with the same deterministic
+/// retry/quarantine semantics as the parallel scheduler's repair pass.
+/// Only engaged while a fault plan is armed: without one, the evaluator is
+/// called directly and a (hypothetical) real panic propagates to the
+/// pipeline's stage boundary, which rolls back and classifies it.
+/// `Err(())` means the cell was quarantined and must be skipped entirely.
+fn eval_contained(
+    state: &PlacementState<'_>,
+    cell: CellId,
+    window: Rect,
+    model: &CostModel<'_>,
+    scratch: &mut InsertionScratch,
+    config: &LegalizerConfig,
+    stats: &mut MglStats,
+) -> Result<Option<Insertion>, ()> {
+    if config.faults.is_none() {
+        return Ok(best_insertion_in(state, cell, window, model, scratch));
+    }
+    let mut attempts = 0u32;
+    loop {
+        let last = match crate::scheduler::eval_job(
+            state,
+            cell,
+            window,
+            model,
+            scratch,
+            config.faults.as_ref(),
+        ) {
+            Ok(r) => return Ok(r),
+            Err(m) => m,
+        };
+        if attempts >= config.fault_retry_budget {
+            stats.quarantined += 1;
+            stats.failures.push(
+                LegalizeError::CellQuarantined {
+                    stage: "mgl",
+                    cell: cell.0,
+                    retries: attempts,
+                    message: last,
+                }
+                .to_record(),
+            );
+            return Err(());
+        }
+        attempts += 1;
+        stats.retries += 1;
+    }
+}
+
+/// Records a fallback position the state rejected: the cell counts as
+/// failed (with a typed failure row) instead of panicking the run — the
+/// invariant "fallback positions are free" is now audited, not assumed.
+pub(crate) fn record_fallback_reject(stats: &mut MglStats, cell: CellId, p: Point, e: &PlaceError) {
+    stats.failed += 1;
+    stats.failures.push(FailureRecord {
+        stage: "mgl",
+        class: FailureClass::Degradable,
+        message: format!(
+            "fallback for cell {} at ({}, {}) rejected: {e}",
+            cell.0, p.x, p.y
+        ),
+    });
 }
 
 /// Mirrors the insertion-eval scratch counters into the typed obs counters.

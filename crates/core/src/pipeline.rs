@@ -25,16 +25,19 @@
 //! 6. run the clean-room audit (`debug_assertions` / `audit` feature).
 
 use crate::config::LegalizerConfig;
+use crate::error::{panic_message, Degradation, FailureClass, LegalizeError};
+use crate::faultinject::FaultSite;
 use crate::fixed_order::optimize_fixed_order_metered;
 use crate::insertion::InsertionScratch;
 use crate::legalizer::LegalizeStats;
 use crate::maxdisp::optimize_max_disp_metered;
 use crate::mgl::{compute_weights, run_serial_with_scratch};
 use crate::routability::RoutOracle;
-use crate::scheduler::{drive_rounds, run_parallel, EvalPool};
+use crate::scheduler::{drive_rounds, try_run_parallel, EvalPool};
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
 use mcl_obs::{clock::Stopwatch, HistoKind, Meter, SpanKind};
+use std::panic::AssertUnwindSafe;
 
 /// Statistics returned by one stage, folded into [`LegalizeStats`] by the
 /// driver.
@@ -79,6 +82,9 @@ pub struct PipelineCtx<'run, 'd: 'p, 'p> {
     pub pool: Option<&'run EvalPool<'p>>,
     /// Caller-owned insertion scratch, reused across runs by the engine.
     pub scratch: &'run mut InsertionScratch,
+    /// Set by the driver when the deadline ladder demands the serial MGL
+    /// rung: the MGL stage must not fan out (no replicas, no pool rounds).
+    pub force_serial: bool,
 }
 
 /// One stage of the flow. Implementations are stateless unit structs; all
@@ -94,7 +100,14 @@ pub trait Stage: Sync {
     /// The displacement histogram recorded after the stage body.
     fn histo(&self) -> HistoKind;
     /// The stage body.
-    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats;
+    ///
+    /// # Errors
+    ///
+    /// A typed [`LegalizeError`] when the stage cannot complete; the driver
+    /// rolls the placement back to the pre-stage checkpoint and consults
+    /// the degradation ladder. Panics out of a stage body are contained by
+    /// the driver and classified the same way.
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> Result<StageStats, LegalizeError>;
 }
 
 /// Stage 1: MGL window insertion over the unplaced cells.
@@ -113,34 +126,40 @@ impl Stage for MglStage {
     fn histo(&self) -> HistoKind {
         HistoKind::DispSitesMgl
     }
-    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats {
-        let stats = match ctx.pool {
-            // Engine path: reuse the long-lived pool and scratch.
-            Some(pool) if pool.workers() > 0 => drive_rounds(
-                ctx.state,
-                ctx.config,
-                ctx.weights,
-                ctx.oracle,
-                pool,
-                ctx.scratch,
-            ),
-            // Standalone paths, bit-identical to the pre-pipeline drivers:
-            // a private pool per run, or fully serial.
-            _ => {
-                if ctx.config.threads > 1 {
-                    run_parallel(ctx.state, ctx.config, ctx.weights, ctx.oracle)
-                } else {
-                    run_serial_with_scratch(
-                        ctx.state,
-                        ctx.config,
-                        ctx.weights,
-                        ctx.oracle,
-                        ctx.scratch,
-                    )
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> Result<StageStats, LegalizeError> {
+        let stats = if ctx.force_serial {
+            // Degradation rung: the driver demands the serial algorithm
+            // (deadline hit, or the parallel attempt already failed).
+            run_serial_with_scratch(ctx.state, ctx.config, ctx.weights, ctx.oracle, ctx.scratch)
+        } else {
+            match ctx.pool {
+                // Engine path: reuse the long-lived pool and scratch.
+                Some(pool) if pool.workers() > 0 => drive_rounds(
+                    ctx.state,
+                    ctx.config,
+                    ctx.weights,
+                    ctx.oracle,
+                    pool,
+                    ctx.scratch,
+                )?,
+                // Standalone paths, bit-identical to the pre-pipeline drivers:
+                // a private pool per run, or fully serial.
+                _ => {
+                    if ctx.config.threads > 1 {
+                        try_run_parallel(ctx.state, ctx.config, ctx.weights, ctx.oracle)?
+                    } else {
+                        run_serial_with_scratch(
+                            ctx.state,
+                            ctx.config,
+                            ctx.weights,
+                            ctx.oracle,
+                            ctx.scratch,
+                        )
+                    }
                 }
             }
         };
-        StageStats::Mgl(stats)
+        Ok(StageStats::Mgl(stats))
     }
 }
 
@@ -161,8 +180,10 @@ impl Stage for MaxDispStage {
     fn histo(&self) -> HistoKind {
         HistoKind::DispSitesMaxDisp
     }
-    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats {
-        StageStats::MaxDisp(optimize_max_disp_metered(ctx.state, ctx.config, ctx.obs))
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> Result<StageStats, LegalizeError> {
+        Ok(StageStats::MaxDisp(optimize_max_disp_metered(
+            ctx.state, ctx.config, ctx.obs,
+        )))
     }
 }
 
@@ -182,14 +203,14 @@ impl Stage for FixedOrderStage {
     fn histo(&self) -> HistoKind {
         HistoKind::DispSitesFixedOrder
     }
-    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> StageStats {
-        StageStats::FixedOrder(optimize_fixed_order_metered(
+    fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> Result<StageStats, LegalizeError> {
+        Ok(StageStats::FixedOrder(optimize_fixed_order_metered(
             ctx.state,
             ctx.config,
             ctx.weights,
             ctx.oracle,
             ctx.obs,
-        ))
+        )))
     }
 }
 
@@ -327,10 +348,105 @@ fn audit_stage(state: &PlacementState<'_>, design: &Design, label: &str, stage: 
 #[cfg(not(any(debug_assertions, feature = "audit")))]
 fn audit_stage(_state: &PlacementState<'_>, _design: &Design, _label: &str, _stage: &str) {}
 
+/// One guarded stage attempt: fault probes at the boundary (injected
+/// allocation failure, injected stage panic), then the stage body under
+/// `catch_unwind` so a panic anywhere inside is contained and classified
+/// instead of tearing the process down.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_guarded<'d: 'p, 'p>(
+    stage: &dyn Stage,
+    design: &'d Design,
+    state: &mut PlacementState<'d>,
+    config: &LegalizerConfig,
+    weights: &'p [i64],
+    oracle: Option<&'p RoutOracle<'p>>,
+    obs: &mut Meter,
+    pool: Option<&EvalPool<'p>>,
+    scratch: &mut InsertionScratch,
+    force_serial: bool,
+) -> Result<StageStats, LegalizeError> {
+    let name = stage.name();
+    let alloc_site = FaultSite::StageAlloc { stage: name };
+    if crate::faultinject::fires(config.faults.as_ref(), &design.name, &alloc_site) {
+        return Err(LegalizeError::ResourceExhausted {
+            stage: name,
+            what: "memory (injected allocation failure)",
+        });
+    }
+    let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let panic_site = FaultSite::StagePanic { stage: name };
+        if crate::faultinject::fires(config.faults.as_ref(), &design.name, &panic_site) {
+            crate::faultinject::injected_panic(&panic_site);
+        }
+        let mut ctx = PipelineCtx {
+            design,
+            state: &mut *state,
+            config,
+            weights,
+            oracle,
+            obs,
+            pool,
+            scratch: &mut *scratch,
+            force_serial,
+        };
+        stage.run(&mut ctx)
+    }));
+    match caught {
+        Ok(r) => r,
+        Err(p) => Err(LegalizeError::StagePanicked {
+            stage: name,
+            message: panic_message(&*p),
+        }),
+    }
+}
+
+/// Clean-room certification of a degraded result. Unlike [`audit_stage`]
+/// this is *not* gated behind `debug_assertions`/`audit`: when a rung of the
+/// degradation ladder was taken, the normal per-stage invariant chain was
+/// interrupted, so the result must independently prove legality or the job
+/// errors out. Degradation may cost quality, never legality.
+fn certify_degraded(state: &PlacementState<'_>, design: &Design) -> Result<(), LegalizeError> {
+    let mut snapshot = design.clone();
+    state.write_back(&mut snapshot);
+    let rep = mcl_audit::verify(&snapshot);
+    let violations = rep.placement_violations();
+    if violations != 0 {
+        return Err(LegalizeError::AuditFailed {
+            stage: "pipeline",
+            violations,
+        });
+    }
+    Ok(())
+}
+
 /// The single pipeline driver behind `run`, `run_eco`, `refine` and the
 /// engine. Walks `stages`, skipping disabled ones, applying the module-doc
 /// middleware around each, and finishes with the run-level span. `label`
 /// names the driver in audit panics ("run", "ECO", "refine", "batch").
+///
+/// # Fault containment (DESIGN.md §11)
+///
+/// Every enabled stage runs against a checkpoint of the placement. A stage
+/// that returns a typed [`LegalizeError`] or panics is rolled back — no
+/// partial mutation ever escapes a failed stage — and the declared
+/// degradation ladder decides what happens next:
+///
+/// - `mgl`: retry once on the serial algorithm (rung `"serial"`); if that
+///   also fails the job fails.
+/// - `maxdisp` / `fixed_order`: skip the stage (rung `"skip"`), keeping the
+///   pre-stage assignment.
+///
+/// A per-stage wall-clock budget ([`LegalizerConfig::stage_budget_secs`]) is
+/// checked at stage boundaries and takes the same rungs. Every rung is
+/// recorded in [`LegalizeStats::degradations`] alongside a failure row, and
+/// a degraded run must pass the clean-room auditor before it is reported as
+/// a success.
+///
+/// # Errors
+///
+/// A [`LegalizeError`] when the ladder is exhausted (the placement is the
+/// caller's seeded state for `mgl` failures) or when a degraded result fails
+/// certification.
 #[allow(clippy::too_many_arguments)]
 pub fn run_stages<'d: 'p, 'p>(
     design: &'d Design,
@@ -342,33 +458,128 @@ pub fn run_stages<'d: 'p, 'p>(
     pool: Option<&EvalPool<'p>>,
     scratch: &mut InsertionScratch,
     label: &str,
-) -> LegalizeStats {
+) -> Result<LegalizeStats, LegalizeError> {
     let mut stats = LegalizeStats::default();
     let run_sw = Stopwatch::start();
     for stage in stages {
         if !stage.enabled(config) {
             continue;
         }
-        let t = Stopwatch::start();
-        let out = {
-            let mut ctx = PipelineCtx {
-                design,
-                state: &mut *state,
-                config,
-                weights,
-                oracle,
-                obs: &mut stats.obs,
-                pool,
-                scratch: &mut *scratch,
+        let name = stage.name();
+        // Deadline at the stage boundary: wall-clock budget already spent by
+        // earlier stages, or an injected deadline expiry.
+        let deadline_site = FaultSite::StageDeadline { stage: name };
+        let budget = config.stage_budget_secs;
+        let deadline_hit = budget.is_some_and(|b| run_sw.elapsed_seconds() > b)
+            || crate::faultinject::fires(config.faults.as_ref(), &design.name, &deadline_site);
+        let mut force_serial = false;
+        if deadline_hit {
+            let err = LegalizeError::DeadlineExceeded {
+                stage: name,
+                budget_secs: budget.unwrap_or(0.0),
             };
-            stage.run(&mut ctx)
+            stats.failures.push(err.to_record());
+            if name == "mgl" {
+                // Rung: parallel MGL → serial MGL (bounded memory and
+                // threads; insertion still happens).
+                stats.degradations.push(Degradation {
+                    stage: name,
+                    rung: "serial",
+                    reason: err.to_string(),
+                });
+                force_serial = true;
+            } else {
+                // Rung: skip the stage, keeping the current assignment.
+                stats.degradations.push(Degradation {
+                    stage: name,
+                    rung: "skip",
+                    reason: err.to_string(),
+                });
+                continue;
+            }
+        }
+        let t = Stopwatch::start();
+        // Checkpoint so a failed stage can never leak partial mutation.
+        let checkpoint = state.clone();
+        let first = run_stage_guarded(
+            *stage,
+            design,
+            state,
+            config,
+            weights,
+            oracle,
+            &mut stats.obs,
+            pool,
+            scratch,
+            force_serial,
+        );
+        let folded = match first {
+            Ok(s) => s,
+            Err(e) => {
+                *state = checkpoint.clone();
+                if name == "mgl" {
+                    // The pool may hold in-flight rounds from the failed
+                    // attempt; resynchronize before anyone reuses it.
+                    if let Some(p) = pool {
+                        let _ = p.reset();
+                    }
+                }
+                if e.class() == FailureClass::Fatal {
+                    return Err(e);
+                }
+                stats.failures.push(e.to_record());
+                let reason = e.to_string();
+                if name == "mgl" {
+                    if force_serial {
+                        // Already at the bottom rung.
+                        *state = checkpoint;
+                        return Err(e);
+                    }
+                    // Rung: rerun serially from the restored checkpoint.
+                    match run_stage_guarded(
+                        *stage,
+                        design,
+                        state,
+                        config,
+                        weights,
+                        oracle,
+                        &mut stats.obs,
+                        pool,
+                        scratch,
+                        true,
+                    ) {
+                        Ok(s) => {
+                            stats.degradations.push(Degradation {
+                                stage: name,
+                                rung: "serial",
+                                reason,
+                            });
+                            s
+                        }
+                        Err(e2) => {
+                            // Ladder exhausted: restore and fail the job.
+                            *state = checkpoint;
+                            return Err(e2);
+                        }
+                    }
+                } else {
+                    // Rung: skip. The placement is back to the pre-stage
+                    // state; like a disabled stage, no timing row is pushed.
+                    stats.degradations.push(Degradation {
+                        stage: name,
+                        rung: "skip",
+                        reason,
+                    });
+                    continue;
+                }
+            }
         };
         stats.stage_seconds.push(StageTiming {
-            name: stage.name(),
+            name,
             seconds: t.elapsed_seconds(),
         });
         stats.obs.record_span(stage.span(), t.elapsed_nanos(), 0);
-        match out {
+        match folded {
             StageStats::Mgl(s) => {
                 stats.mgl = s;
                 stats.obs.merge(&stats.mgl.obs);
@@ -377,12 +588,16 @@ pub fn run_stages<'d: 'p, 'p>(
             StageStats::FixedOrder(s) => stats.fixed_order = s,
         }
         record_disp_histogram(&mut stats.obs, state, design, stage.histo());
-        audit_stage(state, design, label, stage.name());
+        audit_stage(state, design, label, name);
+    }
+    // Certification: a run that took any rung must still prove legality.
+    if !stats.degradations.is_empty() {
+        certify_degraded(state, design)?;
     }
     stats
         .obs
         .record_span(SpanKind::Run, run_sw.elapsed_nanos(), 0);
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]

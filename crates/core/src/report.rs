@@ -60,6 +60,8 @@ pub fn build_run_report(
     rep.outcome("expansions", stats.mgl.expansions as u64);
     rep.outcome("fallbacks", stats.mgl.fallbacks as u64);
     rep.outcome("failed", stats.mgl.failed as u64);
+    rep.outcome("retries", stats.mgl.retries);
+    rep.outcome("quarantined", stats.mgl.quarantined as u64);
     rep.outcome("matching_groups", stats.max_disp.groups as u64);
     rep.outcome(
         "matching_groups_changed",
@@ -68,6 +70,13 @@ pub fn build_run_report(
     rep.outcome("matching_cells_moved", stats.max_disp.cells_moved as u64);
     rep.outcome("refine_cells_moved", stats.fixed_order.cells_moved as u64);
     rep.outcome("refine_applied", u64::from(stats.fixed_order.applied));
+
+    for f in stats.failure_rows() {
+        rep.failure(f.stage, f.class.label(), &f.message);
+    }
+    for d in &stats.degradations {
+        rep.degradation(d.stage, d.rung, &d.reason);
+    }
 
     for t in &stats.stage_seconds {
         rep.stage(t.name, t.seconds);

@@ -33,20 +33,58 @@
 //! each round's selection near-linear in the pending count.
 
 use crate::config::LegalizerConfig;
+use crate::error::{panic_message, LegalizeError};
+use crate::faultinject::{FaultPlan, FaultSite};
 use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch};
-use crate::mgl::{apply_insertion, cell_order, fallback_scan, window_for, MglStats};
+use crate::mgl::{
+    apply_insertion, cell_order, fallback_scan, record_fallback_reject, window_for, MglStats,
+};
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
 use crate::winindex::WindowIndex;
 use mcl_db::prelude::*;
 use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One evaluation job: target cell, expansion level, search window.
 type Job = (CellId, usize, Rect);
+
+/// How long the coordinator waits on a pool channel before declaring the
+/// pool broken. Only reachable on error paths — the happy path never
+/// blocks this long because workers answer every message.
+const POOL_WAIT: Duration = Duration::from_mins(1);
+
+/// One evaluation outcome: the best insertion (or none), or the message of
+/// a panic the worker contained at its job boundary.
+type EvalResult = Result<Option<Insertion>, String>;
+
+/// Evaluates one window with panic containment: an injected [`FaultSite::
+/// MglEval`] fault or a real panic inside the evaluator surfaces as
+/// `Err(message)` instead of unwinding into the caller. Shared by workers,
+/// the coordinator's steal loop, the deterministic retry pass and the
+/// serial algorithm, so every path contains failures identically.
+pub(crate) fn eval_job(
+    state: &PlacementState<'_>,
+    cell: CellId,
+    win: Rect,
+    model: &CostModel<'_>,
+    scratch: &mut InsertionScratch,
+    faults: Option<&Arc<FaultPlan>>,
+) -> EvalResult {
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let site = FaultSite::MglEval { cell: cell.0 };
+        if crate::faultinject::fires(faults, &state.design().name, &site) {
+            crate::faultinject::injected_panic(&site);
+        }
+        best_insertion_in(state, cell, win, model, scratch)
+    }))
+    .map_err(|p| panic_message(&*p))
+}
 
 /// Everything a worker needs to evaluate windows for one run: its private
 /// state replica plus the run's cost-model inputs. Sent once per run via
@@ -59,6 +97,7 @@ struct RunSpec<'a> {
     normalize: bool,
     io_penalty: i64,
     rail_penalty: i64,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -107,7 +146,7 @@ struct WorkerReport {
 /// arenas warmed by one design are reused by the next.
 pub struct EvalPool<'a> {
     senders: Vec<mpsc::Sender<Msg<'a>>>,
-    results_rx: mpsc::Receiver<(usize, Option<Insertion>)>,
+    results_rx: mpsc::Receiver<(usize, EvalResult)>,
     report_rx: mpsc::Receiver<WorkerReport>,
     workers: usize,
 }
@@ -123,7 +162,7 @@ impl<'a> EvalPool<'a> {
     where
         'a: 'scope,
     {
-        let (results_tx, results_rx) = mpsc::channel::<(usize, Option<Insertion>)>();
+        let (results_tx, results_rx) = mpsc::channel::<(usize, EvalResult)>();
         let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
         let mut senders: Vec<mpsc::Sender<Msg<'a>>> = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -136,12 +175,25 @@ impl<'a> EvalPool<'a> {
                 let mut eval_nanos = 0u64;
                 let mut obs = Meter::new();
                 let mut cur: Option<Box<RunSpec<'a>>> = None;
+                // Set when a panic escaped an `Apply` replay: the replica
+                // may be half-mutated, so the worker sits the rest of the
+                // run out (safe — the shared cursor lets the coordinator
+                // and healthy workers drain every round regardless of who
+                // participates). `Begin` installs a fresh replica and
+                // clears the flag.
+                let mut poisoned = false;
                 // Worker thread ids start at 1; 0 is the coordinator.
                 let thread_id = w + 1;
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        Msg::Begin(spec) => cur = Some(spec),
+                        Msg::Begin(spec) => {
+                            cur = Some(spec);
+                            poisoned = false;
+                        }
                         Msg::Round { jobs, cursor } => {
+                            if poisoned {
+                                continue;
+                            }
                             let Some(spec) = cur.as_ref() else { continue };
                             let model = spec.model();
                             loop {
@@ -151,12 +203,16 @@ impl<'a> EvalPool<'a> {
                                 }
                                 let (cell, _, win) = jobs[i];
                                 let t = Stopwatch::start();
-                                let r = best_insertion_in(
+                                // Panic-safe boundary: a panicking job
+                                // becomes an `Err` result and the worker
+                                // lives on to serve the next job.
+                                let r = eval_job(
                                     &spec.replica,
                                     cell,
                                     win,
                                     &model,
                                     &mut scratch,
+                                    spec.faults.as_ref(),
                                 );
                                 let dt = t.elapsed_nanos();
                                 eval_nanos += dt;
@@ -168,14 +224,23 @@ impl<'a> EvalPool<'a> {
                             }
                         }
                         Msg::Apply { ops } => {
+                            if poisoned {
+                                continue;
+                            }
                             if let Some(spec) = cur.as_mut() {
-                                for (cell, ins) in ops.iter() {
-                                    apply_insertion(&mut spec.replica, *cell, ins);
+                                let replayed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    for (cell, ins) in ops.iter() {
+                                        apply_insertion(&mut spec.replica, *cell, ins);
+                                    }
+                                }));
+                                if replayed.is_err() {
+                                    poisoned = true;
                                 }
                             }
                         }
                         Msg::End => {
                             cur = None;
+                            poisoned = false;
                             let report = WorkerReport {
                                 scratch: std::mem::take(&mut scratch.stats),
                                 eval_nanos: std::mem::take(&mut eval_nanos),
@@ -208,7 +273,7 @@ impl<'a> EvalPool<'a> {
         config: &LegalizerConfig,
         weights: &'a [i64],
         oracle: Option<&'a RoutOracle<'a>>,
-    ) {
+    ) -> Result<(), LegalizeError> {
         for tx in &self.senders {
             let spec = Box::new(RunSpec {
                 replica: state.clone(),
@@ -218,37 +283,93 @@ impl<'a> EvalPool<'a> {
                 normalize: config.normalize_curves,
                 io_penalty: config.io_penalty,
                 rail_penalty: config.rail_penalty,
+                faults: config.faults.clone(),
             });
-            tx.send(Msg::Begin(spec)).expect("worker died");
+            if tx.send(Msg::Begin(spec)).is_err() {
+                return Err(LegalizeError::PoolBroken { during: "begin" });
+            }
         }
+        Ok(())
     }
 
     /// Ends the current run: every worker reports and resets its per-run
     /// counters, which are folded into `stats`. Reports arrive in
     /// worker-finish order, which is nondeterministic; scratch and meter
     /// merging are commutative, so the fold is order-independent.
-    fn finish(&self, stats: &mut MglStats) {
+    fn finish(&self, stats: &mut MglStats) -> Result<(), LegalizeError> {
         for tx in &self.senders {
-            tx.send(Msg::End).expect("worker died");
+            if tx.send(Msg::End).is_err() {
+                return Err(LegalizeError::PoolBroken { during: "finish" });
+            }
         }
         for _ in 0..self.workers {
-            let report = self.report_rx.recv().expect("worker report");
+            let report = self
+                .report_rx
+                .recv_timeout(POOL_WAIT)
+                .map_err(|_| LegalizeError::PoolBroken { during: "finish" })?;
             stats.perf.scratch.merge(&report.scratch);
             stats.perf.eval_cpu_nanos += report.eval_nanos;
             stats.obs.merge(&report.obs);
         }
+        Ok(())
+    }
+
+    /// Resynchronizes the pool after the coordinator abandoned a run
+    /// mid-protocol (a contained stage panic or a pool error): tells every
+    /// worker the run is over, absorbs their end-of-run reports, and
+    /// drains stale results so the next [`Self::begin`] starts from clean
+    /// channels. Returns `false` when a worker is unreachable, in which
+    /// case the pool must not be reused.
+    pub(crate) fn reset(&self) -> bool {
+        let mut ok = true;
+        for tx in &self.senders {
+            ok &= tx.send(Msg::End).is_ok();
+        }
+        if ok {
+            for _ in 0..self.workers {
+                if self.report_rx.recv_timeout(POOL_WAIT).is_err() {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        // Workers drain any in-flight round before they answer `End`, so
+        // by now every stale result is in the channel; flush them.
+        while self.results_rx.try_recv().is_ok() {}
+        ok
     }
 }
 
 /// Runs MGL with the parallel window scheduler, spawning a private
 /// [`EvalPool`] for this one run. The engine path reuses a long-lived pool
 /// instead — see [`drive_rounds`].
+///
+/// This is the raw, infallible entry point used by benches and the
+/// determinism tests; a pool failure here (impossible in practice: workers
+/// contain every panic) escalates to a panic. Fallible callers — the
+/// pipeline driver, which owns the degradation ladder — use
+/// [`try_run_parallel`] instead.
 pub fn run_parallel(
     state: &mut PlacementState<'_>,
     config: &LegalizerConfig,
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
 ) -> MglStats {
+    match try_run_parallel(state, config, weights, oracle) {
+        Ok(stats) => stats,
+        Err(e) => panic!("parallel MGL failed outside a containing pipeline: {e}"),
+    }
+}
+
+/// Fallible [`run_parallel`]: pool-protocol failures surface as
+/// [`LegalizeError::PoolBroken`] so the pipeline driver can take the
+/// serial degradation rung instead of crashing the job.
+pub fn try_run_parallel(
+    state: &mut PlacementState<'_>,
+    config: &LegalizerConfig,
+    weights: &[i64],
+    oracle: Option<&RoutOracle<'_>>,
+) -> Result<MglStats, LegalizeError> {
     // Results are bit-identical for any worker count, so clamping to the
     // hardware is free: extra workers past the core count only add context
     // switches and replica clones.
@@ -281,7 +402,7 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     oracle: Option<&'p RoutOracle<'p>>,
     pool: &EvalPool<'p>,
     main_scratch: &mut InsertionScratch,
-) -> MglStats {
+) -> Result<MglStats, LegalizeError> {
     let t_total = Stopwatch::start();
     let design = state.design();
     let capacity = config.window_list_capacity.max(1);
@@ -300,7 +421,7 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     let use_pool = pool.workers > 0 && pending.len() > 1;
     if use_pool {
         let replica_src: &PlacementState<'p> = &*state;
-        pool.begin(replica_src, config, weights, oracle);
+        pool.begin(replica_src, config, weights, oracle)?;
     }
 
     let model = CostModel {
@@ -311,8 +432,9 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
         io_penalty: config.io_penalty,
         rail_penalty: config.rail_penalty,
     };
-    // Reused per round; results are slotted by job index.
-    let mut results: Vec<Option<Option<Insertion>>> = Vec::new();
+    // Reused per round; results are slotted by job index. A slot left at
+    // `None` after the repair pass marks a quarantined cell.
+    let mut results: Vec<Option<EvalResult>> = Vec::new();
 
     while !pending.is_empty() {
         stats.perf.rounds += 1;
@@ -361,7 +483,9 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                     jobs: Arc::clone(&jobs),
                     cursor: Arc::clone(&cursor),
                 };
-                tx.send(msg).expect("worker died");
+                if tx.send(msg).is_err() {
+                    return Err(LegalizeError::PoolBroken { during: "round" });
+                }
             }
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -369,7 +493,14 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                     break;
                 }
                 let t = Stopwatch::start();
-                let r = best_insertion_in(state, jobs[i].0, jobs[i].2, &model, main_scratch);
+                let r = eval_job(
+                    state,
+                    jobs[i].0,
+                    jobs[i].2,
+                    &model,
+                    main_scratch,
+                    config.faults.as_ref(),
+                );
                 let dt = t.elapsed_nanos();
                 stats.perf.eval_cpu_nanos += dt;
                 stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
@@ -378,14 +509,24 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                 outstanding += 1;
             }
             while outstanding < selected.len() {
-                let (i, r) = pool.results_rx.recv().expect("worker died");
+                let (i, r) = pool
+                    .results_rx
+                    .recv_timeout(POOL_WAIT)
+                    .map_err(|_| LegalizeError::PoolBroken { during: "collect" })?;
                 results[i] = Some(r);
                 outstanding += 1;
             }
         } else {
             for (i, &(cell, _, win)) in selected.iter().enumerate() {
                 let t = Stopwatch::start();
-                let r = best_insertion_in(state, cell, win, &model, main_scratch);
+                let r = eval_job(
+                    state,
+                    cell,
+                    win,
+                    &model,
+                    main_scratch,
+                    config.faults.as_ref(),
+                );
                 let dt = t.elapsed_nanos();
                 stats.perf.eval_cpu_nanos += dt;
                 stats.obs.record_span(SpanKind::InsertionEval, dt, 0);
@@ -397,13 +538,69 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
         stats.perf.eval_nanos += eval_nanos;
         stats.obs.record_span(SpanKind::SchedEval, eval_nanos, 0);
 
+        // Deterministic repair pass: a job whose evaluation panicked (on
+        // any thread) is retried on the coordinator, in job-index order,
+        // against the same round-start state — so the outcome never
+        // depends on which thread hit the panic or on the thread count.
+        // A job that keeps failing past the retry budget quarantines its
+        // cell: the slot reverts to `None` and the cell is left unplaced.
+        for (i, &(cell, _, win)) in selected.iter().enumerate() {
+            let mut last = match &results[i] {
+                Some(Err(m)) => m.clone(),
+                _ => continue,
+            };
+            let mut attempts = 0u32;
+            loop {
+                if attempts >= config.fault_retry_budget {
+                    stats.quarantined += 1;
+                    stats.failures.push(
+                        LegalizeError::CellQuarantined {
+                            stage: "mgl",
+                            cell: cell.0,
+                            retries: attempts,
+                            message: last,
+                        }
+                        .to_record(),
+                    );
+                    results[i] = None;
+                    break;
+                }
+                attempts += 1;
+                stats.retries += 1;
+                match eval_job(
+                    state,
+                    cell,
+                    win,
+                    &model,
+                    main_scratch,
+                    config.faults.as_ref(),
+                ) {
+                    Ok(r) => {
+                        results[i] = Some(Ok(r));
+                        break;
+                    }
+                    Err(m) => last = m,
+                }
+            }
+        }
+
         // Apply sequentially in selection order; broadcast the applied
         // ops so replicas stay in lockstep.
         let t_apply = Stopwatch::start();
         let mut ops: Vec<(CellId, Insertion)> = Vec::new();
         for (i, (cell, n, win)) in selected.into_iter().enumerate() {
-            match results[i].take().expect("every job evaluated") {
-                Some(ins) => {
+            match results[i].take() {
+                // Quarantined by the repair pass: the cell stays unplaced
+                // and takes no further part in the run.
+                None => {}
+                // Unreachable (the repair pass resolves every `Err`), but
+                // degrading to quarantine beats asserting here.
+                Some(Err(_)) => {}
+                Some(Ok(Some(ins))) => {
+                    let site = FaultSite::MglApply { cell: cell.0 };
+                    if crate::faultinject::fires(config.faults.as_ref(), &design.name, &site) {
+                        crate::faultinject::injected_panic(&site);
+                    }
                     apply_insertion(state, cell, &ins);
                     stats.placed_in_window += 1;
                     // Expansions were already counted one-by-one when
@@ -411,7 +608,7 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                     // previous `+= n` here double-counted every retry).
                     ops.push((cell, ins));
                 }
-                None => {
+                Some(Ok(None)) => {
                     // Mirror the serial algorithm: stop expanding once
                     // the window already covers the whole core.
                     let full_core = win == design.core && n > 0;
@@ -432,10 +629,12 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
         if use_pool && !ops.is_empty() {
             let ops = Arc::new(ops);
             for tx in &pool.senders {
-                tx.send(Msg::Apply {
+                let msg = Msg::Apply {
                     ops: Arc::clone(&ops),
-                })
-                .expect("worker died");
+                };
+                if tx.send(msg).is_err() {
+                    return Err(LegalizeError::PoolBroken { during: "apply" });
+                }
             }
         }
         let apply_nanos = t_apply.elapsed_nanos();
@@ -447,7 +646,7 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     // Close the run and fold worker counters into the run stats. The
     // workers stay alive for the pool owner's next run.
     if use_pool {
-        pool.finish(&mut stats);
+        pool.finish(&mut stats)?;
     }
     stats
         .perf
@@ -466,12 +665,10 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
             }
         };
         match p {
-            Some(p) => {
-                state
-                    .place(cell, p)
-                    .expect("fallback position must be free");
-                stats.fallbacks += 1;
-            }
+            Some(p) => match state.place(cell, p) {
+                Ok(()) => stats.fallbacks += 1,
+                Err(e) => record_fallback_reject(&mut stats, cell, p, &e),
+            },
             None => stats.failed += 1,
         }
     }
@@ -481,7 +678,7 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
         stats.obs.record_span(SpanKind::FallbackScan, fb_nanos, 0);
     }
     stats.perf.total_nanos = t_total.elapsed_nanos();
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -720,12 +917,12 @@ mod tests {
         let (pool1, pool2) = std::thread::scope(|scope| {
             let pool = EvalPool::spawn(scope, 2);
             let mut state1 = PlacementState::new(&d1);
-            let s1 = drive_rounds(&mut state1, &cfg, &w1, None, &pool, &mut scratch);
+            let s1 = drive_rounds(&mut state1, &cfg, &w1, None, &pool, &mut scratch).unwrap();
             assert_eq!(s1.failed, 0);
             created.push(s1.perf.scratch.created);
             let p1: Vec<_> = d1.movable_cells().map(|c| state1.pos(c)).collect();
             let mut state2 = PlacementState::new(&d2);
-            let s2 = drive_rounds(&mut state2, &cfg, &w2, None, &pool, &mut scratch);
+            let s2 = drive_rounds(&mut state2, &cfg, &w2, None, &pool, &mut scratch).unwrap();
             assert_eq!(s2.failed, 0);
             created.push(s2.perf.scratch.created);
             let p2: Vec<_> = d2.movable_cells().map(|c| state2.pos(c)).collect();

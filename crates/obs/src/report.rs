@@ -20,7 +20,11 @@ use crate::json::JsonWriter;
 use crate::meter::{CounterKind, HistoKind, Meter, SpanKind};
 
 /// Version of the report schema (golden subset shape included).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: added the golden `failures` and `degradations` arrays (fault
+/// containment, DESIGN.md §11) and the `retries`/`quarantined` outcome
+/// counters.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// A named scalar in the golden strata.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +80,28 @@ pub struct HistoReport {
     pub buckets: Vec<(u32, u64)>,
 }
 
+/// One contained failure, flattened for the report (golden; schema v2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureRow {
+    /// Stage the failure is attributed to (`"seed"` for pre-pipeline).
+    pub stage: String,
+    /// Containment class label (`retryable` / `degradable` / `fatal`).
+    pub class: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// One degradation-ladder rung taken by the run (golden; schema v2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationRow {
+    /// Stage the rung applies to.
+    pub stage: String,
+    /// The rung taken (`serial` / `skip`).
+    pub rung: String,
+    /// Why the rung was taken.
+    pub reason: String,
+}
+
 /// One run's structured report.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
@@ -91,6 +117,10 @@ pub struct RunReport {
     pub quality: Vec<(String, Value)>,
     /// Golden outcome counts (placed-in-window, fallbacks, …).
     pub outcome: Vec<(String, u64)>,
+    /// Contained failures, in the order they were recorded (golden).
+    pub failures: Vec<FailureRow>,
+    /// Degradation-ladder rungs taken, in order (golden).
+    pub degradations: Vec<DegradationRow>,
     /// Per-stage wall seconds (not golden).
     pub stage_seconds: Vec<StageTime>,
     /// Span aggregates (not golden).
@@ -125,6 +155,40 @@ impl RunReport {
     /// Appends a golden outcome count.
     pub fn outcome(&mut self, name: &str, v: u64) {
         self.outcome.push((name.to_string(), v));
+    }
+
+    /// Appends a contained-failure row.
+    pub fn failure(&mut self, stage: &str, class: &str, message: &str) {
+        self.failures.push(FailureRow {
+            stage: stage.to_string(),
+            class: class.to_string(),
+            message: message.to_string(),
+        });
+    }
+
+    /// Appends a degradation-ladder row.
+    pub fn degradation(&mut self, stage: &str, rung: &str, reason: &str) {
+        self.degradations.push(DegradationRow {
+            stage: stage.to_string(),
+            rung: rung.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+
+    /// Whether the report claims an unqualified success: no failure rows,
+    /// no degradation rungs, and every fault-related outcome counter
+    /// (`failed`, `retries`, `quarantined`) at zero. Any contained fault or
+    /// rung makes this `false` — a faulted run can never masquerade as a
+    /// clean one.
+    #[must_use]
+    pub fn claims_full_success(&self) -> bool {
+        self.failures.is_empty()
+            && self.degradations.is_empty()
+            && self
+                .outcome
+                .iter()
+                .filter(|(name, _)| matches!(name.as_str(), "failed" | "retries" | "quarantined"))
+                .all(|(_, v)| *v == 0)
     }
 
     /// Appends a stage wall-time entry.
@@ -195,6 +259,26 @@ impl RunReport {
             w.field_u64(name, *v);
         }
         w.end_object();
+        w.key("failures");
+        w.begin_array();
+        for row in &self.failures {
+            w.begin_object();
+            w.field_str("stage", &row.stage);
+            w.field_str("class", &row.class);
+            w.field_str("message", &row.message);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("degradations");
+        w.begin_array();
+        for row in &self.degradations {
+            w.begin_object();
+            w.field_str("stage", &row.stage);
+            w.field_str("rung", &row.rung);
+            w.field_str("reason", &row.reason);
+            w.end_object();
+        }
+        w.end_array();
     }
 
     /// The golden subset: schema version, design identity, quality and
@@ -301,6 +385,18 @@ impl RunReport {
                 let _ = writeln!(out, "    {name:<32} {v}");
             }
         }
+        if !self.failures.is_empty() {
+            let _ = writeln!(out, "  failures:");
+            for row in &self.failures {
+                let _ = writeln!(out, "    [{}] {}: {}", row.class, row.stage, row.message);
+            }
+        }
+        if !self.degradations.is_empty() {
+            let _ = writeln!(out, "  degradations:");
+            for row in &self.degradations {
+                let _ = writeln!(out, "    {} -> {}: {}", row.stage, row.rung, row.reason);
+            }
+        }
         if !self.stage_seconds.is_empty() {
             let _ = writeln!(out, "  stage seconds:");
             for s in &self.stage_seconds {
@@ -362,13 +458,36 @@ mod tests {
         let j = r.golden_json();
         assert_eq!(
             j,
-            "{\"schema_version\":1,\"design\":\"demo\",\"threads\":2,\
+            "{\"schema_version\":2,\"design\":\"demo\",\"threads\":2,\
              \"cells\":10,\"fences\":1,\"quality\":{\"total_disp_sites\":42,\
              \"weighted_cost\":1.2500},\"outcome\":{\"placed_in_window\":9,\
-             \"fallbacks\":1}}"
+             \"fallbacks\":1},\"failures\":[],\"degradations\":[]}"
         );
         assert!(!j.contains("nanos"));
         assert!(!j.contains("seconds"));
+    }
+
+    #[test]
+    fn failures_and_degradations_are_golden_and_block_success_claims() {
+        let mut r = sample();
+        assert!(r.claims_full_success());
+        r.failure("mgl", "degradable", "stage mgl panicked: boom");
+        r.degradation("mgl", "serial", "stage mgl panicked: boom");
+        assert!(!r.claims_full_success());
+        let j = r.golden_json();
+        assert!(j.contains(
+            "\"failures\":[{\"stage\":\"mgl\",\"class\":\"degradable\",\
+             \"message\":\"stage mgl panicked: boom\"}]"
+        ));
+        assert!(j.contains("\"degradations\":[{\"stage\":\"mgl\",\"rung\":\"serial\""));
+        let s = r.summary();
+        assert!(s.contains("degradations:"));
+        assert!(s.contains("mgl -> serial"));
+
+        // A nonzero fault-related outcome counter also blocks the claim.
+        let mut r2 = sample();
+        r2.outcome("quarantined", 1);
+        assert!(!r2.claims_full_success());
     }
 
     #[test]
@@ -384,6 +503,8 @@ mod tests {
             "schema_version",
             "quality",
             "outcome",
+            "failures",
+            "degradations",
             "stage_seconds",
             "spans",
             "counters",

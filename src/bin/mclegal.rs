@@ -11,29 +11,90 @@
 //! ```
 //!
 //! Run `mclegal help` for the full flag list.
+//!
+//! # Exit codes
+//!
+//! Every failure class maps to a distinct process exit code (documented in
+//! README, asserted by `tests/cli_exit_codes.rs`) so scripts and CI can
+//! react without scraping stderr:
+//!
+//! | code | class      | meaning                                          |
+//! |------|------------|--------------------------------------------------|
+//! | 0    | success    | command completed                                |
+//! | 2    | usage      | bad flags, unknown command/mode/stage spec       |
+//! | 3    | parse      | unreadable or corrupt input                      |
+//! | 4    | infeasible | result unacceptable: illegal placement, seed not |
+//! |      |            | adoptable, or any batch job failed               |
+//! | 5    | internal   | unexpected internal/environment failure          |
 
 use mclegal::baselines;
 use mclegal::core::pipeline::{self, Stage};
-use mclegal::core::{CellOrder, DisplacementReference, Engine, Legalizer, LegalizerConfig};
+use mclegal::core::{
+    CellOrder, DisplacementReference, Engine, LegalizeError, Legalizer, LegalizerConfig,
+};
 use mclegal::db::prelude::*;
 use mclegal::gen::{self, presets};
+use mclegal::obs::JsonWriter;
 use mclegal::parsers;
 use mclegal::viz;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+/// A typed CLI failure; each class maps to a distinct exit code (see the
+/// module docs).
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags or an unknown command/mode/stage spec — exit 2.
+    Usage(String),
+    /// Unreadable or corrupt input — exit 3.
+    Parse(String),
+    /// The run finished but the result is unacceptable — exit 4.
+    Infeasible(String),
+    /// Unexpected internal or environment failure — exit 5.
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Parse(_) => 3,
+            CliError::Infeasible(_) => 4,
+            CliError::Internal(_) => 5,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m)
+            | CliError::Parse(m)
+            | CliError::Infeasible(m)
+            | CliError::Internal(m) => m,
+        }
+    }
+}
+
+/// Maps a terminal pipeline error to its CLI class: a rejected seed is an
+/// input problem (infeasible), everything else is the tool's fault.
+fn legalize_error(e: &LegalizeError) -> CliError {
+    match e {
+        LegalizeError::SeedRejected { .. } => CliError::Infeasible(e.to_string()),
+        _ => CliError::Internal(e.to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let flags = match Flags::parse(rest) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     };
     let result = match cmd.as_str() {
@@ -47,13 +108,13 @@ fn main() -> ExitCode {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -74,8 +135,13 @@ COMMANDS
              --bookshelf <dir> | --lef <file> --def <file>   input (required)
              --batch <dir>      legalize every Bookshelf bundle subdirectory
                                 of <dir> through one shared engine instead
+                                (a corrupt or failing bundle is reported and
+                                skipped; the rest of the batch still runs)
              --mode contest|total|mll    configuration (default contest)
              --threads <n>      MGL worker threads
+             --stage-budget-secs <f>   per-run wall-clock budget; a stage
+                                starting past it takes its degradation rung
+                                (serial MGL / skip) instead of running
              --stages mgl,maxdisp,fixed   run a pipeline stage subset
                                 (skipping mgl adopts the input placement)
              --baseline tetris|abacus|lcp   run a baseline instead
@@ -83,7 +149,8 @@ COMMANDS
              --report true      print the structured run-report summary
              --report-json <file>   write the full run report as JSON
              --report-dir <dir>   batch: write per-design run reports there
-                                (<name>.json full, <name>.golden.json subset)
+                                (<name>.json full, <name>.golden.json subset,
+                                <name>.failure.json for failed jobs)
              --heatmap <file>   write the per-stage displacement/latency heatmap SVG
              --out-pl <file>    write placed .pl
              --out-def <file>   write placed DEF
@@ -97,7 +164,10 @@ COMMANDS
   convert    convert between formats
              --bookshelf <dir> | --lef <file> --def <file>   input
              --out <dir> | --out-def <file> --out-lef <file>  output
-  presets    list the available paper presets";
+  presets    list the available paper presets
+
+EXIT CODES
+  0 success | 2 usage | 3 parse/input | 4 infeasible result | 5 internal";
 
 #[derive(Default)]
 struct Flags(HashMap<String, String>);
@@ -122,36 +192,44 @@ impl Flags {
         self.0.get(key).map(String::as_str)
     }
 
-    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+    fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, CliError> {
         match self.get(key) {
             None => Ok(None),
             Some(v) => v
                 .parse()
                 .map(Some)
-                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+                .map_err(|_| CliError::Usage(format!("--{key}: cannot parse {v:?}"))),
         }
     }
 }
 
-fn load_design(flags: &Flags) -> Result<Design, String> {
+fn load_design(flags: &Flags) -> Result<Design, CliError> {
     let mut design = if let Some(dir) = flags.get("bookshelf") {
-        parsers::read_bookshelf_dir(Path::new(dir)).map_err(|e| e.to_string())?
+        parsers::read_bookshelf_dir(Path::new(dir)).map_err(|e| CliError::Parse(e.to_string()))?
     } else if let (Some(lef), Some(def)) = (flags.get("lef"), flags.get("def")) {
-        parsers::read_lefdef_files(Path::new(lef), Path::new(def)).map_err(|e| e.to_string())?
+        parsers::read_lefdef_files(Path::new(lef), Path::new(def))
+            .map_err(|e| CliError::Parse(e.to_string()))?
     } else {
-        return Err("provide --bookshelf <dir> or --lef <file> --def <file>".into());
+        return Err(CliError::Usage(
+            "provide --bookshelf <dir> or --lef <file> --def <file>".into(),
+        ));
     };
     // Optional placement overlay: original GP from the bundle, placements
     // from a result .pl file.
     if let Some(pl) = flags.get("pl") {
-        let text = std::fs::read_to_string(pl).map_err(|e| e.to_string())?;
-        parsers::bookshelf::apply_pl(&mut design, &text).map_err(|e| e.to_string())?;
+        let text =
+            std::fs::read_to_string(pl).map_err(|e| CliError::Parse(format!("{pl}: {e}")))?;
+        parsers::bookshelf::apply_pl(&mut design, &text)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
     }
     Ok(design)
 }
 
-fn cmd_generate(flags: &Flags) -> Result<(), String> {
-    let out: PathBuf = flags.get("out").ok_or("generate needs --out <dir>")?.into();
+fn cmd_generate(flags: &Flags) -> Result<(), CliError> {
+    let out: PathBuf = flags
+        .get("out")
+        .ok_or_else(|| CliError::Usage("generate needs --out <dir>".into()))?
+        .into();
     let config = if let Some(spec) = flags.get("preset") {
         let scale: f64 = flags.num("scale")?.unwrap_or(0.05);
         preset_config(spec, scale)?
@@ -172,9 +250,10 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
         }
         c
     };
-    let generated = gen::generate(&config).map_err(|e| e.to_string())?;
+    let generated = gen::generate(&config).map_err(|e| CliError::Usage(e.to_string()))?;
     let d = &generated.design;
-    parsers::write_bookshelf_dir(d, &out, &d.name).map_err(|e| e.to_string())?;
+    parsers::write_bookshelf_dir(d, &out, &d.name)
+        .map_err(|e| CliError::Internal(e.to_string()))?;
     println!(
         "generated {}: {} cells, {} rows, density {:.1}% -> {}",
         d.name,
@@ -186,41 +265,53 @@ fn cmd_generate(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn preset_config(spec: &str, scale: f64) -> Result<gen::GeneratorConfig, String> {
-    let (suite, name) = spec
-        .split_once(':')
-        .ok_or("preset spec must be suite:name, e.g. iccad17:des_perf_1")?;
+fn preset_config(spec: &str, scale: f64) -> Result<gen::GeneratorConfig, CliError> {
+    let (suite, name) = spec.split_once(':').ok_or_else(|| {
+        CliError::Usage("preset spec must be suite:name, e.g. iccad17:des_perf_1".into())
+    })?;
     match suite {
         "iccad17" => presets::ICCAD17
             .iter()
             .find(|s| s.name == name)
             .map(|s| presets::iccad17_config(s, scale))
-            .ok_or_else(|| format!("unknown iccad17 preset {name:?} (see `mclegal presets`)")),
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown iccad17 preset {name:?} (see `mclegal presets`)"
+                ))
+            }),
         "ispd15" => presets::ISPD15
             .iter()
             .find(|s| s.name == name)
             .map(|s| presets::ispd15_config(s, scale))
-            .ok_or_else(|| format!("unknown ispd15 preset {name:?} (see `mclegal presets`)")),
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown ispd15 preset {name:?} (see `mclegal presets`)"
+                ))
+            }),
         // The golden corpus ignores --scale: its configurations are pinned
         // by the snapshot contract.
         "golden" => presets::golden_corpus()
             .into_iter()
             .find(|c| c.name == name)
-            .ok_or_else(|| format!("unknown golden preset {name:?} (see `mclegal presets`)")),
-        other => Err(format!(
+            .ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown golden preset {name:?} (see `mclegal presets`)"
+                ))
+            }),
+        other => Err(CliError::Usage(format!(
             "unknown suite {other:?} (iccad17, ispd15 or golden)"
-        )),
+        ))),
     }
 }
 
 /// Builds the legalizer configuration from `--mode`, `--threads` and
 /// `--order` (shared by the single-design and `--batch` paths).
-fn build_config(flags: &Flags) -> Result<LegalizerConfig, String> {
+fn build_config(flags: &Flags) -> Result<LegalizerConfig, CliError> {
     let mut cfg = match flags.get("mode").unwrap_or("contest") {
         "contest" => LegalizerConfig::contest(),
         "total" => LegalizerConfig::total_displacement(),
         "mll" => LegalizerConfig::mll_baseline(),
-        other => return Err(format!("unknown mode {other:?}")),
+        other => return Err(CliError::Usage(format!("unknown mode {other:?}"))),
     };
     if let Some(t) = flags.num("threads")? {
         // An explicit thread count is honored exactly (results are
@@ -229,6 +320,9 @@ fn build_config(flags: &Flags) -> Result<LegalizerConfig, String> {
         cfg.threads = t;
         cfg.clamp_threads_to_hardware = false;
     }
+    if let Some(b) = flags.num("stage-budget-secs")? {
+        cfg.stage_budget_secs = Some(b);
+    }
     if let Some(order) = flags.get("order") {
         cfg.order = match order {
             "auto" => CellOrder::Auto,
@@ -236,7 +330,7 @@ fn build_config(flags: &Flags) -> Result<LegalizerConfig, String> {
             "height" => CellOrder::HeightThenWidth,
             "shuffled" => CellOrder::HeightThenShuffled,
             "id" => CellOrder::Id,
-            other => return Err(format!("unknown order {other:?}")),
+            other => return Err(CliError::Usage(format!("unknown order {other:?}"))),
         };
     }
     debug_assert_eq!(
@@ -247,9 +341,11 @@ fn build_config(flags: &Flags) -> Result<LegalizerConfig, String> {
 }
 
 /// The requested stage list: `--stages` parsed, or the full pipeline.
-fn stage_list(flags: &Flags) -> Result<Vec<&'static dyn Stage>, String> {
+fn stage_list(flags: &Flags) -> Result<Vec<&'static dyn Stage>, CliError> {
     match flags.get("stages") {
-        Some(spec) => pipeline::parse_stages(spec).map_err(|e| format!("--stages: {e}")),
+        Some(spec) => {
+            pipeline::parse_stages(spec).map_err(|e| CliError::Usage(format!("--stages: {e}")))
+        }
         None => Ok(pipeline::FULL_PIPELINE.to_vec()),
     }
 }
@@ -261,7 +357,7 @@ fn eco_flag(flags: &Flags) -> bool {
         .unwrap_or(false)
 }
 
-fn cmd_legalize(flags: &Flags) -> Result<(), String> {
+fn cmd_legalize(flags: &Flags) -> Result<(), CliError> {
     if flags.get("batch").is_some() {
         return cmd_legalize_batch(flags);
     }
@@ -274,25 +370,30 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
             "abacus" => baselines::legalize_abacus(&design).0,
             "lcp" => baselines::legalize_lcp(&design).0,
             "mll" => baselines::legalize_mll(&design).0,
-            other => return Err(format!("unknown baseline {other:?}")),
+            other => return Err(CliError::Usage(format!("unknown baseline {other:?}"))),
         }
     } else {
         let cfg = build_config(flags)?;
         let eco = eco_flag(flags);
         let (placed, stats) = if let Some(spec) = flags.get("stages") {
             // A stage subset runs through the engine's general entry point.
-            let stages = pipeline::parse_stages(spec).map_err(|e| format!("--stages: {e}"))?;
+            let stages = pipeline::parse_stages(spec)
+                .map_err(|e| CliError::Usage(format!("--stages: {e}")))?;
             let mut engine = Engine::new(cfg.clone());
-            let mut results = engine
-                .legalize_batch_with(std::slice::from_ref(&design), &stages, eco)
-                .map_err(|e| format!("pre-placed cell {} not adoptable: {}", e.cell.0, e.error))?;
-            results.pop().ok_or("empty batch result")?
+            let mut results =
+                engine.try_legalize_batch_with(std::slice::from_ref(&design), &stages, eco);
+            results
+                .pop()
+                .ok_or_else(|| CliError::Internal("empty batch result".into()))?
+                .map_err(|e| legalize_error(&e))?
         } else if eco {
             Legalizer::new(cfg.clone())
-                .run_eco(&design)
-                .map_err(|(c, e)| format!("pre-placed cell {} not adoptable: {e}", c.0))?
+                .try_run_eco(&design)
+                .map_err(|e| legalize_error(&e))?
         } else {
-            Legalizer::new(cfg.clone()).run(&design)
+            Legalizer::new(cfg.clone())
+                .try_run(&design)
+                .map_err(|e| legalize_error(&e))?
         };
         run_info = Some((stats, cfg));
         placed
@@ -311,12 +412,13 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
                 print!("{}", rep.summary());
             }
             if let Some(path) = flags.get("report-json") {
-                std::fs::write(path, rep.to_json()).map_err(|e| e.to_string())?;
+                std::fs::write(path, rep.to_json())
+                    .map_err(|e| CliError::Internal(format!("{path}: {e}")))?;
                 println!("[wrote {path}]");
             }
             if let Some(path) = flags.get("heatmap") {
                 std::fs::write(path, viz::render_report_heatmap(&rep))
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::Internal(format!("{path}: {e}")))?;
                 println!("[wrote {path}]");
             }
         }
@@ -324,89 +426,161 @@ fn cmd_legalize(flags: &Flags) -> Result<(), String> {
         || flags.get("report-json").is_some()
         || flags.get("heatmap").is_some()
     {
-        return Err(
+        return Err(CliError::Usage(
             "--report/--report-json/--heatmap require the main legalizer (no --baseline)".into(),
-        );
+        ));
     }
     write_outputs(flags, &placed)?;
     Ok(())
+}
+
+/// One failed batch job, for the summary row and the optional
+/// `<name>.failure.json` record.
+struct JobFailure {
+    name: String,
+    class: &'static str,
+    message: String,
+}
+
+fn failure_json(f: &JobFailure) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("design", &f.name);
+    w.field_str("class", f.class);
+    w.field_str("error", &f.message);
+    w.end_object();
+    w.finish()
 }
 
 /// `legalize --batch <dir>`: legalize every Bookshelf bundle found in the
 /// immediate subdirectories of `<dir>` (sorted by name) through one shared
 /// [`Engine`], so the worker pool and coordinator scratch are set up once
 /// and amortized across the whole batch.
-fn cmd_legalize_batch(flags: &Flags) -> Result<(), String> {
-    let dir = PathBuf::from(flags.get("batch").ok_or("missing --batch")?);
+///
+/// Fault containment: a bundle that fails to parse, fails to seed, or
+/// exhausts its degradation ladder is recorded as a per-job failure row —
+/// printed, and persisted as `<name>.failure.json` under `--report-dir` —
+/// while every other job still runs and reports normally. The command exits
+/// with the `infeasible` code when any job failed.
+fn cmd_legalize_batch(flags: &Flags) -> Result<(), CliError> {
+    let dir = PathBuf::from(
+        flags
+            .get("batch")
+            .ok_or_else(|| CliError::Usage("missing --batch".into()))?,
+    );
     if flags.get("baseline").is_some() {
-        return Err("--batch runs the main legalizer; drop --baseline".into());
+        return Err(CliError::Usage(
+            "--batch runs the main legalizer; drop --baseline".into(),
+        ));
     }
     let mut bundles: Vec<PathBuf> = std::fs::read_dir(&dir)
-        .map_err(|e| format!("--batch {}: {e}", dir.display()))?
+        .map_err(|e| CliError::Parse(format!("--batch {}: {e}", dir.display())))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| p.is_dir())
         .collect();
     bundles.sort();
     if bundles.is_empty() {
-        return Err(format!(
+        return Err(CliError::Parse(format!(
             "--batch {}: no bundle subdirectories found",
             dir.display()
-        ));
+        )));
     }
-    let designs: Vec<Design> = bundles
-        .iter()
-        .map(|p| parsers::read_bookshelf_dir(p).map_err(|e| format!("{}: {e}", p.display())))
-        .collect::<Result<_, _>>()?;
+
+    // Read every bundle; a corrupt one becomes a failure row instead of
+    // sinking the whole batch.
+    let mut designs: Vec<Design> = Vec::with_capacity(bundles.len());
+    let mut failures: Vec<JobFailure> = Vec::new();
+    for p in &bundles {
+        let name = p
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        match parsers::read_bookshelf_dir(p) {
+            Ok(d) => designs.push(d),
+            Err(e) => {
+                println!("{name:<24} FAILED (parse): {e}");
+                failures.push(JobFailure {
+                    name,
+                    class: "parse",
+                    message: format!("{}: {e}", p.display()),
+                });
+            }
+        }
+    }
 
     let cfg = build_config(flags)?;
     let stages = stage_list(flags)?;
     let t = mclegal::obs::clock::Stopwatch::start();
     let mut engine = Engine::new(cfg.clone());
-    let results = engine
-        .legalize_batch_with(&designs, &stages, eco_flag(flags))
-        .map_err(|e| {
-            format!(
-                "design {} ({}): pre-placed cell {} not adoptable: {}",
-                e.design, designs[e.design].name, e.cell.0, e.error
-            )
-        })?;
+    let results = engine.try_legalize_batch_with(&designs, &stages, eco_flag(flags));
     let secs = t.elapsed_seconds();
 
     let report_dir = flags.get("report-dir").map(PathBuf::from);
     if let Some(rd) = &report_dir {
-        std::fs::create_dir_all(rd).map_err(|e| format!("--report-dir: {e}"))?;
+        std::fs::create_dir_all(rd)
+            .map_err(|e| CliError::Internal(format!("--report-dir: {e}")))?;
     }
-    for (placed, stats) in &results {
-        let check = Checker::new(placed).check();
-        println!(
-            "{:<24} {:>7} cells | {} failed | {} hard violations | score {:.4}",
-            placed.name,
-            placed.cells.len(),
-            stats.mgl.failed,
-            check.hard_violations(),
-            Metrics::measure(placed).contest_score(placed, &check)
-        );
-        if let Some(rd) = &report_dir {
-            let rep = mclegal::core::build_run_report(placed, stats, &cfg);
-            let full = rd.join(format!("{}.json", placed.name));
-            std::fs::write(&full, rep.to_json()).map_err(|e| e.to_string())?;
-            // The golden subset (quality + outcome, no timing) is the
-            // stable file: CI diffs it against `tests/goldens/`.
-            let golden = rd.join(format!("{}.golden.json", placed.name));
-            std::fs::write(&golden, format!("{}\n", rep.golden_json()))
-                .map_err(|e| e.to_string())?;
+    let mut succeeded = 0usize;
+    for (d, result) in designs.iter().zip(&results) {
+        match result {
+            Ok((placed, stats)) => {
+                succeeded += 1;
+                let check = Checker::new(placed).check();
+                println!(
+                    "{:<24} {:>7} cells | {} failed | {} hard violations | score {:.4}",
+                    placed.name,
+                    placed.cells.len(),
+                    stats.mgl.failed,
+                    check.hard_violations(),
+                    Metrics::measure(placed).contest_score(placed, &check)
+                );
+                if let Some(rd) = &report_dir {
+                    let rep = mclegal::core::build_run_report(placed, stats, &cfg);
+                    let full = rd.join(format!("{}.json", placed.name));
+                    std::fs::write(&full, rep.to_json())
+                        .map_err(|e| CliError::Internal(e.to_string()))?;
+                    // The golden subset (quality + outcome, no timing) is the
+                    // stable file: CI diffs it against `tests/goldens/`.
+                    let golden = rd.join(format!("{}.golden.json", placed.name));
+                    std::fs::write(&golden, format!("{}\n", rep.golden_json()))
+                        .map_err(|e| CliError::Internal(e.to_string()))?;
+                }
+            }
+            Err(e) => {
+                println!("{:<24} FAILED ({}): {e}", d.name, e.class().label());
+                failures.push(JobFailure {
+                    name: d.name.clone(),
+                    class: e.class().label(),
+                    message: e.to_string(),
+                });
+            }
         }
     }
+    if let Some(rd) = &report_dir {
+        for f in &failures {
+            let path = rd.join(format!("{}.failure.json", f.name));
+            std::fs::write(&path, format!("{}\n", failure_json(f)))
+                .map_err(|e| CliError::Internal(e.to_string()))?;
+        }
+    }
+    let jobs = results.len() as Dbu;
     println!(
-        "batch: {} designs in {secs:.2}s ({:.1} designs/s, {} worker pool spawn)",
-        results.len(),
-        results.len() as f64 / secs.max(1e-9),
+        "batch: {succeeded}/{} designs in {secs:.2}s ({:.1} designs/s, {} worker pool spawn)",
+        bundles.len(),
+        mclegal::db::geom::dbu_to_f64(jobs) / secs.max(1e-9),
         engine.diag().pool_spawns
     );
+    if !failures.is_empty() {
+        return Err(CliError::Infeasible(format!(
+            "{} of {} batch jobs failed",
+            failures.len(),
+            bundles.len()
+        )));
+    }
     Ok(())
 }
 
-fn cmd_check(flags: &Flags) -> Result<(), String> {
+fn cmd_check(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     let rep = Checker::new(&design).check();
     println!("hard violations : {}", rep.hard_violations());
@@ -431,28 +605,28 @@ fn cmd_check(flags: &Flags) -> Result<(), String> {
         println!("LEGAL");
         Ok(())
     } else {
-        Err("placement is not legal".into())
+        Err(CliError::Infeasible("placement is not legal".into()))
     }
 }
 
-fn cmd_score(flags: &Flags) -> Result<(), String> {
+fn cmd_score(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     print_report(&design);
     Ok(())
 }
 
-fn cmd_convert(flags: &Flags) -> Result<(), String> {
+fn cmd_convert(flags: &Flags) -> Result<(), CliError> {
     let design = load_design(flags)?;
     write_outputs(flags, &design)?;
     if let Some(dir) = flags.get("out") {
         parsers::write_bookshelf_dir(&design, Path::new(dir), &design.name)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Internal(e.to_string()))?;
         println!("wrote Bookshelf bundle to {dir}");
     }
     Ok(())
 }
 
-fn cmd_presets() -> Result<(), String> {
+fn cmd_presets() -> Result<(), CliError> {
     println!("iccad17 (Table 1):");
     for s in &presets::ICCAD17 {
         println!(
@@ -504,23 +678,25 @@ fn print_report(design: &Design) {
     println!("contest score S  : {:.4}", m.contest_score(design, &rep));
 }
 
-fn write_outputs(flags: &Flags, design: &Design) -> Result<(), String> {
+fn write_outputs(flags: &Flags, design: &Design) -> Result<(), CliError> {
     if let Some(p) = flags.get("out-pl") {
         let bundle = parsers::write_bookshelf(design);
-        std::fs::write(p, bundle.pl).map_err(|e| e.to_string())?;
+        std::fs::write(p, bundle.pl).map_err(|e| CliError::Internal(format!("{p}: {e}")))?;
         println!("wrote {p}");
     }
     if let Some(p) = flags.get("out-def") {
-        std::fs::write(p, parsers::write_def(design)).map_err(|e| e.to_string())?;
+        std::fs::write(p, parsers::write_def(design))
+            .map_err(|e| CliError::Internal(format!("{p}: {e}")))?;
         println!("wrote {p}");
     }
     if let Some(p) = flags.get("out-lef") {
-        std::fs::write(p, parsers::write_lef(design)).map_err(|e| e.to_string())?;
+        std::fs::write(p, parsers::write_lef(design))
+            .map_err(|e| CliError::Internal(format!("{p}: {e}")))?;
         println!("wrote {p}");
     }
     if let Some(p) = flags.get("svg") {
         std::fs::write(p, viz::render_svg(design, &viz::SvgOptions::default()))
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Internal(format!("{p}: {e}")))?;
         println!("wrote {p}");
     }
     Ok(())

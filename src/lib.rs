@@ -12,9 +12,11 @@
 //! - [`parsers`] — Bookshelf and LEF/DEF-lite I/O
 //! - [`gen`] — synthetic benchmark generation
 //! - [`obs`] — structured tracing, metrics and run reports
+//! - [`audit`] — clean-room legality auditor, certificates, replay verifier
 //! - [`viz`] — SVG plots
 
 #![forbid(unsafe_code)]
+pub use mcl_audit as audit;
 pub use mcl_baselines as baselines;
 pub use mcl_core as core;
 pub use mcl_db as db;

@@ -1,0 +1,437 @@
+//! Chaos suite: deterministic fault injection against the containment
+//! contract of DESIGN.md §11 (run with `--features faultinject`).
+//!
+//! The invariants pinned here, at 1/2/4 threads where thread count is part
+//! of the contract:
+//!
+//! 1. **No partial mutation** — a stage that fails (panic, allocation
+//!    failure, deadline) leaves the placement exactly as it found it; the
+//!    degradation rung (serial MGL, skip) then runs from that checkpoint.
+//! 2. **No lying reports** — an injected fault never produces a
+//!    `RunReport` that claims full success; the matching failure /
+//!    degradation rows are present.
+//! 3. **Blast-radius isolation** — in a batch of four, faults injected
+//!    into one job leave the other three jobs' golden reports
+//!    byte-identical to a fault-free batch, and (for 2/4 threads) to the
+//!    checked-in golden snapshots.
+//! 4. **Degradation costs quality, never legality** — every degraded
+//!    result passes the clean-room legality auditor.
+//! 5. **The harness itself is inert** — with `faultinject` compiled in but
+//!    no plan armed, replay logs stay bit-identical across thread counts.
+
+#![cfg(feature = "faultinject")]
+
+use mclegal::audit;
+use mclegal::core::insertion::InsertionScratch;
+use mclegal::core::pipeline::{self, FULL_PIPELINE};
+use mclegal::core::state::PlacementState;
+use mclegal::core::{
+    build_run_report, Engine, FailureClass, FaultPlan, FaultSite, LegalizeError, Legalizer,
+    LegalizerConfig,
+};
+use mclegal::db::prelude::*;
+use mclegal::gen::generate;
+use mclegal::gen::presets::golden_corpus;
+use std::fs;
+use std::path::PathBuf;
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// A messy multi-height design, large enough to drive several parallel
+/// scheduler rounds so mid-round faults hit half-committed state.
+fn messy_design(n: usize, seed: u64) -> Design {
+    let mut s = seed | 1;
+    let mut d = Design::new("chaos", Technology::example(), Rect::new(0, 0, 6000, 2700));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    d.add_cell_type(CellType::new("d", 30, 2));
+    d.add_cell_type(CellType::new("q", 40, 4));
+    for i in 0..n {
+        let t = (xorshift(&mut s) % 3) as u32;
+        let gp = Point::new(
+            (xorshift(&mut s) % 5900) as Dbu,
+            (xorshift(&mut s) % 2600) as Dbu,
+        );
+        d.add_cell(Cell::new(format!("c{i}"), CellTypeId(t), gp));
+    }
+    d
+}
+
+fn cfg_threads(threads: usize) -> LegalizerConfig {
+    let mut cfg = LegalizerConfig::contest();
+    cfg.threads = threads;
+    cfg.clamp_threads_to_hardware = false;
+    cfg
+}
+
+fn positions(d: &Design) -> Vec<Option<Point>> {
+    d.cells.iter().map(|c| c.pos).collect()
+}
+
+/// Every stage-boundary fault site for one stage.
+fn stage_sites(stage: &'static str) -> Vec<FaultSite> {
+    vec![
+        FaultSite::StagePanic { stage },
+        FaultSite::StageAlloc { stage },
+        FaultSite::StageDeadline { stage },
+    ]
+}
+
+/// Invariant 2: whatever single fault is injected, the run either fails
+/// with a typed error or returns a result whose report admits the fault —
+/// never a clean-looking success. Covers every site kind at every stage.
+#[test]
+fn injected_faults_never_claim_full_success() {
+    let d = messy_design(140, 0xBADC0DE);
+    let mut sites: Vec<FaultSite> = Vec::new();
+    for stage in ["mgl", "maxdisp", "fixed_order"] {
+        sites.extend(stage_sites(stage));
+    }
+    // Per-cell sites across the id range (including ids that the MGL order
+    // visits early, middle and late).
+    for cell in [0u32, 37, 71, 103, 139] {
+        sites.push(FaultSite::MglEval { cell });
+        sites.push(FaultSite::MglApply { cell });
+    }
+    for site in sites {
+        let cfg = {
+            let mut c = cfg_threads(2);
+            c.faults = Some(FaultPlan::new().arm_once(site.clone()).shared());
+            c
+        };
+        match Legalizer::new(cfg.clone()).try_run(&d) {
+            Ok((placed, stats)) => {
+                assert!(
+                    !stats.claims_full_success(),
+                    "{site:?}: faulted run claims full success"
+                );
+                let rep = build_run_report(&placed, &stats, &cfg);
+                assert!(
+                    !rep.claims_full_success(),
+                    "{site:?}: faulted report claims full success"
+                );
+                // Invariant 4: whatever rung was taken, the placed cells
+                // are legal under the clean-room auditor.
+                assert_eq!(
+                    audit::verify(&placed).placement_violations(),
+                    0,
+                    "{site:?}: degraded result is not legal"
+                );
+            }
+            Err(e) => {
+                // Terminal failure is an admissible outcome — but it must
+                // be typed, not a panic (the harness would have aborted).
+                let _ = e.class();
+            }
+        }
+    }
+}
+
+/// Invariant 1 (satellite: the no-partial-mutation property test). For any
+/// injected fault site that makes a stage fail terminally, the post-stage
+/// placement state is bit-identical to the pre-stage state: the parallel
+/// MGL attempt commits insertions before the fault fires, and every one of
+/// them must be rolled back.
+#[test]
+fn failed_stage_leaves_no_partial_mutation() {
+    let d = messy_design(120, 0x5EED);
+    let cfg_base = cfg_threads(2);
+    // A spread of per-cell apply faults plus whole-stage panics; persistent
+    // arming defeats the serial retry rung too, so the run fails terminally.
+    let mut sites: Vec<FaultSite> = vec![FaultSite::StagePanic { stage: "mgl" }];
+    for cell in [11u32, 42, 87, 119] {
+        sites.push(FaultSite::MglApply { cell });
+    }
+    for site in sites {
+        let mut cfg = cfg_base.clone();
+        cfg.faults = Some(FaultPlan::new().arm_persistent(site.clone()).shared());
+        let prep = pipeline::Prep::new(&d, &cfg);
+        let mut state = PlacementState::new(&d);
+        let before: Vec<Option<Point>> = d.cells.iter().map(|_| None).collect();
+        let mut scratch = InsertionScratch::new();
+        let r = pipeline::run_stages(
+            &d,
+            &mut state,
+            &cfg,
+            &FULL_PIPELINE,
+            &prep.weights,
+            prep.oracle(),
+            None,
+            &mut scratch,
+            "chaos",
+        );
+        let err = r.expect_err("persistent fault must exhaust the ladder");
+        assert!(
+            matches!(err, LegalizeError::StagePanicked { stage: "mgl", .. }),
+            "{site:?}: unexpected terminal error {err}"
+        );
+        let after: Vec<Option<Point>> = (0..d.cells.len())
+            .map(|i| state.pos(CellId(i as u32)))
+            .collect();
+        assert_eq!(
+            before, after,
+            "{site:?}: partial mutation escaped the failed stage"
+        );
+    }
+}
+
+/// Invariant 1, Ok-degraded flavor: a persistently panicking maxdisp stage
+/// takes the skip rung, and the result is bit-identical to a run that
+/// never enabled maxdisp — proof that the rollback restored exactly the
+/// pre-stage state before skipping. The emitted report carries the
+/// matching failure and degradation rows (satellite: report contract).
+#[test]
+fn skip_rung_equals_stage_disabled_and_is_reported() {
+    let d = messy_design(140, 0xD15EA5E);
+    for threads in [1usize, 2, 4] {
+        let mut faulted = cfg_threads(threads);
+        faulted.faults = Some(
+            FaultPlan::new()
+                .arm_persistent(FaultSite::StagePanic { stage: "maxdisp" })
+                .shared(),
+        );
+        let (placed_f, stats_f) = Legalizer::new(faulted.clone())
+            .try_run(&d)
+            .expect("skip rung absorbs the fault");
+        let mut disabled = cfg_threads(threads);
+        disabled.max_disp_matching = false;
+        let (placed_d, _) = Legalizer::new(disabled).try_run(&d).expect("clean run");
+        assert_eq!(
+            positions(&placed_f),
+            positions(&placed_d),
+            "threads={threads}: skip rung diverged from a disabled stage"
+        );
+        assert_eq!(stats_f.degradations.len(), 1);
+        assert_eq!(stats_f.degradations[0].stage, "maxdisp");
+        assert_eq!(stats_f.degradations[0].rung, "skip");
+        let rep = build_run_report(&placed_f, &stats_f, &faulted);
+        assert!(rep
+            .failures
+            .iter()
+            .any(|f| f.stage == "maxdisp" && f.class == "degradable"));
+        assert!(rep
+            .degradations
+            .iter()
+            .any(|x| x.stage == "maxdisp" && x.rung == "skip"));
+        assert!(!rep.claims_full_success());
+        assert_eq!(audit::verify(&placed_f).placement_violations(), 0);
+    }
+}
+
+/// A one-shot mgl stage panic is absorbed by the serial rung: the run
+/// succeeds, records the `serial` degradation, and the result is
+/// bit-identical to a straight serial (threads = 1) run — the rung really
+/// is the declared fallback algorithm, not some third behavior.
+#[test]
+fn serial_rung_equals_serial_algorithm() {
+    let d = messy_design(140, 0xFEED);
+    let mut faulted = cfg_threads(4);
+    faulted.faults = Some(
+        FaultPlan::new()
+            .arm_once(FaultSite::StagePanic { stage: "mgl" })
+            .shared(),
+    );
+    let (placed_f, stats_f) = Legalizer::new(faulted)
+        .try_run(&d)
+        .expect("serial rung absorbs a one-shot stage panic");
+    assert_eq!(stats_f.degradations.len(), 1);
+    assert_eq!(stats_f.degradations[0].stage, "mgl");
+    assert_eq!(stats_f.degradations[0].rung, "serial");
+    let (placed_s, _) = Legalizer::new(cfg_threads(1)).try_run(&d).expect("serial");
+    assert_eq!(positions(&placed_f), positions(&placed_s));
+    assert_eq!(audit::verify(&placed_f).placement_violations(), 0);
+}
+
+/// Quarantine: a cell whose evaluation keeps failing past the retry budget
+/// is left unplaced with a typed failure row, deterministically across
+/// thread counts that share the parallel algorithm.
+#[test]
+fn quarantine_is_deterministic_and_reported() {
+    let d = messy_design(120, 0xACE);
+    let victim = 57u32;
+    let run = |threads: usize| {
+        let mut cfg = cfg_threads(threads);
+        cfg.faults = Some(
+            FaultPlan::new()
+                .arm_persistent(FaultSite::MglEval { cell: victim })
+                .shared(),
+        );
+        let (placed, stats) = Legalizer::new(cfg.clone())
+            .try_run(&d)
+            .expect("quarantine is contained");
+        (placed, stats, cfg)
+    };
+    let (p2, s2, cfg2) = run(2);
+    assert_eq!(s2.mgl.quarantined, 1);
+    assert!(s2.mgl.retries >= 1);
+    assert!(
+        p2.cells[victim as usize].pos.is_none(),
+        "victim not quarantined"
+    );
+    let rep = build_run_report(&p2, &s2, &cfg2);
+    assert!(
+        rep.failures.iter().any(|f| f.stage == "mgl"
+            && f.class == FailureClass::Retryable.label()
+            && f.message.contains(&format!("cell {victim}"))),
+        "missing quarantine failure row: {:?}",
+        rep.failures
+    );
+    assert!(!rep.claims_full_success());
+    // Everything that did place is legal.
+    assert_eq!(audit::verify(&p2).placement_violations(), 0);
+    // Bit-identical containment at another thread count.
+    let (p4, s4, _) = run(4);
+    assert_eq!(positions(&p2), positions(&p4));
+    assert_eq!(s2.mgl.quarantined, s4.mgl.quarantined);
+    assert_eq!(s2.mgl.failures, s4.mgl.failures);
+}
+
+/// The deadline ladder: an exhausted budget at every boundary takes the
+/// declared rung per stage — serial MGL, skip maxdisp, skip refine — and
+/// still yields a certified-legal placement.
+#[test]
+fn exhausted_deadline_takes_declared_ladder() {
+    let d = messy_design(120, 0x70FF);
+    let mut cfg = cfg_threads(2);
+    cfg.stage_budget_secs = Some(0.0);
+    let (placed, stats) = Legalizer::new(cfg.clone())
+        .try_run(&d)
+        .expect("the ladder absorbs an exhausted budget");
+    let rungs: Vec<(&str, &str)> = stats
+        .degradations
+        .iter()
+        .map(|x| (x.stage, x.rung))
+        .collect();
+    assert_eq!(
+        rungs,
+        vec![
+            ("mgl", "serial"),
+            ("maxdisp", "skip"),
+            ("fixed_order", "skip")
+        ]
+    );
+    assert_eq!(stats.failures.len(), 3, "one deadline row per stage");
+    let rep = build_run_report(&placed, &stats, &cfg);
+    assert!(!rep.claims_full_success());
+    assert_eq!(audit::verify(&placed).placement_violations(), 0);
+    // The degraded result is exactly the serial-MGL-only placement.
+    let mut serial_only = cfg_threads(1);
+    serial_only.max_disp_matching = false;
+    serial_only.fixed_order_refine = false;
+    let (placed_s, _) = Legalizer::new(serial_only).try_run(&d).expect("clean");
+    assert_eq!(positions(&placed), positions(&placed_s));
+}
+
+/// Invariant 3 (the acceptance criterion): with faults injected into any
+/// one job of a batch of four, the other three jobs' golden reports are
+/// byte-identical to a fault-free batch at 1/2/4 threads — and, at the
+/// snapshot thread counts (2/4, which share the parallel algorithm), to
+/// the checked-in goldens.
+#[test]
+fn batch_survivors_are_byte_identical_to_goldens() {
+    let presets = golden_corpus();
+    let designs: Vec<Design> = presets
+        .iter()
+        .map(|c| {
+            generate(c)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.name))
+                .design
+        })
+        .collect();
+    for threads in [1usize, 2, 4] {
+        let cfg = cfg_threads(threads);
+        // Fault-free baseline at this thread count.
+        let mut engine = Engine::new(cfg.clone());
+        let baseline: Vec<String> = engine
+            .try_legalize_batch(&designs)
+            .into_iter()
+            .map(|r| {
+                let (placed, stats) = r.expect("fault-free baseline must succeed");
+                build_run_report(&placed, &stats, &cfg).golden_json()
+            })
+            .collect();
+        // The parallel algorithm (threads >= 2) is pinned by the
+        // checked-in snapshots, modulo the threads field.
+        if threads >= 2 {
+            for (d, json) in designs.iter().zip(&baseline) {
+                let snap = fs::read_to_string(golden_path(&d.name))
+                    .unwrap_or_else(|e| panic!("{}: {e}", d.name));
+                assert_eq!(
+                    snap.trim_end().replace("\"threads\":2", "\"threads\":0"),
+                    json.replace(&format!("\"threads\":{threads}"), "\"threads\":0"),
+                    "{}: baseline drifted from checked-in golden",
+                    d.name
+                );
+            }
+        }
+        // Poison each job in turn, two ways: terminally (persistent mgl
+        // panic beats the serial rung too) and degradably (maxdisp skip).
+        for victim in 0..designs.len() {
+            for terminal in [true, false] {
+                let mut faulted = cfg.clone();
+                let stage = if terminal { "mgl" } else { "maxdisp" };
+                faulted.faults = Some(
+                    FaultPlan::new()
+                        .for_design(&designs[victim].name)
+                        .arm_persistent(FaultSite::StagePanic { stage })
+                        .shared(),
+                );
+                let mut engine = Engine::new(faulted.clone());
+                let results = engine.try_legalize_batch(&designs);
+                for (i, r) in results.iter().enumerate() {
+                    if i == victim {
+                        if terminal {
+                            let e = r.as_ref().expect_err("victim must fail terminally");
+                            assert!(matches!(
+                                e,
+                                LegalizeError::StagePanicked { stage: "mgl", .. }
+                            ));
+                        } else {
+                            let (placed, stats) =
+                                r.as_ref().expect("degradable victim must survive");
+                            assert!(!stats.claims_full_success());
+                            assert_eq!(audit::verify(placed).placement_violations(), 0);
+                        }
+                        continue;
+                    }
+                    let (placed, stats) = r.as_ref().expect("survivor must succeed");
+                    let json = build_run_report(placed, stats, &faulted).golden_json();
+                    assert_eq!(
+                        json, baseline[i],
+                        "threads={threads} victim={victim} terminal={terminal}: \
+                         survivor {} diverged from the fault-free batch",
+                        designs[i].name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Invariant 5: compiling the harness in (probes present, no plan armed)
+/// must not perturb the run — replay logs stay bit-identical across the
+/// parallel thread counts, and positions match the serial contract too.
+#[test]
+fn fault_free_replay_logs_invariant_across_threads() {
+    let d = messy_design(160, 0xC0FFEE);
+    let run = |threads: usize| {
+        let cfg = cfg_threads(threads);
+        Legalizer::new(cfg)
+            .try_run_with_replay(&d)
+            .expect("fault-free run")
+    };
+    let (p2, _, log2) = run(2);
+    let (p4, _, log4) = run(4);
+    assert_eq!(log2, log4, "replay logs diverged across thread counts");
+    assert_eq!(positions(&p2), positions(&p4));
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(format!("{name}.json"))
+}

@@ -2,7 +2,7 @@
 //!
 //! Currently one task: `lint`, the custom static-analysis pass described in
 //! DESIGN.md ("Verification architecture"). It enforces four rules over the
-//! library crates (`crates/*/src`):
+//! library crates (`crates/*/src`) and the facade/CLI sources (`src/`):
 //!
 //! 1. `unwrap` — no `.unwrap()` / `.expect(` outside test code;
 //! 2. `float-cast` — no bare `as` float↔int casts outside `db::geom`;
@@ -42,7 +42,8 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-/// Collects every `.rs` file under `crates/*/src`, workspace-relative.
+/// Collects every `.rs` file under `crates/*/src` and the root `src/`
+/// (facade library + CLI binary), workspace-relative.
 fn library_sources(root: &Path) -> Vec<String> {
     let mut out = Vec::new();
     let crates_dir = root.join("crates");
@@ -54,6 +55,10 @@ fn library_sources(root: &Path) -> Vec<String> {
         if src.is_dir() {
             walk(&src, root, &mut out);
         }
+    }
+    let facade_src = root.join("src");
+    if facade_src.is_dir() {
+        walk(&facade_src, root, &mut out);
     }
     out.sort();
     out
