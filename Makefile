@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test fmt clippy lint audit chaos check bench-json tables
+.PHONY: build test fmt clippy lint audit chaos check bench-json bench-batch tables
 
 build:
 	cargo build --release
@@ -41,6 +41,14 @@ check: build test fmt clippy lint audit chaos
 # Regenerate BENCH_mgl.json (cells/s at 1/2/4/8 threads, seed scheduler vs
 # current). Knobs: MCL_BENCH_CELLS, MCL_BENCH_DENSITY_PCT, MCL_BENCH_REPS.
 bench-json:
+	cargo run --release -p mcl-bench --bin speedup
+
+# Batch-scheduler throughput (DESIGN.md §12): the `batch` section of
+# BENCH_mgl.json — engine vs sequential solo on 16 small designs at
+# 1/2/4/8 threads, plus one throttled-admission interleaved run, with
+# per-thread-count bit-identity asserted. Knobs: MCL_BENCH_BATCH,
+# MCL_BENCH_BATCH_CELLS, MCL_BENCH_BATCH_DENSITY_PCT, MCL_BENCH_REPS.
+bench-batch:
 	cargo run --release -p mcl-bench --bin speedup
 
 # Paper tables/figures (MCL_SCALE scales cell counts, default 0.05).

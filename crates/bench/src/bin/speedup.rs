@@ -17,10 +17,14 @@
 //! (DESIGN.md §9); the per-stage wall-time breakdown of that run is
 //! always written to `BENCH_mgl.json` under `stage_breakdown`.
 //!
-//! A batch-throughput comparison (`MCL_BENCH_BATCH` design variants,
-//! default 6, through one shared `Engine` vs per-design `Legalizer::run`)
-//! is written under `batch`; outputs are asserted bit-identical, so the
-//! delta is pure setup amortization.
+//! A batch-throughput comparison (`MCL_BENCH_BATCH` small sparse design
+//! variants, default 16 × `MCL_BENCH_BATCH_CELLS` (40) cells at
+//! `MCL_BENCH_BATCH_DENSITY_PCT` (25), through one shared `Engine`'s
+//! cross-design batch scheduler vs sequential per-design `Legalizer::run`,
+//! at 1/2/4/8 threads) is written under `batch`, with `designs_per_sec`
+//! and `engine_speedup` per thread count plus one throttled-admission run
+//! exercising the shared-worker interleaving. Outputs are asserted
+//! bit-identical per thread count, so every ratio is pure scheduling.
 
 use mcl_core::config::LegalizerConfig;
 use mcl_core::insertion::{CostModel, Insertion};
@@ -320,44 +324,127 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
 
-    // Batch throughput: several smaller design variants through one shared
-    // Engine (one pool spawn, reused scratch) vs one Legalizer::run per
-    // design. Bit-identity is asserted, so the ratio is pure setup/teardown
-    // amortization plus pool reuse.
-    let batch_n = env_usize("MCL_BENCH_BATCH", 6);
-    let batch_cells = (n_cells / 4).max(200);
+    // Batch throughput: `MCL_BENCH_BATCH` design variants through one
+    // shared Engine (cross-design batch scheduler, DESIGN.md §12) vs one
+    // sequential `Legalizer::run` per design, at each thread count.
+    // Bit-identity between the two is asserted per thread count, so the
+    // ratio is pure scheduling: the batch runs designs on runner threads
+    // with no per-design pool spawn, replica clone or round-sync traffic.
+    // The batch workload is many small, sparse designs — the regime batch
+    // scheduling exists for: per-design runtime is short, so the solo
+    // column's fixed costs (pool spawn, replica clones, round sync) are a
+    // large fraction of each run. Density is a separate knob from the main
+    // sweep's because the two sections measure different things.
+    let batch_n = env_usize("MCL_BENCH_BATCH", 16);
+    let batch_cells = env_usize("MCL_BENCH_BATCH_CELLS", 40);
+    let batch_density_pct = env_usize("MCL_BENCH_BATCH_DENSITY_PCT", 25) as Dbu;
+    let batch_density = mcl_db::geom::dbu_to_f64(batch_density_pct) / 100.0;
     let variants: Vec<Design> = (0..batch_n)
-        .map(|i| dense_design(batch_cells, density, seed.wrapping_add(1 + i as u64)))
+        .map(|i| dense_design(batch_cells, batch_density, seed.wrapping_add(1 + i as u64)))
         .collect();
-    let (solo_s, solo_pos) = time_best(reps, || {
-        variants
-            .iter()
-            .flat_map(|d| {
-                let (placed, stats) = Legalizer::new(pcfg.clone()).run(d);
-                assert_eq!(stats.mgl.failed, 0, "solo run failed cells");
-                placed.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
-            })
-            .collect()
-    });
-    let mut pool_spawns = 0u64;
-    let (batch_s, batch_pos) = time_best(reps, || {
-        let mut engine = Engine::new(pcfg.clone());
-        let results = engine.legalize_batch(&variants);
-        pool_spawns = engine.diag().pool_spawns;
-        results
+    // MGL-only, production window-list capacity: the batch scheduler moves
+    // MGL rounds between threads; stages 2/3 are serial and identical in
+    // both columns, so including them would only dilute the measured ratio
+    // (the main sweep above is MGL-only for the same reason).
+    let batch_cfg = {
+        let mut c = LegalizerConfig::total_displacement();
+        c.max_disp_matching = false;
+        c.fixed_order_refine = false;
+        c.clamp_threads_to_hardware = false;
+        c
+    };
+    println!("\n# batch — {batch_n} designs x {batch_cells} cells, engine vs sequential solo");
+    println!(
+        "| {:>7} | {:>10} | {:>10} {:>12} | {:>7} |",
+        "threads", "solo s", "engine s", "designs/sec", "speedup"
+    );
+    let mut batch_rows = String::new();
+    let mut batch_speedup4 = f64::NAN;
+    for &threads in &[1usize, 2, 4, 8] {
+        let mut bc = batch_cfg.clone();
+        bc.threads = threads;
+        let (solo_s, solo_pos) = time_best(reps, || {
+            variants
+                .iter()
+                .flat_map(|d| {
+                    let (placed, stats) = Legalizer::new(bc.clone()).run(d);
+                    assert_eq!(stats.mgl.failed, 0, "solo run failed cells");
+                    placed.cells.iter().map(|c| c.pos).collect::<Vec<_>>()
+                })
+                .collect()
+        });
+        let (batch_s, batch_pos) = time_best(reps, || {
+            let mut engine = Engine::new(bc.clone());
+            engine
+                .legalize_batch(&variants)
+                .iter()
+                .flat_map(|(placed, _)| placed.cells.iter().map(|c| c.pos))
+                .collect()
+        });
+        assert_eq!(
+            solo_pos, batch_pos,
+            "engine batch must match per-design runs bit-identically at {threads} threads"
+        );
+        let n_dbu = batch_n as Dbu;
+        let designs_per_sec = mcl_db::geom::dbu_to_f64(n_dbu) / batch_s;
+        let batch_speedup = solo_s / batch_s;
+        if threads == 4 {
+            batch_speedup4 = batch_speedup;
+        }
+        println!(
+            "| {threads:>7} | {solo_s:>10.3} | {batch_s:>10.3} {designs_per_sec:>12.1} | {batch_speedup:>6.2}x |"
+        );
+        batch_rows.push_str(&format!(
+            "      {{\"threads\": {threads}, \"solo_seconds\": {solo_s:.6}, \
+             \"engine_seconds\": {batch_s:.6}, \"designs_per_sec\": {designs_per_sec:.1}, \
+             \"engine_speedup\": {batch_speedup:.3}}},\n"
+        ));
+    }
+    let batch_rows = batch_rows.trim_end_matches(",\n").to_string();
+
+    // The shared-worker regime: throttled admission (4 threads, 2 designs
+    // in flight) leaves 2 eval workers interleaving both runners' rounds.
+    // Still bit-identical; `cross_design_steals` > 0 shows the work
+    // conservation actually engaged.
+    let mut icfg = batch_cfg.clone();
+    icfg.threads = 4;
+    icfg.max_inflight_designs = 2;
+    let mut steals = 0u64;
+    let (inter_s, inter_pos) = time_best(reps, || {
+        let mut engine = Engine::new(icfg.clone());
+        let out = engine
+            .legalize_batch(&variants)
             .iter()
             .flat_map(|(placed, _)| placed.cells.iter().map(|c| c.pos))
-            .collect()
+            .collect();
+        steals = steals.max(engine.diag().cross_design_steals);
+        out
     });
-    assert_eq!(
-        solo_pos, batch_pos,
-        "engine batch must match per-design runs bit-identically"
-    );
-    assert_eq!(pool_spawns, 1, "engine batch must share one worker pool");
-    let batch_speedup = solo_s / batch_s;
+    {
+        let mut bc = batch_cfg.clone();
+        bc.threads = 4;
+        let solo_pos: Vec<Option<Point>> = variants
+            .iter()
+            .flat_map(|d| {
+                Legalizer::new(bc.clone())
+                    .run(d)
+                    .0
+                    .cells
+                    .iter()
+                    .map(|c| c.pos)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(
+            solo_pos, inter_pos,
+            "interleaved batch must match per-design runs bit-identically"
+        );
+    }
+    let inter_n = batch_n as Dbu;
+    let inter_rate = mcl_db::geom::dbu_to_f64(inter_n) / inter_s;
     println!(
-        "batch ({batch_n} x {batch_cells} cells, 4 threads): solo {solo_s:.3}s, \
-         engine {batch_s:.3}s, {batch_speedup:.2}x"
+        "batch interleaved (4 threads, max-inflight 2): {inter_s:.3}s, \
+         {inter_rate:.1} designs/sec, {steals} cross-design steals"
     );
 
     let json =
@@ -371,8 +458,10 @@ fn main() {
          \"new_at_4_vs_seed_at_1\": {cross:.3},\n  \
          \"stage_breakdown\": {{{breakdown}}},\n  \
          \"batch\": {{\"designs\": {batch_n}, \"cells_per_design\": {batch_cells}, \
-         \"solo_seconds\": {solo_s:.6}, \"engine_seconds\": {batch_s:.6}, \
-         \"engine_speedup\": {batch_speedup:.3}}}\n}}\n",
+         \"density\": {batch_density}, \
+         \"engine_speedup_at_4_threads\": {batch_speedup4:.3}, \
+         \"interleaved_seconds\": {inter_s:.6}, \
+         \"cross_design_steals\": {steals},\n    \"results\": [\n{batch_rows}\n    ]}}\n}}\n",
         cross = seed1 / new4,
         cap = cfg.window_list_capacity,
     );

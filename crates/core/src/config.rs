@@ -102,6 +102,13 @@ pub struct LegalizerConfig {
     /// context switches, so this defaults to on; tests disable it to
     /// exercise the worker pool regardless of the host's core count.
     pub clamp_threads_to_hardware: bool,
+    /// Admission bound for `Engine` batch calls: how many designs may be
+    /// in flight at once (0 = auto, meaning `threads`). Each in-flight
+    /// design gets a runner thread out of the `threads` budget; leftover
+    /// threads become shared eval workers that interleave rounds from all
+    /// in-flight designs. Memory scales with in-flight work, never batch
+    /// size, and per-design results are identical for any value.
+    pub max_inflight_designs: usize,
     /// Capacity of the concurrent-window list `L_p` (§3.5). Determinism is
     /// per capacity value; small capacities track the sequential schedule
     /// closely (capacity 1 reproduces it exactly), large ones admit more
@@ -206,6 +213,7 @@ impl Default for LegalizerConfig {
             n0_factor: 4,
             threads: 1,
             clamp_threads_to_hardware: true,
+            max_inflight_designs: 0,
             window_list_capacity: 8,
             stage_budget_secs: None,
             fault_retry_budget: 1,

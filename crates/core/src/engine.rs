@@ -2,37 +2,71 @@
 //!
 //! [`Legalizer`](crate::Legalizer) is stateless: every call pays full setup
 //! (thread spawn, scratch-arena growth) again. The [`Engine`] owns that
-//! state instead — one [`InsertionScratch`] and, for the whole of a batch
-//! call, one persistent [`EvalPool`] of worker threads — and runs each
-//! design through the same [`crate::pipeline`] driver. Results are
-//! bit-identical to the equivalent [`Legalizer`](crate::Legalizer) calls
-//! (pinned by the golden corpus); only the setup cost is amortized.
+//! state instead — a small pool of [`InsertionScratch`] arenas and, for the
+//! whole of a batch call, one shared [`EvalPool`] of worker threads — and
+//! runs each design through the same [`crate::pipeline`] driver. Results
+//! are bit-identical to the equivalent [`Legalizer`](crate::Legalizer)
+//! calls (pinned by the golden corpus); only the setup cost is amortized.
+//!
+//! ## Batch scheduling
+//!
+//! A batch call splits `config.threads` into **runners** and **workers**
+//! (DESIGN.md §12). Runners pull whole designs off a shared cursor —
+//! bounded admission: at most `max_inflight_designs` designs are in flight,
+//! so memory scales with in-flight work, never batch size — and each drives
+//! its design's rounds to completion. Leftover threads become shared
+//! [`EvalPool`] workers serving *all* in-flight designs at once: eval jobs
+//! from different designs interleave freely (work conservation — no worker
+//! idles while any design has runnable jobs). When the batch is at least as
+//! wide as the thread budget, every thread is a runner and designs run
+//! inline with zero cross-thread round traffic — the engine's throughput
+//! lever over per-design solo runs, which pay replica clones, apply
+//! replays and round synchronization on every design.
+//!
+//! Determinism is per design: selection, retry and apply order are decided
+//! by each design's own runner, so outputs, replay logs and reports are
+//! bit-identical to solo runs at any thread count, any admission bound and
+//! any batch composition (pinned by `tests/batch_parity.rs`).
 //!
 //! Buffer-reuse contract (asserted by tests via [`EngineDiag`] and the
 //! scratch `created` counter): within one [`Engine::legalize_batch`] call,
-//! exactly one pool is spawned (`threads − 1` workers), and every scratch —
-//! the coordinator's and each worker's — is constructed at most once for
-//! the engine's lifetime.
+//! at most one pool is spawned, and every scratch — one per runner plus one
+//! per worker — is constructed at most once for the engine's lifetime.
 
 use crate::config::LegalizerConfig;
 use crate::error::LegalizeError;
 use crate::insertion::InsertionScratch;
 use crate::legalizer::LegalizeStats;
-use crate::pipeline::{self, includes_mgl, Prep, Stage, FULL_PIPELINE, POST_PIPELINE};
-use crate::scheduler::EvalPool;
+use crate::pipeline::{self, includes_mgl, MglExec, Prep, Stage, FULL_PIPELINE, POST_PIPELINE};
+use crate::scheduler::{EvalPool, PoolClient};
 use crate::state::{PlaceError, PlacementState};
 use mcl_db::prelude::*;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
-/// Setup-cost counters for asserting the engine's reuse contract.
+/// Setup-cost and scheduling counters for asserting the engine's reuse
+/// contract and observing cross-design work conservation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineDiag {
     /// Pipeline runs driven by this engine (one per design).
     pub runs: u64,
-    /// Worker pools spawned ([`Engine::legalize_batch`] spawns one per
-    /// *call*, not per design; single-design calls spawn one per call too).
+    /// Shared worker pools spawned. A batch call spawns **at most one**
+    /// pool for its whole lifetime — and only when threads are left over
+    /// after admission (`threads` exceeds the runner count); a batch whose
+    /// every thread is a design runner spawns none. Single-design calls
+    /// spawn one per call when `threads > 1`.
     pub pool_spawns: u64,
-    /// Total worker threads spawned across all pools.
+    /// Total shared eval worker threads spawned across all pools.
     pub worker_spawns: u64,
+    /// Runner threads spawned by batch calls. The calling thread doubles
+    /// as runner 0 and is not counted, so a batch at `R` in-flight designs
+    /// adds `R − 1`.
+    pub runner_spawns: u64,
+    /// Rounds in which a shared pool worker switched designs: incremented
+    /// when a worker claims at least one eval job from a different design
+    /// than the one it last served. Nonzero means cross-design work
+    /// conservation actually happened.
+    pub cross_design_steals: u64,
 }
 
 /// A seed error from a position-adopting batch run: design `design` could
@@ -45,6 +79,17 @@ pub struct BatchSeedError {
     pub cell: CellId,
     /// Why adoption failed.
     pub error: PlaceError,
+}
+
+/// One batch job's successful output.
+type BatchItem = (Design, LegalizeStats, mcl_audit::ReplayLog);
+
+/// One design's seed-in / result-out cell. Each slot is claimed by exactly
+/// one runner (via the shared admission cursor), so the lock is always
+/// uncontended; it exists to let runners write results without aliasing.
+struct Slot<'d> {
+    seed: Option<PlacementState<'d>>,
+    out: Option<Result<BatchItem, LegalizeError>>,
 }
 
 /// A reusable legalization engine: configuration plus long-lived scratch.
@@ -72,7 +117,9 @@ pub struct BatchSeedError {
 #[derive(Debug)]
 pub struct Engine {
     config: LegalizerConfig,
-    scratch: InsertionScratch,
+    /// Runner scratch arenas, grown lazily to the batch runner count and
+    /// reused across calls (index 0 doubles as the solo-path scratch).
+    scratches: Vec<InsertionScratch>,
     diag: EngineDiag,
 }
 
@@ -91,7 +138,7 @@ impl Engine {
         }
         Self {
             config,
-            scratch: InsertionScratch::new(),
+            scratches: vec![InsertionScratch::new()],
             diag: EngineDiag::default(),
         }
     }
@@ -108,6 +155,18 @@ impl Engine {
 
     fn pool_workers(&self) -> usize {
         self.config.threads - 1
+    }
+
+    /// How many runner threads a batch of `n` designs gets: the admission
+    /// bound (`config.max_inflight_designs`, 0 = auto meaning `threads`),
+    /// clamped to the thread budget and the batch size. The remaining
+    /// `threads − runners` threads become shared eval workers.
+    pub fn batch_runners(&self, n: usize) -> usize {
+        let limit = match self.config.max_inflight_designs {
+            0 => self.config.threads,
+            m => m,
+        };
+        limit.min(self.config.threads).min(n.max(1)).max(1)
     }
 
     /// Legalizes one design from scratch (the engine twin of
@@ -217,9 +276,10 @@ impl Engine {
         Ok((out, stats))
     }
 
-    /// Legalizes a batch of designs from scratch through one shared worker
-    /// pool and one shared coordinator scratch. Output is bit-identical to
-    /// calling [`Self::legalize`] per design; only setup is amortized.
+    /// Legalizes a batch of designs from scratch, interleaving up to
+    /// [`Self::batch_runners`] designs on the thread budget. Output is
+    /// bit-identical to calling [`Self::legalize`] per design; only the
+    /// per-design overhead is eliminated.
     pub fn legalize_batch(&mut self, designs: &[Design]) -> Vec<(Design, LegalizeStats)> {
         match self.legalize_batch_with(designs, &FULL_PIPELINE, false) {
             Ok(results) => results,
@@ -257,13 +317,13 @@ impl Engine {
         adopt_positions: bool,
     ) -> Result<Vec<(Design, LegalizeStats)>, BatchSeedError> {
         let adopt = adopt_positions || !includes_mgl(stages);
-        // Prepare weights/oracles and seed every state up-front: seed errors
-        // surface before any work is done, and the prepared borrows outlive
-        // the pool scope below.
+        // Seed every state up-front so seed errors surface before any work
+        // is done (the fault-isolating path seeds per job instead).
         let preps: Vec<Prep<'_>> = designs.iter().map(|d| Prep::new(d, &self.config)).collect();
-        let mut states: Vec<PlacementState<'_>> = Vec::with_capacity(designs.len());
+        let mut seeds: Vec<Result<PlacementState<'_>, LegalizeError>> =
+            Vec::with_capacity(designs.len());
         for (i, d) in designs.iter().enumerate() {
-            states.push(if adopt {
+            seeds.push(Ok(if adopt {
                 PlacementState::from_design_positions(d).map_err(|(cell, error)| {
                     BatchSeedError {
                         design: i,
@@ -273,50 +333,25 @@ impl Engine {
                 })?
             } else {
                 PlacementState::new(d)
-            });
+            }));
         }
-
-        let workers = self.pool_workers();
-        let Self {
-            config,
-            scratch,
-            diag,
-        } = self;
-        let mut results = Vec::with_capacity(designs.len());
-        if workers == 0 {
-            for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
-                diag.runs += 1;
-                results.push(
-                    Self::batch_run_one(config, scratch, stages, d, prep, state, None)
-                        .unwrap_or_else(|e| {
-                            panic!("batch legalization of `{}` failed: {e}", d.name)
-                        }),
-                );
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let pool = EvalPool::spawn(scope, workers);
-                diag.pool_spawns += 1;
-                diag.worker_spawns += workers as u64;
-                for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
-                    diag.runs += 1;
-                    results.push(
-                        Self::batch_run_one(config, scratch, stages, d, prep, state, Some(&pool))
-                            .unwrap_or_else(|e| {
-                                panic!("batch legalization of `{}` failed: {e}", d.name)
-                            }),
-                    );
-                }
-            });
-        }
-        Ok(results)
+        let out = self
+            .run_batch(designs, &preps, seeds, stages)
+            .into_iter()
+            .zip(designs)
+            .map(|(r, d)| match r {
+                Ok((out, stats, _)) => (out, stats),
+                Err(e) => panic!("batch legalization of `{}` failed: {e}", d.name),
+            })
+            .collect();
+        Ok(out)
     }
 
     /// Fault-isolating batch entry point: every design gets its own
     /// [`Result`]. One job exhausting its degradation ladder (or failing to
-    /// seed) does not abort the batch — the remaining jobs still run on the
-    /// shared pool, and their outputs are bit-identical to fault-free solo
-    /// runs (pinned by the chaos suite).
+    /// seed) does not abort the batch — the remaining jobs still run, and
+    /// their outputs are bit-identical to fault-free solo runs (pinned by
+    /// the chaos suite, including under cross-design interleaving).
     pub fn try_legalize_batch(
         &mut self,
         designs: &[Design],
@@ -334,9 +369,25 @@ impl Engine {
         stages: &[&dyn Stage],
         adopt_positions: bool,
     ) -> Vec<Result<(Design, LegalizeStats), LegalizeError>> {
+        self.try_legalize_batch_with_replay(designs, stages, adopt_positions)
+            .into_iter()
+            .map(|r| r.map(|(d, s, _)| (d, s)))
+            .collect()
+    }
+
+    /// Like [`Self::try_legalize_batch_with`], additionally returning each
+    /// successful job's replay log — the batch twin of
+    /// [`Self::legalize_with_replay`], used by the batch-parity suite to
+    /// pin per-design replay logs against solo runs.
+    pub fn try_legalize_batch_with_replay(
+        &mut self,
+        designs: &[Design],
+        stages: &[&dyn Stage],
+        adopt_positions: bool,
+    ) -> Vec<Result<BatchItem, LegalizeError>> {
         let adopt = adopt_positions || !includes_mgl(stages);
         let preps: Vec<Prep<'_>> = designs.iter().map(|d| Prep::new(d, &self.config)).collect();
-        let mut states: Vec<Result<PlacementState<'_>, LegalizeError>> = designs
+        let seeds: Vec<Result<PlacementState<'_>, LegalizeError>> = designs
             .iter()
             .map(|d| {
                 if adopt {
@@ -351,81 +402,114 @@ impl Engine {
                 }
             })
             .collect();
-
-        let workers = self.pool_workers();
-        let Self {
-            config,
-            scratch,
-            diag,
-        } = self;
-        let mut results = Vec::with_capacity(designs.len());
-        if workers == 0 {
-            for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
-                match state {
-                    Ok(state) => {
-                        diag.runs += 1;
-                        results.push(Self::batch_run_one(
-                            config, scratch, stages, d, prep, state, None,
-                        ));
-                    }
-                    Err(e) => results.push(Err(e.clone())),
-                }
-            }
-        } else {
-            std::thread::scope(|scope| {
-                let pool = EvalPool::spawn(scope, workers);
-                diag.pool_spawns += 1;
-                diag.worker_spawns += workers as u64;
-                for ((d, prep), state) in designs.iter().zip(&preps).zip(states.iter_mut()) {
-                    match state {
-                        Ok(state) => {
-                            diag.runs += 1;
-                            results.push(Self::batch_run_one(
-                                config,
-                                scratch,
-                                stages,
-                                d,
-                                prep,
-                                state,
-                                Some(&pool),
-                            ));
-                        }
-                        Err(e) => results.push(Err(e.clone())),
-                    }
-                }
-            });
-        }
-        results
+        self.run_batch(designs, &preps, seeds, stages)
     }
 
-    /// Runs one batch member through the pipeline and writes its output
-    /// design. A free function (not a closure) because the `'d: 'p` bound
-    /// between the design and the pool's prepared borrows cannot be spelled
-    /// on closure parameters.
-    #[allow(clippy::too_many_arguments)]
-    fn batch_run_one<'d: 'p, 'p>(
-        config: &LegalizerConfig,
-        scratch: &mut InsertionScratch,
+    /// The batch core: admission-bounded runners interleaving on a shared
+    /// worker pool. Runner 0 is the calling thread; each runner claims the
+    /// next unprocessed design off a shared cursor and drives it start to
+    /// finish, so design results land in deterministic slots while the
+    /// *schedule* (which runner gets which design, how rounds interleave)
+    /// is free to race.
+    fn run_batch<'d>(
+        &mut self,
+        designs: &'d [Design],
+        preps: &[Prep<'d>],
+        seeds: Vec<Result<PlacementState<'d>, LegalizeError>>,
         stages: &[&dyn Stage],
-        d: &'d Design,
-        prep: &'p Prep<'d>,
-        state: &mut PlacementState<'d>,
-        pool: Option<&EvalPool<'p>>,
-    ) -> Result<(Design, LegalizeStats), LegalizeError> {
-        let stats = pipeline::run_stages(
-            d,
-            state,
+    ) -> Vec<Result<BatchItem, LegalizeError>> {
+        let runners = self.batch_runners(designs.len());
+        let workers = self.config.threads.saturating_sub(runners);
+        while self.scratches.len() < runners {
+            self.scratches.push(InsertionScratch::new());
+        }
+        let Self {
             config,
-            stages,
-            &prep.weights,
-            prep.oracle(),
-            pool,
-            scratch,
-            "batch",
-        )?;
-        let mut out = d.clone();
-        state.write_back(&mut out);
-        Ok((out, stats))
+            scratches,
+            diag,
+        } = self;
+        let slots: Vec<Mutex<Slot<'d>>> = seeds
+            .into_iter()
+            .map(|s| {
+                Mutex::new(match s {
+                    Ok(state) => Slot {
+                        seed: Some(state),
+                        out: None,
+                    },
+                    Err(e) => Slot {
+                        seed: None,
+                        out: Some(Err(e)),
+                    },
+                })
+            })
+            .collect();
+        let next = AtomicUsize::new(0);
+        let runs = AtomicU64::new(0);
+        let mut steal_counter = None;
+        std::thread::scope(|scope| {
+            let pool = (workers > 0).then(|| EvalPool::spawn(scope, workers));
+            if let Some(p) = &pool {
+                diag.pool_spawns += 1;
+                diag.worker_spawns += workers as u64;
+                steal_counter = Some(p.steal_counter());
+            }
+            let mut scratch_iter = scratches.iter_mut();
+            let main_scratch = scratch_iter
+                .next()
+                .unwrap_or_else(|| unreachable!("runner scratch pool is pre-grown"));
+            for scratch in scratch_iter.take(runners - 1) {
+                diag.runner_spawns += 1;
+                let client = pool.as_ref().map(EvalPool::client);
+                let (slots, next, runs) = (&slots, &next, &runs);
+                let config: &LegalizerConfig = config;
+                scope.spawn(move || {
+                    batch_runner(
+                        designs,
+                        preps,
+                        slots,
+                        next,
+                        runs,
+                        config,
+                        stages,
+                        scratch,
+                        client.as_ref(),
+                    );
+                });
+            }
+            let client = pool.as_ref().map(EvalPool::client);
+            batch_runner(
+                designs,
+                preps,
+                &slots,
+                &next,
+                &runs,
+                config,
+                stages,
+                main_scratch,
+                client.as_ref(),
+            );
+            // The scope joins the extra runners (and, once every client is
+            // dropped, the pool workers) before returning.
+        });
+        diag.runs += runs.load(Ordering::Relaxed);
+        if let Some(c) = steal_counter {
+            diag.cross_design_steals += c.load(Ordering::Relaxed);
+        }
+        slots
+            .into_iter()
+            .map(|m| {
+                let slot = m.into_inner().unwrap_or_else(PoisonError::into_inner);
+                match slot.out {
+                    Some(r) => r,
+                    // Unreachable: every claimed slot stores a result and
+                    // every seed error is stored up front; degrade to a
+                    // typed error rather than assert.
+                    None => Err(LegalizeError::PoolBroken {
+                        during: "batch slot",
+                    }),
+                }
+            })
+            .collect()
     }
 
     /// Runs one prepared design through the pipeline, spawning a pool for
@@ -440,9 +524,10 @@ impl Engine {
         let workers = self.pool_workers();
         let Self {
             config,
-            scratch,
+            scratches,
             diag,
         } = self;
+        let scratch = &mut scratches[0];
         diag.runs += 1;
         if workers == 0 {
             pipeline::run_stages(
@@ -452,7 +537,10 @@ impl Engine {
                 stages,
                 &prep.weights,
                 prep.oracle(),
-                None,
+                MglExec::Batch {
+                    client: None,
+                    run: 0,
+                },
                 scratch,
                 "engine",
             )
@@ -461,6 +549,7 @@ impl Engine {
                 let pool = EvalPool::spawn(scope, workers);
                 diag.pool_spawns += 1;
                 diag.worker_spawns += workers as u64;
+                let client = pool.client();
                 pipeline::run_stages(
                     design,
                     state,
@@ -468,13 +557,88 @@ impl Engine {
                     stages,
                     &prep.weights,
                     prep.oracle(),
-                    Some(&pool),
+                    MglExec::Batch {
+                        client: Some(&client),
+                        run: 0,
+                    },
                     scratch,
                     "engine",
                 )
             })
         }
     }
+}
+
+/// One runner's admission loop: claim the next unprocessed design, run it
+/// start to finish, repeat until the batch cursor runs dry. A free function
+/// (not a closure) because the `'d: 'p` bound between the designs and the
+/// pool's prepared borrows cannot be spelled on closure parameters.
+#[allow(clippy::too_many_arguments)]
+fn batch_runner<'d: 'p, 'p>(
+    designs: &'d [Design],
+    preps: &'p [Prep<'d>],
+    slots: &[Mutex<Slot<'d>>],
+    next: &AtomicUsize,
+    runs: &AtomicU64,
+    config: &LegalizerConfig,
+    stages: &[&dyn Stage],
+    scratch: &mut InsertionScratch,
+    client: Option<&PoolClient<'p>>,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= designs.len() {
+            break;
+        }
+        let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(mut state) = slot.seed.take() else {
+            continue; // seed error, result already recorded
+        };
+        runs.fetch_add(1, Ordering::Relaxed);
+        slot.out = Some(batch_run_one(
+            config,
+            scratch,
+            stages,
+            &designs[i],
+            &preps[i],
+            &mut state,
+            client,
+            i,
+        ));
+        // `state` drops here: a finished design's working memory is
+        // released immediately, keeping residency proportional to the
+        // in-flight count.
+    }
+}
+
+/// Runs one batch member through the pipeline and writes its output design.
+/// `run` is the design's batch index, tagging its messages on the shared
+/// pool.
+#[allow(clippy::too_many_arguments)]
+fn batch_run_one<'d: 'p, 'p>(
+    config: &LegalizerConfig,
+    scratch: &mut InsertionScratch,
+    stages: &[&dyn Stage],
+    d: &'d Design,
+    prep: &'p Prep<'d>,
+    state: &mut PlacementState<'d>,
+    client: Option<&PoolClient<'p>>,
+    run: usize,
+) -> Result<BatchItem, LegalizeError> {
+    let stats = pipeline::run_stages(
+        d,
+        state,
+        config,
+        stages,
+        &prep.weights,
+        prep.oracle(),
+        MglExec::Batch { client, run },
+        scratch,
+        "batch",
+    )?;
+    let mut out = d.clone();
+    state.write_back(&mut out);
+    Ok((out, stats, state.take_replay_log()))
 }
 
 #[cfg(test)]
@@ -536,27 +700,76 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_batch_matches_solo_bit_identically() {
+        // Force the shared-worker regime: 4 threads but only 2 in flight
+        // leaves 2 pool workers serving both runners' rounds interleaved.
+        let designs = batch_designs(6);
+        let mut c = cfg(4);
+        c.max_inflight_designs = 2;
+        let mut engine = Engine::new(c);
+        assert_eq!(engine.batch_runners(designs.len()), 2);
+        let batch = engine.legalize_batch(&designs);
+        assert_eq!(engine.diag().pool_spawns, 1);
+        assert_eq!(engine.diag().worker_spawns, 2);
+        for (d, (out, stats)) in designs.iter().zip(&batch) {
+            let (solo_out, solo_stats) = Legalizer::new(cfg(4)).run(d);
+            assert_eq!(
+                solo_out.cells.iter().map(|c| c.pos).collect::<Vec<_>>(),
+                out.cells.iter().map(|c| c.pos).collect::<Vec<_>>(),
+                "interleaved batch diverged from solo for `{}`",
+                d.name
+            );
+            assert_eq!(&solo_stats, stats, "stats diverged for `{}`", d.name);
+        }
+    }
+
+    #[test]
     fn batch_reuses_pool_and_scratch() {
         let designs = batch_designs(4);
-        let workers = 2usize;
-        let mut engine = Engine::new(cfg(workers + 1));
+        // Default admission: every thread is a runner, so no pool at all.
+        let mut engine = Engine::new(cfg(3));
         let batch = engine.legalize_batch(&designs);
         let diag = engine.diag();
         assert_eq!(diag.runs, 4);
-        assert_eq!(diag.pool_spawns, 1, "batch must share one pool");
-        assert_eq!(diag.worker_spawns, workers as u64);
-        // The first run is charged with every scratch construction (one
-        // coordinator + one per worker); later runs construct none.
+        assert_eq!(
+            diag.pool_spawns, 0,
+            "full-width admission needs no shared pool"
+        );
+        assert_eq!(diag.runner_spawns, 2, "3 runners = main + 2 spawned");
+        // Which runner ran which design races (a runner that arrives after
+        // the cursor drains reports nothing), but the lifetime bound is
+        // exact: at most one construction per runner scratch, ever. Without
+        // reuse each of the 8 runs below would construct its own.
+        let created: u64 = batch.iter().map(|(_, s)| s.mgl.perf.scratch.created).sum();
+        assert!((1..=3).contains(&created), "saw {created} constructions");
+        let batch2 = engine.legalize_batch(&designs);
+        let created2: u64 = batch2.iter().map(|(_, s)| s.mgl.perf.scratch.created).sum();
+        assert!(
+            created + created2 <= 3,
+            "second batch call must reuse runner scratches (saw {created} then {created2})"
+        );
+
+        // Legacy admission (one in-flight design) keeps the old sequential
+        // schedule: one pool, deterministic per-design scratch charging.
+        let mut c = cfg(3);
+        c.max_inflight_designs = 1;
+        let mut engine = Engine::new(c);
+        let batch = engine.legalize_batch(&designs);
+        let diag = engine.diag();
+        assert_eq!(diag.runs, 4);
+        assert_eq!(diag.pool_spawns, 1, "single-runner batch shares one pool");
+        assert_eq!(diag.worker_spawns, 2);
+        assert_eq!(diag.runner_spawns, 0);
         let created: Vec<u64> = batch
             .iter()
             .map(|(_, s)| s.mgl.perf.scratch.created)
             .collect();
-        assert_eq!(created, vec![1 + workers as u64, 0, 0, 0]);
+        assert_eq!(created, vec![3, 0, 0, 0]);
 
         // Per-design engines pay the pool (and scratches) once per design.
         let mut spawns = 0u64;
         for d in &designs {
-            let mut solo = Engine::new(cfg(workers + 1));
+            let mut solo = Engine::new(cfg(3));
             let _ = solo.legalize(d);
             spawns += solo.diag().pool_spawns;
         }

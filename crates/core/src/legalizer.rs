@@ -15,7 +15,7 @@ use crate::fixed_order::FixedOrderStats;
 use crate::insertion::InsertionScratch;
 use crate::maxdisp::MaxDispStats;
 use crate::mgl::MglStats;
-use crate::pipeline::{self, Prep, StageTiming, FULL_PIPELINE, POST_PIPELINE};
+use crate::pipeline::{self, MglExec, Prep, StageTiming, FULL_PIPELINE, POST_PIPELINE};
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
 use mcl_obs::Meter;
@@ -174,7 +174,7 @@ impl Legalizer {
             &FULL_PIPELINE,
             &prep.weights,
             prep.oracle(),
-            None,
+            MglExec::Standalone,
             &mut scratch,
             "run",
         )?;
@@ -224,7 +224,7 @@ impl Legalizer {
             &FULL_PIPELINE,
             &prep.weights,
             prep.oracle(),
-            None,
+            MglExec::Standalone,
             &mut scratch,
             "ECO",
         )
@@ -258,7 +258,7 @@ impl Legalizer {
             &FULL_PIPELINE,
             &prep.weights,
             prep.oracle(),
-            None,
+            MglExec::Standalone,
             &mut scratch,
             "ECO",
         )?;
@@ -288,7 +288,7 @@ impl Legalizer {
             &POST_PIPELINE,
             &prep.weights,
             prep.oracle(),
-            None,
+            MglExec::Standalone,
             &mut scratch,
             "refine",
         )
@@ -320,7 +320,7 @@ impl Legalizer {
             &POST_PIPELINE,
             &prep.weights,
             prep.oracle(),
-            None,
+            MglExec::Standalone,
             &mut scratch,
             "refine",
         )?;

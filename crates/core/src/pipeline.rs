@@ -33,7 +33,7 @@ use crate::legalizer::LegalizeStats;
 use crate::maxdisp::optimize_max_disp_metered;
 use crate::mgl::{compute_weights, run_serial_with_scratch};
 use crate::routability::RoutOracle;
-use crate::scheduler::{drive_rounds, try_run_parallel, EvalPool};
+use crate::scheduler::{drive_rounds, try_run_parallel, PoolClient};
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
 use mcl_obs::{clock::Stopwatch, HistoKind, Meter, SpanKind};
@@ -61,6 +61,25 @@ pub struct StageTiming {
     pub seconds: f64,
 }
 
+/// How the MGL stage executes its evaluation rounds.
+#[derive(Clone, Copy)]
+pub enum MglExec<'run, 'p> {
+    /// Standalone run: the stage manages its own threads per
+    /// `config.threads` (a private pool per run, or fully serial).
+    Standalone,
+    /// One run of an engine batch, driven by a runner thread. `run` is the
+    /// design's index in the batch — it tags this design's messages on the
+    /// shared workers. `client` connects to the batch-wide shared pool;
+    /// `None` means every configured thread is a design runner, so rounds
+    /// run inline on this runner (same rounds, same results).
+    Batch {
+        /// Connection to the batch's shared worker pool, if it has one.
+        client: Option<&'run PoolClient<'p>>,
+        /// This design's run id on the shared pool.
+        run: usize,
+    },
+}
+
 /// Everything a stage body may read or mutate. `'d` is the design's
 /// lifetime; `'p` (with `'d: 'p`) bounds the prepared per-run data (weights,
 /// oracle) that worker threads may borrow.
@@ -77,9 +96,9 @@ pub struct PipelineCtx<'run, 'd: 'p, 'p> {
     pub oracle: Option<&'p RoutOracle<'p>>,
     /// The run's meter; stage bodies may record directly into it.
     pub obs: &'run mut Meter,
-    /// A long-lived evaluation pool (engine batch path); `None` means the
-    /// MGL stage manages its own threads.
-    pub pool: Option<&'run EvalPool<'p>>,
+    /// How the MGL stage should execute its rounds (standalone threads, a
+    /// shared batch pool, or inline on a batch runner).
+    pub exec: MglExec<'run, 'p>,
     /// Caller-owned insertion scratch, reused across runs by the engine.
     pub scratch: &'run mut InsertionScratch,
     /// Set by the driver when the deadline ladder demands the serial MGL
@@ -132,31 +151,45 @@ impl Stage for MglStage {
             // (deadline hit, or the parallel attempt already failed).
             run_serial_with_scratch(ctx.state, ctx.config, ctx.weights, ctx.oracle, ctx.scratch)
         } else {
-            match ctx.pool {
-                // Engine path: reuse the long-lived pool and scratch.
-                Some(pool) if pool.workers() > 0 => drive_rounds(
+            match ctx.exec {
+                // Engine batch path with shared workers: this design's
+                // rounds interleave with its batch peers' on the pool.
+                MglExec::Batch {
+                    client: Some(client),
+                    run,
+                } if client.workers() > 0 => drive_rounds(
                     ctx.state,
                     ctx.config,
                     ctx.weights,
                     ctx.oracle,
-                    pool,
+                    Some((client, run)),
                     ctx.scratch,
                 )?,
-                // Standalone paths, bit-identical to the pre-pipeline drivers:
-                // a private pool per run, or fully serial.
-                _ => {
-                    if ctx.config.threads > 1 {
-                        try_run_parallel(ctx.state, ctx.config, ctx.weights, ctx.oracle)?
-                    } else {
-                        run_serial_with_scratch(
-                            ctx.state,
-                            ctx.config,
-                            ctx.weights,
-                            ctx.oracle,
-                            ctx.scratch,
-                        )
-                    }
+                // Batch runner without shared workers: every thread is a
+                // runner, so rounds run inline here. The scheduler's output
+                // is thread-count invariant, so this is bit-identical to
+                // the pooled path.
+                MglExec::Batch { .. } if ctx.config.threads > 1 => drive_rounds(
+                    ctx.state,
+                    ctx.config,
+                    ctx.weights,
+                    ctx.oracle,
+                    None,
+                    ctx.scratch,
+                )?,
+                // Standalone multi-threaded: a private pool per run,
+                // bit-identical to the pre-pipeline drivers.
+                MglExec::Standalone if ctx.config.threads > 1 => {
+                    try_run_parallel(ctx.state, ctx.config, ctx.weights, ctx.oracle)?
                 }
+                // Single-threaded (either flavor): the serial algorithm.
+                _ => run_serial_with_scratch(
+                    ctx.state,
+                    ctx.config,
+                    ctx.weights,
+                    ctx.oracle,
+                    ctx.scratch,
+                ),
             }
         };
         Ok(StageStats::Mgl(stats))
@@ -361,7 +394,7 @@ fn run_stage_guarded<'d: 'p, 'p>(
     weights: &'p [i64],
     oracle: Option<&'p RoutOracle<'p>>,
     obs: &mut Meter,
-    pool: Option<&EvalPool<'p>>,
+    exec: MglExec<'_, 'p>,
     scratch: &mut InsertionScratch,
     force_serial: bool,
 ) -> Result<StageStats, LegalizeError> {
@@ -385,7 +418,7 @@ fn run_stage_guarded<'d: 'p, 'p>(
             weights,
             oracle,
             obs,
-            pool,
+            exec,
             scratch: &mut *scratch,
             force_serial,
         };
@@ -455,7 +488,7 @@ pub fn run_stages<'d: 'p, 'p>(
     stages: &[&dyn Stage],
     weights: &'p [i64],
     oracle: Option<&'p RoutOracle<'p>>,
-    pool: Option<&EvalPool<'p>>,
+    exec: MglExec<'_, 'p>,
     scratch: &mut InsertionScratch,
     label: &str,
 ) -> Result<LegalizeStats, LegalizeError> {
@@ -509,7 +542,7 @@ pub fn run_stages<'d: 'p, 'p>(
             weights,
             oracle,
             &mut stats.obs,
-            pool,
+            exec,
             scratch,
             force_serial,
         );
@@ -518,10 +551,17 @@ pub fn run_stages<'d: 'p, 'p>(
             Err(e) => {
                 *state = checkpoint.clone();
                 if name == "mgl" {
-                    // The pool may hold in-flight rounds from the failed
-                    // attempt; resynchronize before anyone reuses it.
-                    if let Some(p) = pool {
-                        let _ = p.reset();
+                    // The shared pool may hold in-flight rounds from the
+                    // failed attempt; cancel this design's run so the
+                    // workers drop its replica and its stale traffic dies
+                    // in the abandoned reply channels. Batch peers on the
+                    // same pool are untouched.
+                    if let MglExec::Batch {
+                        client: Some(c),
+                        run,
+                    } = exec
+                    {
+                        let _ = c.cancel_run(run);
                     }
                 }
                 if e.class() == FailureClass::Fatal {
@@ -544,7 +584,7 @@ pub fn run_stages<'d: 'p, 'p>(
                         weights,
                         oracle,
                         &mut stats.obs,
-                        pool,
+                        exec,
                         scratch,
                         true,
                     ) {

@@ -12,21 +12,30 @@
 //!
 //! ## Execution model
 //!
-//! Workers live in an [`EvalPool`]: OS threads spawned once and reused for
-//! **any number of runs** (the [`crate::engine::Engine`] keeps one pool
-//! alive across a whole batch of designs; the standalone [`run_parallel`]
-//! spawns a pool for its single run). Each run starts with a `Begin`
-//! message carrying a full replica of the placement state, which the worker
-//! keeps in lockstep by replaying the applied insertions broadcast after
-//! every round — so evaluation needs no locks at all. Jobs are pulled from
-//! a shared atomic cursor (work stealing), which keeps all workers busy
-//! even when one window is much more expensive than the rest; the
-//! coordinating thread steals jobs too, so `threads == n` means `n`
-//! evaluating threads (and `threads == 1` runs inline with no pool, no
-//! replica and no channels). Results are keyed by job index, making the
-//! apply order independent of which worker produced each result. An `End`
-//! message closes the run: the worker reports (and resets) its per-run
-//! counters, then waits for the next `Begin`.
+//! Workers live in an [`EvalPool`]: OS threads spawned once and shared by
+//! **any number of concurrent runs** — every message is tagged with a run
+//! id, so eval jobs from multiple in-flight designs interleave on the same
+//! workers (the [`crate::engine::Engine`] drives a whole batch of designs
+//! through one pool; the standalone [`run_parallel`] spawns a pool for its
+//! single run). Each run starts with a `Begin` message carrying a full
+//! replica of the placement state, which the worker keeps in lockstep by
+//! replaying the applied insertions broadcast after every round — so
+//! evaluation needs no locks at all. Jobs are pulled from a per-round
+//! atomic cursor (work stealing), which keeps all workers busy even when
+//! one window is much more expensive than the rest; the run's coordinator
+//! steals jobs too, and a worker that drains one design's round
+//! immediately serves whichever design publishes next (work conservation —
+//! no worker idles while any in-flight design has runnable jobs). Results
+//! travel on per-run reply channels keyed by job index, making each
+//! design's apply order independent of which worker produced each result
+//! and of what the other designs are doing. An `End` message closes a run:
+//! the worker drops that replica, reports its counters, and keeps serving
+//! the other runs.
+//!
+//! Determinism is per design: the selected sets, the evaluation inputs and
+//! the application order are all decided by the design's own coordinator
+//! from its own state, so a design's output is bit-identical to its solo
+//! run for any thread count and any batch composition.
 //!
 //! Window-overlap selection uses a [`WindowIndex`] (row-band interval
 //! index) instead of scanning the selected list per pending cell, keeping
@@ -46,7 +55,7 @@ use mcl_db::prelude::*;
 use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -87,8 +96,11 @@ pub(crate) fn eval_job(
 }
 
 /// Everything a worker needs to evaluate windows for one run: its private
-/// state replica plus the run's cost-model inputs. Sent once per run via
-/// [`Msg::Begin`]; the replica is kept in lockstep via [`Msg::Apply`].
+/// state replica, the run's cost-model inputs, and the run's private reply
+/// channels. Sent once per run via [`Msg::Begin`]; the replica is kept in
+/// lockstep via [`Msg::Apply`]. Reply channels are per run so results from
+/// interleaved designs can never mix: a result lands in its own design's
+/// coordinator or (if the run was abandoned) in a closed channel.
 struct RunSpec<'a> {
     replica: PlacementState<'a>,
     weights: &'a [i64],
@@ -98,6 +110,8 @@ struct RunSpec<'a> {
     io_penalty: i64,
     rail_penalty: i64,
     faults: Option<Arc<FaultPlan>>,
+    results_tx: mpsc::Sender<(usize, EvalResult)>,
+    report_tx: mpsc::Sender<WorkerReport>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -113,24 +127,35 @@ impl<'a> RunSpec<'a> {
     }
 }
 
-/// Messages broadcast from the coordinator to every pool worker.
+/// Messages broadcast from a run's coordinator to every pool worker. Every
+/// message carries its run id, so messages from concurrently-driven runs
+/// interleave freely on the same worker channels.
 enum Msg<'a> {
-    /// Start a run: adopt the replica and cost model.
-    Begin(Box<RunSpec<'a>>),
-    /// Evaluate jobs pulled from the shared cursor against the replica.
+    /// Start run `run`: adopt its replica and cost model.
+    Begin { run: usize, spec: Box<RunSpec<'a>> },
+    /// Evaluate `run`'s jobs pulled from the shared cursor against that
+    /// run's replica.
     Round {
+        run: usize,
         jobs: Arc<Vec<Job>>,
         cursor: Arc<AtomicUsize>,
     },
-    /// Replay the round's applied insertions to keep the replica in sync.
-    Apply { ops: Arc<Vec<(CellId, Insertion)>> },
-    /// End the run: report per-run counters, drop the replica, await the
-    /// next `Begin`.
-    End,
+    /// Replay `run`'s applied insertions to keep its replica in sync.
+    Apply {
+        run: usize,
+        ops: Arc<Vec<(CellId, Insertion)>>,
+    },
+    /// End run `run`: report its per-run counters on its report channel,
+    /// drop its replica, keep serving the other runs.
+    End { run: usize },
 }
 
 /// End-of-run report from one worker.
 struct WorkerReport {
+    /// Scratch counters accumulated since the worker's last report. The
+    /// worker's scratch arena is shared by every run it serves, so under
+    /// interleaving these charge to whichever run ends first; sums over a
+    /// batch are exact.
     scratch: crate::insertion::ScratchStats,
     eval_nanos: u64,
     /// Thread-local spans/histograms. Which worker evaluated which window
@@ -140,21 +165,34 @@ struct WorkerReport {
     obs: Meter,
 }
 
-/// A persistent pool of evaluation workers, reusable across runs (and
-/// across designs, when the caller's scope outlives them). Workers own
-/// their [`InsertionScratch`] for the pool's whole lifetime, so scratch
-/// arenas warmed by one design are reused by the next.
+/// One run's live state inside a worker.
+struct WorkerRun<'a> {
+    spec: Box<RunSpec<'a>>,
+    /// Set when a panic escaped an `Apply` replay or the run's coordinator
+    /// went away: the replica may be half-mutated (or orphaned), so the
+    /// worker sits this run out. Safe — each round's shared cursor lets
+    /// the coordinator and healthy workers drain it regardless of who
+    /// participates.
+    poisoned: bool,
+    eval_nanos: u64,
+    obs: Meter,
+}
+
+/// A persistent pool of evaluation workers shared by any number of
+/// concurrent runs; each worker keeps one replica per active run and
+/// serves whichever run publishes a round next. Workers own their
+/// [`InsertionScratch`] for the pool's whole lifetime, so scratch arenas
+/// warmed by one design are reused by the next.
 pub struct EvalPool<'a> {
     senders: Vec<mpsc::Sender<Msg<'a>>>,
-    results_rx: mpsc::Receiver<(usize, EvalResult)>,
-    report_rx: mpsc::Receiver<WorkerReport>,
     workers: usize,
+    steals: Arc<AtomicU64>,
 }
 
 impl<'a> EvalPool<'a> {
     /// Spawns `workers` evaluation threads onto `scope`. The pool lives
-    /// until dropped (closing the channels exits the threads); the scope
-    /// must outlive it.
+    /// until dropped (closing the channels exits the threads once every
+    /// [`PoolClient`] clone is gone too); the scope must outlive it.
     pub fn spawn<'scope, 'env>(
         scope: &'scope std::thread::Scope<'scope, 'env>,
         workers: usize,
@@ -162,44 +200,64 @@ impl<'a> EvalPool<'a> {
     where
         'a: 'scope,
     {
-        let (results_tx, results_rx) = mpsc::channel::<(usize, EvalResult)>();
-        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
+        let steals = Arc::new(AtomicU64::new(0));
         let mut senders: Vec<mpsc::Sender<Msg<'a>>> = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = mpsc::channel::<Msg<'a>>();
             senders.push(tx);
-            let results_tx = results_tx.clone();
-            let report_tx = report_tx.clone();
+            let steals = Arc::clone(&steals);
             scope.spawn(move || {
                 let mut scratch = InsertionScratch::new();
-                let mut eval_nanos = 0u64;
-                let mut obs = Meter::new();
-                let mut cur: Option<Box<RunSpec<'a>>> = None;
-                // Set when a panic escaped an `Apply` replay: the replica
-                // may be half-mutated, so the worker sits the rest of the
-                // run out (safe — the shared cursor lets the coordinator
-                // and healthy workers drain every round regardless of who
-                // participates). `Begin` installs a fresh replica and
-                // clears the flag.
-                let mut poisoned = false;
+                let mut runs: Vec<(usize, WorkerRun<'a>)> = Vec::new();
+                // The run this worker last evaluated a job for; claiming a
+                // job from a different run is a cross-design steal.
+                let mut last_run: Option<usize> = None;
                 // Worker thread ids start at 1; 0 is the coordinator.
                 let thread_id = w + 1;
                 while let Ok(msg) = rx.recv() {
                     match msg {
-                        Msg::Begin(spec) => {
-                            cur = Some(spec);
-                            poisoned = false;
+                        Msg::Begin { run, spec } => {
+                            runs.retain(|(id, _)| *id != run);
+                            runs.push((
+                                run,
+                                WorkerRun {
+                                    spec,
+                                    poisoned: false,
+                                    eval_nanos: 0,
+                                    obs: Meter::new(),
+                                },
+                            ));
                         }
-                        Msg::Round { jobs, cursor } => {
-                            if poisoned {
+                        Msg::Round { run, jobs, cursor } => {
+                            let Some((_, wr)) = runs.iter_mut().find(|(id, _)| *id == run) else {
+                                continue;
+                            };
+                            if wr.poisoned {
                                 continue;
                             }
-                            let Some(spec) = cur.as_ref() else { continue };
+                            let WorkerRun {
+                                spec,
+                                poisoned,
+                                eval_nanos,
+                                obs,
+                            } = wr;
                             let model = spec.model();
+                            let mut claimed = false;
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                                 if i >= jobs.len() {
                                     break;
+                                }
+                                if !claimed {
+                                    claimed = true;
+                                    if last_run.is_some_and(|p| p != run) {
+                                        steals.fetch_add(1, Ordering::Relaxed);
+                                        // Attributed to the run being served
+                                        // (the stealing beneficiary); lands
+                                        // in its report via `WorkerReport`.
+                                        obs.add(CounterKind::CrossDesignSteals, 1);
+                                    }
+                                    last_run = Some(run);
                                 }
                                 let (cell, _, win) = jobs[i];
                                 let t = Stopwatch::start();
@@ -215,40 +273,48 @@ impl<'a> EvalPool<'a> {
                                     spec.faults.as_ref(),
                                 );
                                 let dt = t.elapsed_nanos();
-                                eval_nanos += dt;
+                                *eval_nanos += dt;
                                 obs.record_span(SpanKind::InsertionEval, dt, thread_id);
                                 obs.observe(HistoKind::InsertionEvalNanos, dt);
-                                if results_tx.send((i, r)).is_err() {
-                                    return; // coordinator gone
+                                if spec.results_tx.send((i, r)).is_err() {
+                                    // This run's coordinator abandoned it;
+                                    // stop serving the run but keep the
+                                    // worker alive for the other runs.
+                                    *poisoned = true;
+                                    break;
                                 }
                             }
                         }
-                        Msg::Apply { ops } => {
-                            if poisoned {
+                        Msg::Apply { run, ops } => {
+                            let Some((_, wr)) = runs.iter_mut().find(|(id, _)| *id == run) else {
+                                continue;
+                            };
+                            if wr.poisoned {
                                 continue;
                             }
-                            if let Some(spec) = cur.as_mut() {
-                                let replayed = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                    for (cell, ins) in ops.iter() {
-                                        apply_insertion(&mut spec.replica, *cell, ins);
-                                    }
-                                }));
-                                if replayed.is_err() {
-                                    poisoned = true;
+                            let replayed = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                for (cell, ins) in ops.iter() {
+                                    apply_insertion(&mut wr.spec.replica, *cell, ins);
                                 }
+                            }));
+                            if replayed.is_err() {
+                                wr.poisoned = true;
                             }
                         }
-                        Msg::End => {
-                            cur = None;
-                            poisoned = false;
+                        Msg::End { run } => {
+                            let Some(pos) = runs.iter().position(|(id, _)| *id == run) else {
+                                continue;
+                            };
+                            let (_, wr) = runs.swap_remove(pos);
                             let report = WorkerReport {
                                 scratch: std::mem::take(&mut scratch.stats),
-                                eval_nanos: std::mem::take(&mut eval_nanos),
-                                obs: std::mem::take(&mut obs),
+                                eval_nanos: wr.eval_nanos,
+                                obs: wr.obs,
                             };
-                            if report_tx.send(report).is_err() {
-                                return;
-                            }
+                            // A closed report channel means the run was
+                            // cancelled rather than finished; its counters
+                            // are forfeit but the worker lives on.
+                            let _ = wr.spec.report_tx.send(report);
                         }
                     }
                 }
@@ -256,17 +322,93 @@ impl<'a> EvalPool<'a> {
         }
         EvalPool {
             senders,
-            results_rx,
-            report_rx,
             workers,
+            steals,
         }
     }
 
-    /// Number of worker threads (the coordinator is not counted).
+    /// Number of worker threads (run coordinators are not counted).
     pub fn workers(&self) -> usize {
         self.workers
     }
 
+    /// An owned connection to this pool. Clients are cheap sender clones,
+    /// so each runner thread of a batch can own one and mint run handles
+    /// without borrowing the pool across threads.
+    pub fn client(&self) -> PoolClient<'a> {
+        PoolClient {
+            senders: self.senders.clone(),
+            workers: self.workers,
+        }
+    }
+
+    /// Shared counter of cross-design steals: rounds in which a worker
+    /// switched to a different run than it last served. Read it after the
+    /// pool's scope to fold into engine diagnostics.
+    pub fn steal_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.steals)
+    }
+}
+
+/// An owned, cloneable connection to an [`EvalPool`]: the worker message
+/// senders. Run coordinators use it to mint per-run handles; dropping
+/// every client plus the pool closes the worker channels.
+#[derive(Clone)]
+pub struct PoolClient<'a> {
+    senders: Vec<mpsc::Sender<Msg<'a>>>,
+    workers: usize,
+}
+
+impl<'a> PoolClient<'a> {
+    /// Number of worker threads (run coordinators are not counted).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Creates the reply channels for run `run`. The handle is the run's
+    /// private mailbox: results and end-of-run reports from interleaved
+    /// runs can never land here because workers answer on the channels
+    /// carried by each run's own [`RunSpec`].
+    fn run_handle(&self, run: usize) -> RunHandle<'_, 'a> {
+        let (results_tx, results_rx) = mpsc::channel::<(usize, EvalResult)>();
+        let (report_tx, report_rx) = mpsc::channel::<WorkerReport>();
+        RunHandle {
+            run,
+            client: self,
+            results_tx,
+            results_rx,
+            report_tx,
+            report_rx,
+        }
+    }
+
+    /// Tells every worker run `run` is over after its coordinator
+    /// abandoned it mid-protocol (a contained stage panic or a pool
+    /// error): workers drop that run's replica and keep serving the other
+    /// runs; the abandoned run's stale results and reports go to its
+    /// dropped reply channels. Returns `false` when a worker is
+    /// unreachable, in which case the pool must not be reused.
+    pub(crate) fn cancel_run(&self, run: usize) -> bool {
+        let mut ok = true;
+        for tx in &self.senders {
+            ok &= tx.send(Msg::End { run }).is_ok();
+        }
+        ok
+    }
+}
+
+/// One run's connection to the pool: the broadcast senders plus the run's
+/// private reply channels.
+struct RunHandle<'c, 'a> {
+    run: usize,
+    client: &'c PoolClient<'a>,
+    results_tx: mpsc::Sender<(usize, EvalResult)>,
+    results_rx: mpsc::Receiver<(usize, EvalResult)>,
+    report_tx: mpsc::Sender<WorkerReport>,
+    report_rx: mpsc::Receiver<WorkerReport>,
+}
+
+impl<'a> RunHandle<'_, 'a> {
     fn begin(
         &self,
         state: &PlacementState<'a>,
@@ -274,7 +416,7 @@ impl<'a> EvalPool<'a> {
         weights: &'a [i64],
         oracle: Option<&'a RoutOracle<'a>>,
     ) -> Result<(), LegalizeError> {
-        for tx in &self.senders {
+        for tx in &self.client.senders {
             let spec = Box::new(RunSpec {
                 replica: state.clone(),
                 weights,
@@ -284,25 +426,61 @@ impl<'a> EvalPool<'a> {
                 io_penalty: config.io_penalty,
                 rail_penalty: config.rail_penalty,
                 faults: config.faults.clone(),
+                results_tx: self.results_tx.clone(),
+                report_tx: self.report_tx.clone(),
             });
-            if tx.send(Msg::Begin(spec)).is_err() {
+            if tx
+                .send(Msg::Begin {
+                    run: self.run,
+                    spec,
+                })
+                .is_err()
+            {
                 return Err(LegalizeError::PoolBroken { during: "begin" });
             }
         }
         Ok(())
     }
 
-    /// Ends the current run: every worker reports and resets its per-run
-    /// counters, which are folded into `stats`. Reports arrive in
-    /// worker-finish order, which is nondeterministic; scratch and meter
-    /// merging are commutative, so the fold is order-independent.
+    fn round(&self, jobs: &Arc<Vec<Job>>, cursor: &Arc<AtomicUsize>) -> Result<(), LegalizeError> {
+        for tx in &self.client.senders {
+            let msg = Msg::Round {
+                run: self.run,
+                jobs: Arc::clone(jobs),
+                cursor: Arc::clone(cursor),
+            };
+            if tx.send(msg).is_err() {
+                return Err(LegalizeError::PoolBroken { during: "round" });
+            }
+        }
+        Ok(())
+    }
+
+    fn apply(&self, ops: Vec<(CellId, Insertion)>) -> Result<(), LegalizeError> {
+        let ops = Arc::new(ops);
+        for tx in &self.client.senders {
+            let msg = Msg::Apply {
+                run: self.run,
+                ops: Arc::clone(&ops),
+            };
+            if tx.send(msg).is_err() {
+                return Err(LegalizeError::PoolBroken { during: "apply" });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the run: every worker reports this run's counters, which are
+    /// folded into `stats`. Reports arrive in worker-finish order, which
+    /// is nondeterministic; scratch and meter merging are commutative, so
+    /// the fold is order-independent.
     fn finish(&self, stats: &mut MglStats) -> Result<(), LegalizeError> {
-        for tx in &self.senders {
-            if tx.send(Msg::End).is_err() {
+        for tx in &self.client.senders {
+            if tx.send(Msg::End { run: self.run }).is_err() {
                 return Err(LegalizeError::PoolBroken { during: "finish" });
             }
         }
-        for _ in 0..self.workers {
+        for _ in 0..self.client.workers {
             let report = self
                 .report_rx
                 .recv_timeout(POOL_WAIT)
@@ -312,31 +490,6 @@ impl<'a> EvalPool<'a> {
             stats.obs.merge(&report.obs);
         }
         Ok(())
-    }
-
-    /// Resynchronizes the pool after the coordinator abandoned a run
-    /// mid-protocol (a contained stage panic or a pool error): tells every
-    /// worker the run is over, absorbs their end-of-run reports, and
-    /// drains stale results so the next [`Self::begin`] starts from clean
-    /// channels. Returns `false` when a worker is unreachable, in which
-    /// case the pool must not be reused.
-    pub(crate) fn reset(&self) -> bool {
-        let mut ok = true;
-        for tx in &self.senders {
-            ok &= tx.send(Msg::End).is_ok();
-        }
-        if ok {
-            for _ in 0..self.workers {
-                if self.report_rx.recv_timeout(POOL_WAIT).is_err() {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        // Workers drain any in-flight round before they answer `End`, so
-        // by now every stale result is in the channel; flush them.
-        while self.results_rx.try_recv().is_ok() {}
-        ok
     }
 }
 
@@ -386,21 +539,33 @@ pub fn try_run_parallel(
     let mut scratch = InsertionScratch::new();
     std::thread::scope(|scope| {
         let pool = EvalPool::spawn(scope, workers);
-        drive_rounds(state, config, weights, oracle, &pool, &mut scratch)
+        let client = pool.client();
+        drive_rounds(
+            state,
+            config,
+            weights,
+            oracle,
+            Some((&client, 0)),
+            &mut scratch,
+        )
     })
 }
 
 /// The deterministic round loop: select non-overlapping windows, evaluate
-/// them on `pool` (coordinator steals too), apply in selection order,
-/// broadcast the applied ops. This is the single MGL driver behind both
-/// [`run_parallel`] and the engine's batch path; the caller owns the pool
-/// and the coordinator scratch, so both survive across runs.
+/// them on the pool behind `pool`'s client (coordinator steals too), apply
+/// in selection order, broadcast the applied ops. This is the single MGL
+/// driver behind [`run_parallel`], the engine's solo path and every run of
+/// an engine batch; `pool` carries the run id that tags this design's
+/// messages on the shared workers, and `None` (or a workerless pool) runs
+/// every round inline on the calling thread — same rounds, same results.
+/// The caller owns the pool and the coordinator scratch, so both survive
+/// across runs.
 pub(crate) fn drive_rounds<'d: 'p, 'p>(
     state: &mut PlacementState<'d>,
     config: &LegalizerConfig,
     weights: &'p [i64],
     oracle: Option<&'p RoutOracle<'p>>,
-    pool: &EvalPool<'p>,
+    pool: Option<(&PoolClient<'p>, usize)>,
     main_scratch: &mut InsertionScratch,
 ) -> Result<MglStats, LegalizeError> {
     let t_total = Stopwatch::start();
@@ -418,11 +583,15 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     let mut windex = WindowIndex::new(design.core, design.tech.row_height);
     // A run with 0 or 1 pending cells never fans out; skip the replica
     // clones entirely.
-    let use_pool = pool.workers > 0 && pending.len() > 1;
-    if use_pool {
-        let replica_src: &PlacementState<'p> = &*state;
-        pool.begin(replica_src, config, weights, oracle)?;
-    }
+    let handle = match pool {
+        Some((client, run)) if client.workers() > 0 && pending.len() > 1 => {
+            let h = client.run_handle(run);
+            let replica_src: &PlacementState<'p> = &*state;
+            h.begin(replica_src, config, weights, oracle)?;
+            Some(h)
+        }
+        _ => None,
+    };
 
     let model = CostModel {
         reference: config.reference,
@@ -475,18 +644,10 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
         results.clear();
         results.resize(selected.len(), None);
         let mut outstanding = 0usize;
-        if use_pool && selected.len() > 1 {
+        if let Some(h) = handle.as_ref().filter(|_| selected.len() > 1) {
             let jobs = Arc::new(selected.clone());
             let cursor = Arc::new(AtomicUsize::new(0));
-            for tx in &pool.senders {
-                let msg = Msg::Round {
-                    jobs: Arc::clone(&jobs),
-                    cursor: Arc::clone(&cursor),
-                };
-                if tx.send(msg).is_err() {
-                    return Err(LegalizeError::PoolBroken { during: "round" });
-                }
-            }
+            h.round(&jobs, &cursor)?;
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= jobs.len() {
@@ -508,14 +669,22 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                 results[i] = Some(r);
                 outstanding += 1;
             }
+            // Queue-wait: time this coordinator blocks on results its jobs
+            // spent queued or running on the shared workers. One
+            // observation per pooled round, so interleaved batches expose
+            // per-design queue pressure in the report histograms.
+            let t_wait = Stopwatch::start();
             while outstanding < selected.len() {
-                let (i, r) = pool
+                let (i, r) = h
                     .results_rx
                     .recv_timeout(POOL_WAIT)
                     .map_err(|_| LegalizeError::PoolBroken { during: "collect" })?;
                 results[i] = Some(r);
                 outstanding += 1;
             }
+            stats
+                .obs
+                .observe(HistoKind::SchedQueueWaitNanos, t_wait.elapsed_nanos());
         } else {
             for (i, &(cell, _, win)) in selected.iter().enumerate() {
                 let t = Stopwatch::start();
@@ -626,16 +795,8 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                 }
             }
         }
-        if use_pool && !ops.is_empty() {
-            let ops = Arc::new(ops);
-            for tx in &pool.senders {
-                let msg = Msg::Apply {
-                    ops: Arc::clone(&ops),
-                };
-                if tx.send(msg).is_err() {
-                    return Err(LegalizeError::PoolBroken { during: "apply" });
-                }
-            }
+        if let Some(h) = handle.as_ref().filter(|_| !ops.is_empty()) {
+            h.apply(ops)?;
         }
         let apply_nanos = t_apply.elapsed_nanos();
         stats.perf.apply_nanos += apply_nanos;
@@ -644,9 +805,9 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     }
 
     // Close the run and fold worker counters into the run stats. The
-    // workers stay alive for the pool owner's next run.
-    if use_pool {
-        pool.finish(&mut stats)?;
+    // workers stay alive for the pool's other (possibly concurrent) runs.
+    if let Some(h) = &handle {
+        h.finish(&mut stats)?;
     }
     stats
         .perf
@@ -916,13 +1077,30 @@ mod tests {
         let mut created = Vec::new();
         let (pool1, pool2) = std::thread::scope(|scope| {
             let pool = EvalPool::spawn(scope, 2);
+            let client = pool.client();
             let mut state1 = PlacementState::new(&d1);
-            let s1 = drive_rounds(&mut state1, &cfg, &w1, None, &pool, &mut scratch).unwrap();
+            let s1 = drive_rounds(
+                &mut state1,
+                &cfg,
+                &w1,
+                None,
+                Some((&client, 0)),
+                &mut scratch,
+            )
+            .unwrap();
             assert_eq!(s1.failed, 0);
             created.push(s1.perf.scratch.created);
             let p1: Vec<_> = d1.movable_cells().map(|c| state1.pos(c)).collect();
             let mut state2 = PlacementState::new(&d2);
-            let s2 = drive_rounds(&mut state2, &cfg, &w2, None, &pool, &mut scratch).unwrap();
+            let s2 = drive_rounds(
+                &mut state2,
+                &cfg,
+                &w2,
+                None,
+                Some((&client, 1)),
+                &mut scratch,
+            )
+            .unwrap();
             assert_eq!(s2.failed, 0);
             created.push(s2.perf.scratch.created);
             let p2: Vec<_> = d2.movable_cells().map(|c| state2.pos(c)).collect();
@@ -933,5 +1111,74 @@ mod tests {
         // First run sees the coordinator + 2 worker scratch constructions;
         // the second run reuses all three.
         assert_eq!(created, vec![3, 0]);
+    }
+
+    #[test]
+    fn concurrent_runs_interleave_without_perturbing_each_other() {
+        // Two coordinator threads drive two designs through ONE shared
+        // pool at the same time: eval jobs interleave on the same workers,
+        // yet each design's result must be byte-identical to its solo run.
+        let d1 = dense_design(150, 2025);
+        let d2 = dense_design(160, 4050);
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = 3;
+        cfg.clamp_threads_to_hardware = false;
+        let w1 = compute_weights(&d1, cfg.weights);
+        let w2 = compute_weights(&d2, cfg.weights);
+
+        let solo = |d: &Design, w: &[i64]| {
+            let mut state = PlacementState::new(d);
+            let stats = run_parallel(&mut state, &cfg, w, None);
+            assert_eq!(stats.failed, 0);
+            d.movable_cells().map(|c| state.pos(c)).collect::<Vec<_>>()
+        };
+        let (solo1, solo2) = (solo(&d1, &w1), solo(&d2, &w2));
+
+        for _ in 0..4 {
+            let (pool1, pool2) = std::thread::scope(|scope| {
+                let pool = EvalPool::spawn(scope, 2);
+                let c1 = pool.client();
+                let c2 = pool.client();
+                // Shadow with references so the `move` closure captures
+                // borrows of the outer data plus ownership of its client.
+                let (d2, w2, cfg2) = (&d2, &w2, &cfg);
+                let runner2 = scope.spawn(move || {
+                    let mut scratch = InsertionScratch::new();
+                    let mut state = PlacementState::new(d2);
+                    let s = drive_rounds(&mut state, cfg2, w2, None, Some((&c2, 1)), &mut scratch)
+                        .unwrap();
+                    assert_eq!(s.failed, 0);
+                    d2.movable_cells().map(|c| state.pos(c)).collect::<Vec<_>>()
+                });
+                let mut scratch = InsertionScratch::new();
+                let mut state = PlacementState::new(&d1);
+                let s = drive_rounds(&mut state, &cfg, &w1, None, Some((&c1, 0)), &mut scratch)
+                    .unwrap();
+                assert_eq!(s.failed, 0);
+                let p1: Vec<_> = d1.movable_cells().map(|c| state.pos(c)).collect();
+                (p1, runner2.join().unwrap())
+            });
+            assert_eq!(solo1, pool1);
+            assert_eq!(solo2, pool2);
+        }
+    }
+
+    #[test]
+    fn inline_rounds_match_pooled_rounds() {
+        // `drive_rounds` with no pool must reproduce the pooled scheduler
+        // bit-for-bit (it runs the same rounds inline) — this is what lets
+        // batch runners skip the pool when every thread is a runner.
+        let d = dense_design(140, 909);
+        let mut cfg = LegalizerConfig::total_displacement();
+        cfg.threads = 4;
+        cfg.clamp_threads_to_hardware = false;
+        let w = compute_weights(&d, cfg.weights);
+        let pooled = run_with_threads(&d, 4);
+        let mut scratch = InsertionScratch::new();
+        let mut state = PlacementState::new(&d);
+        let stats = drive_rounds(&mut state, &cfg, &w, None, None, &mut scratch).unwrap();
+        assert_eq!(stats.failed, 0);
+        let inline: Vec<_> = d.movable_cells().map(|c| state.pos(c)).collect();
+        assert_eq!(pooled, inline);
     }
 }

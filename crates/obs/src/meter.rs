@@ -134,11 +134,16 @@ pub enum CounterKind {
     SspAugmentations,
     /// Network-simplex pivots.
     SimplexPivots,
+    /// Rounds in which a shared pool worker switched to this design from a
+    /// different one (cross-design work conservation). Attribution follows
+    /// the scheduler's racing, so the value varies run to run — like wall
+    /// times, it is observability, never golden.
+    CrossDesignSteals,
 }
 
 impl CounterKind {
     /// Every kind, in report order.
-    pub const ALL: [CounterKind; 11] = [
+    pub const ALL: [CounterKind; 12] = [
         CounterKind::WindowsEvaluated,
         CounterKind::WindowsExpanded,
         CounterKind::FallbackScans,
@@ -150,6 +155,7 @@ impl CounterKind {
         CounterKind::MatchingCellsMoved,
         CounterKind::SspAugmentations,
         CounterKind::SimplexPivots,
+        CounterKind::CrossDesignSteals,
     ];
     /// Number of kinds.
     pub const COUNT: usize = Self::ALL.len();
@@ -169,6 +175,7 @@ impl CounterKind {
             CounterKind::MatchingCellsMoved => "maxdisp.cells_moved",
             CounterKind::SspAugmentations => "flow.ssp_augmentations",
             CounterKind::SimplexPivots => "flow.simplex_pivots",
+            CounterKind::CrossDesignSteals => "sched.cross_design_steals",
         }
     }
 }
@@ -187,16 +194,21 @@ pub enum HistoKind {
     InsertionEvalNanos,
     /// Stage-2 matching group sizes, cells.
     MatchingGroupCells,
+    /// Per-round wall time the MGL coordinator spent waiting for results
+    /// evaluated by pool workers, nanoseconds. One observation per pooled
+    /// round, so batch schedulers can see per-design queue pressure.
+    SchedQueueWaitNanos,
 }
 
 impl HistoKind {
     /// Every kind, in report order.
-    pub const ALL: [HistoKind; 5] = [
+    pub const ALL: [HistoKind; 6] = [
         HistoKind::DispSitesMgl,
         HistoKind::DispSitesMaxDisp,
         HistoKind::DispSitesFixedOrder,
         HistoKind::InsertionEvalNanos,
         HistoKind::MatchingGroupCells,
+        HistoKind::SchedQueueWaitNanos,
     ];
     /// Number of kinds.
     pub const COUNT: usize = Self::ALL.len();
@@ -210,6 +222,7 @@ impl HistoKind {
             HistoKind::DispSitesFixedOrder => "fixed_order.cell_disp_sites",
             HistoKind::InsertionEvalNanos => "mgl.insertion_eval_nanos",
             HistoKind::MatchingGroupCells => "maxdisp.group_cells",
+            HistoKind::SchedQueueWaitNanos => "mgl.queue_wait_nanos",
         }
     }
 }

@@ -139,6 +139,10 @@ COMMANDS
                                 skipped; the rest of the batch still runs)
              --mode contest|total|mll    configuration (default contest)
              --threads <n>      MGL worker threads
+             --max-inflight <n> batch: designs in flight at once (default:
+                                --threads; fewer leaves threads over as
+                                shared eval workers serving all in-flight
+                                designs — results are identical either way)
              --stage-budget-secs <f>   per-run wall-clock budget; a stage
                                 starting past it takes its degradation rung
                                 (serial MGL / skip) instead of running
@@ -322,6 +326,9 @@ fn build_config(flags: &Flags) -> Result<LegalizerConfig, CliError> {
     }
     if let Some(b) = flags.num("stage-budget-secs")? {
         cfg.stage_budget_secs = Some(b);
+    }
+    if let Some(m) = flags.num("max-inflight")? {
+        cfg.max_inflight_designs = m;
     }
     if let Some(order) = flags.get("order") {
         cfg.order = match order {
@@ -564,11 +571,13 @@ fn cmd_legalize_batch(flags: &Flags) -> Result<(), CliError> {
         }
     }
     let jobs = results.len() as Dbu;
+    let diag = engine.diag();
     println!(
-        "batch: {succeeded}/{} designs in {secs:.2}s ({:.1} designs/s, {} worker pool spawn)",
+        "batch: {succeeded}/{} designs in {secs:.2}s ({:.1} designs/sec, {} in flight, {} cross-design steals)",
         bundles.len(),
         mclegal::db::geom::dbu_to_f64(jobs) / secs.max(1e-9),
-        engine.diag().pool_spawns
+        engine.batch_runners(designs.len()),
+        diag.cross_design_steals
     );
     if !failures.is_empty() {
         return Err(CliError::Infeasible(format!(

@@ -160,7 +160,7 @@ fn failed_stage_leaves_no_partial_mutation() {
             &FULL_PIPELINE,
             &prep.weights,
             prep.oracle(),
-            None,
+            pipeline::MglExec::Standalone,
             &mut scratch,
             "chaos",
         );
@@ -407,6 +407,75 @@ fn batch_survivors_are_byte_identical_to_goldens() {
                         designs[i].name
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Invariant 3 under cross-design interleaving: throttled admission
+/// (threads 4, two designs in flight) leaves two shared eval workers
+/// serving both in-flight designs' rounds interleaved on one pool. A fault
+/// injected into one design — including a terminal failure, which cancels
+/// the victim's run on the shared pool mid-flight — must leave every
+/// peer's output byte-identical to the fault-free baseline: replicas and
+/// reply channels are per run, so a dying run takes nothing shared down
+/// with it.
+#[test]
+fn interleaved_batch_fault_leaves_peers_byte_identical() {
+    let designs: Vec<Design> = (0..6)
+        .map(|k| {
+            let mut d = messy_design(110, 0xFACE + k as u64 * 7919);
+            d.name = format!("ib{k}");
+            d
+        })
+        .collect();
+    let mut cfg = cfg_threads(4);
+    cfg.max_inflight_designs = 2;
+    let mut engine = Engine::new(cfg.clone());
+    let baseline: Vec<(Vec<Option<Point>>, String)> = engine
+        .try_legalize_batch(&designs)
+        .into_iter()
+        .map(|r| {
+            let (placed, stats) = r.expect("fault-free baseline must succeed");
+            (
+                positions(&placed),
+                build_run_report(&placed, &stats, &cfg).golden_json(),
+            )
+        })
+        .collect();
+    assert_eq!(engine.diag().pool_spawns, 1, "interleaved regime expected");
+    for victim in [0usize, 2, 5] {
+        for terminal in [true, false] {
+            let mut faulted = cfg.clone();
+            let stage = if terminal { "mgl" } else { "maxdisp" };
+            faulted.faults = Some(
+                FaultPlan::new()
+                    .for_design(&designs[victim].name)
+                    .arm_persistent(FaultSite::StagePanic { stage })
+                    .shared(),
+            );
+            let mut engine = Engine::new(faulted.clone());
+            let results = engine.try_legalize_batch(&designs);
+            for (i, r) in results.iter().enumerate() {
+                if i == victim {
+                    if terminal {
+                        assert!(r.is_err(), "victim must fail terminally");
+                    }
+                    continue;
+                }
+                let (placed, stats) = r.as_ref().expect("peer must succeed");
+                assert_eq!(
+                    positions(placed),
+                    baseline[i].0,
+                    "victim={victim} terminal={terminal}: peer {} positions diverged",
+                    designs[i].name
+                );
+                assert_eq!(
+                    build_run_report(placed, stats, &faulted).golden_json(),
+                    baseline[i].1,
+                    "victim={victim} terminal={terminal}: peer {} report diverged",
+                    designs[i].name
+                );
             }
         }
     }

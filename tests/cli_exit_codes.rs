@@ -178,14 +178,19 @@ fn batch_continues_past_corrupt_bundle() {
     let text = std::fs::read_to_string(&nodes).unwrap();
     std::fs::write(&nodes, mclegal::core::faultinject::corrupt_text(&text)).unwrap();
 
+    // `--threads 3 --max-inflight 2` pins the interleaved regime: two
+    // runner threads plus one shared eval worker serving both in-flight
+    // designs, so containment is exercised under cross-design scheduling.
     let reports = dir.join("reports");
     let out = mclegal()
         .args(["legalize", "--batch", batch.to_str().unwrap()])
-        .args(["--threads", "2", "--report-dir", reports.to_str().unwrap()])
+        .args(["--threads", "3", "--max-inflight", "2"])
+        .args(["--report-dir", reports.to_str().unwrap()])
         .output()
         .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(exit_code(&out), 4, "stdout: {stdout}");
+    assert!(stdout.contains("designs/sec"), "stdout: {stdout}");
     // The three healthy jobs completed and reported.
     for name in ["b0", "b2", "b3"] {
         assert!(stdout.contains(name), "missing row for {name}: {stdout}");
@@ -212,12 +217,8 @@ fn batch_continues_past_corrupt_bundle() {
     let clean_reports = dir.join("clean_reports");
     let out = mclegal()
         .args(["legalize", "--batch", clean_batch.to_str().unwrap()])
-        .args([
-            "--threads",
-            "2",
-            "--report-dir",
-            clean_reports.to_str().unwrap(),
-        ])
+        .args(["--threads", "3", "--max-inflight", "2"])
+        .args(["--report-dir", clean_reports.to_str().unwrap()])
         .output()
         .unwrap();
     assert_eq!(exit_code(&out), 0);

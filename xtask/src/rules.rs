@@ -63,6 +63,13 @@ const STAGE_BYPASS_EXEMPT: [&str; 5] = [
     "crates/core/src/fixed_order.rs",
 ];
 
+/// Files allowed to spawn an `EvalPool` directly: the scheduler module that
+/// defines it, and the engine, which owns the one shared pool of a batch
+/// (DESIGN.md §12). Anywhere else, a raw spawn reintroduces the per-design
+/// pool churn the batch scheduler exists to eliminate — route the work
+/// through `Engine::legalize_batch` (or `Legalizer` for a true solo run).
+const POOL_SPAWN_EXEMPT: [&str; 2] = ["crates/core/src/engine.rs", "crates/core/src/scheduler.rs"];
+
 /// Integer type names a float expression must not be `as`-cast to.
 const INT_TYPES: [&str; 13] = [
     "i8", "i16", "i32", "i64", "i128", "isize", "u8", "u16", "u32", "u64", "u128", "usize", "Dbu",
@@ -114,6 +121,11 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Violation> {
         // pipeline and the defining modules.
         if !STAGE_BYPASS_EXEMPT.contains(&rel) && has_stage_bypass_call(line) {
             report(&mut out, "stage-bypass");
+        }
+        // Rule `pool-spawn`: no `EvalPool::spawn` outside the scheduler and
+        // the engine — shared pools are the engine's job.
+        if !POOL_SPAWN_EXEMPT.contains(&rel) && line.contains("EvalPool::spawn(") {
+            report(&mut out, "pool-spawn");
         }
     }
     out
@@ -390,6 +402,22 @@ mod tests {
         let masked = "fn f() { let _ = \"run_parallel(x)\"; }\n\
                       #[cfg(test)]\nmod tests {\n    fn g() { run_serial(s, c, w, o); }\n}\n";
         assert!(lint_source("crates/core/src/engine.rs", masked).is_empty());
+    }
+
+    #[test]
+    fn seeded_pool_spawn_is_caught() {
+        let src = "fn f() {\n    let pool = EvalPool::spawn(scope, 3);\n}\n";
+        let v = lint_source("crates/core/src/legalizer.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "pool-spawn");
+        assert_eq!(v[0].line, 2);
+        // The scheduler (defining module) and the engine (batch owner) are
+        // the sanctioned spawn sites; test code is masked like everywhere.
+        assert!(lint_source("crates/core/src/scheduler.rs", src).is_empty());
+        assert!(lint_source("crates/core/src/engine.rs", src).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n    fn g() { let _ = EvalPool::spawn(s, 1); }\n}\n";
+        assert!(lint_source("crates/core/src/pipeline.rs", in_test).is_empty());
     }
 
     #[test]
