@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test fmt clippy lint audit chaos check bench-json bench-batch tables
+.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch tables
 
 build:
 	cargo build --release
@@ -21,6 +21,26 @@ clippy:
 lint:
 	cargo xtask lint
 
+# Call-graph static analysis (DESIGN.md §13): determinism taint from the
+# scheduler/stage seed set, EvalPool protocol invariants (run ids, no lock
+# guard live across a send), and the panic-surface audit against the
+# catch_unwind containment boundaries. Ratcheted via xtask/analyze-allow.txt;
+# re-baseline with `cargo xtask analyze --bless`. JSON report lands in
+# target/analyze-report.json.
+analyze:
+	cargo xtask analyze
+
+# ThreadSanitizer over the concurrency-heavy subset (scheduler, engine,
+# batch parity). Needs a nightly toolchain with rust-src; mirrors the
+# nightly `tsan` CI job.
+tsan:
+	RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS="suppressions=.tsan-suppressions" \
+		cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+		-p mcl-core --lib -- scheduler:: engine::
+	RUSTFLAGS="-Zsanitizer=thread" TSAN_OPTIONS="suppressions=.tsan-suppressions" \
+		cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+		--test batch_parity
+
 # Certifying audit suite: independent legality auditor, flow-optimality
 # certificates, replay determinism. Release builds drop debug_assertions, so
 # the `audit` feature forces the certifiers on.
@@ -36,7 +56,7 @@ audit:
 chaos:
 	cargo test --features faultinject --test chaos
 
-check: build test fmt clippy lint audit chaos
+check: build test fmt clippy lint analyze audit chaos
 
 # Regenerate BENCH_mgl.json (cells/s at 1/2/4/8 threads, seed scheduler vs
 # current). Knobs: MCL_BENCH_CELLS, MCL_BENCH_DENSITY_PCT, MCL_BENCH_REPS.

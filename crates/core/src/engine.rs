@@ -590,12 +590,22 @@ fn batch_runner<'d: 'p, 'p>(
         if i >= designs.len() {
             break;
         }
-        let mut slot = slots[i].lock().unwrap_or_else(PoisonError::into_inner);
-        let Some(mut state) = slot.seed.take() else {
+        // The guard is scoped to the seed takeout: the run below sends on
+        // the pool channels, and no lock guard may be live across a send
+        // (`cargo xtask analyze`, rule pool-lock-across-send). The slot is
+        // claimed by exactly one runner, so re-locking to store the result
+        // races with nobody; a panic escaping the run leaves `out` empty,
+        // which the collector degrades to a typed PoolBroken error.
+        let seed = slots[i]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .seed
+            .take();
+        let Some(mut state) = seed else {
             continue; // seed error, result already recorded
         };
         runs.fetch_add(1, Ordering::Relaxed);
-        slot.out = Some(batch_run_one(
+        let out = batch_run_one(
             config,
             scratch,
             stages,
@@ -604,7 +614,8 @@ fn batch_runner<'d: 'p, 'p>(
             &mut state,
             client,
             i,
-        ));
+        );
+        slots[i].lock().unwrap_or_else(PoisonError::into_inner).out = Some(out);
         // `state` drops here: a finished design's working memory is
         // released immediately, keeping residency proportional to the
         // in-flight count.

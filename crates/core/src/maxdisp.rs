@@ -18,7 +18,7 @@ use mcl_db::geom::{dbu_from_f64_saturating, dbu_to_f64};
 use mcl_db::prelude::*;
 use mcl_flow::matching::min_cost_matching_with_witness_metered;
 use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Statistics of one stage-2 run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -71,21 +71,22 @@ pub fn optimize_max_disp_metered(
     let delta0 = config.delta0_dbu(d.tech.row_height);
     let mut stats = MaxDispStats::default();
 
-    // Group placed movable cells by (type, fence).
-    let mut groups: HashMap<(u32, u16), Vec<CellId>> = HashMap::new();
+    // Group placed movable cells by (type, fence). A BTreeMap so that the
+    // group visit order below is the sorted key order by construction —
+    // deterministic without a separate key sort (and without tripping the
+    // analyzer's det-hash-iter rule: this loop is reachable from
+    // `MaxDispStage::run`).
+    let mut groups: BTreeMap<(u32, u16), Vec<CellId>> = BTreeMap::new();
     for id in d.movable_cells() {
         if state.pos(id).is_some() {
             let c = &d.cells[id.0 as usize];
             groups.entry((c.type_id.0, c.fence.0)).or_default().push(id);
         }
     }
-    let mut keys: Vec<(u32, u16)> = groups.keys().copied().collect();
-    keys.sort_unstable();
 
     // Snapshot jobs worth solving.
     let mut jobs: Vec<GroupJob> = Vec::new();
-    for key in keys {
-        let cells = groups.remove(&key).unwrap();
+    for (_key, cells) in groups {
         if cells.len() < 2 {
             continue;
         }

@@ -171,22 +171,31 @@ pub fn apply_insertion(state: &mut PlacementState<'_>, target: CellId, ins: &Ins
     let mut left: Vec<(CellId, Dbu)> = Vec::new();
     let mut right: Vec<(CellId, Dbu)> = Vec::new();
     for &(cid, nx) in &ins.shifts {
-        let cur = state.pos(cid).unwrap().x;
+        // A shift can only target a placed cell; an unplaced one (impossible
+        // for a well-formed insertion) has nothing to move.
+        let Some(cur) = state.pos(cid).map(|p| p.x) else {
+            continue;
+        };
         if nx < cur {
             left.push((cid, nx));
         } else if nx > cur {
             right.push((cid, nx));
         }
     }
-    left.sort_by_key(|&(cid, _)| state.pos(cid).unwrap().x);
-    right.sort_by_key(|&(cid, _)| std::cmp::Reverse(state.pos(cid).unwrap().x));
+    // Every retained cid is placed (filtered above); the fallback key only
+    // keeps the sort total without a panic path.
+    left.sort_by_key(|&(cid, _)| state.pos(cid).map_or(Dbu::MAX, |p| p.x));
+    right.sort_by_key(|&(cid, _)| std::cmp::Reverse(state.pos(cid).map_or(Dbu::MIN, |p| p.x)));
     for (cid, nx) in left.into_iter().chain(right) {
         state.shift_x(cid, nx);
     }
     let y = d.row_y(ins.base_row);
-    state
-        .place(target, Point::new(ins.x, y))
-        .expect("insertion must be placeable");
+    if let Err(e) = state.place(target, Point::new(ins.x, y)) {
+        // An unplaceable insertion is corrupted eval output; panicking here
+        // is the designed fault signal, contained at the Apply-replay and
+        // stage catch_unwind boundaries.
+        panic!("insertion must be placeable: {e}");
+    }
 }
 
 /// Runs MGL sequentially over all unplaced movable cells.
@@ -490,7 +499,9 @@ pub fn fallback_scan(
             let mut idx = 0usize;
             loop {
                 let gap_hi = if idx < occupants.len() {
-                    state.pos(occupants[idx]).unwrap().x
+                    // Segment occupants are placed by definition; an
+                    // unplaced one degrades to "gap runs to segment end".
+                    state.pos(occupants[idx]).map_or(seg.x.hi, |p| p.x)
                 } else {
                     seg.x.hi
                 };
@@ -518,7 +529,11 @@ pub fn fallback_scan(
                                     return false;
                                 };
                                 for &other in state.cells_in_segment(si) {
-                                    let p = state.pos(other).unwrap();
+                                    // Conservative: an occupant we cannot
+                                    // locate rejects the candidate.
+                                    let Some(p) = state.pos(other) else {
+                                        return false;
+                                    };
                                     let ow = d.type_of(other).width;
                                     if x < p.x + ow + pad && p.x < x + w + pad {
                                         return false;
@@ -536,7 +551,11 @@ pub fn fallback_scan(
                     break;
                 }
                 let occ = occupants[idx];
-                gap_lo = state.pos(occ).unwrap().x + d.type_of(occ).width;
+                // An unplaced occupant cannot bound the gap; keep the
+                // current lower edge and move on.
+                gap_lo = state
+                    .pos(occ)
+                    .map_or(gap_lo, |p| p.x + d.type_of(occ).width);
                 idx += 1;
             }
         }

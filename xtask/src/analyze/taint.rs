@@ -1,0 +1,380 @@
+//! Determinism taint analysis.
+//!
+//! Seeds the "deterministic core" at the scheduler eval entry points
+//! (`eval_job`, `drive_rounds`) and every `Stage::run` impl, computes the
+//! reachable function set over the conservative call graph, and flags any
+//! reachable call to a nondeterminism source:
+//!
+//! * `det-hash-iter`     — iteration over a `HashMap`/`HashSet` (order is
+//!   randomized per process; replicas would diverge)
+//! * `det-instant-now`   — `Instant::now` / `SystemTime::now` outside the
+//!   sanctioned clock module (`crates/obs/src/clock.rs`)
+//! * `det-thread-current`— `thread::current` (identity leaks into results)
+//! * `det-rand`          — entropy-seeded RNG construction
+//! * `det-env-read`      — environment reads steering reachable behavior
+//!
+//! This replaces the old `HOT_PATH_FILES` hardcoded list: coverage now
+//! follows the call graph, so new hot-path files are covered the moment they
+//! become reachable from a seed.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::callgraph::{skip_fn_item, CallGraph, CallKind};
+use super::tokens::Tt;
+use super::{Finding, Workspace};
+
+/// File whose `Instant::now`/`SystemTime::now` uses are sanctioned: the one
+/// clock wrapper everything else must route through.
+pub const CLOCK_FILE_SUFFIX: &str = "crates/obs/src/clock.rs";
+
+/// Free fns seeded by (file suffix, name): the scheduler's eval entry points.
+const SEED_FREE_FNS: &[(&str, &str)] = &[
+    ("crates/core/src/scheduler.rs", "eval_job"),
+    ("crates/core/src/scheduler.rs", "drive_rounds"),
+];
+
+/// Trait whose `run` impls seed the deterministic core.
+const SEED_TRAIT: &str = "Stage";
+const SEED_TRAIT_METHOD: &str = "run";
+
+/// Hash-container method calls that observe iteration order.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Indices of the seed functions for this workspace.
+pub fn seed_fns(ws: &Workspace) -> Vec<usize> {
+    let mut seeds = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let file = &ws.files[f.file].rel;
+        let free_seed = f.impl_type.is_none()
+            && SEED_FREE_FNS
+                .iter()
+                .any(|(suf, name)| file.ends_with(suf) && f.name == *name);
+        let stage_seed = f.impl_trait.as_deref() == Some(SEED_TRAIT) && f.name == SEED_TRAIT_METHOD;
+        if free_seed || stage_seed {
+            seeds.push(i);
+        }
+    }
+    seeds
+}
+
+/// Names declared with a `HashMap`/`HashSet` type in one file: locals
+/// (`let m: HashMap<…>`, `let m = HashMap::new()`), struct fields and fn
+/// params (`m: &mut HashMap<…>`). Name-based, so a same-named `Vec` in the
+/// same file would be over-flagged — acceptable for a lint that feeds a
+/// ratchet.
+pub fn hash_names(trees: &[Tt]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    collect_hash_names(trees, &mut names);
+    names
+}
+
+fn is_hash_ty(id: &str) -> bool {
+    id == "HashMap" || id == "HashSet"
+}
+
+fn collect_hash_names(items: &[Tt], out: &mut BTreeSet<String>) {
+    for i in 0..items.len() {
+        if let Some(g) = items[i].group() {
+            collect_hash_names(&g.items, out);
+            continue;
+        }
+        let Some(id) = items[i].ident() else { continue };
+        if !is_hash_ty(id) {
+            continue;
+        }
+        // Walk back over type-position noise to the `name :` or
+        // `let [mut] name =` that owns this container.
+        let mut j = i;
+        while j > 0 {
+            let prev = &items[j - 1];
+            let skip = prev.is_punct(b'&')
+                || prev.is_punct(b'<')
+                || prev.is_punct(b':')
+                || prev.is_punct(b'=')
+                || prev.is_punct(b'(')
+                || matches!(prev.ident(), Some("mut" | "dyn" | "std" | "collections"))
+                || prev
+                    .leaf()
+                    .is_some_and(|l| l.kind == super::tokens::LeafKind::Lifetime);
+            if !skip {
+                break;
+            }
+            j -= 1;
+        }
+        // j - 1 now points at the candidate owner name (if any).
+        if j >= 1 {
+            if let Some(name) = items[j - 1].ident() {
+                if !matches!(
+                    name,
+                    "let" | "pub" | "mut" | "fn" | "impl" | "struct" | "enum"
+                ) {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Scans one reachable fn body for hash-container iteration; nested fn
+/// definitions are skipped (they are scanned as their own functions).
+fn scan_hash_iter(items: &[Tt], names: &BTreeSet<String>, hits: &mut Vec<usize>) {
+    let mut i = 0usize;
+    while i < items.len() {
+        if items[i].ident() == Some("fn") && items.get(i + 1).and_then(Tt::ident).is_some() {
+            i = skip_fn_item(items, i);
+            continue;
+        }
+        if let Some(g) = items[i].group() {
+            scan_hash_iter(&g.items, names, hits);
+            i += 1;
+            continue;
+        }
+        // `name . iter_method (` where `name` is a known hash container.
+        if let Some(name) = items[i].ident() {
+            if names.contains(name)
+                && items.get(i + 1).is_some_and(|t| t.is_punct(b'.'))
+                && items
+                    .get(i + 2)
+                    .and_then(Tt::ident)
+                    .is_some_and(|m| HASH_ITER_METHODS.contains(&m))
+                && items
+                    .get(i + 3)
+                    .and_then(Tt::group)
+                    .is_some_and(|g| g.delim == b'(')
+            {
+                hits.push(items[i + 2].line());
+            }
+            // `for pat in [&[mut]] name` — direct iteration of the container.
+            if name == "in" {
+                let mut j = i + 1;
+                while items.get(j).is_some_and(|t| t.is_punct(b'&'))
+                    || items.get(j).and_then(Tt::ident) == Some("mut")
+                {
+                    j += 1;
+                }
+                if let Some(n) = items.get(j).and_then(Tt::ident) {
+                    let next_is_body = items
+                        .get(j + 1)
+                        .and_then(Tt::group)
+                        .is_some_and(|g| g.delim == b'{');
+                    if names.contains(n) && next_is_body {
+                        hits.push(items[j].line());
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Runs the taint analysis; returns findings with reachability paths.
+pub fn analyze(ws: &Workspace, graph: &CallGraph) -> Vec<Finding> {
+    let seeds = seed_fns(ws);
+    let parent = graph.reach(&seeds);
+    let per_file_hash_names: Vec<BTreeSet<String>> =
+        ws.files.iter().map(|f| hash_names(&f.trees)).collect();
+
+    let mut findings = Vec::new();
+    let mut dedup: BTreeSet<(String, usize, usize)> = BTreeSet::new();
+    for &fi in parent.keys() {
+        let f = &ws.fns[fi];
+        let file = &ws.files[f.file];
+        let path = path_strings(ws, &parent, fi);
+
+        // Call-site rules.
+        for c in &graph.calls[fi] {
+            let rule: Option<&str> = match (&c.kind, c.name.as_str()) {
+                (CallKind::Qualified(q), "now") if q == "Instant" || q == "SystemTime" => {
+                    if file.rel.ends_with(CLOCK_FILE_SUFFIX) {
+                        None
+                    } else {
+                        Some("det-instant-now")
+                    }
+                }
+                (CallKind::Qualified(q), "current") if q == "thread" => Some("det-thread-current"),
+                (_, "thread_rng" | "from_entropy") => Some("det-rand"),
+                (CallKind::Qualified(q), "random") if q == "rand" => Some("det-rand"),
+                (CallKind::Qualified(q), "var" | "vars" | "var_os" | "vars_os") if q == "env" => {
+                    Some("det-env-read")
+                }
+                _ => None,
+            };
+            if let Some(rule) = rule {
+                if dedup.insert((rule.to_string(), f.file, c.line)) {
+                    findings.push(Finding {
+                        rule: rule.to_string(),
+                        file: file.rel.clone(),
+                        line: c.line,
+                        excerpt: file.excerpt(c.line),
+                        path: path.clone(),
+                    });
+                }
+            }
+        }
+
+        // Hash-iteration rule (token-pattern based, needs the body).
+        let mut hits = Vec::new();
+        scan_hash_iter(&f.body.items, &per_file_hash_names[f.file], &mut hits);
+        for line in hits {
+            if dedup.insert(("det-hash-iter".to_string(), f.file, line)) {
+                findings.push(Finding {
+                    rule: "det-hash-iter".to_string(),
+                    file: file.rel.clone(),
+                    line,
+                    excerpt: file.excerpt(line),
+                    path: path.clone(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Formats the seed → … → f chain as `file:line display` strings.
+pub fn path_strings(
+    ws: &Workspace,
+    parent: &BTreeMap<usize, Option<usize>>,
+    f: usize,
+) -> Vec<String> {
+    CallGraph::path_to(parent, f)
+        .into_iter()
+        .map(|i| {
+            let d = &ws.fns[i];
+            format!("{}:{} {}", ws.files[d.file].rel, d.line, d.display())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(files)
+    }
+
+    #[test]
+    fn hash_names_cover_locals_fields_and_params() {
+        let w = ws(&[(
+            "crates/x/src/lib.rs",
+            "struct S { grid: HashMap<u32, u32> }\n\
+             fn f(seen: &mut HashSet<u64>) {\n\
+                 let mut groups: HashMap<u32, u32> = HashMap::new();\n\
+                 let fresh = HashMap::new();\n\
+             }\n",
+        )]);
+        let names = hash_names(&w.files[0].trees);
+        for expect in ["grid", "seen", "groups", "fresh"] {
+            assert!(names.contains(expect), "missing {expect}: {names:?}");
+        }
+    }
+
+    #[test]
+    fn reachable_hash_iteration_is_flagged_with_path() {
+        let w = ws(&[(
+            "crates/core/src/pipeline.rs",
+            "trait Stage {}\n\
+             struct S;\n\
+             impl Stage for S {\n\
+                 fn run(&self) { helper(); }\n\
+             }\n\
+             fn helper() {\n\
+                 let m: HashMap<u32, u32> = HashMap::new();\n\
+                 for k in m.keys() { let _ = k; }\n\
+             }\n",
+        )]);
+        let g = CallGraph::build(&w.fns);
+        let f = analyze(&w, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "det-hash-iter");
+        assert_eq!(f[0].line, 8);
+        assert_eq!(f[0].path.len(), 2, "{:?}", f[0].path);
+        assert!(f[0].path[0].contains("S::run"), "{:?}", f[0].path);
+    }
+
+    #[test]
+    fn unreachable_code_is_not_flagged() {
+        let w = ws(&[(
+            "crates/core/src/lib.rs",
+            "fn cold() {\n\
+                 let m: HashMap<u32, u32> = HashMap::new();\n\
+                 for k in m.keys() { let _ = k; }\n\
+                 let t = Instant::now();\n\
+             }\n",
+        )]);
+        let g = CallGraph::build(&w.fns);
+        assert!(analyze(&w, &g).is_empty());
+    }
+
+    #[test]
+    fn clock_module_is_exempt_from_instant_now() {
+        let w = ws(&[
+            (
+                "crates/core/src/scheduler.rs",
+                "fn eval_job() { mcl_obs::clock::now_nanos(); }\n",
+            ),
+            (
+                "crates/obs/src/clock.rs",
+                "pub fn now_nanos() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n",
+            ),
+        ]);
+        let g = CallGraph::build(&w.fns);
+        assert!(analyze(&w, &g).is_empty());
+    }
+
+    #[test]
+    fn reachable_instant_now_outside_clock_is_flagged() {
+        let w = ws(&[(
+            "crates/core/src/scheduler.rs",
+            "fn drive_rounds() { let t = Instant::now(); }\n",
+        )]);
+        let g = CallGraph::build(&w.fns);
+        let f = analyze(&w, &g);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "det-instant-now");
+    }
+
+    #[test]
+    fn env_and_rand_and_thread_sources() {
+        let w = ws(&[(
+            "crates/core/src/scheduler.rs",
+            "fn eval_job() {\n\
+                 let v = std::env::var(\"X\");\n\
+                 let r = thread_rng();\n\
+                 let t = std::thread::current();\n\
+             }\n",
+        )]);
+        let g = CallGraph::build(&w.fns);
+        let mut rules: Vec<_> = analyze(&w, &g).into_iter().map(|f| f.rule).collect();
+        rules.sort();
+        assert_eq!(rules, ["det-env-read", "det-rand", "det-thread-current"]);
+    }
+
+    #[test]
+    fn for_loop_over_hash_container_is_flagged() {
+        let w = ws(&[(
+            "crates/core/src/scheduler.rs",
+            "fn eval_job(seen: &HashSet<u64>) {\n\
+                 for s in seen { let _ = s; }\n\
+             }\n",
+        )]);
+        let g = CallGraph::build(&w.fns);
+        let f = analyze(&w, &g);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "det-hash-iter");
+    }
+}

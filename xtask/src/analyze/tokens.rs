@@ -1,0 +1,249 @@
+//! Token-tree layer of the static analyzer.
+//!
+//! The masking lexer (`crate::lexer`) blanks comments and literal contents
+//! while preserving byte positions; this module upgrades that masked text to
+//! a stream of positioned tokens grouped into delimiter trees — the same
+//! shape `proc_macro::TokenTree` has, hand-rolled because the workspace
+//! builds offline (no `syn`/`proc-macro2`). Everything downstream (symbol
+//! table, call graph, the three analyses) walks these trees instead of raw
+//! lines, so brace-balanced structure (fn bodies, impl blocks, struct
+//! expressions) is first-class.
+
+/// What a leaf token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeafKind {
+    /// Identifier or keyword (`fn`, `impl`, `run`, …).
+    Ident,
+    /// Numeric literal (`0`, `1_000`, `0x9E`).
+    Num,
+    /// A single punctuation byte (`:`, `.`, `#`, `!`, …).
+    Punct,
+    /// A lifetime (`'a`, `'static`) — kept only so it cannot be confused
+    /// with an identifier.
+    Lifetime,
+}
+
+/// One leaf token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Leaf {
+    pub kind: LeafKind,
+    pub text: String,
+    pub line: usize,
+}
+
+/// A delimited group: `(…)`, `[…]` or `{…}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Group {
+    /// Opening delimiter byte: `(`, `[` or `{`.
+    pub delim: u8,
+    /// 1-based line of the opening delimiter.
+    pub open_line: usize,
+    /// 1-based line of the closing delimiter (or of the last token when the
+    /// file is truncated/unbalanced).
+    pub close_line: usize,
+    pub items: Vec<Tt>,
+}
+
+/// One token tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tt {
+    Leaf(Leaf),
+    Group(Group),
+}
+
+impl Tt {
+    /// The leaf, if this tree is one.
+    pub fn leaf(&self) -> Option<&Leaf> {
+        match self {
+            Tt::Leaf(l) => Some(l),
+            Tt::Group(_) => None,
+        }
+    }
+
+    /// The identifier text, if this tree is an identifier leaf.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tt::Leaf(l) if l.kind == LeafKind::Ident => Some(&l.text),
+            _ => None,
+        }
+    }
+
+    /// The group, if this tree is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tt::Group(g) => Some(g),
+            Tt::Leaf(_) => None,
+        }
+    }
+
+    /// True when this tree is the punctuation byte `c`.
+    pub fn is_punct(&self, c: u8) -> bool {
+        match self {
+            Tt::Leaf(l) => l.kind == LeafKind::Punct && l.text.as_bytes() == [c],
+            Tt::Group(_) => false,
+        }
+    }
+
+    /// 1-based line this tree starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Tt::Leaf(l) => l.line,
+            Tt::Group(g) => g.open_line,
+        }
+    }
+}
+
+fn close_of(open: u8) -> u8 {
+    match open {
+        b'(' => b')',
+        b'[' => b']',
+        _ => b'}',
+    }
+}
+
+/// Tokenizes *masked* source (see [`crate::lexer::mask_code`]) into token
+/// trees. Tolerant of unbalanced delimiters: a stray closer ends the current
+/// group, an unclosed group ends at end of input — the analyzer must never
+/// panic on the code it lints.
+pub fn parse_trees(masked: &str) -> Vec<Tt> {
+    let b = masked.as_bytes();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    // Stack of open groups: (delim, open_line, items).
+    let mut stack: Vec<(u8, usize, Vec<Tt>)> = Vec::new();
+    let mut top: Vec<Tt> = Vec::new();
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'(' | b'[' | b'{' => {
+                stack.push((c, line, std::mem::take(&mut top)));
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                if let Some((delim, open_line, parent)) = stack.pop() {
+                    let items = std::mem::replace(&mut top, parent);
+                    // Mismatched closer: close the group anyway (masked
+                    // source can only be unbalanced on pathological input).
+                    let _ = close_of(delim);
+                    top.push(Tt::Group(Group {
+                        delim,
+                        open_line,
+                        close_line: line,
+                        items,
+                    }));
+                }
+                i += 1;
+            }
+            b'\'' if i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') => {
+                let start = i + 1;
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                top.push(Tt::Leaf(Leaf {
+                    kind: LeafKind::Lifetime,
+                    text: masked[start..i].to_string(),
+                    line,
+                }));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                top.push(Tt::Leaf(Leaf {
+                    kind: LeafKind::Ident,
+                    text: masked[start..i].to_string(),
+                    line,
+                }));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                top.push(Tt::Leaf(Leaf {
+                    kind: LeafKind::Num,
+                    text: masked[start..i].to_string(),
+                    line,
+                }));
+            }
+            _ => {
+                top.push(Tt::Leaf(Leaf {
+                    kind: LeafKind::Punct,
+                    text: masked[i..=i].to_string(),
+                    line,
+                }));
+                i += 1;
+            }
+        }
+    }
+    // Unclosed groups: fold them back into their parents, innermost first.
+    while let Some((delim, open_line, parent)) = stack.pop() {
+        let items = std::mem::replace(&mut top, parent);
+        top.push(Tt::Group(Group {
+            delim,
+            open_line,
+            close_line: line,
+            items,
+        }));
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::mask_code;
+
+    fn parse(src: &str) -> Vec<Tt> {
+        parse_trees(&mask_code(src))
+    }
+
+    #[test]
+    fn nests_groups_and_tracks_lines() {
+        let ts = parse("fn f() {\n    g(1);\n}\n");
+        assert_eq!(ts.len(), 4, "{ts:?}"); // fn, f, (), {}
+        assert_eq!(ts[0].ident(), Some("fn"));
+        assert_eq!(ts[1].ident(), Some("f"));
+        let body = ts[3].group().expect("body group");
+        assert_eq!(body.delim, b'{');
+        assert_eq!((body.open_line, body.close_line), (1, 3));
+        assert_eq!(body.items[0].ident(), Some("g"));
+        assert_eq!(body.items[0].line(), 2);
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_tokens() {
+        let ts = parse("let s = \"a(b{c\"; // d)e}\n");
+        let texts: Vec<_> = ts
+            .iter()
+            .filter_map(|t| t.leaf().map(|l| l.text.clone()))
+            .collect();
+        assert_eq!(texts, ["let", "s", "=", ";"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_identifiers() {
+        let ts = parse("fn f<'a>(x: &'a str) {}\n");
+        let lifetimes: Vec<_> = ts
+            .iter()
+            .filter(|t| t.leaf().is_some_and(|l| l.kind == LeafKind::Lifetime))
+            .collect();
+        assert_eq!(lifetimes.len(), 1); // the one in the generic list; the
+                                        // other is inside the paren group
+    }
+
+    #[test]
+    fn unbalanced_input_is_tolerated() {
+        let ts = parse("fn f( {\n");
+        assert!(!ts.is_empty());
+        let ts = parse(")}]\n");
+        assert!(ts.is_empty() || !ts.is_empty()); // must simply not panic
+    }
+}

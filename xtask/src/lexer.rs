@@ -267,4 +267,75 @@ mod tests {
         let t = test_line_mask(&m);
         assert_eq!(t, vec![false, true, true, true, true, false]);
     }
+
+    #[test]
+    fn raw_string_with_multiple_hashes_masks_embedded_terminators() {
+        // The `"#` inside must not close an `r##"…"##` string.
+        let src = "let s = r##\"inner \"# quote .unwrap()\"##; x.unwrap();\n";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches("unwrap").count(), 1, "only the code unwrap: {m}");
+        assert!(m.contains("x.unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments_unmask_at_outer_close_only() {
+        let src = "a /* one /* two */ still.unwrap() */ b.unwrap()\n";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("still"), "inner close must not end outer: {m}");
+        assert!(m.contains("b.unwrap()"));
+    }
+
+    #[test]
+    fn block_comment_newlines_preserved_for_line_numbers() {
+        let src = "x /* a\n/* b\n*/ c\n*/ y.unwrap()\n";
+        let m = mask_code(src);
+        assert_eq!(m.lines().count(), src.lines().count());
+        assert!(m.lines().nth(3).unwrap().contains("y.unwrap()"));
+    }
+
+    #[test]
+    fn byte_string_literals_are_masked() {
+        let src = "let a = b\"x.unwrap()\"; let b = br#\"y.unwrap()\"#; z.unwrap();\n";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert_eq!(m.matches("unwrap").count(), 1, "{m}");
+        assert!(m.contains("z.unwrap()"));
+    }
+
+    #[test]
+    fn cfg_test_mod_boundary_excludes_following_items() {
+        // Braces inside strings within the test mod must not shift the
+        // boundary; `fn after` sits on the first non-test line again.
+        let src = "#[cfg(test)]\nmod tests {\n  fn b() { let s = \"}{\"; }\n}\nfn after() {}\n";
+        let m = mask_code(src);
+        let t = test_line_mask(&m);
+        assert_eq!(t, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn multiple_test_attrs_each_get_their_own_region() {
+        let src = "#[test]\nfn t1() {}\nfn mid() {}\n#[test]\nfn t2() {}\n";
+        let m = mask_code(src);
+        let t = test_line_mask(&m);
+        assert_eq!(t, vec![true, true, false, true, true]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_masks_to_eof_without_panic() {
+        let src = "a /* open forever\nstill comment .unwrap()\n";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("unwrap"));
+    }
+
+    #[test]
+    fn escaped_char_literal_masks_fully() {
+        let src = "let c = '\\n'; let q = '\\''; d.unwrap();\n";
+        let m = mask_code(src);
+        assert_eq!(m.len(), src.len());
+        assert!(m.contains("d.unwrap()"));
+        assert!(!m.contains('\\'));
+    }
 }

@@ -1,34 +1,47 @@
 //! Workspace automation tasks. Run as `cargo xtask <task>`.
 //!
-//! Currently one task: `lint`, the custom static-analysis pass described in
-//! DESIGN.md ("Verification architecture"). It enforces four rules over the
-//! library crates (`crates/*/src`) and the facade/CLI sources (`src/`):
+//! Two tasks:
 //!
-//! 1. `unwrap` — no `.unwrap()` / `.expect(` outside test code;
-//! 2. `float-cast` — no bare `as` float↔int casts outside `db::geom`;
-//! 3. `hash-iter` — no `HashMap`/`HashSet` iteration in legalization hot
-//!    paths;
-//! 4. `instant-now` — no ad-hoc `std::time::Instant` timing outside
-//!    `obs::clock` (everything times through `Stopwatch`).
+//! * `lint` — the lexical pass described in DESIGN.md ("Verification
+//!   architecture"): `unwrap`, `float-cast`, `hash-iter` (hot-path files)
+//!   and `instant-now` rules over masked source lines.
+//! * `analyze` — the syntax-aware pass (DESIGN.md "Static analysis
+//!   architecture"): token trees, a symbol table and a conservative call
+//!   graph feeding determinism-taint reachability, EvalPool protocol checks
+//!   and a panic-surface audit. `--json` prints the stable JSON report to
+//!   stdout instead of `target/analyze-report.json`.
 //!
-//! Pre-existing hits are recorded per (rule, file) in `xtask/lint-allow.txt`
-//! — a *ratchet*: the pass fails only when a file exceeds its recorded
-//! count, so new code cannot add violations while old ones are triaged away.
-//! Re-baseline with `cargo xtask lint --bless` after removing violations.
+//! Both passes ratchet against an allowlist (`xtask/lint-allow.txt`,
+//! `xtask/analyze-allow.txt`): they fail only when a (rule, file) group
+//! exceeds its recorded count, and `--bless` re-baselines after fixes.
 
+mod analyze;
 mod lexer;
+mod ratchet;
 mod rules;
 
-use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use ratchet::Counts;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    let json = args.iter().any(|a| a == "--json");
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.iter().any(|a| a == "--bless")),
+        Some("lint") => lint(bless),
+        Some("analyze") => {
+            let root = workspace_root();
+            let files = library_sources(&root);
+            if files.is_empty() {
+                eprintln!("xtask analyze: no sources found under crates/*/src");
+                return ExitCode::FAILURE;
+            }
+            analyze::analyze_cmd(&root, &files, bless, json)
+        }
         _ => {
-            eprintln!("usage: cargo xtask lint [--bless]");
+            eprintln!("usage: cargo xtask <lint|analyze> [--bless] [--json]");
             ExitCode::FAILURE
         }
     }
@@ -83,49 +96,14 @@ fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
     }
 }
 
-type Counts = BTreeMap<(String, String), usize>;
+const LINT_ALLOW_HEADER: &str = "\
+# Lint ratchet baseline: `rule count file`, one line per (rule, file).\n\
+# Maintained by `cargo xtask lint --bless`. The lint pass fails when a\n\
+# file exceeds its recorded count; shrink counts by fixing violations\n\
+# and re-blessing. Do not raise counts by hand.\n";
 
-fn allowlist_path(root: &Path) -> PathBuf {
+fn lint_allow_path(root: &Path) -> PathBuf {
     root.join("xtask").join("lint-allow.txt")
-}
-
-fn read_allowlist(root: &Path) -> Counts {
-    let mut out = Counts::new();
-    let Ok(text) = std::fs::read_to_string(allowlist_path(root)) else {
-        return out;
-    };
-    for (i, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut it = line.split_whitespace();
-        let (Some(rule), Some(count), Some(file)) = (it.next(), it.next(), it.next()) else {
-            eprintln!("lint-allow.txt:{}: malformed line (rule count file)", i + 1);
-            continue;
-        };
-        let Ok(count) = count.parse::<usize>() else {
-            eprintln!("lint-allow.txt:{}: bad count {count:?}", i + 1);
-            continue;
-        };
-        out.insert((rule.to_string(), file.to_string()), count);
-    }
-    out
-}
-
-fn write_allowlist(root: &Path, counts: &Counts) {
-    let mut s = String::from(
-        "# Lint ratchet baseline: `rule count file`, one line per (rule, file).\n\
-         # Maintained by `cargo xtask lint --bless`. The lint pass fails when a\n\
-         # file exceeds its recorded count; shrink counts by fixing violations\n\
-         # and re-blessing. Do not raise counts by hand.\n",
-    );
-    for ((rule, file), n) in counts {
-        if *n > 0 {
-            s.push_str(&format!("{rule} {n} {file}\n"));
-        }
-    }
-    std::fs::write(allowlist_path(root), s).expect("write lint-allow.txt");
 }
 
 fn lint(bless: bool) -> ExitCode {
@@ -153,7 +131,7 @@ fn lint(bless: bool) -> ExitCode {
     }
 
     if bless {
-        write_allowlist(&root, &counts);
+        ratchet::write_counts(&lint_allow_path(&root), LINT_ALLOW_HEADER, &counts);
         println!(
             "xtask lint: blessed {} violations across {} (rule, file) pairs",
             all.len(),
@@ -162,31 +140,25 @@ fn lint(bless: bool) -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let allowed = read_allowlist(&root);
-    let mut failed = false;
-    for (key, &n) in &counts {
-        let cap = allowed.get(key).copied().unwrap_or(0);
-        if n > cap {
-            failed = true;
-            let (rule, file) = key;
-            eprintln!("lint[{rule}] {file}: {n} violations (allowlisted: {cap})");
-            for v in all.iter().filter(|v| v.rule == rule && &v.file == file) {
-                eprintln!("  {}:{}: {}", v.file, v.line, v.excerpt);
-            }
+    let allowed = ratchet::read_counts(&lint_allow_path(&root));
+    let enforcement = ratchet::enforce(&allowed, &counts);
+    for ((rule, file), n, cap) in &enforcement.exceeded {
+        eprintln!("lint[{rule}] {file}: {n} violations (allowlisted: {cap})");
+        for v in all
+            .iter()
+            .filter(|v| v.rule == rule.as_str() && &v.file == file)
+        {
+            eprintln!("  {}:{}: {}", v.file, v.line, v.excerpt);
         }
     }
     // Stale entries mean violations were fixed: tighten the ratchet.
-    for (key, &cap) in &allowed {
-        let n = counts.get(key).copied().unwrap_or(0);
-        if n < cap {
-            let (rule, file) = key;
-            println!(
-                "lint[{rule}] {file}: down to {n} from {cap} — run `cargo xtask lint --bless` to ratchet"
-            );
-        }
+    for ((rule, file), n, cap) in &enforcement.stale {
+        println!(
+            "lint[{rule}] {file}: down to {n} from {cap} — run `cargo xtask lint --bless` to ratchet"
+        );
     }
 
-    if failed {
+    if enforcement.failed() {
         eprintln!(
             "xtask lint: FAILED (new violations; fix them or route through the sanctioned helpers)"
         );

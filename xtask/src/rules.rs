@@ -23,7 +23,7 @@ pub struct Violation {
 /// Files where `hash-iter` applies: the legalization hot paths, where
 /// iterating a `HashMap`/`HashSet` risks nondeterministic order (and cache
 /// misses) on the critical path.
-const HOT_PATH_FILES: [&str; 7] = [
+const HOT_PATH_FILES: [&str; 9] = [
     "crates/core/src/mgl.rs",
     "crates/core/src/insertion.rs",
     "crates/core/src/scheduler.rs",
@@ -31,6 +31,8 @@ const HOT_PATH_FILES: [&str; 7] = [
     "crates/core/src/fixed_order.rs",
     "crates/core/src/state.rs",
     "crates/core/src/winindex.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/pipeline.rs",
 ];
 
 /// The one sanctioned float→int conversion point; exempt from `float-cast`.
