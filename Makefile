@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch tables
+.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch bench-scale tables
 
 build:
 	cargo build --release
@@ -70,6 +70,14 @@ bench-json:
 # MCL_BENCH_BATCH_CELLS, MCL_BENCH_BATCH_DENSITY_PCT, MCL_BENCH_REPS.
 bench-batch:
 	cargo run --release -p mcl-bench --bin speedup
+
+# Scale sweep (DESIGN.md §14): the `scale` section of BENCH_mgl.json —
+# MGL throughput and peak RSS at 10k/100k/1M cells through the parallel
+# scheduler. Knobs: MCL_SCALE_SIZES, MCL_SCALE_THREADS, MCL_SCALE_SEED,
+# MCL_SCALE_DENSITY_PCT, MCL_SCALE_MIX, MCL_SCALE_MAX_EXPANSIONS; CI gates
+# via MCL_SCALE_FLOOR_CPS / MCL_SCALE_MAX_RSS_KB.
+bench-scale:
+	cargo run --release -p mcl-bench --bin scale
 
 # Paper tables/figures (MCL_SCALE scales cell counts, default 0.05).
 tables:

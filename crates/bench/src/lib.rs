@@ -83,6 +83,28 @@ where
     }
 }
 
+/// Peak resident-set size of this process in kilobytes, read from the
+/// `VmHWM` line of Linux `/proc/self/status`. `None` on platforms without
+/// procfs (the scale sweep then omits the RSS column rather than failing).
+///
+/// `VmHWM` is a process-lifetime high-water mark: within one sweep it only
+/// ever grows, so run sizes in ascending order if per-size readings should
+/// approximate per-size peaks.
+pub fn peak_rss_kb() -> Option<u64> {
+    parse_vm_hwm_kb(&std::fs::read_to_string("/proc/self/status").ok()?)
+}
+
+/// Parses the `VmHWM` field (in kB) out of `/proc/<pid>/status` content.
+pub fn parse_vm_hwm_kb(status: &str) -> Option<u64> {
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
 /// Mean of `base[i] / ours[i]` — the "Norm. Avg." rows of the paper: the
 /// `ours` column normalizes to 1.00 and a losing baseline reads above 1.
 pub fn norm_avg(base: &[f64], ours: &[f64]) -> f64 {
@@ -134,5 +156,21 @@ mod tests {
     fn scale_default_positive() {
         assert!(scale_from_env() > 0.0);
         assert!(threads_from_env() >= 1);
+    }
+
+    #[test]
+    fn vm_hwm_parses_procfs_format() {
+        let sample =
+            "Name:\tmclegal\nVmPeak:\t  123456 kB\nVmHWM:\t   98304 kB\nVmRSS:\t   65536 kB\n";
+        assert_eq!(parse_vm_hwm_kb(sample), Some(98304));
+        assert_eq!(parse_vm_hwm_kb("Name:\tx\nVmRSS:\t 10 kB\n"), None);
+        assert_eq!(parse_vm_hwm_kb(""), None);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        let kb = peak_rss_kb().expect("procfs VmHWM available on Linux");
+        assert!(kb > 0);
     }
 }

@@ -129,6 +129,17 @@ pub struct InsertionScratch {
     shifts: Vec<(CellId, Dbu)>,
     /// Candidate x positions (optimum plus routability-clear alternates).
     cand_xs: Vec<Dbu>,
+    /// Shift-ordering buffers for `apply_insertion_with` (left movers,
+    /// right movers).
+    apply_left: Vec<(CellId, Dbu)>,
+    apply_right: Vec<(CellId, Dbu)>,
+    /// Per-row compaction prefix tables, one entry per lineup gap:
+    /// `lbp[row][j]` = (right edge, facing edge class) of cells `0..j`
+    /// left-compacted against their walls; `ubp[row][j]` mirrors from the
+    /// right. `u8::MAX` class = region edge (no spacing). Together they give
+    /// every anchor's feasible interval in O(rows) instead of O(lineup).
+    lbp: Vec<Vec<(Dbu, u8)>>,
+    ubp: Vec<Vec<(Dbu, u8)>>,
     /// Work counters.
     pub stats: ScratchStats,
 }
@@ -139,6 +150,23 @@ impl InsertionScratch {
         let mut s = Self::default();
         s.stats.created = 1;
         s
+    }
+
+    /// Takes the (cleared) apply-ordering buffers out of the scratch; give
+    /// them back with [`Self::restore_apply_buffers`] to keep the capacity.
+    #[allow(clippy::type_complexity)]
+    pub fn take_apply_buffers(&mut self) -> (Vec<(CellId, Dbu)>, Vec<(CellId, Dbu)>) {
+        let mut l = std::mem::take(&mut self.apply_left);
+        let mut r = std::mem::take(&mut self.apply_right);
+        l.clear();
+        r.clear();
+        (l, r)
+    }
+
+    /// Returns the apply-ordering buffers so their capacity is reused.
+    pub fn restore_apply_buffers(&mut self, left: Vec<(CellId, Dbu)>, right: Vec<(CellId, Dbu)>) {
+        self.apply_left = left;
+        self.apply_right = right;
     }
 }
 
@@ -324,29 +352,122 @@ fn evaluate_region(
     while scratch.lineups.len() < h {
         scratch.lineups.push(Vec::new());
     }
+    let soa = state.soa();
     for (i, r) in (base_row..base_row + h).enumerate() {
         let line = &mut scratch.lineups[i];
         line.clear();
         for seg_idx in state.segments_overlapping(r, tc.fence, region) {
-            for &cid in state.cells_in_segment(seg_idx) {
-                let p = state.pos(cid).unwrap();
-                let cct = d.type_of(cid);
-                let span = Interval::new(p.x, p.x + cct.width);
-                if !span.overlaps(region) {
-                    continue;
-                }
-                let shiftable = cct.height_rows == 1 && region.covers(span);
+            // Occupants are located by binary search on the SoA x column —
+            // O(log row + touched) instead of filtering the whole row.
+            for &cid in state.occupants_overlapping(seg_idx, region.lo, region.hi) {
+                let x = soa.x(cid);
+                let w = soa.width(cid);
+                let (lc, rc) = soa.edge_class(cid);
+                let shiftable = soa.height_rows(cid) == 1 && region.covers(Interval::new(x, x + w));
                 line.push(Line {
                     id: cid,
-                    x: p.x,
-                    w: cct.width,
-                    lc: cct.edge_class.0,
-                    rc: cct.edge_class.1,
+                    x,
+                    w,
+                    lc,
+                    rc,
                     shiftable,
                 });
             }
         }
         line.sort_unstable_by_key(|l| l.x);
+    }
+
+    let spacing = |a: u8, b: u8| -> Dbu {
+        let s = d.tech.edge_spacing.spacing(a, b);
+        (s + sw - 1).div_euclid(sw) * sw
+    };
+
+    // Compaction prefix tables. The chain walk below computes, for a slot
+    // `s`, `lb` = (nearest wall's right edge) + wall spacing + Σ widths and
+    // pair spacings of the shiftable cells between wall and slot — a pure
+    // prefix over the lineup (the compaction-horizon early breaks provably
+    // leave lb/ub unchanged, see the chain comments). Building the prefix
+    // once per region makes each anchor's feasible interval an O(rows)
+    // lookup, so infeasible anchors — the overwhelming majority in the
+    // saturated pockets that drive window expansion — skip the O(lineup)
+    // chain walk entirely. Feasible anchors still walk the chains to build
+    // their cost curves, so results are bit-identical.
+    while scratch.lbp.len() < h {
+        scratch.lbp.push(Vec::new());
+        scratch.ubp.push(Vec::new());
+    }
+    for (i, line) in scratch.lineups[..h].iter().enumerate() {
+        let lp = &mut scratch.lbp[i];
+        lp.clear();
+        let (mut e, mut cls) = (region.lo, u8::MAX);
+        lp.push((e, cls));
+        for c in line {
+            if c.shiftable {
+                e += (if cls == u8::MAX {
+                    0
+                } else {
+                    spacing(cls, c.lc)
+                }) + c.w;
+            } else {
+                e = c.x + c.w;
+            }
+            cls = c.rc;
+            lp.push((e, cls));
+        }
+        let up = &mut scratch.ubp[i];
+        up.clear();
+        up.resize(line.len() + 1, (0, 0));
+        let (mut e, mut cls) = (region.hi, u8::MAX);
+        up[line.len()] = (e, cls);
+        for (j, c) in line.iter().enumerate().rev() {
+            if c.shiftable {
+                e -= (if cls == u8::MAX {
+                    0
+                } else {
+                    spacing(c.rc, cls)
+                }) + c.w;
+            } else {
+                e = c.x;
+            }
+            cls = c.lc;
+            up[j] = (e, cls);
+        }
+    }
+
+    // Slot-level infeasibility scan. Every anchor resolves to a slot tuple,
+    // and an anchor's bounds are `max` / `min` of its rows' per-slot bounds,
+    // so a row in which *no* slot admits the target (snapped lb > ub even
+    // against the region's own edges) proves every anchor in this region
+    // infeasible — before any anchors are collected or sorted. This is the
+    // out for the expansion-retry tail: a saturated pocket's fully-expanded
+    // window fails in O(lineup) per row instead of O(anchors × lineup).
+    for (i, line) in scratch.lineups[..h].iter().enumerate() {
+        let lp = &scratch.lbp[i];
+        let up = &scratch.ubp[i];
+        let mut feasible = false;
+        for s in 0..=line.len() {
+            let (e, cls) = lp[s];
+            let lb = e
+                + (if cls == u8::MAX {
+                    0
+                } else {
+                    spacing(cls, ct.edge_class.0)
+                });
+            let (e, cls) = up[s];
+            let ub =
+                e - (if cls == u8::MAX {
+                    0
+                } else {
+                    spacing(ct.edge_class.1, cls)
+                }) - w_t;
+            if snap_up(lb.max(region.lo)) <= snap_down(ub.min(region.hi - w_t)) {
+                feasible = true;
+                break;
+            }
+        }
+        if !feasible {
+            return;
+        }
     }
 
     // Candidate anchors.
@@ -373,11 +494,6 @@ fn evaluate_region(
         anchors.sort_unstable();
     }
 
-    let spacing = |a: u8, b: u8| -> Dbu {
-        let s = d.tech.edge_spacing.spacing(a, b);
-        (s + sw - 1).div_euclid(sw) * sw
-    };
-
     scratch.seen.clear();
     for ai in 0..scratch.anchors.len() {
         let anchor = scratch.anchors[ai];
@@ -392,6 +508,34 @@ fn evaluate_region(
         }
         if !scratch.seen.insert(tuple_hash(&scratch.tuple)) {
             scratch.stats.dedup_hits += 1;
+            continue;
+        }
+
+        // O(rows) feasibility from the prefix tables — exactly the bounds
+        // the chain walk would compute; skip hopeless anchors before paying
+        // for their chains.
+        let mut lb0 = region.lo;
+        let mut ub0 = region.hi - w_t;
+        for (row_i, &slot) in scratch.tuple.iter().enumerate() {
+            let s = slot as usize;
+            let (e, cls) = scratch.lbp[row_i][s];
+            lb0 = lb0.max(
+                e + (if cls == u8::MAX {
+                    0
+                } else {
+                    spacing(cls, ct.edge_class.0)
+                }),
+            );
+            let (e, cls) = scratch.ubp[row_i][s];
+            ub0 = ub0.min(
+                e - (if cls == u8::MAX {
+                    0
+                } else {
+                    spacing(ct.edge_class.1, cls)
+                }) - w_t,
+            );
+        }
+        if snap_up(lb0) > snap_down(ub0) {
             continue;
         }
 
@@ -417,7 +561,21 @@ fn evaluate_region(
                     wall = Some((c.x + c.w, c.rc));
                     break;
                 }
-                off += spacing(c.rc, prev_lc) + c.w;
+                let off_c = off + spacing(c.rc, prev_lc) + c.w;
+                // Compaction horizon: when even the leftmost feasible x
+                // cannot push this cell (lb ≥ c.x + off_c, and lb only
+                // grows from here), it — and, by the gap-monotonicity of a
+                // legal lineup, every cell further left — stays put for
+                // every candidate, which under normalized curves is exactly
+                // a zero-cost wall. This bounds the per-anchor chain walk
+                // by the compaction reach instead of the region width, the
+                // difference between O(window) and O(row) evaluation once
+                // expanded windows span whole rows.
+                if model.normalize && lb >= c.x + off_c {
+                    wall = Some((c.x + c.w, c.rc));
+                    break;
+                }
+                off = off_c;
                 let (g, base) = gp_ref(d, model, c);
                 let wgt = model.weights[c.id.0 as usize];
                 // pos(x) = min(cur, x − off). Curves are normalized to the
@@ -463,6 +621,13 @@ fn evaluate_region(
                     break;
                 }
                 let off_c = off + spacing(prev_rc, c.lc);
+                // Mirror of the left chain's compaction horizon: no
+                // feasible x can reach this cell, so it is a zero-cost
+                // wall and the walk stops.
+                if model.normalize && ub_x <= c.x - off_c {
+                    rwall = Some((c.x, c.lc));
+                    break;
+                }
                 let (g, base) = gp_ref(d, model, c);
                 let wgt = model.weights[c.id.0 as usize];
                 // pos(x) = max(cur, x + off_c); normalized as above.
@@ -544,7 +709,7 @@ fn evaluate_region(
             scratch.shifts.clear();
             let mut ok = true;
             for &(cid, off, is_left) in &scratch.chain_info {
-                let cur = state.pos(cid).unwrap().x;
+                let cur = soa.x(cid);
                 let new_x = if is_left {
                     cur.min(x - off)
                 } else {

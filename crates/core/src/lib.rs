@@ -32,6 +32,7 @@ pub mod pipeline;
 pub mod report;
 pub mod routability;
 pub mod scheduler;
+pub mod spatial;
 pub mod state;
 pub mod winindex;
 
@@ -42,4 +43,5 @@ pub use faultinject::{FaultPlan, FaultSite};
 pub use legalizer::{LegalizeStats, Legalizer};
 pub use pipeline::{Stage, StageStats, StageTiming};
 pub use report::build_run_report;
-pub use state::{PlaceError, PlacementState};
+pub use spatial::{HierGrid, ItemId};
+pub use state::{CellSoA, PlaceError, PlacementState};

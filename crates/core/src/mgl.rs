@@ -164,12 +164,25 @@ pub fn window_for(design: &Design, cell: CellId, config: &LegalizerConfig, n: us
 
 /// Applies an insertion to the state: shifts local cells (in an order that
 /// keeps intermediate states overlap-free), then places the target.
+/// Allocates two small ordering buffers; hot loops should use
+/// [`apply_insertion_with`] with a pooled scratch instead.
 pub fn apply_insertion(state: &mut PlacementState<'_>, target: CellId, ins: &Insertion) {
+    let mut scratch = InsertionScratch::new();
+    apply_insertion_with(state, target, ins, &mut scratch);
+}
+
+/// [`apply_insertion`] with the shift-ordering buffers drawn from `scratch`,
+/// so applying stays allocation-free in steady state.
+pub fn apply_insertion_with(
+    state: &mut PlacementState<'_>,
+    target: CellId,
+    ins: &Insertion,
+    scratch: &mut InsertionScratch,
+) {
     let d = state.design();
     // Left-moving cells first (ascending current x), then right-moving
     // (descending current x): no transient overlap.
-    let mut left: Vec<(CellId, Dbu)> = Vec::new();
-    let mut right: Vec<(CellId, Dbu)> = Vec::new();
+    let (mut left, mut right) = scratch.take_apply_buffers();
     for &(cid, nx) in &ins.shifts {
         // A shift can only target a placed cell; an unplaced one (impossible
         // for a well-formed insertion) has nothing to move.
@@ -186,9 +199,10 @@ pub fn apply_insertion(state: &mut PlacementState<'_>, target: CellId, ins: &Ins
     // keeps the sort total without a panic path.
     left.sort_by_key(|&(cid, _)| state.pos(cid).map_or(Dbu::MAX, |p| p.x));
     right.sort_by_key(|&(cid, _)| std::cmp::Reverse(state.pos(cid).map_or(Dbu::MIN, |p| p.x)));
-    for (cid, nx) in left.into_iter().chain(right) {
+    for &(cid, nx) in left.iter().chain(right.iter()) {
         state.shift_x(cid, nx);
     }
+    scratch.restore_apply_buffers(left, right);
     let y = d.row_y(ins.base_row);
     if let Err(e) = state.place(target, Point::new(ins.x, y)) {
         // An unplaceable insertion is corrupted eval output; panicking here
@@ -260,7 +274,7 @@ pub fn run_serial_with_scratch(
                     crate::faultinject::injected_panic(&site);
                 }
                 let t_apply = Stopwatch::start();
-                apply_insertion(state, cell, &ins);
+                apply_insertion_with(state, cell, &ins, scratch);
                 stats.perf.apply_nanos += t_apply.elapsed_nanos();
                 stats.placed_in_window += 1;
                 done = true;
@@ -494,14 +508,43 @@ pub fn fallback_scan(
             }
             // Gap walk on the base row; for multi-row cells every candidate
             // is re-checked on the upper rows via a placement probe.
+            let soa = state.soa();
             let occupants = state.cells_in_segment(s0);
+            // With an incumbent of cost `bc`, only gaps intersecting
+            // `(gp.x − budget, gp.x + budget)` with `budget = bc − y_cost`
+            // can strictly improve: jump the walk to the first such gap
+            // (by binary search on the x-sorted occupants) instead of
+            // walking the whole segment — without fences a segment spans
+            // the entire row, so this is the difference between O(row)
+            // and O(log row) per visited row.
+            let mut idx = match best {
+                Some((bc, _)) => occupants
+                    .partition_point(|&o| soa.pos(o).is_some_and(|p| p.x < c.gp.x - (bc - y_cost))),
+                None => 0,
+            };
+            // The gap's left edge is the end of the nearest placed
+            // occupant before the jump target (unplaced entries cannot
+            // bound a gap, mirroring the sequential walk).
             let mut gap_lo = seg.x.lo;
-            let mut idx = 0usize;
+            for j in (0..idx).rev() {
+                if soa.pos(occupants[j]).is_some() {
+                    gap_lo = soa.end_x(occupants[j]);
+                    break;
+                }
+            }
             loop {
+                // Gap edges only move right: once the left edge passes
+                // `gp.x + budget`, every remaining candidate displaces at
+                // least `budget` and cannot strictly improve.
+                if let Some((bc, _)) = best {
+                    if gap_lo >= c.gp.x + (bc - y_cost) {
+                        break;
+                    }
+                }
                 let gap_hi = if idx < occupants.len() {
                     // Segment occupants are placed by definition; an
                     // unplaced one degrades to "gap runs to segment end".
-                    state.pos(occupants[idx]).map_or(seg.x.hi, |p| p.x)
+                    soa.pos(occupants[idx]).map_or(seg.x.hi, |p| p.x)
                 } else {
                     seg.x.hi
                 };
@@ -521,23 +564,20 @@ pub fn fallback_scan(
                     let x = snap_up(x).min(hi).max(lo);
                     let cost = (x - c.gp.x).abs() + y_cost;
                     let candidate_ok = |x: Dbu| -> bool {
-                        // Probe upper rows for multi-row cells.
+                        // Probe upper rows for multi-row cells. Conflicting
+                        // occupants are located by binary search on the SoA
+                        // x column instead of filtering the whole row.
                         if h > 1 {
                             let span = Interval::new(x, x + w);
                             for r in base_row..base_row + h {
                                 let Some(si) = state.find_covering_segment(r, c.fence, span) else {
                                     return false;
                                 };
-                                for &other in state.cells_in_segment(si) {
-                                    // Conservative: an occupant we cannot
-                                    // locate rejects the candidate.
-                                    let Some(p) = state.pos(other) else {
-                                        return false;
-                                    };
-                                    let ow = d.type_of(other).width;
-                                    if x < p.x + ow + pad && p.x < x + w + pad {
-                                        return false;
-                                    }
+                                if !state
+                                    .occupants_overlapping(si, x - pad, x + w + pad)
+                                    .is_empty()
+                                {
+                                    return false;
                                 }
                             }
                         }
@@ -553,9 +593,7 @@ pub fn fallback_scan(
                 let occ = occupants[idx];
                 // An unplaced occupant cannot bound the gap; keep the
                 // current lower edge and move on.
-                gap_lo = state
-                    .pos(occ)
-                    .map_or(gap_lo, |p| p.x + d.type_of(occ).width);
+                gap_lo = soa.pos(occ).map_or(gap_lo, |_| soa.end_x(occ));
                 idx += 1;
             }
         }

@@ -46,7 +46,7 @@ use crate::error::{panic_message, LegalizeError};
 use crate::faultinject::{FaultPlan, FaultSite};
 use crate::insertion::{best_insertion_in, CostModel, Insertion, InsertionScratch};
 use crate::mgl::{
-    apply_insertion, cell_order, fallback_scan, record_fallback_reject, window_for, MglStats,
+    apply_insertion_with, cell_order, fallback_scan, record_fallback_reject, window_for, MglStats,
 };
 use crate::routability::RoutOracle;
 use crate::state::PlacementState;
@@ -294,7 +294,16 @@ impl<'a> EvalPool<'a> {
                             }
                             let replayed = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 for (cell, ins) in ops.iter() {
-                                    apply_insertion(&mut wr.spec.replica, *cell, ins);
+                                    // Reuse the worker's scratch for the
+                                    // apply-ordering buffers: replaying a
+                                    // round's ops must not allocate one
+                                    // throwaway scratch per op.
+                                    apply_insertion_with(
+                                        &mut wr.spec.replica,
+                                        *cell,
+                                        ins,
+                                        &mut scratch,
+                                    );
                                 }
                             }));
                             if replayed.is_err() {
@@ -573,18 +582,26 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     let capacity = config.window_list_capacity.max(1);
     let mut stats = MglStats::default();
 
-    // (cell, expansion level) in processing order.
-    let mut pending: VecDeque<(CellId, usize)> = cell_order(design, config.order)
+    // (cell, expansion level) in processing order, split in two: `carry`
+    // holds cells deferred by the previous round (expanded retries first,
+    // then overlap-deferred), `backlog` the never-yet-considered tail in
+    // original order. A round pops carry-then-backlog, which is exactly
+    // the order a single queue would yield — but on a capacity break the
+    // untouched backlog tail stays where it is instead of being drained
+    // into the deferred queue, turning the total selection work from
+    // quadratic in the cell count (ruinous at 1M cells) into linear.
+    let mut backlog: VecDeque<(CellId, usize)> = cell_order(design, config.order)
         .into_iter()
         .filter(|&c| state.pos(c).is_none())
         .map(|c| (c, 0usize))
         .collect();
+    let mut carry: VecDeque<(CellId, usize)> = VecDeque::new();
     let mut fallback_queue: Vec<CellId> = Vec::new();
     let mut windex = WindowIndex::new(design.core, design.tech.row_height);
     // A run with 0 or 1 pending cells never fans out; skip the replica
     // clones entirely.
     let handle = match pool {
-        Some((client, run)) if client.workers() > 0 && pending.len() > 1 => {
+        Some((client, run)) if client.workers() > 0 && backlog.len() > 1 => {
             let h = client.run_handle(run);
             let replica_src: &PlacementState<'p> = &*state;
             h.begin(replica_src, config, weights, oracle)?;
@@ -605,14 +622,14 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
     // `None` after the repair pass marks a quarantined cell.
     let mut results: Vec<Option<EvalResult>> = Vec::new();
 
-    while !pending.is_empty() {
+    while !(carry.is_empty() && backlog.is_empty()) {
         stats.perf.rounds += 1;
         // Select non-overlapping windows, preserving order for the rest.
         let t_select = Stopwatch::start();
         let mut selected: Vec<Job> = Vec::new();
         let mut deferred: VecDeque<(CellId, usize)> = VecDeque::new();
         windex.clear();
-        while let Some((cell, n)) = pending.pop_front() {
+        while let Some((cell, n)) = carry.pop_front().or_else(|| backlog.pop_front()) {
             let win = window_for(design, cell, config, n);
             if windex.overlaps_any(win) {
                 deferred.push_back((cell, n));
@@ -620,9 +637,9 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                 windex.insert(win);
                 selected.push((cell, n, win));
                 if selected.len() >= capacity {
-                    // Capacity reached: everything else waits for the
-                    // next round, order preserved.
-                    deferred.extend(pending.drain(..));
+                    // Capacity reached: everything not yet popped simply
+                    // stays in carry/backlog for the next round, order
+                    // preserved at zero cost.
                     break;
                 }
             }
@@ -770,7 +787,11 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
                     if crate::faultinject::fires(config.faults.as_ref(), &design.name, &site) {
                         crate::faultinject::injected_panic(&site);
                     }
-                    apply_insertion(state, cell, &ins);
+                    // Pooled apply buffers: the throwaway-scratch variant
+                    // would construct (and count) one scratch per applied
+                    // cell — at 1M cells that is 1M needless allocations on
+                    // the coordinator's sequential apply path.
+                    apply_insertion_with(state, cell, &ins, main_scratch);
                     stats.placed_in_window += 1;
                     // Expansions were already counted one-by-one when
                     // each failed window re-entered expanded (the
@@ -801,7 +822,11 @@ pub(crate) fn drive_rounds<'d: 'p, 'p>(
         let apply_nanos = t_apply.elapsed_nanos();
         stats.perf.apply_nanos += apply_nanos;
         stats.obs.record_span(SpanKind::SchedApply, apply_nanos, 0);
-        pending = deferred;
+        // Next round processes this round's deferred cells first, then
+        // whatever was left unpopped. `append` drains `carry` (bounded by
+        // cells actually examined this round, not by the design size).
+        deferred.append(&mut carry);
+        carry = deferred;
     }
 
     // Close the run and fold worker counters into the run stats. The

@@ -42,6 +42,132 @@ impl std::fmt::Display for PlaceError {
 
 impl std::error::Error for PlaceError {}
 
+/// Hot per-cell state in structure-of-arrays layout.
+///
+/// The legalizer's inner loops (lineup construction, fallback scanning,
+/// overlap probes) touch one or two fields of many cells, not many fields
+/// of one cell. Keeping each field in its own dense array indexed by
+/// `CellId` turns those loops into sequential scans over contiguous
+/// memory instead of pointer chases through `Design::cells` and
+/// `Design::cell_types`, which is what makes the difference between 4k-
+/// and 1M-cell designs. `width`/`height_rows`/`fence` are immutable
+/// copies of design data; `x`/`y`/`placed` are the working position.
+#[derive(Debug, Clone)]
+pub struct CellSoA {
+    x: Vec<Dbu>,
+    y: Vec<Dbu>,
+    placed: Vec<bool>,
+    width: Vec<Dbu>,
+    height_rows: Vec<u32>,
+    fence: Vec<FenceId>,
+    edge_class: Vec<(u8, u8)>,
+}
+
+impl CellSoA {
+    /// Builds the static columns from a design; all cells start unplaced.
+    pub fn from_design(design: &Design) -> Self {
+        let n = design.cells.len();
+        let mut width = Vec::with_capacity(n);
+        let mut height_rows = Vec::with_capacity(n);
+        let mut fence = Vec::with_capacity(n);
+        let mut edge_class = Vec::with_capacity(n);
+        for c in &design.cells {
+            let ct = &design.cell_types[c.type_id.0 as usize];
+            width.push(ct.width);
+            height_rows.push(ct.height_rows);
+            fence.push(c.fence);
+            edge_class.push(ct.edge_class);
+        }
+        Self {
+            x: vec![0; n],
+            y: vec![0; n],
+            placed: vec![false; n],
+            width,
+            height_rows,
+            fence,
+            edge_class,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Whether the design has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.placed.is_empty()
+    }
+
+    /// Working position, `None` when unplaced.
+    #[inline]
+    pub fn pos(&self, cell: CellId) -> Option<Point> {
+        let i = cell.0 as usize;
+        if self.placed[i] {
+            Some(Point::new(self.x[i], self.y[i]))
+        } else {
+            None
+        }
+    }
+
+    /// Working x of a *placed* cell (stale for unplaced cells — only call
+    /// on members of an occupant list).
+    #[inline]
+    pub fn x(&self, cell: CellId) -> Dbu {
+        self.x[cell.0 as usize]
+    }
+
+    /// Working y of a *placed* cell.
+    #[inline]
+    pub fn y(&self, cell: CellId) -> Dbu {
+        self.y[cell.0 as usize]
+    }
+
+    /// Cell width (cached from the cell type).
+    #[inline]
+    pub fn width(&self, cell: CellId) -> Dbu {
+        self.width[cell.0 as usize]
+    }
+
+    /// Right edge `x + width` of a placed cell.
+    #[inline]
+    pub fn end_x(&self, cell: CellId) -> Dbu {
+        let i = cell.0 as usize;
+        self.x[i] + self.width[i]
+    }
+
+    /// Cell height in rows (cached from the cell type).
+    #[inline]
+    pub fn height_rows(&self, cell: CellId) -> u32 {
+        self.height_rows[cell.0 as usize]
+    }
+
+    /// Fence region of the cell.
+    #[inline]
+    pub fn fence(&self, cell: CellId) -> FenceId {
+        self.fence[cell.0 as usize]
+    }
+
+    /// `(left, right)` edge classes (cached from the cell type).
+    #[inline]
+    pub fn edge_class(&self, cell: CellId) -> (u8, u8) {
+        self.edge_class[cell.0 as usize]
+    }
+
+    #[inline]
+    fn set_pos(&mut self, cell: CellId, p: Point) {
+        let i = cell.0 as usize;
+        self.x[i] = p.x;
+        self.y[i] = p.y;
+        self.placed[i] = true;
+    }
+
+    #[inline]
+    fn clear_pos(&mut self, cell: CellId) {
+        self.placed[cell.0 as usize] = false;
+    }
+}
+
 /// Working placement over a design.
 #[derive(Debug, Clone)]
 pub struct PlacementState<'d> {
@@ -49,8 +175,8 @@ pub struct PlacementState<'d> {
     segmap: SegmentMap,
     /// Per segment: occupant cells sorted by x.
     seg_cells: Vec<Vec<CellId>>,
-    /// Working position per cell (index = CellId).
-    pos: Vec<Option<Point>>,
+    /// Hot per-cell state (positions + cached dimensions), SoA layout.
+    soa: CellSoA,
     /// Append-only record of committed mutations, consumed by the
     /// determinism auditor (`mcl_audit::replay`).
     #[cfg(feature = "replay-log")]
@@ -77,12 +203,11 @@ impl<'d> PlacementState<'d> {
             segmap.pad_internal_edges(design.core.xl, design.core.xh, pad);
         }
         let seg_cells = vec![Vec::new(); segmap.len()];
-        let pos = design.cells.iter().map(|_| None).collect();
         Self {
             design,
             segmap,
             seg_cells,
-            pos,
+            soa: CellSoA::from_design(design),
             #[cfg(feature = "replay-log")]
             replay: mcl_audit::ReplayLog::new(),
         }
@@ -115,13 +240,35 @@ impl<'d> PlacementState<'d> {
     }
 
     /// Current working position of a cell.
+    #[inline]
     pub fn pos(&self, cell: CellId) -> Option<Point> {
-        self.pos[cell.0 as usize]
+        self.soa.pos(cell)
+    }
+
+    /// The hot per-cell state (positions + cached dimensions) in SoA layout.
+    #[inline]
+    pub fn soa(&self) -> &CellSoA {
+        &self.soa
     }
 
     /// Occupants of segment `seg`, sorted by x.
     pub fn cells_in_segment(&self, seg: usize) -> &[CellId] {
         &self.seg_cells[seg]
+    }
+
+    /// The occupants of segment `seg` whose span `[x, x+w)` overlaps
+    /// `[lo, hi)`, as a sub-slice located by binary search.
+    ///
+    /// Occupants are non-overlapping and sorted by x, so both `x` and
+    /// `x + w` are monotone along the list and the overlapping run is
+    /// contiguous: O(log n + k) instead of the O(n) full-list filter that
+    /// stops scaling once rows hold thousands of cells.
+    pub fn occupants_overlapping(&self, seg: usize, lo: Dbu, hi: Dbu) -> &[CellId] {
+        let list = &self.seg_cells[seg];
+        let start = list.partition_point(|&c| self.soa.end_x(c) <= lo);
+        let rest = &list[start..];
+        let len = rest.partition_point(|&c| self.soa.x(c) < hi);
+        &rest[..len]
     }
 
     /// Bottom row of a placed cell.
@@ -137,12 +284,12 @@ impl<'d> PlacementState<'d> {
     ///
     /// See [`PlaceError`]. On error the state is unchanged.
     pub fn place(&mut self, cell: CellId, p: Point) -> Result<(), PlaceError> {
-        if self.pos[cell.0 as usize].is_some() {
+        if self.soa.pos(cell).is_some() {
             return Err(PlaceError::AlreadyPlaced);
         }
         let d = self.design;
         let ct = d.type_of(cell);
-        let c = &d.cells[cell.0 as usize];
+        let fence = self.soa.fence(cell);
         if !d.tech.is_site_aligned(d.core.xl, p.x)
             || (p.y - d.core.yl).rem_euclid(d.tech.row_height) != 0
         {
@@ -159,7 +306,7 @@ impl<'d> PlacementState<'d> {
         // Validate all rows first.
         let mut segs = Vec::with_capacity(h);
         for r in row..row + h {
-            let Some(seg_idx) = self.find_covering_segment(r, c.fence, span) else {
+            let Some(seg_idx) = self.find_covering_segment(r, fence, span) else {
                 return Err(PlaceError::NoSegment { row: r });
             };
             // Overlap test against neighbors in the segment.
@@ -167,23 +314,20 @@ impl<'d> PlacementState<'d> {
             let idx = self.insert_index(list, p.x);
             if idx < list.len() {
                 let nb = list[idx];
-                let nb_x = self.pos[nb.0 as usize].unwrap().x;
-                if nb_x < span.hi {
+                if self.soa.x(nb) < span.hi {
                     return Err(PlaceError::Occupied { by: nb });
                 }
             }
             if idx > 0 {
                 let nb = list[idx - 1];
-                let nb_pos = self.pos[nb.0 as usize].unwrap();
-                let nb_w = d.type_of(nb).width;
-                if nb_pos.x + nb_w > span.lo {
+                if self.soa.end_x(nb) > span.lo {
                     return Err(PlaceError::Occupied { by: nb });
                 }
             }
             segs.push(seg_idx);
         }
         // Commit.
-        self.pos[cell.0 as usize] = Some(p);
+        self.soa.set_pos(cell, p);
         for seg_idx in segs {
             let idx = self.insert_index(&self.seg_cells[seg_idx], p.x);
             self.seg_cells[seg_idx].insert(idx, cell);
@@ -199,19 +343,17 @@ impl<'d> PlacementState<'d> {
     ///
     /// Panics if the cell is not placed.
     pub fn remove(&mut self, cell: CellId) {
-        let p = self.pos[cell.0 as usize].expect("cell not placed");
+        let p = self.soa.pos(cell).expect("cell not placed");
         let d = self.design;
-        let ct = d.type_of(cell);
-        let c = &d.cells[cell.0 as usize];
         let row = ((p.y - d.core.yl) / d.tech.row_height) as usize;
-        let span = Interval::new(p.x, p.x + ct.width);
-        for r in row..row + ct.height_rows as usize {
+        let span = Interval::new(p.x, p.x + self.soa.width(cell));
+        for r in row..row + self.soa.height_rows(cell) as usize {
             let seg_idx = self
-                .find_covering_segment(r, c.fence, span)
+                .find_covering_segment(r, self.soa.fence(cell), span)
                 .expect("placed cell must have segments");
             self.seg_cells[seg_idx].retain(|&x| x != cell);
         }
-        self.pos[cell.0 as usize] = None;
+        self.soa.clear_pos(cell);
         #[cfg(feature = "replay-log")]
         self.replay.record_remove(cell);
     }
@@ -221,9 +363,9 @@ impl<'d> PlacementState<'d> {
     /// and the span stays inside its segments; this is checked with debug
     /// assertions only (hot path of the spreading step).
     pub fn shift_x(&mut self, cell: CellId, new_x: Dbu) {
-        let p = self.pos[cell.0 as usize].expect("cell not placed");
+        let p = self.soa.pos(cell).expect("cell not placed");
         debug_assert!(self.shift_is_order_preserving(cell, new_x));
-        self.pos[cell.0 as usize] = Some(Point::new(new_x, p.y));
+        self.soa.set_pos(cell, Point::new(new_x, p.y));
         #[cfg(feature = "replay-log")]
         self.replay.record_shift_x(cell, new_x);
     }
@@ -251,22 +393,14 @@ impl<'d> PlacementState<'d> {
 
     #[allow(dead_code)]
     fn shift_is_order_preserving(&self, cell: CellId, new_x: Dbu) -> bool {
-        let d = self.design;
-        let w = d.type_of(cell).width;
+        let w = self.soa.width(cell);
         for (seg_idx, i) in self.segment_memberships(cell) {
             let list = &self.seg_cells[seg_idx];
-            if i > 0 {
-                let nb = list[i - 1];
-                let nb_end = self.pos[nb.0 as usize].unwrap().x + d.type_of(nb).width;
-                if new_x < nb_end {
-                    return false;
-                }
+            if i > 0 && new_x < self.soa.end_x(list[i - 1]) {
+                return false;
             }
-            if i + 1 < list.len() {
-                let nb = list[i + 1];
-                if new_x + w > self.pos[nb.0 as usize].unwrap().x {
-                    return false;
-                }
+            if i + 1 < list.len() && new_x + w > self.soa.x(list[i + 1]) {
+                return false;
             }
             let seg = &self.segments().segments()[seg_idx];
             if new_x < seg.x.lo || new_x + w > seg.x.hi {
@@ -279,16 +413,15 @@ impl<'d> PlacementState<'d> {
     /// The segments a placed cell occupies, with its index in each occupant
     /// list.
     pub fn segment_memberships(&self, cell: CellId) -> Vec<(usize, usize)> {
-        let p = self.pos[cell.0 as usize].expect("cell not placed");
+        let p = self.soa.pos(cell).expect("cell not placed");
         let d = self.design;
-        let ct = d.type_of(cell);
-        let c = &d.cells[cell.0 as usize];
+        let h = self.soa.height_rows(cell) as usize;
         let row = ((p.y - d.core.yl) / d.tech.row_height) as usize;
-        let span = Interval::new(p.x, p.x + ct.width);
-        let mut out = Vec::with_capacity(ct.height_rows as usize);
-        for r in row..row + ct.height_rows as usize {
+        let span = Interval::new(p.x, p.x + self.soa.width(cell));
+        let mut out = Vec::with_capacity(h);
+        for r in row..row + h {
             let seg_idx = self
-                .find_covering_segment(r, c.fence, span)
+                .find_covering_segment(r, self.soa.fence(cell), span)
                 .expect("placed cell must have segments");
             let i = self.seg_cells[seg_idx]
                 .iter()
@@ -329,7 +462,7 @@ impl<'d> PlacementState<'d> {
     pub fn unplaced_count(&self) -> usize {
         self.design
             .movable_cells()
-            .filter(|id| self.pos[id.0 as usize].is_none())
+            .filter(|id| self.soa.pos(*id).is_none())
             .count()
     }
 
@@ -338,7 +471,7 @@ impl<'d> PlacementState<'d> {
     pub fn write_back(&self, design: &mut Design) {
         for id in self.design.movable_cells() {
             let c = &mut design.cells[id.0 as usize];
-            c.pos = self.pos[id.0 as usize];
+            c.pos = self.soa.pos(id);
             if let Some(p) = c.pos {
                 let row = ((p.y - self.design.core.yl) / self.design.tech.row_height) as usize;
                 c.orient = self.design.orient_for_row(c.type_id, row);
@@ -347,7 +480,7 @@ impl<'d> PlacementState<'d> {
     }
 
     fn insert_index(&self, list: &[CellId], x: Dbu) -> usize {
-        list.partition_point(|&c| self.pos[c.0 as usize].unwrap().x < x)
+        list.partition_point(|&c| self.soa.x(c) < x)
     }
 }
 
@@ -480,6 +613,31 @@ mod tests {
                 .len(),
             2
         );
+    }
+
+    #[test]
+    fn occupants_overlapping_matches_linear_filter() {
+        let d = design();
+        let mut s = PlacementState::new(&d);
+        // Cells 0/1/3/4 are 20 wide on row 0 at x = 0, 40, 120, 200.
+        for (id, x) in [(0u32, 0), (1, 40), (3, 120), (4, 200)] {
+            s.place(CellId(id), Point::new(x, 0)).unwrap();
+        }
+        let seg = s.segment_memberships(CellId(0))[0].0;
+        for (lo, hi) in [(0, 1000), (10, 130), (20, 40), (60, 120), (500, 900)] {
+            let fast: Vec<CellId> = s.occupants_overlapping(seg, lo, hi).to_vec();
+            let slow: Vec<CellId> = s
+                .cells_in_segment(seg)
+                .iter()
+                .copied()
+                .filter(|&c| s.soa().end_x(c) > lo && s.soa().x(c) < hi)
+                .collect();
+            assert_eq!(fast, slow, "window [{lo},{hi})");
+        }
+        // SoA static columns mirror the design.
+        assert_eq!(s.soa().width(CellId(2)), 30);
+        assert_eq!(s.soa().height_rows(CellId(2)), 2);
+        assert_eq!(s.soa().fence(CellId(2)), FenceId::DEFAULT);
     }
 
     #[test]

@@ -1,81 +1,51 @@
-//! Row-band interval index for window-overlap queries.
+//! Window-overlap index for the scheduler's `L_p` selection.
 //!
 //! The parallel scheduler's `L_p` selection must answer "does this window
 //! overlap any already-selected window?" once per pending cell per round.
 //! The naive scan is O(|selected|) per query — quadratic per round. This
-//! index buckets selected windows into horizontal bands (one per row of the
-//! core), so a query only inspects windows whose vertical extent can
-//! possibly intersect the probe's, making selection near-linear in practice
-//! (windows span a handful of rows).
+//! index is a thin façade over the two-level [`HierGrid`] (y-bands deepened
+//! with x-buckets, see [`crate::spatial`]): a query only inspects windows
+//! whose band *and* x-bucket ranges can possibly intersect the probe's,
+//! which keeps selection near-linear even when a round selects tens of
+//! thousands of windows across a million-cell core.
 //!
-//! The band test is purely a pruning step: entries store the full rectangle
+//! The grid test is purely a pruning step: entries store the full rectangle
 //! and every candidate is confirmed with the exact [`Rect::overlaps`]
 //! predicate (strict overlap — touching edges do not conflict), so results
-//! are identical to the naive scan.
+//! are identical to the naive scan. Selection order — and therefore every
+//! replay log and golden — is unchanged by the deepening.
 
+use crate::spatial::HierGrid;
 use mcl_db::prelude::*;
 
 /// Spatial index over a round's selected windows.
 #[derive(Debug)]
 pub struct WindowIndex {
-    /// Core bottom, origin of the band grid.
-    y0: Dbu,
-    /// Band height (the row height).
-    band_h: Dbu,
-    /// Per band: windows whose y-range intersects the band.
-    bands: Vec<Vec<Rect>>,
-    /// Bands with at least one entry, for O(touched) clearing.
-    touched: Vec<usize>,
+    grid: HierGrid,
 }
 
 impl WindowIndex {
     /// An empty index covering `core`, with one band per `band_h` of height
     /// (pass the row height).
     pub fn new(core: Rect, band_h: Dbu) -> Self {
-        let band_h = band_h.max(1);
-        let span = (core.yh - core.yl).max(1) as u64;
-        let n = span.div_ceil(band_h as u64).max(1) as usize;
         Self {
-            y0: core.yl,
-            band_h,
-            bands: vec![Vec::new(); n],
-            touched: Vec::new(),
+            grid: HierGrid::new(core, band_h),
         }
-    }
-
-    /// The inclusive band range a window's y-extent maps to (clamped).
-    fn band_range(&self, w: Rect) -> (usize, usize) {
-        let last = self.bands.len() - 1;
-        let lo = ((w.yl - self.y0).max(0) / self.band_h) as usize;
-        let hi = ((w.yh - 1 - self.y0).max(0) / self.band_h) as usize;
-        (lo.min(last), hi.min(last))
     }
 
     /// Whether `w` strictly overlaps any inserted window.
     pub fn overlaps_any(&self, w: Rect) -> bool {
-        let (lo, hi) = self.band_range(w);
-        self.bands[lo..=hi]
-            .iter()
-            .any(|band| band.iter().any(|r| r.overlaps(w)))
+        self.grid.overlaps_any(w)
     }
 
     /// Inserts a window.
     pub fn insert(&mut self, w: Rect) {
-        let (lo, hi) = self.band_range(w);
-        for b in lo..=hi {
-            if self.bands[b].is_empty() {
-                self.touched.push(b);
-            }
-            self.bands[b].push(w);
-        }
+        self.grid.insert(w, 0);
     }
 
-    /// Removes all windows, retaining band capacity. O(bands touched).
+    /// Removes all windows, retaining bucket capacity. O(buckets touched).
     pub fn clear(&mut self) {
-        for &b in &self.touched {
-            self.bands[b].clear();
-        }
-        self.touched.clear();
+        self.grid.clear();
     }
 }
 

@@ -1,0 +1,267 @@
+//! Property suite for the two-level hierarchical spatial index.
+//!
+//! [`HierGrid`] is a pure pruning layer: every query must return exactly
+//! what a naive O(n) scan over the live rectangles returns — including
+//! fence-key filtering, zero-area degenerate rects, and rects spanning
+//! many row bands. The naive model here is deliberately dumb (a `Vec` of
+//! `(rect, key, alive)`), so any divergence is a grid bug, not a model
+//! bug. An incremental insert/remove sequence pins that the grid never
+//! returns stale (removed) or missing (live) entries mid-stream.
+
+use mcl_core::spatial::{HierGrid, ItemId};
+use mcl_db::prelude::*;
+use proptest::prelude::*;
+
+const CORE: Rect = Rect {
+    xl: 0,
+    yl: 0,
+    xh: 3000,
+    yh: 1800,
+};
+
+/// Rect strategy mixing regular windows, multi-row-tall spans, and
+/// zero-area degenerates (w and/or h drawn from `0..`): the degenerate
+/// cases must index cleanly and overlap nothing.
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (0i64..2900, 0i64..1700, 0i64..600, 0i64..900)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, (x + w).min(3000), (y + h).min(1800)))
+}
+
+/// `(rect, fence key)` — a handful of key values so filtered queries hit
+/// both matching and non-matching entries.
+fn arb_entry() -> impl Strategy<Value = (Rect, u64)> {
+    (arb_rect(), 0u64..3).prop_map(|(r, k)| (r, k))
+}
+
+/// The naive reference: full scan with the exact strict-overlap predicate.
+struct Naive {
+    items: Vec<(Rect, u64, bool)>,
+}
+
+impl Naive {
+    fn new() -> Self {
+        Self { items: Vec::new() }
+    }
+
+    fn insert(&mut self, r: Rect, k: u64) -> usize {
+        self.items.push((r, k, true));
+        self.items.len() - 1
+    }
+
+    fn remove(&mut self, i: usize) {
+        self.items[i].2 = false;
+    }
+
+    fn range(&self, probe: Rect, key: Option<u64>) -> Vec<usize> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, (r, k, alive))| {
+                *alive && r.overlaps(probe) && key.is_none_or(|want| *k == want)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Mirrors `HierGrid::nearest`: Manhattan distance to the closed
+    /// integer box `[xl, max(xh-1, xl)] x [yl, max(yh-1, yl)]`, ties to
+    /// the lowest id.
+    fn nearest(&self, p: Point, key: Option<u64>) -> Option<(usize, Dbu)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, k, alive))| *alive && key.is_none_or(|want| *k == want))
+            .map(|(i, (r, _, _))| {
+                let dx = (r.xl - p.x).max(p.x - (r.xh - 1).max(r.xl));
+                let dy = (r.yl - p.y).max(p.y - (r.yh - 1).max(r.yl));
+                (i, dx.max(0) + dy.max(0))
+            })
+            .min_by_key(|&(i, d)| (d, i))
+    }
+}
+
+/// Ids visited by a grid range query, as raw indices (insertion order ==
+/// arena order, which both sides share).
+fn grid_range(grid: &mut HierGrid, ids: &[ItemId], probe: Rect, key: Option<u64>) -> Vec<usize> {
+    let mut hits = Vec::new();
+    grid.range_query(
+        probe,
+        |k| key.is_none_or(|want| k == want),
+        |id, _, _| {
+            let i = ids
+                .iter()
+                .position(|&x| x == id)
+                .expect("visited id was inserted");
+            hits.push(i);
+        },
+    );
+    hits
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Range queries agree with the naive scan for every probe, with and
+    // without fence-key filtering, across band counts.
+    #[test]
+    fn range_query_matches_naive(
+        entries in prop::collection::vec(arb_entry(), 1..120),
+        probes in prop::collection::vec(arb_rect(), 1..20),
+        band_h in 1i64..200,
+    ) {
+        let mut grid = HierGrid::new(CORE, band_h);
+        let mut naive = Naive::new();
+        let mut ids = Vec::new();
+        for &(r, k) in &entries {
+            ids.push(grid.insert(r, k));
+            naive.insert(r, k);
+        }
+        for &probe in &probes {
+            for key in [None, Some(0), Some(1), Some(2)] {
+                let mut got = grid_range(&mut grid, &ids, probe, key);
+                got.sort_unstable();
+                prop_assert_eq!(got, naive.range(probe, key), "probe {:?} key {:?}", probe, key);
+                prop_assert_eq!(
+                    grid.find_overlap(probe, |k| key.is_none_or(|w| k == w)).is_some(),
+                    !naive.range(probe, key).is_empty(),
+                    "find_overlap at probe {:?} key {:?}", probe, key
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Nearest queries agree with the naive argmin — distance AND identity
+    // (ties break to the lowest id on both sides).
+    #[test]
+    fn nearest_matches_naive(
+        entries in prop::collection::vec(arb_entry(), 1..80),
+        probes in prop::collection::vec((0i64..3000, 0i64..1800), 1..25),
+        band_h in 1i64..200,
+    ) {
+        let mut grid = HierGrid::new(CORE, band_h);
+        let mut naive = Naive::new();
+        let mut ids = Vec::new();
+        for &(r, k) in &entries {
+            ids.push(grid.insert(r, k));
+            naive.insert(r, k);
+        }
+        for &(px, py) in &probes {
+            let p = Point::new(px, py);
+            for key in [None, Some(0), Some(1)] {
+                let got = grid
+                    .nearest(p, |k| key.is_none_or(|w| k == w))
+                    .map(|(id, d)| (ids.iter().position(|&x| x == id).unwrap(), d));
+                prop_assert_eq!(got, naive.nearest(p, key), "probe {:?} key {:?}", p, key);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Incremental insert/remove stream: after every operation the grid
+    // returns exactly the live set — no stale hit after a removal, no
+    // missing hit for a live rect, and re-removal stays a no-op.
+    #[test]
+    fn incremental_insert_remove_never_stale(
+        entries in prop::collection::vec(arb_entry(), 4..60),
+        ops in prop::collection::vec((0u64..4, 0u64..64), 8..80),
+        probe_seed in 0u64..1000,
+    ) {
+        let mut grid = HierGrid::new(CORE, 90);
+        let mut naive = Naive::new();
+        let mut ids: Vec<ItemId> = Vec::new();
+        let mut next = 0usize;
+        let mut probe_rng = probe_seed;
+        for &(op, pick) in &ops {
+            match op {
+                // Insert the next unseen entry (cycling through the pool).
+                0 | 1 => {
+                    let (r, k) = entries[next % entries.len()];
+                    next += 1;
+                    ids.push(grid.insert(r, k));
+                    naive.insert(r, k);
+                }
+                // Remove an arbitrary previously inserted entry (possibly
+                // already dead: removal must be idempotent on both sides).
+                2 => {
+                    if !ids.is_empty() {
+                        let i = (pick as usize) % ids.len();
+                        grid.remove(ids[i]);
+                        naive.remove(i);
+                    }
+                }
+                // Clear and restart.
+                _ => {
+                    grid.clear();
+                    ids.clear();
+                    naive = Naive::new();
+                }
+            }
+            // Deterministic probe per step.
+            probe_rng = probe_rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let px = (probe_rng >> 33) as i64 % 2900;
+            let py = (probe_rng >> 13) as i64 % 1700;
+            let probe = Rect::new(px, py, px + 90, py + 120);
+            let mut got = grid_range(&mut grid, &ids, probe, None);
+            got.sort_unstable();
+            prop_assert_eq!(got, naive.range(probe, None), "after op {:?}", (op, pick));
+            prop_assert_eq!(
+                grid.overlaps_any(probe),
+                !naive.range(probe, None).is_empty()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    // Degenerate (zero-area) rects index cleanly and overlap nothing, in
+    // either role (stored or probe) — exactly like the naive predicate.
+    #[test]
+    fn degenerate_rects_overlap_nothing(
+        x in 0i64..3000, y in 0i64..1800,
+        others in prop::collection::vec(arb_entry(), 1..40),
+    ) {
+        let mut grid = HierGrid::new(CORE, 90);
+        for &(r, k) in &others {
+            grid.insert(r, k);
+        }
+        // Zero width, zero height, and zero both.
+        for probe in [
+            Rect::new(x, y, x, y + 50),
+            Rect::new(x, y, x + 50, y),
+            Rect::new(x, y, x, y),
+        ] {
+            prop_assert!(!grid.overlaps_any(probe), "degenerate probe {:?}", probe);
+        }
+        let id = grid.insert(Rect::new(x, y, x, y), 0);
+        prop_assert!(!grid.overlaps_any(Rect::new(0, 0, 3000, 1800)) || {
+            // The full-core probe may hit the *other* rects; the degenerate
+            // entry itself must never be the hit.
+            grid.find_overlap(Rect::new(0, 0, 3000, 1800), |_| true) != Some(id)
+        });
+    }
+}
+
+/// Multi-row spans: one rect covering many bands is reported once per
+/// query (the stamp dedup), not once per band it touches.
+#[test]
+fn tall_rect_visits_once() {
+    let mut grid = HierGrid::new(CORE, 90);
+    let tall = grid.insert(Rect::new(100, 0, 200, 1800), 7);
+    let mut visits = 0;
+    grid.range_query(
+        Rect::new(0, 0, 3000, 1800),
+        |_| true,
+        |id, _, k| {
+            assert_eq!(id, tall);
+            assert_eq!(k, 7);
+            visits += 1;
+        },
+    );
+    assert_eq!(visits, 1, "one visit despite spanning every band");
+}
