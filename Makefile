@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch bench-scale tables
+.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch bench-scale bench-eco tables
 
 build:
 	cargo build --release
@@ -78,6 +78,15 @@ bench-batch:
 # via MCL_SCALE_FLOOR_CPS / MCL_SCALE_MAX_RSS_KB.
 bench-scale:
 	cargo run --release -p mcl-bench --bin scale
+
+# ECO delta-latency bench (DESIGN.md §15): the `eco` section of
+# BENCH_mgl.json — resident-session 64-cell deltas on a 100k-cell base vs
+# a from-scratch `run_eco` of the same mutation (p50/p99 delta ms,
+# windows_dirty, speedup_vs_full). Knobs: MCL_ECO_CELLS, MCL_ECO_DELTA,
+# MCL_ECO_DELTAS, MCL_ECO_THREADS, MCL_ECO_SEED, MCL_ECO_DENSITY_PCT; CI
+# gates via MCL_ECO_MAX_P99_MS / MCL_ECO_MIN_SPEEDUP.
+bench-eco:
+	cargo run --release -p mcl-bench --bin eco
 
 # Paper tables/figures (MCL_SCALE scales cell counts, default 0.05).
 tables:

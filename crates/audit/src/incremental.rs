@@ -1,0 +1,270 @@
+//! Incremental (row-banded) legality certification.
+//!
+//! The full auditor ([`crate::legality::verify`]) re-derives every hard
+//! constraint from scratch — O(design) per call, which is exactly wrong for
+//! a resident ECO session that mutates a 64-cell window of a million-cell
+//! placement. [`BandCert`] restructures the same audit into splice-able
+//! strata:
+//!
+//! - a per-cell finding (core bounds, alignment, parity, fence) — local to
+//!   the cell, recomputed only when the cell changed;
+//! - a per-row overlap sweep — local to the row band, recomputed only for
+//!   rows a changed cell touched (before or after the change).
+//!
+//! [`BandCert::splice`] re-certifies exactly those strata and splices the
+//! results into the prior certificate. The merged [`BandCert::report`] is
+//! *byte-identical* to a from-scratch `verify` on the same design — same
+//! counts, same notes, same note order — pinned by differential tests, so
+//! an incremental certificate is as trustworthy as a full one.
+//!
+//! Both paths share [`crate::legality`]'s `check_cell`/`overlap_note`
+//! verbatim, so the incremental mode cannot drift from the clean-room
+//! reference semantics. The certificate caches the fence-span partition;
+//! the session invariant is that core, fences and fixed cells are immutable
+//! between splices (ECO deltas move movable cells only).
+
+use crate::legality::FenceSpans;
+use crate::legality::{check_cell, fold_finding, overlap_note, AuditReport, CellFinding, Entry};
+use mcl_db::cell::CellId;
+use mcl_db::design::Design;
+use mcl_db::geom::Dbu;
+use std::collections::BTreeSet;
+
+/// One overlap found by a row-band sweep, with the total-order key that
+/// reproduces the full sweep's note order when bands are merged:
+/// `(e.xl, e.id, row, a.xl, a.id)` where `e` is the sweep-later entry of
+/// the pair and `a` the earlier.
+struct OverlapFinding {
+    key: (Dbu, u32, usize, Dbu, u32),
+    note: String,
+}
+
+/// One row band: its resident entries (sorted by `(xl, id)`, the sweep
+/// order) and the overlaps counted at this row.
+#[derive(Default)]
+struct RowBand {
+    entries: Vec<Entry>,
+    overlaps: Vec<OverlapFinding>,
+}
+
+/// A splice-able legality certificate (see the module docs).
+pub struct BandCert {
+    spans: FenceSpans,
+    /// Per-cell finding; `None` for clean cells.
+    findings: Vec<Option<CellFinding>>,
+    /// Each cell's current sweep entry; `None` when it occupies no rows.
+    entry_of: Vec<Option<Entry>>,
+    rows: Vec<RowBand>,
+}
+
+impl BandCert {
+    /// Fully certifies a design — the splice path applied to every cell, so
+    /// there is exactly one certification code path.
+    pub fn build(d: &Design) -> Self {
+        let mut cert = BandCert {
+            spans: FenceSpans::build(d),
+            findings: Vec::new(),
+            entry_of: Vec::new(),
+            rows: (0..d.num_rows.max(1)).map(|_| RowBand::default()).collect(),
+        };
+        cert.splice(d, &[]);
+        cert
+    }
+
+    /// Re-certifies the cells in `dirty` (plus any cells appended to the
+    /// design since the last splice) and the row bands they touch — before
+    /// or after the change — splicing the fresh strata into the prior
+    /// certificate. `dirty` must cover every cell whose `pos`, `orient` or
+    /// `fence` changed; core, fence regions and fixed cells must be
+    /// unchanged since [`Self::build`].
+    pub fn splice(&mut self, d: &Design, dirty: &[CellId]) {
+        let n = d.cells.len();
+        let mut dirty_ids: BTreeSet<u32> = dirty.iter().map(|c| c.0).collect();
+        dirty_ids.extend(self.findings.len() as u32..n as u32);
+        self.findings.resize_with(n, || None);
+        self.entry_of.resize_with(n, || None);
+
+        let mut dirty_rows: BTreeSet<usize> = BTreeSet::new();
+        for &i in &dirty_ids {
+            let i = i as usize;
+            if let Some(old) = self.entry_of[i].take() {
+                for r in old.row_lo..old.row_hi {
+                    self.rows[r].entries.retain(|e| e.id.0 as usize != i);
+                    dirty_rows.insert(r);
+                }
+            }
+            let (f, entry) = check_cell(d, &self.spans, i);
+            self.findings[i] = if f.is_empty() { None } else { Some(f) };
+            if let Some(e) = entry {
+                for r in e.row_lo..e.row_hi {
+                    let band = &mut self.rows[r].entries;
+                    let at = band.partition_point(|x| (x.xl, x.id.0) < (e.xl, e.id.0));
+                    band.insert(at, e);
+                    dirty_rows.insert(r);
+                }
+                self.entry_of[i] = Some(e);
+            }
+        }
+        for r in dirty_rows {
+            self.rows[r].overlaps = sweep_row(d, &self.rows[r].entries, r);
+        }
+    }
+
+    /// Assembles the merged report — byte-identical to
+    /// [`crate::legality::verify`] on the same design.
+    #[must_use]
+    pub fn report(&self) -> AuditReport {
+        let mut rep = AuditReport::default();
+        for f in self.findings.iter().flatten() {
+            fold_finding(&mut rep, f);
+        }
+        let mut all: Vec<&OverlapFinding> =
+            self.rows.iter().flat_map(|b| b.overlaps.iter()).collect();
+        all.sort_unstable_by_key(|o| o.key);
+        rep.overlaps = all.len();
+        for o in all {
+            rep.note(o.note.clone());
+        }
+        rep
+    }
+}
+
+/// The full sweep's work restricted to one row: over the row's resident
+/// entries in `(xl, id)` order, count each overlapping pair exactly when
+/// this row is the pair's lowest shared row (the same attribution rule as
+/// the banded global sweep, so merged bands count each pair once).
+fn sweep_row(d: &Design, entries: &[Entry], row: usize) -> Vec<OverlapFinding> {
+    let mut out = Vec::new();
+    let mut active: Vec<usize> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        active.retain(|&j| entries[j].xh > e.xl);
+        for &j in &active {
+            let a = &entries[j];
+            if row == a.row_lo.max(e.row_lo) {
+                out.push(OverlapFinding {
+                    key: (e.xl, e.id.0, row, a.xl, a.id.0),
+                    note: overlap_note(d, a, e),
+                });
+            }
+        }
+        active.push(i);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legality::verify;
+    use mcl_db::prelude::*;
+
+    /// A deliberately messy design: overlaps, parity and fence trouble,
+    /// unplaced and out-of-core cells, multi-row cells, a fixed obstacle.
+    fn messy(seed: u64) -> Design {
+        let mut d = Design::new("t", Technology::example(), Rect::new(0, 0, 2000, 900));
+        let s = d.add_cell_type(CellType::new("s", 20, 1));
+        let m = d.add_cell_type(CellType::new("m", 30, 2));
+        let t = d.add_cell_type(CellType::new("t", 40, 3));
+        let f = d.add_fence(FenceRegion::new("g0", vec![Rect::new(400, 0, 900, 270)]));
+        let mut x = seed | 1;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut obs = Cell::new("obs", s, Point::new(1000, 0));
+        obs.pos = Some(Point::new(1000, 0));
+        obs.fixed = true;
+        d.add_cell(obs);
+        for i in 0..80 {
+            let ct = match rng() % 4 {
+                0 | 1 => s,
+                2 => m,
+                _ => t,
+            };
+            let mut c = Cell::new(format!("c{i}"), ct, Point::new(0, 0));
+            match rng() % 8 {
+                0 => {}                                   // unplaced
+                1 => c.pos = Some(Point::new(1980, 810)), // likely out of core
+                2 => c.pos = Some(Point::new(13, 90)),    // misaligned
+                _ => {
+                    let row = (rng() % 8) as usize;
+                    let xx = (rng() % 90) as Dbu * 20;
+                    c.pos = Some(Point::new(xx, row as Dbu * 90));
+                    c.orient = d.orient_for_row(ct, row);
+                    if rng() % 3 == 0 {
+                        c.fence = f;
+                    }
+                    if rng() % 5 == 0 {
+                        // Force a parity/flip violation.
+                        c.orient = Orient::N;
+                    }
+                }
+            }
+            d.add_cell(c);
+        }
+        d
+    }
+
+    #[test]
+    fn full_build_matches_verify_bytes() {
+        for seed in [3, 17, 99] {
+            let d = messy(seed);
+            let cert = BandCert::build(&d);
+            assert_eq!(cert.report(), verify(&d), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn splice_matches_full_reverify_after_mutations() {
+        let mut d = messy(7);
+        let mut cert = BandCert::build(&d);
+        let mut x = 41u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..6 {
+            // Mutate a handful of movable cells: move, unplace, or drop
+            // somewhere mischievous.
+            let mut dirty = Vec::new();
+            for _ in 0..5 {
+                let i = 1 + (rng() % (d.cells.len() as u64 - 1)) as usize;
+                if d.cells[i].fixed {
+                    continue;
+                }
+                match rng() % 4 {
+                    0 => d.cells[i].pos = None,
+                    1 => d.cells[i].pos = Some(Point::new(13 + round as Dbu, 90)),
+                    _ => {
+                        let row = (rng() % 9) as usize;
+                        let ct = d.cells[i].type_id;
+                        d.cells[i].pos =
+                            Some(Point::new((rng() % 95) as Dbu * 20, row as Dbu * 90));
+                        d.cells[i].orient = d.orient_for_row(ct, row);
+                    }
+                }
+                dirty.push(CellId(i as u32));
+            }
+            cert.splice(&d, &dirty);
+            assert_eq!(cert.report(), verify(&d), "round {round}");
+        }
+    }
+
+    #[test]
+    fn splice_picks_up_appended_cells() {
+        let mut d = messy(23);
+        let mut cert = BandCert::build(&d);
+        // Appended cells are dirty by definition, even with an empty list.
+        let s = d.cells[1].type_id;
+        let mut c = Cell::new("new0", s, Point::new(0, 0));
+        c.pos = Some(Point::new(200, 0));
+        d.add_cell(c);
+        d.add_cell(Cell::new("new1", s, Point::new(0, 0)));
+        cert.splice(&d, &[]);
+        assert_eq!(cert.report(), verify(&d));
+    }
+}

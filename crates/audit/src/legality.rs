@@ -62,7 +62,7 @@ impl AuditReport {
         self.hard_violations() == 0
     }
 
-    fn note(&mut self, msg: String) {
+    pub(crate) fn note(&mut self, msg: String) {
         if self.notes.len() < Self::MAX_NOTES {
             self.notes.push(msg);
         }
@@ -70,12 +70,150 @@ impl AuditReport {
 }
 
 /// One placed rectangle participating in the overlap sweep.
-struct Entry {
-    xl: Dbu,
-    xh: Dbu,
-    row_lo: usize,
-    row_hi: usize,
-    id: CellId,
+#[derive(Clone, Copy)]
+pub(crate) struct Entry {
+    pub(crate) xl: Dbu,
+    pub(crate) xh: Dbu,
+    pub(crate) row_lo: usize,
+    pub(crate) row_hi: usize,
+    pub(crate) id: CellId,
+}
+
+/// The per-cell verdict of [`check_cell`]: which categories the cell
+/// violates, with its notes in emission order. Shared by [`verify`] and the
+/// banded certificate ([`crate::incremental`]) so the two can never drift.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct CellFinding {
+    pub(crate) unplaced: bool,
+    pub(crate) out_of_core: bool,
+    pub(crate) misaligned: bool,
+    pub(crate) bad_parity: bool,
+    pub(crate) fence: bool,
+    pub(crate) notes: Vec<String>,
+}
+
+impl CellFinding {
+    pub(crate) fn is_empty(&self) -> bool {
+        !(self.unplaced || self.out_of_core || self.misaligned || self.bad_parity || self.fence)
+    }
+}
+
+/// The overlap note text, with `a` the sweep-earlier entry of the pair.
+pub(crate) fn overlap_note(d: &Design, a: &Entry, e: &Entry) -> String {
+    let (an, en) = (
+        &d.cells[a.id.0 as usize].name,
+        &d.cells[e.id.0 as usize].name,
+    );
+    format!(
+        "cells {an} and {en} overlap: [{},{}) vs [{},{})",
+        a.xl, a.xh, e.xl, e.xh
+    )
+}
+
+/// Audits one cell against every non-overlap hard constraint, returning its
+/// finding (empty when clean) and, when the cell occupies rows, the entry it
+/// contributes to the overlap sweep. Fixed cells are never found against —
+/// they only contribute an entry (at `pos`, if any, clipped to valid rows).
+pub(crate) fn check_cell(d: &Design, spans: &FenceSpans, i: usize) -> (CellFinding, Option<Entry>) {
+    let mut f = CellFinding::default();
+    let cell = &d.cells[i];
+    let id = CellId(i as u32);
+    let ct = &d.cell_types[cell.type_id.0 as usize];
+    let rh = d.tech.row_height;
+    let sw = d.tech.site_width;
+    let h = i64::from(ct.height_rows) * rh;
+
+    if cell.fixed {
+        // Fixed cells only participate in overlap checking.
+        if let Some(p) = cell.pos {
+            let (row_lo, row_hi) = clipped_rows(p.y, p.y + h, d.core.yl, rh, d.num_rows);
+            if row_lo < row_hi {
+                return (
+                    f,
+                    Some(Entry {
+                        xl: p.x,
+                        xh: p.x + ct.width,
+                        row_lo,
+                        row_hi,
+                        id,
+                    }),
+                );
+            }
+        }
+        return (f, None);
+    }
+
+    let Some(p) = cell.pos else {
+        f.unplaced = true;
+        f.notes.push(format!("cell {} unplaced", cell.name));
+        return (f, None);
+    };
+    let (xl, yl) = (p.x, p.y);
+    let (xh, yh) = (xl + ct.width, yl + h);
+
+    if xl < d.core.xl || xh > d.core.xh || yl < d.core.yl || yh > d.core.yh {
+        f.out_of_core = true;
+        f.notes.push(format!(
+            "cell {} out of core: [{xl},{xh})x[{yl},{yh})",
+            cell.name
+        ));
+        return (f, None);
+    }
+    let aligned_x = (xl - d.core.xl).rem_euclid(sw) == 0;
+    let aligned_y = (yl - d.core.yl) % rh == 0;
+    if !aligned_x || !aligned_y {
+        f.misaligned = true;
+        f.notes
+            .push(format!("cell {} misaligned at ({xl}, {yl})", cell.name));
+        return (f, None);
+    }
+    let row = ((yl - d.core.yl) / rh) as usize;
+
+    // P/G rail compatibility: cells with a pinned parity must sit on a
+    // matching row; free (odd-height) cells must be flipped exactly on
+    // odd rows.
+    match ct.rail_parity {
+        Some(RowParity::Even) if row % 2 != 0 => {
+            f.bad_parity = true;
+            f.notes
+                .push(format!("cell {} needs an even row, got {row}", cell.name));
+        }
+        Some(RowParity::Odd) if row % 2 != 1 => {
+            f.bad_parity = true;
+            f.notes
+                .push(format!("cell {} needs an odd row, got {row}", cell.name));
+        }
+        None => {
+            let flipped = matches!(cell.orient, Orient::FS | Orient::S);
+            if flipped != (row % 2 == 1) {
+                f.bad_parity = true;
+                f.notes
+                    .push(format!("cell {} wrong flip on row {row}", cell.name));
+            }
+        }
+        _ => {}
+    }
+
+    // Fence containment on every spanned row.
+    let row_hi = row + ct.height_rows as usize;
+    if !(row..row_hi).all(|rr| spans.covers(rr, cell.fence.0, xl, xh)) {
+        f.fence = true;
+        f.notes.push(format!(
+            "cell {} escapes fence {} on rows {row}..{row_hi}",
+            cell.name, cell.fence.0
+        ));
+    }
+
+    (
+        f,
+        Some(Entry {
+            xl,
+            xh,
+            row_lo: row,
+            row_hi,
+            id,
+        }),
+    )
 }
 
 /// Independently re-derived placeable spans: `(xl, xh, fence)` per row.
@@ -217,100 +355,31 @@ pub(crate) fn clipped_rows(
     (lo, hi.min(num_rows))
 }
 
+/// Folds one cell's finding into the report, preserving the historical
+/// per-cell note emission order.
+pub(crate) fn fold_finding(rep: &mut AuditReport, f: &CellFinding) {
+    rep.unplaced += usize::from(f.unplaced);
+    rep.out_of_core += usize::from(f.out_of_core);
+    rep.misaligned += usize::from(f.misaligned);
+    rep.bad_parity += usize::from(f.bad_parity);
+    rep.fence_violations += usize::from(f.fence);
+    for n in &f.notes {
+        rep.note(n.clone());
+    }
+}
+
 /// Runs the independent audit over a design's current placement.
 pub fn verify(d: &Design) -> AuditReport {
     let mut rep = AuditReport::default();
     let spans = FenceSpans::build(d);
-    let rh = d.tech.row_height;
-    let sw = d.tech.site_width;
     let mut entries: Vec<Entry> = Vec::new();
 
-    for (i, cell) in d.cells.iter().enumerate() {
-        let id = CellId(i as u32);
-        let ct = &d.cell_types[cell.type_id.0 as usize];
-        let h = i64::from(ct.height_rows) * rh;
-
-        if cell.fixed {
-            // Fixed cells only participate in overlap checking.
-            if let Some(p) = cell.pos {
-                let (row_lo, row_hi) = clipped_rows(p.y, p.y + h, d.core.yl, rh, d.num_rows);
-                if row_lo < row_hi {
-                    entries.push(Entry {
-                        xl: p.x,
-                        xh: p.x + ct.width,
-                        row_lo,
-                        row_hi,
-                        id,
-                    });
-                }
-            }
-            continue;
+    for i in 0..d.cells.len() {
+        let (f, entry) = check_cell(d, &spans, i);
+        fold_finding(&mut rep, &f);
+        if let Some(e) = entry {
+            entries.push(e);
         }
-
-        let Some(p) = cell.pos else {
-            rep.unplaced += 1;
-            rep.note(format!("cell {} unplaced", cell.name));
-            continue;
-        };
-        let (xl, yl) = (p.x, p.y);
-        let (xh, yh) = (xl + ct.width, yl + h);
-
-        if xl < d.core.xl || xh > d.core.xh || yl < d.core.yl || yh > d.core.yh {
-            rep.out_of_core += 1;
-            rep.note(format!(
-                "cell {} out of core: [{xl},{xh})x[{yl},{yh})",
-                cell.name
-            ));
-            continue;
-        }
-        let aligned_x = (xl - d.core.xl).rem_euclid(sw) == 0;
-        let aligned_y = (yl - d.core.yl) % rh == 0;
-        if !aligned_x || !aligned_y {
-            rep.misaligned += 1;
-            rep.note(format!("cell {} misaligned at ({xl}, {yl})", cell.name));
-            continue;
-        }
-        let row = ((yl - d.core.yl) / rh) as usize;
-
-        // P/G rail compatibility: cells with a pinned parity must sit on a
-        // matching row; free (odd-height) cells must be flipped exactly on
-        // odd rows.
-        match ct.rail_parity {
-            Some(RowParity::Even) if row % 2 != 0 => {
-                rep.bad_parity += 1;
-                rep.note(format!("cell {} needs an even row, got {row}", cell.name));
-            }
-            Some(RowParity::Odd) if row % 2 != 1 => {
-                rep.bad_parity += 1;
-                rep.note(format!("cell {} needs an odd row, got {row}", cell.name));
-            }
-            None => {
-                let flipped = matches!(cell.orient, Orient::FS | Orient::S);
-                if flipped != (row % 2 == 1) {
-                    rep.bad_parity += 1;
-                    rep.note(format!("cell {} wrong flip on row {row}", cell.name));
-                }
-            }
-            _ => {}
-        }
-
-        // Fence containment on every spanned row.
-        let row_hi = row + ct.height_rows as usize;
-        if !(row..row_hi).all(|rr| spans.covers(rr, cell.fence.0, xl, xh)) {
-            rep.fence_violations += 1;
-            rep.note(format!(
-                "cell {} escapes fence {} on rows {row}..{row_hi}",
-                cell.name, cell.fence.0
-            ));
-        }
-
-        entries.push(Entry {
-            xl,
-            xh,
-            row_lo: row,
-            row_hi,
-            id,
-        });
     }
 
     // Overlap detection: plane sweep over x with row-band bucketed active
@@ -335,14 +404,7 @@ pub fn verify(d: &Design) -> AuditReport {
                 // band. Count the pair only at its lowest shared row.
                 if r == a.row_lo.max(e.row_lo) {
                     rep.overlaps += 1;
-                    let (an, en) = (
-                        &d.cells[a.id.0 as usize].name,
-                        &d.cells[e.id.0 as usize].name,
-                    );
-                    rep.note(format!(
-                        "cells {an} and {en} overlap: [{},{}) vs [{},{})",
-                        a.xl, a.xh, e.xl, e.xh
-                    ));
+                    rep.note(overlap_note(d, a, e));
                 }
             }
             band.push(i);

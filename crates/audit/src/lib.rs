@@ -18,6 +18,10 @@
 //!   its own occupancy model, turning the parallel scheduler's determinism
 //!   claim (bit-identical results for any thread count) into an enforced,
 //!   auditable invariant.
+//! - [`incremental`] restructures the legality audit into a splice-able
+//!   row-banded certificate for resident ECO sessions: only the bands a
+//!   delta touched are re-certified, and the merged report is byte-identical
+//!   to a full [`legality::verify`].
 //!
 //! The independence rule for this crate: it may read the data model
 //! (`Design`, `Cell`, `CellType`, raw `Dbu` coordinates) but must not call
@@ -28,9 +32,11 @@
 #![forbid(unsafe_code)]
 
 pub mod flow_cert;
+pub mod incremental;
 pub mod legality;
 pub mod replay;
 
 pub use flow_cert::{certify, Certificate, Violation};
+pub use incremental::BandCert;
 pub use legality::{verify, AuditReport};
 pub use replay::{ReplayError, ReplayErrorKind, ReplayLog, ReplayOp};

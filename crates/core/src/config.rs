@@ -91,6 +91,16 @@ pub struct LegalizerConfig {
     pub matching_dense_limit: usize,
     /// Enable stage 3 (fixed row & order dual-MCF refinement).
     pub fixed_order_refine: bool,
+    /// Delta-first ECO mode: the post stages (2 and 3) restrict themselves
+    /// to the transitive dirty-window closure of the cells mutated since
+    /// adoption ([`crate::dirty`]) — stage 2 re-matches only groups with a
+    /// dirty member (restricted to closure members), stage 3 solves the
+    /// flow over closure members with their nearest clean neighbors as
+    /// fixed walls. Only effective when the state adopted existing
+    /// positions (`run_eco` / [`crate::legalizer::EcoSession`]); a fresh
+    /// full run ignores it. Off by default: batch runs keep today's
+    /// whole-design post stages.
+    pub eco_delta: bool,
     /// `n₀`: weight of the max-displacement terms in stage 3, relative to a
     /// unit cell weight (0 disables the extension).
     pub n0_factor: i64,
@@ -210,6 +220,7 @@ impl Default for LegalizerConfig {
             delta0_rows: 10.0,
             matching_dense_limit: 192,
             fixed_order_refine: true,
+            eco_delta: false,
             n0_factor: 4,
             threads: 1,
             clamp_threads_to_hardware: true,

@@ -215,25 +215,32 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns the offending cell when an existing position cannot be
-    /// adopted (the pre-placed part must be legal).
+    /// The classed [`LegalizeError`] of the run: unadoptable input
+    /// positions map to [`LegalizeError::SeedRejected`] (the pre-placed
+    /// part must be legal), and pipeline failures surface typed instead of
+    /// panicking.
     pub fn legalize_eco(
         &mut self,
         design: &Design,
-    ) -> Result<(Design, LegalizeStats), (CellId, PlaceError)> {
-        let prep = Prep::new(design, &self.config);
-        let mut state = PlacementState::from_design_positions(design)?;
-        let stats = self
-            .run_single(design, &mut state, &FULL_PIPELINE, &prep)
-            .unwrap_or_else(|e| panic!("ECO legalization of `{}` failed: {e}", design.name));
-        let mut out = design.clone();
-        state.write_back(&mut out);
-        Ok((out, stats))
+    ) -> Result<(Design, LegalizeStats), LegalizeError> {
+        self.try_legalize_eco(design)
     }
 
-    /// Fallible variant of [`Self::legalize_eco`]: seed rejection maps to
-    /// [`LegalizeError::SeedRejected`] and pipeline failures come back
-    /// typed.
+    /// Opens a resident incremental-legalization session over `design`
+    /// with this engine's configuration (the interactive twin of
+    /// [`Self::legalize_eco`]; see [`crate::EcoSession`]).
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::SeedRejected`] when the base positions are not
+    /// adoptable (the base must be legal).
+    pub fn eco_session(&self, design: Design) -> Result<crate::EcoSession, LegalizeError> {
+        crate::EcoSession::open(design, self.config.clone())
+    }
+
+    /// Alias of [`Self::legalize_eco`], kept for callers written against
+    /// the older panicking variant: every ECO entry point is now fallible
+    /// with the same classed error.
     ///
     /// # Errors
     ///

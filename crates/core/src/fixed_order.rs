@@ -62,26 +62,33 @@ pub fn optimize_fixed_order(
     oracle: Option<&RoutOracle<'_>>,
 ) -> FixedOrderStats {
     let mut obs = Meter::new();
-    optimize_fixed_order_metered(state, config, weights, oracle, &mut obs)
+    optimize_fixed_order_metered(state, config, weights, oracle, &mut obs, None)
 }
 
 /// [`optimize_fixed_order`] that records the dual flow solve (span + pivot
 /// count) into `obs`.
+///
+/// With `delta` set (ECO delta mode) the flow is built over dirty-closure
+/// members only; a closure cell's nearest clean segment neighbors become
+/// fixed walls (its `[l_i, r_i]` is clipped at their edges under the same
+/// soft-violation relaxation as the pair arcs), so clean cells are never
+/// moved and never crossed.
 pub fn optimize_fixed_order_metered(
     state: &mut PlacementState<'_>,
     config: &LegalizerConfig,
     weights: &[i64],
     oracle: Option<&RoutOracle<'_>>,
     obs: &mut Meter,
+    delta: Option<&crate::dirty::DirtyClosure>,
 ) -> FixedOrderStats {
     let d = state.design();
     let sw = d.tech.site_width;
     let mut stats = FixedOrderStats::default();
 
-    // Index placed movable cells.
+    // Index placed movable cells (closure members only in delta mode).
     let cells: Vec<CellId> = d
         .movable_cells()
-        .filter(|&c| state.pos(c).is_some())
+        .filter(|&c| state.pos(c).is_some() && delta.is_none_or(|dc| dc.contains(c)))
         .collect();
     let k = cells.len();
     if k == 0 {
@@ -154,7 +161,26 @@ pub fn optimize_fixed_order_metered(
                 // meaningless). Never ask for more separation than the
                 // incumbent has: the LP stays feasible and an existing
                 // soft gap can only grow, never shrink.
-                pairs.push((ia, ib, sep.min(cur[ib] - cur[ia])));
+                match (ia != usize::MAX, ib != usize::MAX) {
+                    (true, true) => pairs.push((ia, ib, sep.min(cur[ib] - cur[ia]))),
+                    // Delta mode: a clean neighbor is a fixed wall. Clip
+                    // the closure cell's bound at the wall minus the
+                    // (relaxed) separation; the incumbent stays feasible
+                    // because the relaxation never asks for more than the
+                    // current gap.
+                    (true, false) => {
+                        let bx = to_sites(state.soa().x(b));
+                        let s = sep.min(bx - cur[ia]);
+                        hi[ia] = hi[ia].min(bx - s);
+                    }
+                    (false, true) => {
+                        let ax = to_sites(state.soa().x(a));
+                        let s = sep.min(cur[ib] - ax);
+                        lo[ib] = lo[ib].max(ax + s);
+                    }
+                    // Both clean: nothing in the flow touches them.
+                    (false, false) => {}
+                }
             }
         }
     }

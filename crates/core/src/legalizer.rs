@@ -192,12 +192,11 @@ impl Legalizer {
     ///
     /// # Errors
     ///
-    /// Returns the offending cell when an existing position cannot be
-    /// adopted (the pre-placed part must be legal).
-    pub fn run_eco(
-        &self,
-        design: &Design,
-    ) -> Result<(Design, LegalizeStats), (CellId, crate::state::PlaceError)> {
+    /// The classed [`LegalizeError`] of the run: unadoptable input positions
+    /// map to [`LegalizeError::SeedRejected`] (the pre-placed part must be
+    /// legal), and an exhausted degradation ladder or failed certification
+    /// surfaces as its terminal pipeline error instead of a panic.
+    pub fn run_eco(&self, design: &Design) -> Result<(Design, LegalizeStats), LegalizeError> {
         let (out, stats, _) = self.run_eco_with_replay(design)?;
         Ok((out, stats))
     }
@@ -207,42 +206,11 @@ impl Legalizer {
     ///
     /// # Errors
     ///
-    /// Returns the offending cell when an existing position cannot be
-    /// adopted (the pre-placed part must be legal).
+    /// The classed [`LegalizeError`] of the run (see [`Self::run_eco`]).
     pub fn run_eco_with_replay(
         &self,
         design: &Design,
-    ) -> Result<(Design, LegalizeStats, mcl_audit::ReplayLog), (CellId, crate::state::PlaceError)>
-    {
-        let prep = Prep::new(design, &self.config);
-        let mut state = PlacementState::from_design_positions(design)?;
-        let mut scratch = InsertionScratch::new();
-        let stats = pipeline::run_stages(
-            design,
-            &mut state,
-            &self.config,
-            &FULL_PIPELINE,
-            &prep.weights,
-            prep.oracle(),
-            MglExec::Standalone,
-            &mut scratch,
-            "ECO",
-        )
-        .unwrap_or_else(|e| panic!("ECO legalization of `{}` failed: {e}", design.name));
-        let mut out = design.clone();
-        state.write_back(&mut out);
-        let log = state.take_replay_log();
-        Ok((out, stats, log))
-    }
-
-    /// Fallible variant of [`Self::run_eco`]: both seed rejection (mapped to
-    /// [`LegalizeError::SeedRejected`]) and pipeline failures come back as
-    /// the typed error.
-    ///
-    /// # Errors
-    ///
-    /// The terminal [`LegalizeError`] of the run.
-    pub fn try_run_eco(&self, design: &Design) -> Result<(Design, LegalizeStats), LegalizeError> {
+    ) -> Result<(Design, LegalizeStats, mcl_audit::ReplayLog), LegalizeError> {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design).map_err(|(cell, e)| {
             LegalizeError::SeedRejected {
@@ -264,7 +232,19 @@ impl Legalizer {
         )?;
         let mut out = design.clone();
         state.write_back(&mut out);
-        Ok((out, stats))
+        let log = state.take_replay_log();
+        Ok((out, stats, log))
+    }
+
+    /// Alias of [`Self::run_eco`], kept for callers written against the
+    /// older panicking `run_eco`: every ECO entry point is now fallible
+    /// with the same classed error.
+    ///
+    /// # Errors
+    ///
+    /// The terminal [`LegalizeError`] of the run.
+    pub fn try_run_eco(&self, design: &Design) -> Result<(Design, LegalizeStats), LegalizeError> {
+        self.run_eco(design)
     }
 
     /// Runs only the two post-processing stages on an already-legal design
@@ -327,6 +307,169 @@ impl Legalizer {
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
+    }
+}
+
+/// A resident incremental-legalization session: the interactive-service
+/// counterpart of the one-shot [`Legalizer::run_eco`].
+///
+/// The session owns the evolving base placement. Each [`Self::apply_delta`]
+/// re-targets a handful of cells (new GP homes, positions vacated) and
+/// re-legalizes with [`LegalizerConfig::eco_delta`] forced on, so MGL only
+/// inserts the delta cells and the post stages confine themselves to the
+/// transitive dirty-window closure ([`crate::dirty`]). The result is
+/// committed as the next base, ready for the next delta.
+///
+/// Determinism contract: a delta's output (positions, stats rows, replay
+/// log, audit certificate) is byte-identical to a from-scratch
+/// [`Legalizer::run_eco`] on the same mutated design under the same
+/// configuration, at any thread count — pinned by the `eco_parity` suite.
+/// Each delta's end-to-end wall time lands in the `eco.delta_nanos`
+/// histogram of the returned stats (observability stratum, never golden).
+pub struct EcoSession {
+    design: Design,
+    config: LegalizerConfig,
+    cert: mcl_audit::BandCert,
+}
+
+impl EcoSession {
+    /// Opens a session over a legal base placement. `eco_delta` is forced
+    /// on; every other knob of `config` is honored as-is.
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::SeedRejected`] when the base positions are not
+    /// adoptable (the base must be legal).
+    pub fn open(design: Design, mut config: LegalizerConfig) -> Result<Self, LegalizeError> {
+        config.eco_delta = true;
+        // Reject an illegal base now, not on the first delta.
+        PlacementState::from_design_positions(&design).map_err(|(cell, e)| {
+            LegalizeError::SeedRejected {
+                cell: Some(cell.0),
+                message: e.to_string(),
+            }
+        })?;
+        let cert = mcl_audit::BandCert::build(&design);
+        Ok(Self {
+            design,
+            config,
+            cert,
+        })
+    }
+
+    /// The current base placement (updated after every successful delta).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// Deterministic synthetic delta for demos, benches and parity tests:
+    /// picks `n` distinct movable cells by a seeded xorshift walk and
+    /// re-targets each a few sites/rows away from its GP home (clamped to
+    /// the core). Same `(design, n, seed)` → same moves, everywhere.
+    pub fn synthesize_delta(design: &Design, n: usize, seed: u64) -> Vec<(CellId, Point)> {
+        let movable: Vec<CellId> = design.movable_cells().collect();
+        if movable.is_empty() {
+            return Vec::new();
+        }
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let sw = design.tech.site_width.max(1);
+        let rh = design.tech.row_height.max(1);
+        let mut taken = vec![false; movable.len()];
+        let mut moves = Vec::with_capacity(n.min(movable.len()));
+        while moves.len() < n.min(movable.len()) {
+            let i = (rng() % movable.len() as u64) as usize;
+            if taken[i] {
+                continue;
+            }
+            taken[i] = true;
+            let cell = movable[i];
+            let gp = design.cells[cell.0 as usize].gp;
+            let dx = ((rng() % 17) as Dbu - 8) * sw;
+            let dy = ((rng() % 5) as Dbu - 2) * rh;
+            let target = Point::new(
+                (gp.x + dx).clamp(design.core.xl, design.core.xh),
+                (gp.y + dy).clamp(design.core.yl, design.core.yh),
+            );
+            moves.push((cell, target));
+        }
+        moves
+    }
+
+    /// The session configuration (with `eco_delta` on).
+    pub fn config(&self) -> &LegalizerConfig {
+        &self.config
+    }
+
+    /// The session's rolling legality certificate: re-certified band-wise
+    /// after each delta (only the rows the delta touched are re-swept), and
+    /// byte-identical to a from-scratch `mcl_audit::verify` of
+    /// [`Self::design`] at all times.
+    pub fn certificate(&self) -> &mcl_audit::BandCert {
+        &self.cert
+    }
+
+    /// Applies one ECO delta: each `(cell, gp)` move re-targets the cell's
+    /// global-placement home and vacates its current position, then the
+    /// whole delta re-legalizes through the dirty-window pipeline. On
+    /// success the result becomes the session's new base; on error the
+    /// base is left exactly as it was (the delta is atomic).
+    ///
+    /// # Errors
+    ///
+    /// [`LegalizeError::SeedRejected`] for a move naming an out-of-range
+    /// or fixed cell, otherwise the classed error of the underlying run
+    /// (see [`Legalizer::run_eco`]).
+    pub fn apply_delta(
+        &mut self,
+        moves: &[(CellId, Point)],
+    ) -> Result<(LegalizeStats, mcl_audit::ReplayLog), LegalizeError> {
+        let sw = mcl_obs::clock::Stopwatch::start();
+        for &(cell, _) in moves {
+            let bad = |message: String| LegalizeError::SeedRejected {
+                cell: Some(cell.0),
+                message,
+            };
+            match self.design.cells.get(cell.0 as usize) {
+                None => return Err(bad(format!("delta names nonexistent cell {}", cell.0))),
+                Some(c) if c.fixed => {
+                    return Err(bad(format!("delta moves fixed cell `{}`", c.name)));
+                }
+                Some(_) => {}
+            }
+        }
+        let mut candidate = self.design.clone();
+        for &(cell, gp) in moves {
+            let c = &mut candidate.cells[cell.0 as usize];
+            c.gp = gp;
+            c.pos = None;
+        }
+        let (out, mut stats, log) =
+            Legalizer::new(self.config.clone()).run_eco_with_replay(&candidate)?;
+        // Re-certify only the bands the delta touched: dirty = every cell
+        // whose committed pos/orient differs from the previous base (the
+        // moved cells are covered — a move that lands exactly back home is
+        // audit-neutral and legitimately clean).
+        let changed: Vec<CellId> = self
+            .design
+            .cells
+            .iter()
+            .zip(out.cells.iter())
+            .enumerate()
+            .filter(|(_, (old, new))| old.pos != new.pos || old.orient != new.orient)
+            .map(|(i, _)| CellId(i as u32))
+            .collect();
+        self.cert.splice(&out, &changed);
+        self.design = out;
+        stats
+            .obs
+            .observe(mcl_obs::HistoKind::EcoDeltaNanos, sw.elapsed_nanos());
+        Ok((stats, log))
     }
 }
 

@@ -18,6 +18,7 @@
 
 pub mod config;
 pub mod curve;
+pub mod dirty;
 pub mod engine;
 pub mod error;
 pub mod faultinject;
@@ -37,10 +38,11 @@ pub mod state;
 pub mod winindex;
 
 pub use config::{CellOrder, DisplacementReference, LegalizerConfig, WeightMode};
+pub use dirty::DirtyClosure;
 pub use engine::{BatchSeedError, Engine, EngineDiag};
 pub use error::{Degradation, FailureClass, FailureRecord, LegalizeError};
 pub use faultinject::{FaultPlan, FaultSite};
-pub use legalizer::{LegalizeStats, Legalizer};
+pub use legalizer::{EcoSession, LegalizeStats, Legalizer};
 pub use pipeline::{Stage, StageStats, StageTiming};
 pub use report::build_run_report;
 pub use spatial::{HierGrid, ItemId};

@@ -57,15 +57,21 @@ struct GroupJob {
 /// Runs the matching-based maximum-displacement optimization in place.
 pub fn optimize_max_disp(state: &mut PlacementState<'_>, config: &LegalizerConfig) -> MaxDispStats {
     let mut obs = Meter::new();
-    optimize_max_disp_metered(state, config, &mut obs)
+    optimize_max_disp_metered(state, config, &mut obs, None)
 }
 
 /// [`optimize_max_disp`] that records group spans, matching counters and
 /// the group-size histogram into `obs`.
+///
+/// With `delta` set (ECO delta mode), grouping is restricted to closure
+/// members: clean groups are never visited and clean cells of a dirty
+/// group keep their positions — the matching permutes dirty-closure cells
+/// only, so everything outside the closure is untouched by construction.
 pub fn optimize_max_disp_metered(
     state: &mut PlacementState<'_>,
     config: &LegalizerConfig,
     obs: &mut Meter,
+    delta: Option<&crate::dirty::DirtyClosure>,
 ) -> MaxDispStats {
     let d = state.design();
     let delta0 = config.delta0_dbu(d.tech.row_height);
@@ -77,10 +83,24 @@ pub fn optimize_max_disp_metered(
     // analyzer's det-hash-iter rule: this loop is reachable from
     // `MaxDispStage::run`).
     let mut groups: BTreeMap<(u32, u16), Vec<CellId>> = BTreeMap::new();
-    for id in d.movable_cells() {
-        if state.pos(id).is_some() {
-            let c = &d.cells[id.0 as usize];
-            groups.entry((c.type_id.0, c.fence.0)).or_default().push(id);
+    match delta {
+        // Delta mode: only dirty-closure members participate (the closure
+        // is in ascending id order, same as `movable_cells`).
+        Some(dc) => {
+            for &id in dc.cells() {
+                if state.pos(id).is_some() {
+                    let c = &d.cells[id.0 as usize];
+                    groups.entry((c.type_id.0, c.fence.0)).or_default().push(id);
+                }
+            }
+        }
+        None => {
+            for id in d.movable_cells() {
+                if state.pos(id).is_some() {
+                    let c = &d.cells[id.0 as usize];
+                    groups.entry((c.type_id.0, c.fence.0)).or_default().push(id);
+                }
+            }
         }
     }
 

@@ -438,7 +438,141 @@ pub fn fallback_scan(
     let mut down: i64 = raw.min(rows_total as i64 - 1);
     let mut up: usize = if down < 0 { 0 } else { down as usize + 1 };
 
+    // For multi-row cells every candidate is re-checked on the upper rows
+    // via a placement probe. Conflicting occupants are located by binary
+    // search on the SoA x column instead of filtering the whole row.
+    let candidate_ok = |base_row: usize, x: Dbu| -> bool {
+        if h > 1 {
+            let span = Interval::new(x, x + w);
+            for r in base_row..base_row + h {
+                let Some(si) = state.find_covering_segment(r, c.fence, span) else {
+                    return false;
+                };
+                if !state
+                    .occupants_overlapping(si, x - pad, x + w + pad)
+                    .is_empty()
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+
     let mut best: Option<(i64, Point)> = None;
+    // Upper-bound seed (pruning only): probe a handful of gaps around the
+    // GP x in each row outward until any feasible candidate turns up, and
+    // enter it as a pseudo-incumbent at `cost + 1`. Every bound below
+    // compares strictly, so the seed prunes strictly-greater costs while
+    // keeping ties admissible, and the canonical walk revisits the probe
+    // candidate itself — the returned point is the exact candidate the
+    // unseeded walk would pick, but every row walk is bounded from the
+    // start instead of only after the first organically-found incumbent.
+    {
+        const PROBE_GAPS: usize = 3;
+        const PROBE_BUDGET: usize = 96;
+        let mut budget = PROBE_BUDGET;
+        let mut pdown = down;
+        let mut pup = up;
+        'probe: loop {
+            let base_row = match (pdown >= 0, pup < rows_total) {
+                (false, false) => break,
+                (true, false) => {
+                    let r = pdown as usize;
+                    pdown -= 1;
+                    r
+                }
+                (false, true) => {
+                    let r = pup;
+                    pup += 1;
+                    r
+                }
+                (true, true) => {
+                    let yd = (d.row_y(pdown as usize) - c.gp.y).abs();
+                    let yu = (d.row_y(pup) - c.gp.y).abs();
+                    if yd <= yu {
+                        let r = pdown as usize;
+                        pdown -= 1;
+                        r
+                    } else {
+                        let r = pup;
+                        pup += 1;
+                        r
+                    }
+                }
+            };
+            if let Some(par) = ct.rail_parity {
+                if !par.matches(base_row) {
+                    continue;
+                }
+            }
+            if let Some(o) = oracle {
+                if !o.h_rails_ok(c.type_id, base_row) {
+                    continue;
+                }
+            }
+            let y = d.row_y(base_row);
+            let y_cost = (y - c.gp.y).abs();
+            let segmap = state.segments();
+            for &s0 in segmap.in_row(base_row) {
+                let seg = &segmap.segments()[s0];
+                if seg.fence != c.fence || seg.x.len() < w {
+                    continue;
+                }
+                let soa = state.soa();
+                let occupants = state.cells_in_segment(s0);
+                // Jump straight to the gap straddling the GP x; the gap
+                // edge bookkeeping mirrors the canonical walk below so a
+                // probe hit is byte-for-byte one of its candidates.
+                let mut idx =
+                    occupants.partition_point(|&o| soa.pos(o).is_some_and(|p| p.x < c.gp.x));
+                let mut gap_lo = seg.x.lo;
+                for j in (0..idx).rev() {
+                    if soa.pos(occupants[j]).is_some() {
+                        gap_lo = soa.end_x(occupants[j]);
+                        break;
+                    }
+                }
+                for _ in 0..PROBE_GAPS {
+                    if budget == 0 {
+                        break 'probe;
+                    }
+                    budget -= 1;
+                    let gap_hi = if idx < occupants.len() {
+                        soa.pos(occupants[idx]).map_or(seg.x.hi, |p| p.x)
+                    } else {
+                        seg.x.hi
+                    };
+                    let lo = snap_up(if gap_lo > seg.x.lo {
+                        gap_lo + pad
+                    } else {
+                        gap_lo
+                    });
+                    let hi = snap_down(if gap_hi < seg.x.hi {
+                        gap_hi - pad
+                    } else {
+                        gap_hi
+                    }) - w;
+                    if hi >= lo {
+                        let x = c.gp.x.clamp(lo, hi);
+                        let x = snap_up(x).min(hi).max(lo);
+                        if candidate_ok(base_row, x) {
+                            let cost = (x - c.gp.x).abs() + y_cost;
+                            best = Some((cost + 1, Point::new(x, y)));
+                            break 'probe;
+                        }
+                    }
+                    if idx >= occupants.len() {
+                        break;
+                    }
+                    gap_lo = soa
+                        .pos(occupants[idx])
+                        .map_or(gap_lo, |_| soa.end_x(occupants[idx]));
+                    idx += 1;
+                }
+            }
+        }
+    }
     loop {
         let base_row = match (down >= 0, up < rows_total) {
             (false, false) => break,
@@ -563,27 +697,7 @@ pub fn fallback_scan(
                     let x = c.gp.x.clamp(lo, hi);
                     let x = snap_up(x).min(hi).max(lo);
                     let cost = (x - c.gp.x).abs() + y_cost;
-                    let candidate_ok = |x: Dbu| -> bool {
-                        // Probe upper rows for multi-row cells. Conflicting
-                        // occupants are located by binary search on the SoA
-                        // x column instead of filtering the whole row.
-                        if h > 1 {
-                            let span = Interval::new(x, x + w);
-                            for r in base_row..base_row + h {
-                                let Some(si) = state.find_covering_segment(r, c.fence, span) else {
-                                    return false;
-                                };
-                                if !state
-                                    .occupants_overlapping(si, x - pad, x + w + pad)
-                                    .is_empty()
-                                {
-                                    return false;
-                                }
-                            }
-                        }
-                        true
-                    };
-                    if candidate_ok(x) && best.map(|(bc, _)| cost < bc).unwrap_or(true) {
+                    if candidate_ok(base_row, x) && best.map(|(bc, _)| cost < bc).unwrap_or(true) {
                         best = Some((cost, Point::new(x, y)));
                     }
                 }

@@ -25,6 +25,7 @@
 //! 6. run the clean-room audit (`debug_assertions` / `audit` feature).
 
 use crate::config::LegalizerConfig;
+use crate::dirty::DirtyClosure;
 use crate::error::{panic_message, Degradation, FailureClass, LegalizeError};
 use crate::faultinject::FaultSite;
 use crate::fixed_order::optimize_fixed_order_metered;
@@ -36,7 +37,7 @@ use crate::routability::RoutOracle;
 use crate::scheduler::{drive_rounds, try_run_parallel, PoolClient};
 use crate::state::PlacementState;
 use mcl_db::prelude::*;
-use mcl_obs::{clock::Stopwatch, HistoKind, Meter, SpanKind};
+use mcl_obs::{clock::Stopwatch, CounterKind, HistoKind, Meter, SpanKind};
 use std::panic::AssertUnwindSafe;
 
 /// Statistics returned by one stage, folded into [`LegalizeStats`] by the
@@ -104,6 +105,10 @@ pub struct PipelineCtx<'run, 'd: 'p, 'p> {
     /// Set by the driver when the deadline ladder demands the serial MGL
     /// rung: the MGL stage must not fan out (no replicas, no pool rounds).
     pub force_serial: bool,
+    /// ECO delta closure, computed once by the driver before the first
+    /// post stage when `config.eco_delta` is on and the state tracks a
+    /// dirty epoch. Post stages restrict themselves to its members.
+    pub delta: Option<&'run DirtyClosure>,
 }
 
 /// One stage of the flow. Implementations are stateless unit structs; all
@@ -215,7 +220,7 @@ impl Stage for MaxDispStage {
     }
     fn run(&self, ctx: &mut PipelineCtx<'_, '_, '_>) -> Result<StageStats, LegalizeError> {
         Ok(StageStats::MaxDisp(optimize_max_disp_metered(
-            ctx.state, ctx.config, ctx.obs,
+            ctx.state, ctx.config, ctx.obs, ctx.delta,
         )))
     }
 }
@@ -243,6 +248,7 @@ impl Stage for FixedOrderStage {
             ctx.weights,
             ctx.oracle,
             ctx.obs,
+            ctx.delta,
         )))
     }
 }
@@ -397,6 +403,7 @@ fn run_stage_guarded<'d: 'p, 'p>(
     exec: MglExec<'_, 'p>,
     scratch: &mut InsertionScratch,
     force_serial: bool,
+    delta: Option<&DirtyClosure>,
 ) -> Result<StageStats, LegalizeError> {
     let name = stage.name();
     let alloc_site = FaultSite::StageAlloc { stage: name };
@@ -421,6 +428,7 @@ fn run_stage_guarded<'d: 'p, 'p>(
             exec,
             scratch: &mut *scratch,
             force_serial,
+            delta,
         };
         stage.run(&mut ctx)
     }));
@@ -494,11 +502,37 @@ pub fn run_stages<'d: 'p, 'p>(
 ) -> Result<LegalizeStats, LegalizeError> {
     let mut stats = LegalizeStats::default();
     let run_sw = Stopwatch::start();
+    // Delta-first ECO: frozen transitive closure of everything mutated
+    // since adoption (computed lazily before the first post stage, after
+    // MGL has placed the delta cells). Stage 2 only permutes closure
+    // members among their own positions, so the closure stays a fixed
+    // point across both post stages and one computation serves both.
+    let mut delta: Option<DirtyClosure> = None;
     for stage in stages {
         if !stage.enabled(config) {
             continue;
         }
         let name = stage.name();
+        if name != "mgl" && config.eco_delta && state.dirty_tracking() && delta.is_none() {
+            let dc = crate::dirty::compute(state);
+            stats
+                .obs
+                .add(CounterKind::EcoWindowsDirty, dc.windows().len() as u64);
+            let placed = design
+                .movable_cells()
+                .filter(|&c| state.pos(c).is_some())
+                .count();
+            let in_closure_placed = dc
+                .cells()
+                .iter()
+                .filter(|&&c| state.pos(c).is_some())
+                .count();
+            stats.obs.add(
+                CounterKind::EcoCellsReused,
+                placed.saturating_sub(in_closure_placed) as u64,
+            );
+            delta = Some(dc);
+        }
         // Deadline at the stage boundary: wall-clock budget already spent by
         // earlier stages, or an injected deadline expiry.
         let deadline_site = FaultSite::StageDeadline { stage: name };
@@ -545,6 +579,7 @@ pub fn run_stages<'d: 'p, 'p>(
             exec,
             scratch,
             force_serial,
+            delta.as_ref(),
         );
         let folded = match first {
             Ok(s) => s,
@@ -587,6 +622,7 @@ pub fn run_stages<'d: 'p, 'p>(
                         exec,
                         scratch,
                         true,
+                        delta.as_ref(),
                     ) {
                         Ok(s) => {
                             stats.degradations.push(Degradation {

@@ -61,6 +61,10 @@ pub struct CellSoA {
     height_rows: Vec<u32>,
     fence: Vec<FenceId>,
     edge_class: Vec<(u8, u8)>,
+    /// Epoch stamp of the last mutation touching the cell; `0` = never.
+    /// Compared against [`PlacementState`]'s current epoch to answer
+    /// "did this cell move since the delta began" without a scan.
+    dirty_epoch: Vec<u64>,
 }
 
 impl CellSoA {
@@ -86,7 +90,14 @@ impl CellSoA {
             height_rows,
             fence,
             edge_class,
+            dirty_epoch: vec![0; n],
         }
+    }
+
+    /// Epoch stamp of the cell's last mutation (`0` = never mutated).
+    #[inline]
+    pub fn dirty_epoch(&self, cell: CellId) -> u64 {
+        self.dirty_epoch[cell.0 as usize]
     }
 
     /// Number of cells.
@@ -181,6 +192,17 @@ pub struct PlacementState<'d> {
     /// determinism auditor (`mcl_audit::replay`).
     #[cfg(feature = "replay-log")]
     replay: mcl_audit::ReplayLog,
+    /// Current dirty epoch (compared against `CellSoA::dirty_epoch`).
+    epoch: u64,
+    /// When set, every committed mutation stamps the cell's dirty epoch
+    /// and records the cell (with the rect it vacated, if any) in
+    /// `dirty`. Off for batch runs — dirty bookkeeping only pays for
+    /// itself on the ECO path, where the delta closure consumes it.
+    track_dirty: bool,
+    /// Cells touched this epoch, in first-touch order, each with the rect
+    /// the cell occupied *before* its first mutation of the epoch (`None`
+    /// if it was unplaced). The current rect is read from the SoA.
+    dirty: Vec<(CellId, Option<Rect>)>,
 }
 
 impl<'d> PlacementState<'d> {
@@ -210,6 +232,9 @@ impl<'d> PlacementState<'d> {
             soa: CellSoA::from_design(design),
             #[cfg(feature = "replay-log")]
             replay: mcl_audit::ReplayLog::new(),
+            epoch: 1,
+            track_dirty: false,
+            dirty: Vec::new(),
         }
     }
 
@@ -226,7 +251,68 @@ impl<'d> PlacementState<'d> {
                 s.place(id, p).map_err(|e| (id, e))?;
             }
         }
+        // Adoption is the baseline, not a delta: start dirty tracking
+        // *after* it so only post-adoption mutations count as dirty.
+        s.begin_epoch();
         Ok(s)
+    }
+
+    /// Starts a fresh dirty epoch (enabling dirty tracking): the dirty set
+    /// empties and subsequent mutations stamp cells with the new epoch.
+    pub fn begin_epoch(&mut self) {
+        self.epoch += 1;
+        self.track_dirty = true;
+        self.dirty.clear();
+    }
+
+    /// The current dirty epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether dirty tracking is on (a [`Self::begin_epoch`] happened).
+    pub fn dirty_tracking(&self) -> bool {
+        self.track_dirty
+    }
+
+    /// Cells mutated since [`Self::begin_epoch`], in first-touch order,
+    /// each with the rect it occupied before its first mutation of the
+    /// epoch (`None` if it was unplaced). Empty unless tracking is on.
+    pub fn dirty_cells(&self) -> &[(CellId, Option<Rect>)] {
+        &self.dirty
+    }
+
+    /// Whether `cell` was mutated in the current epoch.
+    #[inline]
+    pub fn is_dirty(&self, cell: CellId) -> bool {
+        self.soa.dirty_epoch(cell) == self.epoch
+    }
+
+    /// The rect currently occupied by a placed cell (`None` if unplaced).
+    pub fn cell_rect(&self, cell: CellId) -> Option<Rect> {
+        self.soa.pos(cell).map(|p| {
+            Rect::new(
+                p.x,
+                p.y,
+                p.x + self.soa.width(cell),
+                p.y + self.soa.height_rows(cell) as Dbu * self.design.tech.row_height,
+            )
+        })
+    }
+
+    /// Stamps `cell` dirty, recording its pre-mutation rect on first
+    /// touch. Must run *before* the mutation commits.
+    #[inline]
+    fn mark_dirty(&mut self, cell: CellId) {
+        if !self.track_dirty {
+            return;
+        }
+        let i = cell.0 as usize;
+        if self.soa.dirty_epoch[i] != self.epoch {
+            self.soa.dirty_epoch[i] = self.epoch;
+            let origin = self.cell_rect(cell);
+            self.dirty.push((cell, origin));
+        }
     }
 
     /// The underlying design.
@@ -327,6 +413,7 @@ impl<'d> PlacementState<'d> {
             segs.push(seg_idx);
         }
         // Commit.
+        self.mark_dirty(cell);
         self.soa.set_pos(cell, p);
         for seg_idx in segs {
             let idx = self.insert_index(&self.seg_cells[seg_idx], p.x);
@@ -353,6 +440,7 @@ impl<'d> PlacementState<'d> {
                 .expect("placed cell must have segments");
             self.seg_cells[seg_idx].retain(|&x| x != cell);
         }
+        self.mark_dirty(cell);
         self.soa.clear_pos(cell);
         #[cfg(feature = "replay-log")]
         self.replay.record_remove(cell);
@@ -365,6 +453,7 @@ impl<'d> PlacementState<'d> {
     pub fn shift_x(&mut self, cell: CellId, new_x: Dbu) {
         let p = self.soa.pos(cell).expect("cell not placed");
         debug_assert!(self.shift_is_order_preserving(cell, new_x));
+        self.mark_dirty(cell);
         self.soa.set_pos(cell, Point::new(new_x, p.y));
         #[cfg(feature = "replay-log")]
         self.replay.record_shift_x(cell, new_x);

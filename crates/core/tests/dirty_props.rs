@@ -1,0 +1,150 @@
+//! Property suite for the transitive dirty-window closure (ECO deltas).
+//!
+//! The delta pipeline's safety argument rests on one geometric invariant:
+//! the closure computed by [`mcl_core::dirty::compute`] is a *fixed point*.
+//! Every mutated cell is a member, every placed cell overlapping any
+//! scanned window is a member, and re-running the closure seeded with its
+//! own members discovers nothing new. A hole in any of these would let a
+//! delta-restricted post stage move a cell whose neighbors were never
+//! re-examined.
+//!
+//! The base placement is a collision-free slot grid; mutations relocate a
+//! random subset of cells to a disjoint slot pool, so every generated
+//! sequence is legal by construction and the properties run on thousands
+//! of distinct dirty patterns.
+
+use mcl_core::dirty::{compute, compute_from_seeds};
+use mcl_core::PlacementState;
+use mcl_db::prelude::*;
+use proptest::prelude::*;
+
+/// 10 rows, two cell heights, everything placed on a sparse slot grid:
+/// 30 single-row cells on rows 0..4 and 6 double-row cells on row 4.
+fn slotted_design() -> Design {
+    let mut d = Design::new("dp", Technology::example(), Rect::new(0, 0, 4000, 900));
+    d.add_cell_type(CellType::new("s", 20, 1));
+    d.add_cell_type(CellType::new("d", 30, 2));
+    for i in 0..30usize {
+        let mut c = Cell::new(format!("s{i}"), CellTypeId(0), Point::new(0, 0));
+        c.pos = Some(Point::new((i / 4) as Dbu * 200, (i % 4) as Dbu * 90));
+        d.add_cell(c);
+    }
+    for i in 0..6usize {
+        let mut c = Cell::new(format!("d{i}"), CellTypeId(1), Point::new(0, 0));
+        c.pos = Some(Point::new(i as Dbu * 300, 4 * 90));
+        d.add_cell(c);
+    }
+    d
+}
+
+/// The target slot pool: unique x per slot (so any two targets are
+/// disjoint), rows 6..10 for singles and even rows for doubles.
+fn slot_target(slot: usize, two_rows: bool) -> Point {
+    let x = 2000 + slot as Dbu * 80;
+    let row = if two_rows {
+        6 + (slot % 2) * 2
+    } else {
+        6 + slot % 4
+    };
+    Point::new(x, row as Dbu * 90)
+}
+
+/// The placed rect of a cell, straight from the state.
+fn rect_of(s: &PlacementState<'_>, c: CellId) -> Option<Rect> {
+    s.cell_rect(c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every mutated cell is in the closure, and the closure is *sound*
+    /// against a naive scan: any placed cell whose rect strictly overlaps
+    /// any scanned window is a member.
+    #[test]
+    fn closure_covers_dirty_cells_and_window_occupants(
+        raw_moves in prop::collection::vec((0usize..36, 0usize..24), 1..10)
+    ) {
+        let d = slotted_design();
+        let mut s = PlacementState::from_design_positions(&d).unwrap();
+        let mut used_cells = [false; 36];
+        let mut used_slots = [false; 24];
+        let mut moved = Vec::new();
+        for (cell, slot) in raw_moves {
+            if used_cells[cell] || used_slots[slot] {
+                continue;
+            }
+            used_cells[cell] = true;
+            used_slots[slot] = true;
+            let id = CellId(cell as u32);
+            s.remove(id);
+            s.place(id, slot_target(slot, cell >= 30)).unwrap();
+            moved.push(id);
+        }
+        let c = compute(&s);
+        for &id in &moved {
+            prop_assert!(c.contains(id), "moved cell {} missing from closure", id.0);
+        }
+        for i in 0..36u32 {
+            let id = CellId(i);
+            let Some(r) = rect_of(&s, id) else { continue };
+            let hit = c.windows().iter().any(|w| {
+                r.xl < w.xh && r.xh > w.xl && r.yl < w.yh && r.yh > w.yl
+            });
+            if hit {
+                prop_assert!(
+                    c.contains(id),
+                    "cell {i} overlaps a scanned window but is not a member"
+                );
+            }
+        }
+    }
+
+    /// The closure is a fixed point: re-seeding the computation with its
+    /// own members (current rects only) discovers exactly the same set.
+    #[test]
+    fn closure_is_a_fixed_point(
+        raw_moves in prop::collection::vec((0usize..36, 0usize..24), 1..10)
+    ) {
+        let d = slotted_design();
+        let mut s = PlacementState::from_design_positions(&d).unwrap();
+        let mut used_cells = [false; 36];
+        let mut used_slots = [false; 24];
+        for (cell, slot) in raw_moves {
+            if used_cells[cell] || used_slots[slot] {
+                continue;
+            }
+            used_cells[cell] = true;
+            used_slots[slot] = true;
+            let id = CellId(cell as u32);
+            s.remove(id);
+            s.place(id, slot_target(slot, cell >= 30)).unwrap();
+        }
+        let c = compute(&s);
+        let reseed: Vec<(CellId, Option<Rect>)> =
+            c.cells().iter().map(|&id| (id, None)).collect();
+        let c2 = compute_from_seeds(&s, &reseed);
+        prop_assert_eq!(
+            c.cells(), c2.cells(),
+            "re-running the closure on its own members changed the set"
+        );
+    }
+
+    /// Cells far outside every halo stay clean: a closure never floods the
+    /// whole design when the dirty region is contained.
+    #[test]
+    fn distant_cells_stay_clean(slot in 0usize..24) {
+        let d = slotted_design();
+        let mut s = PlacementState::from_design_positions(&d).unwrap();
+        // Move exactly one single-row cell into the empty target area.
+        s.remove(CellId(0));
+        s.place(CellId(0), slot_target(slot, false)).unwrap();
+        let c = compute(&s);
+        // The slot grid is 200 dbu apart and the target pool 80 dbu with
+        // one cell placed: the closure must stay a small local set, and in
+        // particular cells in distant columns must stay clean.
+        prop_assert!(c.contains(CellId(0)));
+        let far = CellId(29); // x = 1400, far from both column 0 and the pool
+        prop_assert!(!c.contains(far), "distant cell joined the closure");
+        prop_assert!(c.len() < 36, "closure flooded the whole design");
+    }
+}

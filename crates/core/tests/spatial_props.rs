@@ -101,8 +101,8 @@ fn grid_range(grid: &mut HierGrid, ids: &[ItemId], probe: Rect, key: Option<u64>
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
-    // Range queries agree with the naive scan for every probe, with and
-    // without fence-key filtering, across band counts.
+    /// Range queries agree with the naive scan for every probe, with and
+    /// without fence-key filtering, across band counts.
     #[test]
     fn range_query_matches_naive(
         entries in prop::collection::vec(arb_entry(), 1..120),
@@ -133,8 +133,8 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
-    // Nearest queries agree with the naive argmin — distance AND identity
-    // (ties break to the lowest id on both sides).
+    /// Nearest queries agree with the naive argmin — distance AND identity
+    /// (ties break to the lowest id on both sides).
     #[test]
     fn nearest_matches_naive(
         entries in prop::collection::vec(arb_entry(), 1..80),
@@ -162,9 +162,9 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
-    // Incremental insert/remove stream: after every operation the grid
-    // returns exactly the live set — no stale hit after a removal, no
-    // missing hit for a live rect, and re-removal stays a no-op.
+    /// Incremental insert/remove stream: after every operation the grid
+    /// returns exactly the live set — no stale hit after a removal, no
+    /// missing hit for a live rect, and re-removal stays a no-op.
     #[test]
     fn incremental_insert_remove_never_stale(
         entries in prop::collection::vec(arb_entry(), 4..60),
@@ -219,8 +219,8 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
-    // Degenerate (zero-area) rects index cleanly and overlap nothing, in
-    // either role (stored or probe) — exactly like the naive predicate.
+    /// Degenerate (zero-area) rects index cleanly and overlap nothing, in
+    /// either role (stored or probe) — exactly like the naive predicate.
     #[test]
     fn degenerate_rects_overlap_nothing(
         x in 0i64..3000, y in 0i64..1800,

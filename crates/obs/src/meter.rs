@@ -139,11 +139,16 @@ pub enum CounterKind {
     /// the scheduler's racing, so the value varies run to run — like wall
     /// times, it is observability, never golden.
     CrossDesignSteals,
+    /// Dirty windows scanned by the ECO delta closure.
+    EcoWindowsDirty,
+    /// Placed movable cells outside the dirty closure, whose placement
+    /// (and cached displacement curves) the delta run reused untouched.
+    EcoCellsReused,
 }
 
 impl CounterKind {
     /// Every kind, in report order.
-    pub const ALL: [CounterKind; 12] = [
+    pub const ALL: [CounterKind; 14] = [
         CounterKind::WindowsEvaluated,
         CounterKind::WindowsExpanded,
         CounterKind::FallbackScans,
@@ -156,6 +161,8 @@ impl CounterKind {
         CounterKind::SspAugmentations,
         CounterKind::SimplexPivots,
         CounterKind::CrossDesignSteals,
+        CounterKind::EcoWindowsDirty,
+        CounterKind::EcoCellsReused,
     ];
     /// Number of kinds.
     pub const COUNT: usize = Self::ALL.len();
@@ -176,6 +183,8 @@ impl CounterKind {
             CounterKind::SspAugmentations => "flow.ssp_augmentations",
             CounterKind::SimplexPivots => "flow.simplex_pivots",
             CounterKind::CrossDesignSteals => "sched.cross_design_steals",
+            CounterKind::EcoWindowsDirty => "eco.windows_dirty",
+            CounterKind::EcoCellsReused => "eco.cells_reused",
         }
     }
 }
@@ -198,17 +207,21 @@ pub enum HistoKind {
     /// evaluated by pool workers, nanoseconds. One observation per pooled
     /// round, so batch schedulers can see per-design queue pressure.
     SchedQueueWaitNanos,
+    /// End-to-end latency of one ECO delta (`EcoSession::apply_delta`),
+    /// nanoseconds. Wall time: observability, never golden.
+    EcoDeltaNanos,
 }
 
 impl HistoKind {
     /// Every kind, in report order.
-    pub const ALL: [HistoKind; 6] = [
+    pub const ALL: [HistoKind; 7] = [
         HistoKind::DispSitesMgl,
         HistoKind::DispSitesMaxDisp,
         HistoKind::DispSitesFixedOrder,
         HistoKind::InsertionEvalNanos,
         HistoKind::MatchingGroupCells,
         HistoKind::SchedQueueWaitNanos,
+        HistoKind::EcoDeltaNanos,
     ];
     /// Number of kinds.
     pub const COUNT: usize = Self::ALL.len();
@@ -223,6 +236,7 @@ impl HistoKind {
             HistoKind::InsertionEvalNanos => "mgl.insertion_eval_nanos",
             HistoKind::MatchingGroupCells => "maxdisp.group_cells",
             HistoKind::SchedQueueWaitNanos => "mgl.queue_wait_nanos",
+            HistoKind::EcoDeltaNanos => "eco.delta_nanos",
         }
     }
 }

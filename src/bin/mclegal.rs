@@ -30,7 +30,7 @@
 use mclegal::baselines;
 use mclegal::core::pipeline::{self, Stage};
 use mclegal::core::{
-    CellOrder, DisplacementReference, Engine, LegalizeError, Legalizer, LegalizerConfig,
+    CellOrder, DisplacementReference, EcoSession, Engine, LegalizeError, Legalizer, LegalizerConfig,
 };
 use mclegal::db::prelude::*;
 use mclegal::gen::{self, presets};
@@ -150,6 +150,11 @@ COMMANDS
                                 (skipping mgl adopts the input placement)
              --baseline tetris|abacus|lcp   run a baseline instead
              --eco true            incremental: keep pre-placed cells
+             --eco-delta N[:SEED]  after legalizing, open a resident ECO
+                                session over the result and push one
+                                synthetic N-cell delta through the
+                                dirty-window pipeline, printing the delta
+                                latency and reuse telemetry
              --report true      print the structured run-report summary
              --report-json <file>   write the full run report as JSON
              --report-dir <dir>   batch: write per-design run reports there
@@ -364,6 +369,41 @@ fn eco_flag(flags: &Flags) -> bool {
         .unwrap_or(false)
 }
 
+/// `--eco-delta N[:SEED]`: opens a resident [`EcoSession`] over the fresh
+/// result and pushes one synthetic N-cell delta through the dirty-window
+/// pipeline, printing the delta latency and reuse telemetry.
+fn run_eco_delta(placed: &Design, cfg: LegalizerConfig, spec: &str) -> Result<(), CliError> {
+    let (n_str, seed_str) = match spec.split_once(':') {
+        Some((a, b)) => (a, Some(b)),
+        None => (spec, None),
+    };
+    let n: usize = n_str
+        .parse()
+        .map_err(|_| CliError::Usage(format!("--eco-delta: cannot parse delta size {n_str:?}")))?;
+    let seed: u64 = match seed_str {
+        None => 1,
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--eco-delta: cannot parse seed {s:?}")))?,
+    };
+    let moves = EcoSession::synthesize_delta(placed, n, seed);
+    let mut session = EcoSession::open(placed.clone(), cfg).map_err(|e| legalize_error(&e))?;
+    let t = mclegal::obs::clock::Stopwatch::start();
+    let (stats, _log) = session
+        .apply_delta(&moves)
+        .map_err(|e| legalize_error(&e))?;
+    println!(
+        "eco-delta: {} cells re-legalized in {:.2}ms (windows dirty {}, cells reused {})",
+        moves.len(),
+        t.elapsed_seconds() * 1e3,
+        stats
+            .obs
+            .counter(mclegal::obs::CounterKind::EcoWindowsDirty),
+        stats.obs.counter(mclegal::obs::CounterKind::EcoCellsReused),
+    );
+    Ok(())
+}
+
 fn cmd_legalize(flags: &Flags) -> Result<(), CliError> {
     if flags.get("batch").is_some() {
         return cmd_legalize_batch(flags);
@@ -436,6 +476,14 @@ fn cmd_legalize(flags: &Flags) -> Result<(), CliError> {
         return Err(CliError::Usage(
             "--report/--report-json/--heatmap require the main legalizer (no --baseline)".into(),
         ));
+    }
+    if let Some(spec) = flags.get("eco-delta") {
+        let Some((_, cfg)) = &run_info else {
+            return Err(CliError::Usage(
+                "--eco-delta requires the main legalizer (no --baseline)".into(),
+            ));
+        };
+        run_eco_delta(&placed, cfg.clone(), spec)?;
     }
     write_outputs(flags, &placed)?;
     Ok(())

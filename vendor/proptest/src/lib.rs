@@ -230,11 +230,13 @@ macro_rules! proptest {
     };
     (@cfg ($cfg:expr)
         $(
+            $(#[doc $($doc:tt)*])*
             #[test]
             fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
         )*
     ) => {
         $(
+            $(#[doc $($doc)*])*
             #[test]
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;

@@ -27,10 +27,15 @@ use super::{Finding, Workspace};
 /// clock wrapper everything else must route through.
 pub const CLOCK_FILE_SUFFIX: &str = "crates/obs/src/clock.rs";
 
-/// Free fns seeded by (file suffix, name): the scheduler's eval entry points.
+/// Free fns seeded by (file suffix, name): the scheduler's eval entry
+/// points plus the ECO dirty-window closure, which decides the cell set
+/// the delta pipeline re-legalizes and so must be as deterministic as the
+/// stages it restricts.
 const SEED_FREE_FNS: &[(&str, &str)] = &[
     ("crates/core/src/scheduler.rs", "eval_job"),
     ("crates/core/src/scheduler.rs", "drive_rounds"),
+    ("crates/core/src/dirty.rs", "compute"),
+    ("crates/core/src/dirty.rs", "compute_from_seeds"),
 ];
 
 /// Trait whose `run` impls seed the deterministic core.
