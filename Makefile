@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain cargo underneath.
 
-.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch bench-scale bench-eco tables
+.PHONY: build test fmt clippy lint analyze tsan audit chaos check bench-json bench-batch bench-scale bench-eco bench-serve tables
 
 build:
 	cargo build --release
@@ -54,7 +54,7 @@ audit:
 # partial mutation out of failed stages, degradation rungs equal their
 # declared algorithms, batch survivors byte-identical, at 1/2/4 threads.
 chaos:
-	cargo test --features faultinject --test chaos
+	cargo test --features faultinject --test chaos --test chaos_serve
 
 check: build test fmt clippy lint analyze audit chaos
 
@@ -87,6 +87,16 @@ bench-scale:
 # gates via MCL_ECO_MAX_P99_MS / MCL_ECO_MIN_SPEEDUP.
 bench-eco:
 	cargo run --release -p mcl-bench --bin eco
+
+# Serve latency bench (DESIGN.md §16): the `serve` section of
+# BENCH_mgl.json — closed-loop clients at concurrency 1/4/16 against an
+# in-process daemon (journal + report dir on, so the fsync is in the
+# measured path); per-level p50/p99 job ms, jobs/sec, RETRY_AFTER count.
+# Knobs: MCL_SERVE_CELLS, MCL_SERVE_JOBS, MCL_SERVE_THREADS,
+# MCL_SERVE_QUEUE_CAP, MCL_SERVE_SEED, MCL_SERVE_DENSITY_PCT; CI gate via
+# MCL_SERVE_MAX_P99_MS (single-client p99 ceiling).
+bench-serve:
+	cargo run --release -p mcl-bench --bin serve
 
 # Paper tables/figures (MCL_SCALE scales cell counts, default 0.05).
 tables:

@@ -201,9 +201,11 @@ impl Engine {
     ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::new(design);
-        let stats = self
-            .run_single(design, &mut state, &FULL_PIPELINE, &prep)
-            .unwrap_or_else(|e| panic!("legalization of `{}` failed: {e}", design.name));
+        let stats = crate::error::expect_run(
+            "legalization",
+            &design.name,
+            self.run_single(design, &mut state, &FULL_PIPELINE, &prep),
+        );
         let mut out = design.clone();
         state.write_back(&mut out);
         let log = state.take_replay_log();
@@ -275,9 +277,11 @@ impl Engine {
     ) -> Result<(Design, LegalizeStats), (CellId, PlaceError)> {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design)?;
-        let stats = self
-            .run_single(design, &mut state, &POST_PIPELINE, &prep)
-            .unwrap_or_else(|e| panic!("refine of `{}` failed: {e}", design.name));
+        let stats = crate::error::expect_run(
+            "refine",
+            &design.name,
+            self.run_single(design, &mut state, &POST_PIPELINE, &prep),
+        );
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
@@ -288,11 +292,13 @@ impl Engine {
     /// bit-identical to calling [`Self::legalize`] per design; only the
     /// per-design overhead is eliminated.
     pub fn legalize_batch(&mut self, designs: &[Design]) -> Vec<(Design, LegalizeStats)> {
-        match self.legalize_batch_with(designs, &FULL_PIPELINE, false) {
-            Ok(results) => results,
-            // Fresh seeding never adopts positions, so it cannot fail.
-            Err(_) => unreachable!("fresh-seeded batch cannot hit a seed error"),
-        }
+        // Fresh seeding never adopts positions, so it cannot fail.
+        crate::error::expect_run(
+            "batch legalization",
+            "batch",
+            self.legalize_batch_with(designs, &FULL_PIPELINE, false)
+                .map_err(|e| format!("design {} cell {}: {}", e.design, e.cell.0, e.error)),
+        )
     }
 
     /// ECO-legalizes a batch: every design's existing positions are adopted
@@ -343,12 +349,12 @@ impl Engine {
             }));
         }
         let out = self
-            .run_batch(designs, &preps, seeds, stages)
+            .run_batch(designs, &preps, seeds, stages, None)
             .into_iter()
             .zip(designs)
-            .map(|(r, d)| match r {
-                Ok((out, stats, _)) => (out, stats),
-                Err(e) => panic!("batch legalization of `{}` failed: {e}", d.name),
+            .map(|(r, d)| {
+                let (out, stats, _) = crate::error::expect_run("batch legalization", &d.name, r);
+                (out, stats)
             })
             .collect();
         Ok(out)
@@ -392,7 +398,62 @@ impl Engine {
         stages: &[&dyn Stage],
         adopt_positions: bool,
     ) -> Vec<Result<BatchItem, LegalizeError>> {
+        self.try_legalize_batch_budgeted_with_replay(designs, stages, adopt_positions, &[])
+    }
+
+    /// Fault-isolating batch run with **per-job deadline budgets**: job `i`
+    /// runs under `budgets[i]` seconds (when set), overriding the engine's
+    /// `stage_budget_secs` for that design only. This is how `mclegal
+    /// serve` maps a client's deadline onto the degradation ladder — a
+    /// deadline-pressed job degrades and re-certifies inside its own slot
+    /// while peers keep the engine-wide configuration (and stay
+    /// bit-identical to solo runs; the budget is the *only* config field
+    /// that differs per job, and it never changes the fault-free result).
+    ///
+    /// `budgets` shorter than `designs` leaves the tail on the engine
+    /// config; when both the engine and the job set a budget, the tighter
+    /// one wins.
+    pub fn try_legalize_batch_budgeted(
+        &mut self,
+        designs: &[Design],
+        budgets: &[Option<f64>],
+    ) -> Vec<Result<(Design, LegalizeStats), LegalizeError>> {
+        self.try_legalize_batch_budgeted_with_replay(designs, &FULL_PIPELINE, false, budgets)
+            .into_iter()
+            .map(|r| r.map(|(d, s, _)| (d, s)))
+            .collect()
+    }
+
+    /// The replay-carrying core of the budgeted batch path (see
+    /// [`Self::try_legalize_batch_budgeted`]).
+    pub fn try_legalize_batch_budgeted_with_replay(
+        &mut self,
+        designs: &[Design],
+        stages: &[&dyn Stage],
+        adopt_positions: bool,
+        budgets: &[Option<f64>],
+    ) -> Vec<Result<BatchItem, LegalizeError>> {
         let adopt = adopt_positions || !includes_mgl(stages);
+        let overrides: Option<Vec<LegalizerConfig>> = if budgets.iter().any(Option::is_some) {
+            Some(
+                designs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| {
+                        let mut c = self.config.clone();
+                        if let Some(b) = budgets.get(i).copied().flatten() {
+                            c.stage_budget_secs = Some(match c.stage_budget_secs {
+                                Some(engine_b) => engine_b.min(b),
+                                None => b,
+                            });
+                        }
+                        c
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
         let preps: Vec<Prep<'_>> = designs.iter().map(|d| Prep::new(d, &self.config)).collect();
         let seeds: Vec<Result<PlacementState<'_>, LegalizeError>> = designs
             .iter()
@@ -409,7 +470,7 @@ impl Engine {
                 }
             })
             .collect();
-        self.run_batch(designs, &preps, seeds, stages)
+        self.run_batch(designs, &preps, seeds, stages, overrides.as_deref())
     }
 
     /// The batch core: admission-bounded runners interleaving on a shared
@@ -424,6 +485,7 @@ impl Engine {
         preps: &[Prep<'d>],
         seeds: Vec<Result<PlacementState<'d>, LegalizeError>>,
         stages: &[&dyn Stage],
+        overrides: Option<&[LegalizerConfig]>,
     ) -> Vec<Result<BatchItem, LegalizeError>> {
         let runners = self.batch_runners(designs.len());
         let workers = self.config.threads.saturating_sub(runners);
@@ -453,6 +515,18 @@ impl Engine {
         let next = AtomicUsize::new(0);
         let runs = AtomicU64::new(0);
         let mut steal_counter = None;
+        // The scratch pool is pre-grown to `runners >= 1` above; degrade to
+        // typed errors rather than assert if that invariant ever breaks.
+        let Some((main_scratch, rest_scratches)) = scratches.split_first_mut() else {
+            return (0..designs.len())
+                .map(|_| {
+                    Err(LegalizeError::ResourceExhausted {
+                        stage: "mgl",
+                        what: "runner scratch pool",
+                    })
+                })
+                .collect();
+        };
         std::thread::scope(|scope| {
             let pool = (workers > 0).then(|| EvalPool::spawn(scope, workers));
             if let Some(p) = &pool {
@@ -460,11 +534,7 @@ impl Engine {
                 diag.worker_spawns += workers as u64;
                 steal_counter = Some(p.steal_counter());
             }
-            let mut scratch_iter = scratches.iter_mut();
-            let main_scratch = scratch_iter
-                .next()
-                .unwrap_or_else(|| unreachable!("runner scratch pool is pre-grown"));
-            for scratch in scratch_iter.take(runners - 1) {
+            for scratch in rest_scratches.iter_mut().take(runners - 1) {
                 diag.runner_spawns += 1;
                 let client = pool.as_ref().map(EvalPool::client);
                 let (slots, next, runs) = (&slots, &next, &runs);
@@ -477,6 +547,7 @@ impl Engine {
                         next,
                         runs,
                         config,
+                        overrides,
                         stages,
                         scratch,
                         client.as_ref(),
@@ -491,6 +562,7 @@ impl Engine {
                 &next,
                 &runs,
                 config,
+                overrides,
                 stages,
                 main_scratch,
                 client.as_ref(),
@@ -534,7 +606,14 @@ impl Engine {
             scratches,
             diag,
         } = self;
-        let scratch = &mut scratches[0];
+        // Constructed with one scratch and never shrunk; degrade to a typed
+        // error rather than index-panic if that invariant ever breaks.
+        let Some(scratch) = scratches.first_mut() else {
+            return Err(LegalizeError::ResourceExhausted {
+                stage: "mgl",
+                what: "runner scratch pool",
+            });
+        };
         diag.runs += 1;
         if workers == 0 {
             pipeline::run_stages(
@@ -588,22 +667,24 @@ fn batch_runner<'d: 'p, 'p>(
     next: &AtomicUsize,
     runs: &AtomicU64,
     config: &LegalizerConfig,
+    overrides: Option<&[LegalizerConfig]>,
     stages: &[&dyn Stage],
     scratch: &mut InsertionScratch,
     client: Option<&PoolClient<'p>>,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
-        if i >= designs.len() {
-            break;
-        }
+        let (Some(design), Some(prep), Some(slot)) = (designs.get(i), preps.get(i), slots.get(i))
+        else {
+            break; // cursor ran past the batch: done
+        };
         // The guard is scoped to the seed takeout: the run below sends on
         // the pool channels, and no lock guard may be live across a send
         // (`cargo xtask analyze`, rule pool-lock-across-send). The slot is
         // claimed by exactly one runner, so re-locking to store the result
         // races with nobody; a panic escaping the run leaves `out` empty,
         // which the collector degrades to a typed PoolBroken error.
-        let seed = slots[i]
+        let seed = slot
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .seed
@@ -612,17 +693,16 @@ fn batch_runner<'d: 'p, 'p>(
             continue; // seed error, result already recorded
         };
         runs.fetch_add(1, Ordering::Relaxed);
+        // Per-job config override (today: the serve path's per-job deadline
+        // budget); everything schedule-relevant is identical across jobs.
+        let job_config = match overrides {
+            Some(c) => c.get(i).unwrap_or(config),
+            None => config,
+        };
         let out = batch_run_one(
-            config,
-            scratch,
-            stages,
-            &designs[i],
-            &preps[i],
-            &mut state,
-            client,
-            i,
+            job_config, scratch, stages, design, prep, &mut state, client, i,
         );
-        slots[i].lock().unwrap_or_else(PoisonError::into_inner).out = Some(out);
+        slot.lock().unwrap_or_else(PoisonError::into_inner).out = Some(out);
         // `state` drops here: a finished design's working memory is
         // released immediately, keeping residency proportional to the
         // in-flight count.

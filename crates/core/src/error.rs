@@ -220,6 +220,20 @@ pub struct Degradation {
     pub reason: String,
 }
 
+/// Bridges an infallible-claiming entry point onto the fallible core:
+/// unwraps a run result, panicking with the operation and design name on
+/// failure. The legacy `run`/`refine`-style APIs document this panic as
+/// their contract; fallible callers use the `try_*` twins instead. Keeping
+/// the panic in one audited function (allowlisted in
+/// `xtask/analyze-allow.txt`) is what lets the `panic-uncontained` ratchet
+/// hold the always-on daemon path at zero ad-hoc panic sites.
+pub(crate) fn expect_run<T, E: fmt::Display>(op: &str, design: &str, r: Result<T, E>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => panic!("{op} of `{design}` failed: {e}"),
+    }
+}
+
 /// Extracts a printable message from a `catch_unwind` payload.
 pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {

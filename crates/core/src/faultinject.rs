@@ -52,6 +52,18 @@ pub enum FaultSite {
         /// Stage name.
         stage: &'static str,
     },
+    /// Server layer (`mcl-serve`): force the admission decision to lose a
+    /// capacity race — the job is rejected with `RETRY_AFTER` even though
+    /// the queue had room when the client observed it.
+    ServeAdmission,
+    /// Server layer: the client connection drops after the job is accepted
+    /// but before the final response line is written. The job must still
+    /// complete, journal `DONE` and persist its report.
+    ServeDisconnect,
+    /// Server layer: the write-ahead journal append fails at admission.
+    /// The daemon must fail the job closed (classed response, no enqueue)
+    /// rather than run work it could not record.
+    ServeJournal,
 }
 
 struct Arm {

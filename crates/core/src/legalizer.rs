@@ -151,8 +151,11 @@ impl Legalizer {
         &self,
         design: &Design,
     ) -> (Design, LegalizeStats, mcl_audit::ReplayLog) {
-        self.try_run_with_replay(design)
-            .unwrap_or_else(|e| panic!("legalization of `{}` failed: {e}", design.name))
+        crate::error::expect_run(
+            "legalization",
+            &design.name,
+            self.try_run_with_replay(design),
+        )
     }
 
     /// Fallible variant of [`Self::run_with_replay`].
@@ -261,18 +264,21 @@ impl Legalizer {
         let prep = Prep::new(design, &self.config);
         let mut state = PlacementState::from_design_positions(design)?;
         let mut scratch = InsertionScratch::new();
-        let stats = pipeline::run_stages(
-            design,
-            &mut state,
-            &self.config,
-            &POST_PIPELINE,
-            &prep.weights,
-            prep.oracle(),
-            MglExec::Standalone,
-            &mut scratch,
+        let stats = crate::error::expect_run(
             "refine",
-        )
-        .unwrap_or_else(|e| panic!("refine of `{}` failed: {e}", design.name));
+            &design.name,
+            pipeline::run_stages(
+                design,
+                &mut state,
+                &self.config,
+                &POST_PIPELINE,
+                &prep.weights,
+                prep.oracle(),
+                MglExec::Standalone,
+                &mut scratch,
+                "refine",
+            ),
+        );
         let mut out = design.clone();
         state.write_back(&mut out);
         Ok((out, stats))
@@ -384,12 +390,18 @@ impl EcoSession {
         let mut moves = Vec::with_capacity(n.min(movable.len()));
         while moves.len() < n.min(movable.len()) {
             let i = (rng() % movable.len() as u64) as usize;
-            if taken[i] {
+            if taken.get(i).copied().unwrap_or(true) {
                 continue;
             }
-            taken[i] = true;
-            let cell = movable[i];
-            let gp = design.cells[cell.0 as usize].gp;
+            if let Some(t) = taken.get_mut(i) {
+                *t = true;
+            }
+            let Some(&cell) = movable.get(i) else {
+                continue;
+            };
+            let Some(gp) = design.cells.get(cell.0 as usize).map(|c| c.gp) else {
+                continue;
+            };
             let dx = ((rng() % 17) as Dbu - 8) * sw;
             let dy = ((rng() % 5) as Dbu - 2) * rh;
             let target = Point::new(
@@ -445,12 +457,38 @@ impl EcoSession {
         }
         let mut candidate = self.design.clone();
         for &(cell, gp) in moves {
-            let c = &mut candidate.cells[cell.0 as usize];
+            // In range: every move was validated against the cell table
+            // above.
+            let Some(c) = candidate.cells.get_mut(cell.0 as usize) else {
+                continue;
+            };
             c.gp = gp;
             c.pos = None;
         }
         let (out, mut stats, log) =
             Legalizer::new(self.config.clone()).run_eco_with_replay(&candidate)?;
+        // Per-delta deadline: the session budget (`stage_budget_secs`)
+        // bounds the *whole* delta. Inside the run the same budget drives
+        // the pipeline's degradation ladder; if even the degraded result
+        // lands past the budget, the delta fails atomically with
+        // `DeadlineExceeded` — the resident base and its certificate stay
+        // exactly as they were, because nothing is spliced or committed
+        // until after this check. The injected `StageDeadline { stage:
+        // "eco_delta" }` site forces expiry deterministically, mirroring
+        // the pipeline's stage-boundary probe.
+        let budget = self.config.stage_budget_secs;
+        let expired = budget.is_some_and(|b| sw.elapsed_seconds() > b)
+            || crate::faultinject::fires(
+                self.config.faults.as_ref(),
+                &self.design.name,
+                &crate::faultinject::FaultSite::StageDeadline { stage: "eco_delta" },
+            );
+        if expired {
+            return Err(LegalizeError::DeadlineExceeded {
+                stage: "eco_delta",
+                budget_secs: budget.unwrap_or(0.0),
+            });
+        }
         // Re-certify only the bands the delta touched: dirty = every cell
         // whose committed pos/orient differs from the previous base (the
         // moved cells are covered — a move that lands exactly back home is
@@ -608,6 +646,44 @@ mod tests {
         for c in &out.cells[n_old..] {
             assert!(c.pos.is_some());
         }
+    }
+
+    #[test]
+    fn budget_exceeded_delta_rolls_back_atomically() {
+        let d = messy_design(120, 9);
+        let base_cfg = LegalizerConfig::total_displacement();
+        let (placed, _) = Legalizer::new(base_cfg.clone()).run(&d);
+
+        // A session whose budget is impossible to meet: every delta must
+        // fail with `DeadlineExceeded{stage: "eco_delta"}` and leave the
+        // resident base and certificate exactly as they were.
+        let mut strict = base_cfg.clone();
+        strict.stage_budget_secs = Some(0.0);
+        let mut session = EcoSession::open(placed.clone(), strict).expect("legal base must open");
+        let before: Vec<_> = session.design().cells.iter().map(|c| c.pos).collect();
+        let cert_before = session.certificate().report();
+        let moves = EcoSession::synthesize_delta(session.design(), 8, 77);
+        match session.apply_delta(&moves) {
+            Err(LegalizeError::DeadlineExceeded { stage, budget_secs }) => {
+                assert_eq!(stage, "eco_delta");
+                assert_eq!(budget_secs, 0.0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let after: Vec<_> = session.design().cells.iter().map(|c| c.pos).collect();
+        assert_eq!(before, after, "failed delta must not mutate the base");
+        assert_eq!(
+            session.certificate().report(),
+            cert_before,
+            "failed delta must not touch the rolling certificate"
+        );
+
+        // The same delta through an unbudgeted session over the same base
+        // succeeds — the rollback above was the budget, not the delta.
+        let mut relaxed = EcoSession::open(placed, base_cfg).expect("legal base must open");
+        relaxed
+            .apply_delta(&moves)
+            .expect("unbudgeted delta must succeed");
     }
 
     #[test]

@@ -142,6 +142,21 @@ impl JsonWriter {
         }
     }
 
+    /// Writes a pre-serialized JSON value verbatim (no escaping). The
+    /// caller guarantees `v` is one complete, valid JSON value — the wire
+    /// layer uses this to embed an already-rendered `RunReport` document
+    /// inside a response envelope without re-parsing it.
+    pub fn value_raw(&mut self, v: &str) {
+        self.separate();
+        self.buf.push_str(v);
+    }
+
+    /// `key` + pre-serialized JSON value (see [`Self::value_raw`]).
+    pub fn field_raw(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.value_raw(v);
+    }
+
     /// `key` + string value.
     pub fn field_str(&mut self, k: &str, v: &str) {
         self.key(k);

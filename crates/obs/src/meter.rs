@@ -144,11 +144,18 @@ pub enum CounterKind {
     /// Placed movable cells outside the dirty closure, whose placement
     /// (and cached displacement curves) the delta run reused untouched.
     EcoCellsReused,
+    /// Jobs admitted past the serve daemon's bounded queue.
+    ServeJobsAdmitted,
+    /// Jobs rejected at admission (`RETRY_AFTER` backpressure).
+    ServeJobsRejected,
+    /// Accepted-but-unfinished jobs reported as `INTERRUPTED` by journal
+    /// recovery after a crash.
+    ServeJobsInterrupted,
 }
 
 impl CounterKind {
     /// Every kind, in report order.
-    pub const ALL: [CounterKind; 14] = [
+    pub const ALL: [CounterKind; 17] = [
         CounterKind::WindowsEvaluated,
         CounterKind::WindowsExpanded,
         CounterKind::FallbackScans,
@@ -163,6 +170,9 @@ impl CounterKind {
         CounterKind::CrossDesignSteals,
         CounterKind::EcoWindowsDirty,
         CounterKind::EcoCellsReused,
+        CounterKind::ServeJobsAdmitted,
+        CounterKind::ServeJobsRejected,
+        CounterKind::ServeJobsInterrupted,
     ];
     /// Number of kinds.
     pub const COUNT: usize = Self::ALL.len();
@@ -185,6 +195,9 @@ impl CounterKind {
             CounterKind::CrossDesignSteals => "sched.cross_design_steals",
             CounterKind::EcoWindowsDirty => "eco.windows_dirty",
             CounterKind::EcoCellsReused => "eco.cells_reused",
+            CounterKind::ServeJobsAdmitted => "serve.jobs_admitted",
+            CounterKind::ServeJobsRejected => "serve.jobs_rejected",
+            CounterKind::ServeJobsInterrupted => "serve.jobs_interrupted",
         }
     }
 }
@@ -210,11 +223,18 @@ pub enum HistoKind {
     /// End-to-end latency of one ECO delta (`EcoSession::apply_delta`),
     /// nanoseconds. Wall time: observability, never golden.
     EcoDeltaNanos,
+    /// End-to-end latency of one serve job (admission to final response),
+    /// nanoseconds — queue wait included. Wall time: observability, never
+    /// golden.
+    ServeJobNanos,
+    /// Queue depth observed at each admission decision (accepted or
+    /// rejected), so backpressure onset is visible in the daemon's stats.
+    ServeQueueDepth,
 }
 
 impl HistoKind {
     /// Every kind, in report order.
-    pub const ALL: [HistoKind; 7] = [
+    pub const ALL: [HistoKind; 9] = [
         HistoKind::DispSitesMgl,
         HistoKind::DispSitesMaxDisp,
         HistoKind::DispSitesFixedOrder,
@@ -222,6 +242,8 @@ impl HistoKind {
         HistoKind::MatchingGroupCells,
         HistoKind::SchedQueueWaitNanos,
         HistoKind::EcoDeltaNanos,
+        HistoKind::ServeJobNanos,
+        HistoKind::ServeQueueDepth,
     ];
     /// Number of kinds.
     pub const COUNT: usize = Self::ALL.len();
@@ -237,6 +259,8 @@ impl HistoKind {
             HistoKind::MatchingGroupCells => "maxdisp.group_cells",
             HistoKind::SchedQueueWaitNanos => "mgl.queue_wait_nanos",
             HistoKind::EcoDeltaNanos => "eco.delta_nanos",
+            HistoKind::ServeJobNanos => "serve.job_nanos",
+            HistoKind::ServeQueueDepth => "serve.queue_depth",
         }
     }
 }

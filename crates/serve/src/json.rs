@@ -1,0 +1,392 @@
+//! A minimal recursive-descent JSON parser for the wire protocol.
+//!
+//! The workspace's zero-dependency policy leaves it without a JSON
+//! *reader* (`mcl_obs::JsonWriter` only writes), and the serve protocol
+//! needs to parse one request object per line. This parser covers the
+//! whole JSON grammar with a depth limit and positions every error; it is
+//! not performance-critical (requests are tiny next to the jobs they
+//! describe).
+
+/// A parsed JSON value. Objects preserve key order and keep duplicate keys
+/// (lookups return the first match, like most tolerant readers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (JSON does not distinguish integer kinds).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object as ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup (first match); `None` for non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a non-negative integer (rejects fractions
+    /// and out-of-range values).
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        if n.is_finite() && n >= 0.0 && n.fract() == 0.0 && n <= 9_007_199_254_740_992.0 {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            Some(n as u64)
+        } else {
+            None
+        }
+    }
+
+    /// The boolean payload, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `get(key)` then [`Self::as_str`].
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Json::as_str)
+    }
+
+    /// `get(key)` then [`Self::as_f64`].
+    pub fn num_field(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Json::as_f64)
+    }
+
+    /// `get(key)` then [`Self::as_u64`].
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(Json::as_u64)
+    }
+}
+
+/// Nesting bound: requests are flat; anything deeper is hostile or broken.
+const MAX_DEPTH: u32 = 32;
+
+/// Parses one complete JSON value from `text` (surrounding whitespace is
+/// allowed, trailing non-whitespace is an error).
+///
+/// # Errors
+///
+/// A human-readable message with the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        s: text.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.i < p.s.len() {
+        return Err(format!("trailing data at byte {}", p.i));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.i += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.bump() == Some(b) {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}",
+                char::from(b),
+                self.i.saturating_sub(1)
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str, v: Json) -> Result<Json, String> {
+        for &b in kw.as_bytes() {
+            if self.bump() != Some(b) {
+                return Err(format!("bad literal near byte {}", self.i));
+            }
+        }
+        Ok(v)
+    }
+
+    fn value(&mut self, depth: u32) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Json::Null),
+            Some(b't') => self.eat_keyword("true", Json::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(format!("unexpected `{}` at byte {}", char::from(c), self.i)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: u32) -> Result<Json, String> {
+        self.expect_byte(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b']') => return Ok(Json::Arr(out)),
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: u32) -> Result<Json, String> {
+        self.expect_byte(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect_byte(b':')?;
+            let v = self.value(depth + 1)?;
+            out.push((key, v));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => {}
+                Some(b'}') => return Ok(Json::Obj(out)),
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hi = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair: `\uXXXX\uXXXX`.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(format!("lone surrogate at byte {}", self.i));
+                            }
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(format!("bad surrogate pair at byte {}", self.i));
+                            }
+                            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(cp)
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        match c {
+                            Some(c) => out.push(c),
+                            None => return Err(format!("bad escape at byte {}", self.i)),
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {}", self.i)),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control byte in string at byte {}", self.i));
+                }
+                Some(b) => {
+                    // Re-assemble UTF-8 multibyte sequences from the source
+                    // slice (it came from a &str, so it is valid UTF-8).
+                    if b < 0x80 {
+                        out.push(char::from(b));
+                    } else {
+                        let start = self.i - 1;
+                        while self.peek().is_some_and(|n| n & 0xC0 == 0x80) {
+                            self.i += 1;
+                        }
+                        match std::str::from_utf8(self.s.get(start..self.i).unwrap_or_default()) {
+                            Ok(chunk) => out.push_str(chunk),
+                            Err(_) => return Err(format!("bad UTF-8 at byte {start}")),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => u32::from(b - b'0'),
+                Some(b @ b'a'..=b'f') => u32::from(b - b'a') + 10,
+                Some(b @ b'A'..=b'F') => u32::from(b - b'A') + 10,
+                _ => return Err(format!("bad \\u escape at byte {}", self.i)),
+            };
+            v = (v << 4) | d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(self.s.get(start..self.i).unwrap_or_default())
+            .map_err(|_| format!("bad number at byte {start}"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number `{text}` at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(parse(r#""a\nb""#).unwrap(), Json::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn nested_object_and_lookups() {
+        let v = parse(r#"{"op":"legalize","dir":"/tmp/x","deadline_secs":1.5,"n":3,"ok":true}"#)
+            .unwrap();
+        assert_eq!(v.str_field("op"), Some("legalize"));
+        assert_eq!(v.str_field("dir"), Some("/tmp/x"));
+        assert_eq!(v.num_field("deadline_secs"), Some(1.5));
+        assert_eq!(v.u64_field("n"), Some(3));
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn arrays_and_moves_shape() {
+        let v = parse(r#"{"moves":[[3,100,200],[7,-40,0]]}"#).unwrap();
+        let arr = v.get("moves").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        let first = arr[0].as_arr().unwrap();
+        assert_eq!(first[0].as_u64(), Some(3));
+        assert_eq!(first[2].as_f64(), Some(200.0));
+    }
+
+    #[test]
+    fn escapes_and_unicode() {
+        assert_eq!(parse(r#""Aé😀""#).unwrap(), Json::Str("Aé😀".into()));
+        assert_eq!(parse(r#""naïve""#).unwrap(), Json::Str("naïve".into()));
+        assert_eq!(parse(r#""\"\\\/\t""#).unwrap(), Json::Str("\"\\/\t".into()));
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse(r#"{"a":}"#).is_err());
+        assert!(parse("[1,2,]").is_err());
+        assert!(parse("tru").is_err());
+        assert!(parse("1 2").unwrap_err().contains("trailing"));
+        assert!(parse(r#""\ud800x""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&deep).unwrap_err().contains("nesting"));
+        let ok = "[".repeat(16) + &"]".repeat(16);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins() {
+        let v = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(v.num_field("k"), Some(1.0));
+    }
+
+    #[test]
+    fn u64_rejects_fractions_and_negatives() {
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+    }
+}

@@ -1,0 +1,410 @@
+//! Wire protocol: request decoding and response encoding.
+//!
+//! One JSON object per line in each direction. Requests carry an `"op"`
+//! discriminant; every response carries a `"status"` whose value maps
+//! one-to-one onto the CLI exit codes (README "Exit codes" table), plus
+//! two service-only statuses:
+//!
+//! | status       | code | meaning                                        |
+//! |--------------|------|------------------------------------------------|
+//! | `OK`         | 0    | request completed                              |
+//! | `USAGE`      | 2    | malformed request or unknown op/session        |
+//! | `PARSE`      | 3    | unreadable or corrupt input bundle             |
+//! | `INFEASIBLE` | 4    | job ran but the result is unacceptable         |
+//! | `INTERNAL`   | 5    | the daemon's fault (contained to the one job)  |
+//! | `RETRY_AFTER`| 6    | admission refused (queue full or draining)     |
+//! | `INTERRUPTED`| 7    | job was admitted but the daemon died before it |
+//! |              |      | finished (reported on restart via the journal) |
+
+use crate::json::{parse, Json};
+use mcl_core::LegalizeError;
+use mcl_db::prelude::{CellId, Point};
+use mcl_obs::JsonWriter;
+
+/// Response status; see the module table for the exit-code mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request completed.
+    Ok,
+    /// Malformed request, unknown op, unknown session.
+    Usage,
+    /// Unreadable or corrupt input bundle.
+    Parse,
+    /// The job ran but produced an unacceptable result (e.g. seed
+    /// rejected) — the input's fault.
+    Infeasible,
+    /// Contained internal failure (panic, exhausted ladder) — the
+    /// daemon's fault, scoped to the one job.
+    Internal,
+    /// Admission refused: queue at capacity or the daemon is draining.
+    RetryAfter,
+    /// The job was accepted but a crash killed the daemon before it
+    /// finished; surfaced by journal recovery on restart.
+    Interrupted,
+}
+
+impl Status {
+    /// The process exit code `mclegal rpc` maps this status to.
+    pub fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Usage => 2,
+            Status::Parse => 3,
+            Status::Infeasible => 4,
+            Status::Internal => 5,
+            Status::RetryAfter => 6,
+            Status::Interrupted => 7,
+        }
+    }
+
+    /// Wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "OK",
+            Status::Usage => "USAGE",
+            Status::Parse => "PARSE",
+            Status::Infeasible => "INFEASIBLE",
+            Status::Internal => "INTERNAL",
+            Status::RetryAfter => "RETRY_AFTER",
+            Status::Interrupted => "INTERRUPTED",
+        }
+    }
+
+    /// Inverse of [`Self::name`] (used by the `rpc` client to map the
+    /// last response line to an exit code).
+    pub fn from_name(name: &str) -> Option<Status> {
+        Some(match name {
+            "OK" => Status::Ok,
+            "USAGE" => Status::Usage,
+            "PARSE" => Status::Parse,
+            "INFEASIBLE" => Status::Infeasible,
+            "INTERNAL" => Status::Internal,
+            "RETRY_AFTER" => Status::RetryAfter,
+            "INTERRUPTED" => Status::Interrupted,
+            _ => return None,
+        })
+    }
+
+    /// The status a classed pipeline error maps to — the same split the
+    /// CLI uses: a rejected seed is the input's fault (infeasible),
+    /// everything else is the tool's (internal).
+    pub fn from_error(e: &LegalizeError) -> Status {
+        match e {
+            LegalizeError::SeedRejected { .. } => Status::Infeasible,
+            _ => Status::Internal,
+        }
+    }
+}
+
+/// The ECO delta payload: explicit moves, or a deterministic synthetic
+/// delta (`EcoSession::synthesize_delta`) for benches and smoke tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaSpec {
+    /// Explicit `(cell id, new gp)` moves.
+    Moves(Vec<(CellId, Point)>),
+    /// `synthesize_delta(design, cells, seed)` on the session's base.
+    Synth {
+        /// Number of cells to move.
+        cells: usize,
+        /// Deterministic seed.
+        seed: u64,
+    },
+}
+
+/// A decoded request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Daemon counters and latency quantiles.
+    Stats,
+    /// Begin graceful drain: stop admitting, finish in-flight, shut down.
+    Drain,
+    /// Submit a legalization job over a Bookshelf bundle directory.
+    Legalize {
+        /// Bundle directory path.
+        dir: String,
+        /// Per-job wall-clock budget; tightens (never loosens) the
+        /// engine-wide budget and rides the same degradation ladder.
+        deadline_secs: Option<f64>,
+    },
+    /// Open a resident ECO session over a legal placement bundle.
+    EcoOpen {
+        /// Bundle directory path (must hold a legal placement).
+        dir: String,
+        /// Per-delta wall-clock budget for this session.
+        deadline_secs: Option<f64>,
+    },
+    /// Apply one atomic delta to a session.
+    EcoDelta {
+        /// Session id from `eco_open`.
+        session: u64,
+        /// The delta payload.
+        delta: DeltaSpec,
+    },
+    /// Persist a session's current base placement as a Bookshelf bundle.
+    EcoCommit {
+        /// Session id.
+        session: u64,
+        /// Output directory.
+        out: String,
+    },
+    /// Close a session and free its resident state.
+    EcoClose {
+        /// Session id.
+        session: u64,
+    },
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// A usage message (the caller wraps it in a `USAGE` response).
+pub fn decode_request(line: &str) -> Result<Request, String> {
+    let v = parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let op = v.str_field("op").ok_or("request needs a string `op`")?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "drain" => Ok(Request::Drain),
+        "legalize" => Ok(Request::Legalize {
+            dir: required_str(&v, "dir")?,
+            deadline_secs: v.num_field("deadline_secs"),
+        }),
+        "eco_open" => Ok(Request::EcoOpen {
+            dir: required_str(&v, "dir")?,
+            deadline_secs: v.num_field("deadline_secs"),
+        }),
+        "eco_delta" => Ok(Request::EcoDelta {
+            session: required_u64(&v, "session")?,
+            delta: decode_delta(&v)?,
+        }),
+        "eco_commit" => Ok(Request::EcoCommit {
+            session: required_u64(&v, "session")?,
+            out: required_str(&v, "out")?,
+        }),
+        "eco_close" => Ok(Request::EcoClose {
+            session: required_u64(&v, "session")?,
+        }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+fn required_str(v: &Json, key: &str) -> Result<String, String> {
+    v.str_field(key)
+        .map(str::to_string)
+        .ok_or_else(|| format!("op needs a string `{key}`"))
+}
+
+fn required_u64(v: &Json, key: &str) -> Result<u64, String> {
+    v.u64_field(key)
+        .ok_or_else(|| format!("op needs an unsigned integer `{key}`"))
+}
+
+fn decode_delta(v: &Json) -> Result<DeltaSpec, String> {
+    if let Some(moves) = v.get("moves").and_then(Json::as_arr) {
+        let mut out = Vec::with_capacity(moves.len());
+        for m in moves {
+            let t = m
+                .as_arr()
+                .filter(|t| t.len() == 3)
+                .ok_or("each move must be a [cell, x, y] triple")?;
+            let cell = t
+                .first()
+                .and_then(Json::as_u64)
+                .and_then(|id| u32::try_from(id).ok())
+                .ok_or("move cell id must be an unsigned integer")?;
+            let x = coord(t.get(1))?;
+            let y = coord(t.get(2))?;
+            out.push((CellId(cell), Point::new(x, y)));
+        }
+        if out.is_empty() {
+            return Err("`moves` must not be empty".into());
+        }
+        Ok(DeltaSpec::Moves(out))
+    } else if let Some(cells) = v.u64_field("cells") {
+        let cells = usize::try_from(cells).map_err(|_| "`cells` out of range".to_string())?;
+        if cells == 0 {
+            return Err("`cells` must be positive".into());
+        }
+        Ok(DeltaSpec::Synth {
+            cells,
+            seed: v.u64_field("seed").unwrap_or(1),
+        })
+    } else {
+        Err("eco_delta needs `moves` or `cells` (+ optional `seed`)".into())
+    }
+}
+
+/// Decodes one move coordinate: DBU positions travel as JSON integers.
+fn coord(v: Option<&Json>) -> Result<i64, String> {
+    let n = v
+        .and_then(Json::as_f64)
+        .ok_or("move coordinates must be numbers")?;
+    if n.fract() != 0.0 || !n.is_finite() {
+        return Err("move coordinates must be integer DBU".into());
+    }
+    Ok(mcl_db::geom::dbu_from_f64_saturating(n))
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding. Every line is one compact JSON object whose first
+// field is `status`; `JsonWriter` escapes newlines, so any embedded text
+// (error messages, report JSON) stays on the one line.
+// ---------------------------------------------------------------------------
+
+fn open(status: Status) -> JsonWriter {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.field_str("status", status.name());
+    w
+}
+
+fn close(mut w: JsonWriter) -> String {
+    w.end_object();
+    w.finish()
+}
+
+/// `ping` reply.
+pub fn pong_line() -> String {
+    let mut w = open(Status::Ok);
+    w.field_bool("pong", true);
+    close(w)
+}
+
+/// A failure reply with just an error message (USAGE/PARSE/INTERNAL).
+pub fn error_line(status: Status, msg: &str) -> String {
+    let mut w = open(status);
+    w.field_str("error", msg);
+    close(w)
+}
+
+/// Admission refusal: retry after the hinted backoff.
+pub fn retry_after_line(retry_after_ms: u64, queue_depth: u64, draining: bool) -> String {
+    let mut w = open(Status::RetryAfter);
+    w.field_u64("retry_after_ms", retry_after_ms);
+    w.field_u64("queue_depth", queue_depth);
+    w.field_bool("draining", draining);
+    close(w)
+}
+
+/// Admission acknowledgement (first of the two legalize reply lines).
+pub fn accepted_line(job: u64, design: &str) -> String {
+    let mut w = open(Status::Ok);
+    w.field_str("phase", "ACCEPTED");
+    w.field_u64("job", job);
+    w.field_str("design", design);
+    close(w)
+}
+
+/// Successful job completion; `report_json` is an already-rendered
+/// `RunReport::to_json()` document, embedded verbatim.
+pub fn job_ok_line(job: u64, design: &str, report_json: &str) -> String {
+    let mut w = open(Status::Ok);
+    w.field_u64("job", job);
+    w.field_str("design", design);
+    w.field_raw("report", report_json);
+    close(w)
+}
+
+/// Contained job failure: the classed error, mirrored from the batch
+/// CLI's `<name>.failure.json` shape.
+pub fn job_failed_line(job: u64, design: &str, e: &LegalizeError) -> String {
+    let mut w = open(Status::from_error(e));
+    w.field_u64("job", job);
+    w.key("failure");
+    w.begin_object();
+    w.field_str("design", design);
+    w.field_str("class", e.class().label());
+    w.field_str("error", &e.to_string());
+    w.end_object();
+    close(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_mirror_cli() {
+        assert_eq!(Status::Ok.code(), 0);
+        assert_eq!(Status::Usage.code(), 2);
+        assert_eq!(Status::Parse.code(), 3);
+        assert_eq!(Status::Infeasible.code(), 4);
+        assert_eq!(Status::Internal.code(), 5);
+        assert_eq!(Status::RetryAfter.code(), 6);
+        assert_eq!(Status::Interrupted.code(), 7);
+        for s in [
+            Status::Ok,
+            Status::Usage,
+            Status::Parse,
+            Status::Infeasible,
+            Status::Internal,
+            Status::RetryAfter,
+            Status::Interrupted,
+        ] {
+            assert_eq!(Status::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Status::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn decodes_core_ops() {
+        assert_eq!(decode_request(r#"{"op":"ping"}"#), Ok(Request::Ping));
+        assert_eq!(decode_request(r#"{"op":"drain"}"#), Ok(Request::Drain));
+        assert_eq!(
+            decode_request(r#"{"op":"legalize","dir":"/tmp/b","deadline_secs":2.5}"#),
+            Ok(Request::Legalize {
+                dir: "/tmp/b".into(),
+                deadline_secs: Some(2.5)
+            })
+        );
+        assert_eq!(
+            decode_request(r#"{"op":"eco_delta","session":3,"cells":8,"seed":7}"#),
+            Ok(Request::EcoDelta {
+                session: 3,
+                delta: DeltaSpec::Synth { cells: 8, seed: 7 }
+            })
+        );
+        let moves = decode_request(r#"{"op":"eco_delta","session":1,"moves":[[4,100,-200]]}"#);
+        assert_eq!(
+            moves,
+            Ok(Request::EcoDelta {
+                session: 1,
+                delta: DeltaSpec::Moves(vec![(CellId(4), Point::new(100, -200))])
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(decode_request("not json").is_err());
+        assert!(decode_request(r#"{"dir":"/x"}"#).is_err(), "missing op");
+        assert!(decode_request(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(decode_request(r#"{"op":"legalize"}"#).is_err(), "no dir");
+        assert!(decode_request(r#"{"op":"eco_delta","session":1}"#).is_err());
+        assert!(
+            decode_request(r#"{"op":"eco_delta","session":1,"moves":[[1,0.5,0]]}"#).is_err(),
+            "fractional DBU"
+        );
+        assert!(decode_request(r#"{"op":"eco_delta","session":1,"moves":[]}"#).is_err());
+        assert!(decode_request(r#"{"op":"eco_delta","session":1,"cells":0}"#).is_err());
+    }
+
+    #[test]
+    fn response_lines_are_single_line_json() {
+        let lines = [
+            pong_line(),
+            error_line(Status::Usage, "bad\nrequest"),
+            retry_after_line(100, 64, false),
+            accepted_line(7, "golden_uniform"),
+            job_ok_line(7, "golden_uniform", r#"{"design":"golden_uniform"}"#),
+        ];
+        for l in &lines {
+            assert!(!l.contains('\n'), "{l:?} must be one line");
+            assert!(crate::json::parse(l).is_ok(), "{l:?} must re-parse");
+        }
+        assert!(lines[4].contains(r#""report":{"design":"golden_uniform"}"#));
+    }
+}

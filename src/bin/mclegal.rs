@@ -97,9 +97,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `rpc` maps the daemon's response statuses (a superset of the CLI
+    // error classes: RETRY_AFTER=6, INTERRUPTED=7) straight to exit codes.
+    if cmd == "rpc" {
+        return cmd_rpc(&flags);
+    }
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "legalize" => cmd_legalize(&flags),
+        "serve" => cmd_serve(&flags),
         "check" => cmd_check(&flags),
         "score" => cmd_score(&flags),
         "convert" => cmd_convert(&flags),
@@ -164,6 +170,30 @@ COMMANDS
              --out-pl <file>    write placed .pl
              --out-def <file>   write placed DEF
              --svg <file>       write an SVG rendering
+  serve      run the legalization daemon (newline-delimited JSON over TCP;
+             see DESIGN.md §16 for the wire protocol)
+             --addr <ip:port>   bind address (default 127.0.0.1:0; the
+                                picked port is printed as `LISTENING <addr>`)
+             --mode/--threads/--stage-budget-secs   engine config, as for
+                                `legalize`
+             --queue-cap <n>    bounded admission queue (default 64); past
+                                it jobs get RETRY_AFTER, never buffered
+             --deadline-secs <f>   default per-job wall-clock budget
+             --report-dir <dir> persist per-job reports (same files as
+                                `legalize --batch --report-dir`)
+             --journal <file>   write-ahead job journal; on restart,
+                                accepted-but-unfinished jobs are reported
+                                as INTERRUPTED failure records
+             --idle-evict-secs <n>  evict idle ECO sessions (default 300)
+             --retry-after-ms <n>   backpressure backoff hint (default 100)
+             --admit-hold-secs <f>  test hook: delay each scheduler wave
+             SIGTERM (or an `{\"op\":\"drain\"}` request) drains gracefully:
+             stop admitting, finish in-flight jobs, flush, exit 0
+  rpc        send one request line to a running daemon and print the
+             response lines; exits with the final status mapped to the
+             exit-code table below (+ RETRY_AFTER=6, INTERRUPTED=7)
+             --addr <ip:port>   daemon address (required)
+             --json '<line>'    the request object (required)
   check      run the legality/routability checker on a placed design
              --bookshelf <dir> | --lef <file> --def <file>
              --pl <file>        overlay a result .pl as the placement
@@ -635,6 +665,106 @@ fn cmd_legalize_batch(flags: &Flags) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// `serve`: run the legalization daemon until SIGTERM/SIGINT or a wire
+/// `drain` request, then drain gracefully and exit 0.
+fn cmd_serve(flags: &Flags) -> Result<(), CliError> {
+    let engine = build_config(flags)?;
+    let mut cfg = mclegal::serve::ServeConfig::new(engine);
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.to_string();
+    }
+    if let Some(n) = flags.num("queue-cap")? {
+        cfg.queue_cap = n;
+    }
+    if let Some(d) = flags.num("deadline-secs")? {
+        cfg.default_deadline_secs = Some(d);
+    }
+    cfg.report_dir = flags.get("report-dir").map(PathBuf::from);
+    cfg.journal_path = flags.get("journal").map(PathBuf::from);
+    if let Some(n) = flags.num("idle-evict-secs")? {
+        cfg.idle_evict_secs = n;
+    }
+    if let Some(n) = flags.num("retry-after-ms")? {
+        cfg.retry_after_ms = n;
+    }
+    if let Some(h) = flags.num("admit-hold-secs")? {
+        cfg.admit_hold_secs = h;
+    }
+    mclegal::serve::signal::install();
+    let server = mclegal::serve::Server::start(cfg).map_err(CliError::Internal)?;
+    for job in server.recovered() {
+        println!(
+            "RECOVERED job {} ({}) reported INTERRUPTED",
+            job.id, job.design
+        );
+    }
+    // The LISTENING line is the startup handshake scripts poll for; flush
+    // so it is visible before the first request arrives.
+    println!("LISTENING {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    server.run();
+    Ok(())
+}
+
+/// `rpc`: one request to a running daemon; prints every response line and
+/// exits with the final line's status code.
+fn cmd_rpc(flags: &Flags) -> ExitCode {
+    match run_rpc(flags) {
+        Ok(code) => ExitCode::from(code),
+        Err(e) => {
+            eprintln!("error: {}", e.message());
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run_rpc(flags: &Flags) -> Result<u8, CliError> {
+    let addr = flags
+        .get("addr")
+        .ok_or_else(|| CliError::Usage("rpc needs --addr <ip:port>".into()))?;
+    let json = flags
+        .get("json")
+        .ok_or_else(|| CliError::Usage("rpc needs --json '<line>'".into()))?;
+    let mut client = mclegal::serve::Client::connect(addr)
+        .map_err(|e| CliError::Internal(format!("{addr}: {e}")))?;
+    client
+        .send(json)
+        .map_err(|e| CliError::Internal(e.to_string()))?;
+    let mut accepted = false;
+    loop {
+        match client
+            .recv()
+            .map_err(|e| CliError::Internal(e.to_string()))?
+        {
+            None if accepted => {
+                return Err(CliError::Internal(
+                    "connection closed before the final response".into(),
+                ));
+            }
+            None => return Err(CliError::Internal("daemon closed the connection".into())),
+            Some(line) => {
+                println!("{line}");
+                let parsed = mclegal::serve::json::parse(&line)
+                    .map_err(|e| CliError::Internal(format!("bad response line: {e}")))?;
+                let status = parsed
+                    .str_field("status")
+                    .and_then(mclegal::serve::Status::from_name)
+                    .ok_or_else(|| CliError::Internal("response without a status".into()))?;
+                // The legalize acknowledgement is an intermediate line;
+                // keep reading for the job's final status.
+                if status == mclegal::serve::Status::Ok
+                    && parsed.str_field("phase") == Some("ACCEPTED")
+                {
+                    accepted = true;
+                    continue;
+                }
+                return Ok(status.code());
+            }
+        }
+    }
 }
 
 fn cmd_check(flags: &Flags) -> Result<(), CliError> {

@@ -13,6 +13,7 @@
 //! - [`gen`] — synthetic benchmark generation
 //! - [`obs`] — structured tracing, metrics and run reports
 //! - [`audit`] — clean-room legality auditor, certificates, replay verifier
+//! - [`serve`] — the `mclegal serve` legalization daemon and wire client
 //! - [`viz`] — SVG plots
 
 #![forbid(unsafe_code)]
@@ -24,4 +25,5 @@ pub use mcl_flow as flow;
 pub use mcl_gen as gen;
 pub use mcl_obs as obs;
 pub use mcl_parsers as parsers;
+pub use mcl_serve as serve;
 pub use mcl_viz as viz;
